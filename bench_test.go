@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section at a reduced scale. Each benchmark reports the
+// paper's metrics via b.ReportMetric (so `go test -bench .` prints the
+// same quantities the paper tabulates); cmd/evfedbench runs the full-size
+// configuration.
+//
+// Benchmark ↔ experiment map (see DESIGN.md §3):
+//
+//	BenchmarkTable1_*          — Table I scenario rows (Client 1)
+//	BenchmarkTable2_Detection  — Table II per-client detection quality
+//	BenchmarkTable3_FedVsCentral — Table III architecture comparison
+//	BenchmarkFig2_ErrorBars    — Fig 2 RMSE/MAE series
+//	BenchmarkFig3_R2Comparison — Fig 3 per-client R² series
+//	BenchmarkHeadline_Scalars  — abstract's headline numbers
+package evfed_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// benchParams is the shared reduced configuration: small enough that a
+// full scenario trains in roughly a second, large enough that the paper's
+// qualitative shape (orderings, who wins) is preserved.
+func benchParams() eval.Params {
+	p := eval.QuickParams(42)
+	p.Hours = 900
+	p.Rounds = 2
+	p.EpochsPerRound = 3
+	p.AE.Epochs = 5
+	return p
+}
+
+var (
+	prepOnce    sync.Once
+	prepClients []*eval.ClientPrep
+	prepErr     error
+)
+
+// preparedClients runs the shared data+detection pipeline once per test
+// binary: every table benchmark consumes the same prepared clients, like
+// the paper's scenarios consume the same dataset.
+func preparedClients(b *testing.B) []*eval.ClientPrep {
+	b.Helper()
+	prepOnce.Do(func() {
+		prepClients, prepErr = eval.Prepare(benchParams())
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepClients
+}
+
+func clientSeriesSet(clients []*eval.ClientPrep, pick func(*eval.ClientPrep) []float64) ([][]float64, []string) {
+	vals := make([][]float64, len(clients))
+	zones := make([]string, len(clients))
+	for i, c := range clients {
+		vals[i] = pick(c)
+		zones[i] = c.Zone
+	}
+	return vals, zones
+}
+
+func benchFederatedScenario(b *testing.B, scenario string, pick func(*eval.ClientPrep) []float64) {
+	clients := preparedClients(b)
+	p := benchParams()
+	vals, zones := clientSeriesSet(clients, pick)
+	clean, _ := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Clean })
+	b.ResetTimer()
+	var last *eval.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFederated(scenario, vals, clean, zones, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	m := last.PerClient[0]
+	b.ReportMetric(m.MAE, "mae_kwh")
+	b.ReportMetric(m.RMSE, "rmse_kwh")
+	b.ReportMetric(m.R2, "r2")
+}
+
+// BenchmarkTable1_FedClean regenerates Table I row 1: federated LSTM on
+// clean data, Client 1.
+func BenchmarkTable1_FedClean(b *testing.B) {
+	benchFederatedScenario(b, "clean", func(c *eval.ClientPrep) []float64 { return c.Clean })
+}
+
+// BenchmarkTable1_FedAttacked regenerates Table I row 2: federated LSTM
+// on attacked data.
+func BenchmarkTable1_FedAttacked(b *testing.B) {
+	benchFederatedScenario(b, "attacked", func(c *eval.ClientPrep) []float64 { return c.Attacked })
+}
+
+// BenchmarkTable1_FedFiltered regenerates Table I row 3: federated LSTM
+// on filtered data.
+func BenchmarkTable1_FedFiltered(b *testing.B) {
+	benchFederatedScenario(b, "filtered", func(c *eval.ClientPrep) []float64 { return c.Filtered })
+}
+
+// BenchmarkTable1_CentralFiltered regenerates Table I row 4: the
+// centralized LSTM on the same filtered data.
+func BenchmarkTable1_CentralFiltered(b *testing.B) {
+	clients := preparedClients(b)
+	p := benchParams()
+	vals, _ := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Filtered })
+	clean, _ := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Clean })
+	b.ResetTimer()
+	var last *eval.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunCentralized("filtered", vals, clean, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	m := last.PerClient[0]
+	b.ReportMetric(m.MAE, "mae_kwh")
+	b.ReportMetric(m.RMSE, "rmse_kwh")
+	b.ReportMetric(m.R2, "r2")
+}
+
+// BenchmarkTable2_Detection regenerates Table II: the full per-client
+// detection pipeline (autoencoder training, calibration, detection,
+// mitigation), reporting each client's precision/recall/F1.
+func BenchmarkTable2_Detection(b *testing.B) {
+	p := benchParams()
+	b.ResetTimer()
+	var clients []*eval.ClientPrep
+	for i := 0; i < b.N; i++ {
+		var err error
+		clients, err = eval.Prepare(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i, c := range clients {
+		suffix := "_c" + string(rune('1'+i))
+		b.ReportMetric(c.Detection.Precision, "precision"+suffix)
+		b.ReportMetric(c.Detection.Recall, "recall"+suffix)
+		b.ReportMetric(c.Detection.F1, "f1"+suffix)
+	}
+}
+
+// BenchmarkTable3_FedVsCentral regenerates Table III: both architectures
+// on identical filtered data, reporting per-client R².
+func BenchmarkTable3_FedVsCentral(b *testing.B) {
+	clients := preparedClients(b)
+	p := benchParams()
+	vals, zones := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Filtered })
+	clean, _ := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Clean })
+	b.ResetTimer()
+	var fedRes, cenRes *eval.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		fedRes, err = eval.RunFederated("filtered", vals, clean, zones, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cenRes, err = eval.RunCentralized("filtered", vals, clean, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i := range clients {
+		suffix := "_c" + string(rune('1'+i))
+		b.ReportMetric(fedRes.PerClient[i].R2, "fed_r2"+suffix)
+		b.ReportMetric(cenRes.PerClient[i].R2, "central_r2"+suffix)
+	}
+}
+
+// BenchmarkFig2_ErrorBars regenerates the Fig 2 series: Client 1 RMSE and
+// MAE across the three federated data scenarios.
+func BenchmarkFig2_ErrorBars(b *testing.B) {
+	clients := preparedClients(b)
+	p := benchParams()
+	clean, zones := clientSeriesSet(clients, func(c *eval.ClientPrep) []float64 { return c.Clean })
+	picks := map[string]func(*eval.ClientPrep) []float64{
+		"clean":    func(c *eval.ClientPrep) []float64 { return c.Clean },
+		"attacked": func(c *eval.ClientPrep) []float64 { return c.Attacked },
+		"filtered": func(c *eval.ClientPrep) []float64 { return c.Filtered },
+	}
+	b.ResetTimer()
+	results := make(map[string]*eval.ScenarioResult, len(picks))
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"clean", "attacked", "filtered"} {
+			vals, _ := clientSeriesSet(clients, picks[name])
+			res, err := eval.RunFederated(name, vals, clean, zones, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[name] = res
+		}
+	}
+	b.StopTimer()
+	for _, name := range []string{"clean", "attacked", "filtered"} {
+		m := results[name].PerClient[0]
+		b.ReportMetric(m.RMSE, "rmse_"+name)
+		b.ReportMetric(m.MAE, "mae_"+name)
+	}
+}
+
+// BenchmarkFig3_R2Comparison regenerates the Fig 3 series: per-client R²
+// for federated vs centralized on filtered data.
+func BenchmarkFig3_R2Comparison(b *testing.B) {
+	BenchmarkTable3_FedVsCentral(b)
+}
+
+// BenchmarkHeadline_Scalars regenerates the abstract's headline numbers
+// (R² improvement, recovery fraction, pooled precision/FPR, training-time
+// reduction) by running the complete four-scenario protocol.
+func BenchmarkHeadline_Scalars(b *testing.B) {
+	p := benchParams()
+	clients := preparedClients(b)
+	b.ResetTimer()
+	var rep *eval.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = eval.RunScenarios(p, clients)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.Headline.R2ImprovementPct, "r2_improvement_pct")
+	b.ReportMetric(rep.Headline.RecoveryPct, "recovery_pct")
+	b.ReportMetric(rep.Headline.OverallPrecision, "precision")
+	b.ReportMetric(rep.Headline.OverallFPRPct, "fpr_pct")
+	b.ReportMetric(rep.Headline.TimeReductionPct, "time_reduction_pct")
+}

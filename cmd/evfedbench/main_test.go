@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("3, 6,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCounts = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseCounts("a,b"); err == nil {
+		t.Fatal("non-numeric counts should error")
+	}
+	if _, err := parseCounts(" ,, "); err == nil {
+		t.Fatal("empty counts should error")
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	if configName(true) != "quick" || configName(false) != "paper" {
+		t.Fatal("configName")
+	}
+}

@@ -1,0 +1,115 @@
+// Command evfedcoord coordinates a federated training run across
+// evfedstation instances, speaking the TCP federation protocol. Only
+// model weight vectors cross the network.
+//
+// Usage:
+//
+//	evfedcoord -stations host1:7102,host2:7105,host3:7108 \
+//	    [-rounds 5] [-epochs 10] [-aggregator fedavg|uniform|median|trimmed] \
+//	    [-tolerate-errors] [-weights-out global.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/evfed/evfed/internal/fed"
+	"github.com/evfed/evfed/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evfedcoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		stations    = flag.String("stations", "", "comma-separated station addresses (required)")
+		rounds      = flag.Int("rounds", 5, "federated rounds")
+		epochs      = flag.Int("epochs", 10, "local epochs per round")
+		batch       = flag.Int("batch", 32, "local batch size")
+		lr          = flag.Float64("lr", 0.001, "local learning rate")
+		lstmUnits   = flag.Int("lstm-units", 50, "forecaster LSTM units (must match stations)")
+		denseHidden = flag.Int("dense-hidden", 10, "forecaster dense hidden units (must match stations)")
+		aggregator  = flag.String("aggregator", "fedavg", "aggregation rule: fedavg, uniform, median, trimmed")
+		tolerate    = flag.Bool("tolerate-errors", false, "treat station errors as round dropouts")
+		proximalMu  = flag.Float64("proximal-mu", 0, "FedProx proximal coefficient (0 = plain FedAvg)")
+		dpClip      = flag.Float64("dp-clip", 0, "differential-privacy update clip norm (0 = off)")
+		dpNoise     = flag.Float64("dp-noise", 0, "differential-privacy Gaussian noise std (requires -dp-clip)")
+		seed        = flag.Uint64("seed", 1, "global model seed")
+		weightsOut  = flag.String("weights-out", "", "write the final global weights (gob) here")
+	)
+	flag.Parse()
+	if *stations == "" {
+		return fmt.Errorf("-stations is required")
+	}
+
+	var handles []fed.ClientHandle
+	for _, addr := range strings.Split(*stations, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		handles = append(handles, fed.NewRemoteClient(addr, addr))
+	}
+	if len(handles) == 0 {
+		return fmt.Errorf("no station addresses parsed from %q", *stations)
+	}
+	agg, err := fed.NewAggregator(*aggregator)
+	if err != nil {
+		return err
+	}
+
+	spec := nn.ForecasterSpec(*lstmUnits, *denseHidden)
+	cfg := fed.Config{
+		Rounds:               *rounds,
+		EpochsPerRound:       *epochs,
+		BatchSize:            *batch,
+		LearningRate:         *lr,
+		Seed:                 *seed,
+		Parallel:             true,
+		Aggregator:           agg,
+		TolerateClientErrors: *tolerate,
+		ProximalMu:           *proximalMu,
+		Privacy:              fed.Privacy{ClipNorm: *dpClip, NoiseStd: *dpNoise},
+	}
+	co, err := fed.NewCoordinator(spec, handles, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("federating %d stations for %d rounds × %d epochs (%s aggregation)\n",
+		len(handles), *rounds, *epochs, agg.Name())
+	res, err := co.Run()
+	if err != nil {
+		return err
+	}
+	for _, rs := range res.Rounds {
+		fmt.Printf("round %d: %d participants", rs.Round+1, len(rs.Participants))
+		if len(rs.Dropped) > 0 {
+			fmt.Printf(", %d dropped (%s)", len(rs.Dropped), strings.Join(rs.Dropped, ", "))
+		}
+		fmt.Printf(", weighted loss %.6f, %.2fs\n", rs.MeanLoss, rs.WallSeconds)
+	}
+	fmt.Printf("done: %.1fs wall clock, %.1fs total client compute\n", res.WallSeconds, res.ClientSeconds)
+
+	if *weightsOut != "" {
+		global, err := co.GlobalModel(res)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*weightsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := global.SaveWeights(f); err != nil {
+			return err
+		}
+		fmt.Printf("global weights written to %s\n", *weightsOut)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package evfed is an anomaly-resilient federated learning framework for
+// EV charging demand forecasting under cyberattacks — a from-scratch Go
+// implementation of the system described in "Federated Anomaly Detection
+// and Mitigation for EV Charging Forecasting Under Cyberattacks"
+// (Babayomi & Kim).
+//
+// The framework integrates three pieces:
+//
+//   - LSTM-autoencoder anomaly detection deployed per federated client
+//     (98th-percentile reconstruction-error thresholding);
+//   - interpolation-based mitigation of detected anomalous segments,
+//     preserving temporal continuity;
+//   - federated LSTM forecasting via FedAvg, so charging stations learn
+//     collaboratively while raw data never leaves a station.
+//
+// This package is the public facade. It exposes the high-level pipeline
+// (experiment reproduction, forecaster training, anomaly filtering,
+// synthetic data generation) as thin aliases and wrappers over the
+// internal substrates:
+//
+//	internal/nn          neural-network substrate (LSTM, Adam, BPTT)
+//	internal/autoencoder LSTM-autoencoder anomaly detector
+//	internal/anomaly     thresholding + segment mitigation filter
+//	internal/attack      DDoS traffic model and injection
+//	internal/dataset     synthetic Shenzhen-like charging data
+//	internal/fed         FedAvg runtime (in-process and TCP transports)
+//	internal/central     centralized baseline trainer
+//	internal/eval        experiment harness (paper tables and figures)
+//
+// # Quick start
+//
+//	rep, err := evfed.RunExperiments(evfed.QuickConfig(42))
+//	if err != nil { ... }
+//	fmt.Print(rep.FormatAll())
+//
+// See the examples/ directory for runnable programs, and DESIGN.md for
+// the full system inventory.
+package evfed
+
+import (
+	"github.com/evfed/evfed/internal/anomaly"
+	"github.com/evfed/evfed/internal/attack"
+	"github.com/evfed/evfed/internal/autoencoder"
+	"github.com/evfed/evfed/internal/dataset"
+	"github.com/evfed/evfed/internal/eval"
+	"github.com/evfed/evfed/internal/fed"
+	"github.com/evfed/evfed/internal/metrics"
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+	"github.com/evfed/evfed/internal/series"
+)
+
+// Config parameterizes the full experimental pipeline (data generation,
+// attack injection, detection, mitigation, federated and centralized
+// training). See eval.Params for field documentation.
+type Config = eval.Params
+
+// Report bundles every regenerated table and figure of the paper's
+// evaluation.
+type Report = eval.Report
+
+// PaperConfig returns the paper's full configuration (4,344 hours per
+// client, LSTM(50), 5 rounds × 10 epochs, 98th-percentile detection).
+func PaperConfig(seed uint64) Config { return eval.PaperParams(seed) }
+
+// QuickConfig returns a scaled-down configuration that runs the whole
+// pipeline in seconds while preserving its qualitative behaviour.
+func QuickConfig(seed uint64) Config { return eval.QuickParams(seed) }
+
+// RunExperiments executes the paper's complete experimental protocol —
+// generate the three study clients, inject DDoS anomalies, train
+// per-client detectors, filter, and train all four scenario arms — and
+// returns the regenerated tables and figures.
+func RunExperiments(cfg Config) (*Report, error) { return eval.Run(cfg) }
+
+// Series is a univariate time series with fixed sampling interval.
+type Series = series.Series
+
+// Regression bundles forecast-quality metrics (MAE, RMSE, R², MAPE).
+type Regression = metrics.Regression
+
+// Detection bundles anomaly-detection quality metrics.
+type Detection = metrics.Detection
+
+// ZoneProfile parameterizes a synthetic traffic zone.
+type ZoneProfile = dataset.ZoneProfile
+
+// GenerateZone synthesizes hours of hourly charging data for the given
+// zone profile. Profiles for the paper's three study zones are available
+// via Zone102, Zone105 and Zone108.
+func GenerateZone(profile ZoneProfile, hours int, seed uint64) (*Series, error) {
+	res, err := dataset.Generate(dataset.Config{Profile: profile, Hours: hours, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Series, nil
+}
+
+// Zone102 returns the calibrated profile for study zone 102 (Client 1).
+func Zone102() ZoneProfile { return dataset.Profile102() }
+
+// Zone105 returns the calibrated profile for study zone 105 (Client 2).
+func Zone105() ZoneProfile { return dataset.Profile105() }
+
+// Zone108 returns the calibrated profile for study zone 108 (Client 3),
+// the spiky hard-to-detect zone.
+func Zone108() ZoneProfile { return dataset.Profile108() }
+
+// AttackEpisode is one contiguous DDoS burst.
+type AttackEpisode = attack.Episode
+
+// InjectDDoS applies DDoS-derived volume spikes to values (the paper's
+// packet-rate translation at the published 33,000 vs 350,500 packets/s
+// rates) and returns the attacked copy plus ground-truth labels.
+func InjectDDoS(values []float64, episodes []AttackEpisode, seed uint64) (attacked []float64, labels []bool, err error) {
+	res, err := attack.InjectDDoS(values, episodes, attack.DefaultTraffic(), rngFor(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Values, res.Labels, nil
+}
+
+// ScheduleAttacks places the default attack schedule over n hours.
+func ScheduleAttacks(n int, seed uint64) ([]AttackEpisode, error) {
+	return attack.Schedule(attack.DefaultSchedule(), n, 0, rngFor(seed))
+}
+
+// DetectorConfig parameterizes the LSTM-autoencoder detector.
+type DetectorConfig = autoencoder.Config
+
+// FilterConfig parameterizes thresholding and mitigation.
+type FilterConfig = anomaly.Config
+
+// FilterResult is the anomaly filter's output for one series.
+type FilterResult = anomaly.Result
+
+// AnomalyFilter is the paper's EVChargingAnomalyFilter: a trained
+// LSTM-autoencoder scorer behind percentile thresholding, segment
+// merging and interpolation mitigation. Build one with TrainFilter.
+type AnomalyFilter struct {
+	filter *anomaly.Filter
+	det    *autoencoder.Detector
+}
+
+// TrainFilter trains the autoencoder on normalValues (scaled to [0, 1],
+// assumed attack-free) and calibrates the detection threshold following
+// the paper's procedure. Calibration uses the trailing 10% of
+// normalValues — the slice the autoencoder's early stopping already held
+// out of gradient updates — so the threshold reflects generalization
+// error rather than memorized reconstruction error.
+func TrainFilter(normalValues []float64, detCfg DetectorConfig, filtCfg FilterConfig) (*AnomalyFilter, error) {
+	det, _, err := autoencoder.Train(normalValues, detCfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := anomaly.NewFilter(autoencoder.Adapter{Detector: det}, filtCfg)
+	if err != nil {
+		return nil, err
+	}
+	calib := normalValues
+	if cut := int(0.9 * float64(len(normalValues))); cut-detCfg.SeqLen > 0 {
+		// Keep SeqLen of leading context so the tail's first points sit in
+		// full reconstruction windows.
+		calib = normalValues[cut-detCfg.SeqLen:]
+	}
+	if err := f.Calibrate(calib); err != nil {
+		return nil, err
+	}
+	return &AnomalyFilter{filter: f, det: det}, nil
+}
+
+// Apply detects and mitigates anomalies in values (same scaling frame as
+// the training data). The input is not modified.
+func (a *AnomalyFilter) Apply(values []float64) (*FilterResult, error) {
+	return a.filter.Apply(values)
+}
+
+// Threshold returns the calibrated reconstruction-error threshold.
+func (a *AnomalyFilter) Threshold() (float64, error) { return a.filter.Threshold() }
+
+// StreamDecision is the online detector's verdict for one streamed point.
+type StreamDecision = anomaly.StreamDecision
+
+// NewStream builds an online detector from the filter's trained
+// autoencoder and calibrated threshold: push live points one at a time
+// and get per-point verdicts using only past data.
+func (a *AnomalyFilter) NewStream() (*anomaly.Stream, error) {
+	thr, err := a.filter.Threshold()
+	if err != nil {
+		return nil, err
+	}
+	return anomaly.NewStream(autoencoder.Adapter{Detector: a.det}, thr)
+}
+
+// EvalDetection scores predicted flags against ground-truth labels.
+func EvalDetection(truth, pred []bool) (Detection, error) {
+	c, err := metrics.EvalDetection(truth, pred)
+	if err != nil {
+		return Detection{}, err
+	}
+	return metrics.Summarize(c), nil
+}
+
+// EvalForecast scores predictions against the true series.
+func EvalForecast(truth, pred []float64) (Regression, error) {
+	return metrics.EvalRegression(truth, pred)
+}
+
+// FederatedClient is an in-process federated client.
+type FederatedClient = fed.Client
+
+// ClientHandle abstracts in-process and remote clients.
+type ClientHandle = fed.ClientHandle
+
+// FederatedConfig controls a federated run.
+type FederatedConfig = fed.Config
+
+// NewFederatedClient builds a client over scaled series values with the
+// paper's forecaster architecture (LSTM units → Dense hidden → Dense 1).
+func NewFederatedClient(id string, values []float64, seqLen, lstmUnits, denseHidden int, seed uint64) (*FederatedClient, error) {
+	return fed.NewClient(id, nn.ForecasterSpec(lstmUnits, denseHidden), values, seqLen, seed)
+}
+
+// RunFederation orchestrates FedAvg over the given clients with the
+// paper's forecaster architecture and returns the run result.
+func RunFederation(clients []ClientHandle, lstmUnits, denseHidden int, cfg FederatedConfig) (*fed.RunResult, error) {
+	co, err := fed.NewCoordinator(nn.ForecasterSpec(lstmUnits, denseHidden), clients, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return co.Run()
+}
+
+// ServeFederatedClient exposes a client over TCP for distributed
+// deployments; returns the running server (Stop releases the listener).
+func ServeFederatedClient(c *FederatedClient, addr string) (*fed.ClientServer, error) {
+	return fed.ServeClient(c, addr)
+}
+
+// NewRemoteClient builds a TCP handle for a served client.
+func NewRemoteClient(id, addr string) *fed.RemoteClient {
+	return fed.NewRemoteClient(id, addr)
+}
+
+func rngFor(seed uint64) *rng.Source { return rng.New(seed) }

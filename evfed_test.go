@@ -1,0 +1,104 @@
+package evfed_test
+
+import (
+	"testing"
+
+	"github.com/evfed/evfed"
+	"github.com/evfed/evfed/internal/scale"
+	"github.com/evfed/evfed/internal/series"
+)
+
+// TestPublicAPIRoundTrip exercises the facade the way a downstream user
+// would: generate data, attack it, train a filter, federate forecasters.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	const hours = 2000
+	s, err := evfed.GenerateZone(evfed.Zone102(), hours, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != hours {
+		t.Fatalf("series length %d", s.Len())
+	}
+
+	episodes, err := evfed.ScheduleAttacks(hours, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, labels, err := evfed.InjectDDoS(s.Values, episodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacked) != hours || len(labels) != hours {
+		t.Fatal("attack output lengths")
+	}
+
+	train, _, err := series.SplitValues(s.Values, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc scale.MinMaxScaler
+	scaledTrain, err := sc.FitTransform(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detCfg := evfed.DetectorConfig{
+		SeqLen: 12, EncoderUnits: 8, Bottleneck: 4, Dropout: 0.1,
+		Epochs: 4, BatchSize: 32, LearningRate: 0.005,
+		Patience: 10, ValFrac: 0.1, TrainStride: 4, Seed: 3,
+	}
+	filtCfg := evfed.FilterConfig{ThresholdPercentile: 98, MaxGap: 2, MinRunLen: 2, Mitigation: 1}
+	filter, err := evfed.TrainFilter(scaledTrain, detCfg, filtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledAttacked, err := sc.Transform(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := filter.Apply(scaledAttacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := evfed.EvalDetection(labels, res.Flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Precision < 0.3 {
+		t.Fatalf("public-API detection precision %v suspiciously low", det.Precision)
+	}
+
+	// Federation through the facade.
+	c1, err := evfed.NewFederatedClient("a", scaledTrain, 12, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := evfed.NewFederatedClient("b", scaledTrain, 12, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRes, err := evfed.RunFederation(
+		[]evfed.ClientHandle{c1, c2}, 8, 4,
+		evfed.FederatedConfig{Rounds: 1, EpochsPerRound: 2, BatchSize: 32, LearningRate: 0.001, Seed: 1, Parallel: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runRes.Global) == 0 {
+		t.Fatal("no global weights")
+	}
+}
+
+// TestQuickExperimentConfig sanity-checks the exported configurations.
+func TestQuickExperimentConfig(t *testing.T) {
+	q := evfed.QuickConfig(1)
+	p := evfed.PaperConfig(1)
+	if q.Hours >= p.Hours {
+		t.Fatalf("quick config (%d h) should be smaller than paper config (%d h)", q.Hours, p.Hours)
+	}
+	if p.SeqLen != 24 || p.LSTMUnits != 50 || p.Rounds != 5 || p.EpochsPerRound != 10 {
+		t.Fatalf("paper config drifted from the paper: %+v", p)
+	}
+	if p.Filter.ThresholdPercentile != 98 || p.Filter.MaxGap != 2 {
+		t.Fatalf("paper filter config drifted: %+v", p.Filter)
+	}
+}

@@ -1,0 +1,93 @@
+package evfed_test
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed"
+)
+
+// ExampleGenerateZone shows basic synthetic data generation for one of
+// the paper's study zones.
+func ExampleGenerateZone() {
+	s, err := evfed.GenerateZone(evfed.Zone102(), 48, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d hourly samples starting %s\n", s.Len(), s.Start.Format("2006-01-02"))
+	// Output:
+	// 48 hourly samples starting 2022-09-01
+}
+
+// ExampleScheduleAttacks shows DDoS campaign scheduling over a series.
+func ExampleScheduleAttacks() {
+	episodes, err := evfed.ScheduleAttacks(4344, 7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	attacked := 0
+	for _, e := range episodes {
+		attacked += e.Length
+	}
+	fmt.Printf("%d episodes scheduled\n", len(episodes))
+	fmt.Printf("prevalence band ok: %v\n", attacked > 200 && attacked < 1400)
+	// Output:
+	// 25 episodes scheduled
+	// prevalence band ok: true
+}
+
+// ExampleEvalDetection shows detection scoring against ground truth.
+func ExampleEvalDetection() {
+	truth := []bool{true, true, false, false, true, false}
+	flags := []bool{true, false, false, false, true, true}
+	d, err := evfed.EvalDetection(truth, flags)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("precision %.2f recall %.2f\n", d.Precision, d.Recall)
+	// Output:
+	// precision 0.67 recall 0.67
+}
+
+// ExampleEvalForecast shows regression scoring.
+func ExampleEvalForecast() {
+	truth := []float64{10, 20, 30}
+	pred := []float64{11, 19, 31}
+	m, err := evfed.EvalForecast(truth, pred)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("MAE %.2f RMSE %.2f\n", m.MAE, m.RMSE)
+	// Output:
+	// MAE 1.00 RMSE 1.00
+}
+
+// ExampleInjectDDoS shows attack injection with ground-truth labels.
+func ExampleInjectDDoS() {
+	clean := make([]float64, 100)
+	for i := range clean {
+		clean[i] = 10
+	}
+	episodes := []evfed.AttackEpisode{{Start: 40, Length: 5, Severity: 0.5}}
+	attacked, labels, err := evfed.InjectDDoS(clean, episodes, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	n := 0
+	spiked := true
+	for i, l := range labels {
+		if l {
+			n++
+			if attacked[i] <= clean[i] {
+				spiked = false
+			}
+		}
+	}
+	fmt.Printf("%d labeled hours, all spiked: %v\n", n, spiked)
+	// Output:
+	// 5 labeled hours, all spiked: true
+}

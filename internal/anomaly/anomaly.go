@@ -1,0 +1,276 @@
+// Package anomaly implements the paper's EVChargingAnomalyFilter: anomaly
+// scoring (LSTM autoencoder by default, with MSD and MAD statistical
+// baselines), 98th-percentile thresholding calibrated on training-set
+// scores, consecutive-segment merging tolerating gaps of ≤ 2 timestamps,
+// and interpolation-based mitigation that restores temporal continuity.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/evfed/evfed/internal/series"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig     = errors.New("anomaly: invalid configuration")
+	ErrNotCalibrated = errors.New("anomaly: filter not calibrated")
+)
+
+// Scorer assigns a per-point anomaly score (higher = more anomalous) to a
+// series. Implementations: the autoencoder detector (via an adapter in the
+// pipeline), MSD and MAD.
+type Scorer interface {
+	// Name identifies the scorer in reports.
+	Name() string
+	// Scores returns one score per input point.
+	Scores(values []float64) ([]float64, error)
+}
+
+// Mitigation selects how flagged segments are repaired.
+type Mitigation int
+
+// Supported mitigation methods. The paper uses linear interpolation;
+// cubic, seasonal and zeroing exist for the mitigation ablation
+// (§III-G's "more sophisticated reconstruction techniques").
+const (
+	MitigateLinear Mitigation = iota + 1
+	MitigateCubic
+	MitigateSeasonal
+	MitigateZero
+)
+
+// String returns the mitigation's name.
+func (m Mitigation) String() string {
+	switch m {
+	case MitigateLinear:
+		return "linear"
+	case MitigateCubic:
+		return "cubic"
+	case MitigateSeasonal:
+		return "seasonal"
+	case MitigateZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("mitigation(%d)", int(m))
+	}
+}
+
+// Config parameterizes the filter. DefaultConfig matches the paper.
+type Config struct {
+	// ThresholdPercentile is the score percentile (computed on training
+	// scores) above which points are flagged (paper: 98).
+	ThresholdPercentile float64
+	// MaxGap is the largest unflagged gap bridged when merging consecutive
+	// anomalous segments (paper: 2).
+	MaxGap int
+	// MinRunLen drops merged segments shorter than this many points. The
+	// paper's filter acts on "consecutive anomalous segments": DDoS bursts
+	// span many hours, so an isolated flagged point is detector noise, and
+	// discarding it is what keeps the false-positive rate near 1% at a
+	// 98th-percentile threshold. Values <= 1 disable the rule.
+	MinRunLen int
+	// Mitigation selects the repair method (paper: linear interpolation).
+	Mitigation Mitigation
+	// SeasonalPeriod is the season length for MitigateSeasonal (24 for
+	// daily seasonality at hourly resolution).
+	SeasonalPeriod int
+}
+
+// DefaultConfig returns the paper's filter settings.
+func DefaultConfig() Config {
+	return Config{
+		ThresholdPercentile: 98,
+		MaxGap:              2,
+		MinRunLen:           2,
+		Mitigation:          MitigateLinear,
+		SeasonalPeriod:      24,
+	}
+}
+
+func (c Config) validate() error {
+	if c.ThresholdPercentile <= 0 || c.ThresholdPercentile >= 100 {
+		return fmt.Errorf("%w: threshold percentile %v", ErrBadConfig, c.ThresholdPercentile)
+	}
+	if c.MaxGap < 0 {
+		return fmt.Errorf("%w: max gap %d", ErrBadConfig, c.MaxGap)
+	}
+	if c.MinRunLen < 0 {
+		return fmt.Errorf("%w: min run length %d", ErrBadConfig, c.MinRunLen)
+	}
+	switch c.Mitigation {
+	case MitigateLinear, MitigateCubic, MitigateZero:
+	case MitigateSeasonal:
+		if c.SeasonalPeriod <= 0 {
+			return fmt.Errorf("%w: seasonal period %d", ErrBadConfig, c.SeasonalPeriod)
+		}
+	default:
+		return fmt.Errorf("%w: mitigation %v", ErrBadConfig, c.Mitigation)
+	}
+	return nil
+}
+
+// Filter is the calibrated anomaly detection + mitigation stage (the
+// paper's EVChargingAnomalyFilter).
+type Filter struct {
+	cfg       Config
+	scorer    Scorer
+	threshold float64
+	ready     bool
+}
+
+// NewFilter wraps a scorer with filter configuration. Calibrate must be
+// called before Detect or Apply.
+func NewFilter(scorer Scorer, cfg Config) (*Filter, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("%w: nil scorer", ErrBadConfig)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Filter{cfg: cfg, scorer: scorer}, nil
+}
+
+// Calibrate computes the detection threshold as the configured percentile
+// of the scorer's outputs on trainValues (the training split, assumed
+// normal), following the paper's procedure.
+func (f *Filter) Calibrate(trainValues []float64) error {
+	scores, err := f.scorer.Scores(trainValues)
+	if err != nil {
+		return fmt.Errorf("anomaly: calibrate: %w", err)
+	}
+	thr, err := Percentile(scores, f.cfg.ThresholdPercentile)
+	if err != nil {
+		return fmt.Errorf("anomaly: calibrate: %w", err)
+	}
+	f.threshold = thr
+	f.ready = true
+	return nil
+}
+
+// SetThreshold installs an explicit threshold (used by the threshold
+// ablation and by tests).
+func (f *Filter) SetThreshold(thr float64) {
+	f.threshold = thr
+	f.ready = true
+}
+
+// Threshold returns the calibrated threshold.
+func (f *Filter) Threshold() (float64, error) {
+	if !f.ready {
+		return 0, ErrNotCalibrated
+	}
+	return f.threshold, nil
+}
+
+// Result bundles the filter's outputs for one series.
+type Result struct {
+	// Scores are the per-point anomaly scores.
+	Scores []float64
+	// RawFlags marks every point whose score exceeded the threshold,
+	// before segment post-processing.
+	RawFlags []bool
+	// Flags marks the detector's final point decisions: raw flags that
+	// survived segment merging and the minimum-run-length rule.
+	Flags []bool
+	// Runs are the merged anomalous segments that were mitigated.
+	Runs []series.Run
+	// MitigatedMask marks every point rewritten by mitigation (the merged
+	// runs, including bridged gap points).
+	MitigatedMask []bool
+	// Filtered is the repaired copy of the input.
+	Filtered []float64
+	// Threshold echoes the threshold used.
+	Threshold float64
+}
+
+// Detect scores values and returns the raw point flags (no merging).
+func (f *Filter) Detect(values []float64) ([]bool, []float64, error) {
+	if !f.ready {
+		return nil, nil, ErrNotCalibrated
+	}
+	scores, err := f.scorer.Scores(values)
+	if err != nil {
+		return nil, nil, fmt.Errorf("anomaly: detect: %w", err)
+	}
+	flags := make([]bool, len(scores))
+	for i, s := range scores {
+		flags[i] = s > f.threshold
+	}
+	return flags, scores, nil
+}
+
+// Apply runs the full pipeline on values: detect, merge segments with the
+// gap rule, and mitigate. The input is not modified.
+func (f *Filter) Apply(values []float64) (*Result, error) {
+	rawFlags, scores, err := f.Detect(values)
+	if err != nil {
+		return nil, err
+	}
+	merged := series.MergeRuns(series.FindRuns(rawFlags), f.cfg.MaxGap)
+	runs := merged[:0:0]
+	for _, r := range merged {
+		if r.Len() >= f.cfg.MinRunLen {
+			runs = append(runs, r)
+		}
+	}
+	// Final point decisions: raw flags inside surviving segments.
+	inRuns := series.MaskFromRuns(runs, len(values))
+	flags := make([]bool, len(values))
+	for i := range flags {
+		flags[i] = rawFlags[i] && inRuns[i]
+	}
+	filtered := make([]float64, len(values))
+	copy(filtered, values)
+	switch f.cfg.Mitigation {
+	case MitigateLinear:
+		series.InterpolateRuns(filtered, runs)
+	case MitigateCubic:
+		series.CubicSmoothRuns(filtered, runs)
+	case MitigateSeasonal:
+		if err := series.SeasonalImputeRuns(filtered, runs, f.cfg.SeasonalPeriod); err != nil {
+			return nil, fmt.Errorf("anomaly: mitigate: %w", err)
+		}
+	case MitigateZero:
+		for _, r := range runs {
+			for i := r.Start; i <= r.End; i++ {
+				filtered[i] = 0
+			}
+		}
+	}
+	return &Result{
+		Scores:        scores,
+		RawFlags:      rawFlags,
+		Flags:         flags,
+		Runs:          runs,
+		MitigatedMask: series.MaskFromRuns(runs, len(values)),
+		Filtered:      filtered,
+		Threshold:     f.threshold,
+	}, nil
+}
+
+// Percentile returns the p-th percentile (0 < p < 100) of xs using linear
+// interpolation between order statistics (numpy's default method, which
+// the paper's stack used for the 98th-percentile threshold).
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("%w: percentile of empty slice", ErrBadConfig)
+	}
+	if p <= 0 || p >= 100 {
+		return 0, fmt.Errorf("%w: percentile %v", ErrBadConfig, p)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}

@@ -1,0 +1,349 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/evfed/evfed/internal/metrics"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// absScorer scores each point by its absolute value — a trivial Scorer for
+// exercising the filter plumbing.
+type absScorer struct{}
+
+func (absScorer) Name() string { return "abs" }
+func (absScorer) Scores(values []float64) ([]float64, error) {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = math.Abs(v)
+	}
+	return out, nil
+}
+
+type errScorer struct{}
+
+func (errScorer) Name() string { return "err" }
+func (errScorer) Scores([]float64) ([]float64, error) {
+	return nil, errors.New("boom")
+}
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 3},
+		{25, 2},
+		{75, 4},
+		{98, 4.92},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("percentile %v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := Percentile([]float64{1}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := Percentile([]float64{1}, 100); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestPercentileOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		p25, err1 := Percentile(xs, 25)
+		p50, err2 := Percentile(xs, 50)
+		p98, err3 := Percentile(xs, 98)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return p25 <= p50 && p50 <= p98
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterLifecycle(t *testing.T) {
+	f, err := NewFilter(absScorer{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Detect([]float64{1}); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("want ErrNotCalibrated, got %v", err)
+	}
+	if _, err := f.Threshold(); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("want ErrNotCalibrated, got %v", err)
+	}
+	// Calibrate on 1000 normal points ~ N(0,1): 98th pct of |x| ≈ 2.33.
+	r := rng.New(1)
+	train := make([]float64, 2000)
+	for i := range train {
+		train[i] = r.NormFloat64()
+	}
+	if err := f.Calibrate(train); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := f.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr < 1.8 || thr > 2.9 {
+		t.Fatalf("threshold %v implausible for |N(0,1)| 98th pct", thr)
+	}
+}
+
+func TestFilterDetectAndMitigate(t *testing.T) {
+	f, err := NewFilter(absScorer{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetThreshold(5)
+	// Two spikes separated by a 2-point gap: must merge into one run and be
+	// linearly interpolated between the clean boundaries.
+	vals := []float64{1, 1, 10, 10, 1, 1, 10, 1, 1, 1}
+	res, err := f.Apply(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("runs %v, want a single merged run", res.Runs)
+	}
+	if res.Runs[0].Start != 2 || res.Runs[0].End != 6 {
+		t.Fatalf("merged run %v", res.Runs[0])
+	}
+	// Interpolation anchors: index 1 (value 1) and index 7 (value 1).
+	for i := 2; i <= 6; i++ {
+		if math.Abs(res.Filtered[i]-1) > 1e-9 {
+			t.Fatalf("filtered[%d] = %v", i, res.Filtered[i])
+		}
+	}
+	// Original untouched.
+	if vals[2] != 10 {
+		t.Fatal("Apply mutated its input")
+	}
+	if !res.MitigatedMask[4] {
+		t.Fatal("bridged gap point not marked as mitigated")
+	}
+	if res.Flags[4] {
+		t.Fatal("gap point should not carry a raw flag")
+	}
+}
+
+func TestFilterMitigationMethods(t *testing.T) {
+	vals := []float64{1, 2, 50, 60, 5, 6, 7, 8, 9, 10, 11, 12}
+	for _, m := range []Mitigation{MitigateLinear, MitigateCubic, MitigateZero} {
+		cfg := DefaultConfig()
+		cfg.Mitigation = m
+		f, err := NewFilter(absScorer{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetThreshold(20)
+		res, err := f.Apply(vals)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i := 2; i <= 3; i++ {
+			if res.Filtered[i] >= 50 {
+				t.Fatalf("%v left spike at %d: %v", m, i, res.Filtered[i])
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Mitigation = MitigateSeasonal
+	cfg.SeasonalPeriod = 4
+	cfg.MinRunLen = 1 // the seasonal case below flags a single point
+	f, err := NewFilter(absScorer{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetThreshold(20)
+	res, err := f.Apply([]float64{1, 2, 3, 4, 1, 2, 99, 4, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Filtered[6] != 3 {
+		t.Fatalf("seasonal imputation gave %v, want 3", res.Filtered[6])
+	}
+}
+
+func TestFilterConfigValidation(t *testing.T) {
+	if _, err := NewFilter(nil, DefaultConfig()); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil scorer: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.ThresholdPercentile = 100
+	if _, err := NewFilter(absScorer{}, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad percentile: %v", err)
+	}
+	bad2 := DefaultConfig()
+	bad2.MaxGap = -1
+	if _, err := NewFilter(absScorer{}, bad2); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad gap: %v", err)
+	}
+	bad3 := DefaultConfig()
+	bad3.Mitigation = Mitigation(99)
+	if _, err := NewFilter(absScorer{}, bad3); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad mitigation: %v", err)
+	}
+	bad4 := DefaultConfig()
+	bad4.Mitigation = MitigateSeasonal
+	bad4.SeasonalPeriod = 0
+	if _, err := NewFilter(absScorer{}, bad4); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad seasonal period: %v", err)
+	}
+}
+
+func TestFilterScorerErrorPropagates(t *testing.T) {
+	f, err := NewFilter(errScorer{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate([]float64{1}); err == nil {
+		t.Fatal("scorer error should propagate from Calibrate")
+	}
+	f.SetThreshold(1)
+	if _, err := f.Apply([]float64{1}); err == nil {
+		t.Fatal("scorer error should propagate from Apply")
+	}
+}
+
+func TestMSDGlobal(t *testing.T) {
+	var m MSD
+	scores, err := m.Scores([]float64{0, 0, 0, 0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[4] <= scores[0] {
+		t.Fatalf("outlier not scored highest: %v", scores)
+	}
+	// Constant series: all zero scores.
+	flat, err := m.Scores([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range flat {
+		if s != 0 {
+			t.Fatalf("constant series scores %v", flat)
+		}
+	}
+	if _, err := m.Scores(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestMSDRolling(t *testing.T) {
+	m := MSD{Window: 5}
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[40] = 30
+	scores, err := m.Scores(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[40] < 2 {
+		t.Fatalf("rolling MSD missed the spike: %v", scores[40])
+	}
+}
+
+func TestMADRobustness(t *testing.T) {
+	var m MAD
+	// MAD must stay sensitive even when 20% of the data is contaminated —
+	// the advantage over MSD.
+	r := rng.New(7)
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 10 + r.Normal(0, 0.5)
+	}
+	for i := 0; i < 20; i++ {
+		vals[i] = 1000
+	}
+	scores, err := m.Scores(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] <= scores[50] {
+		t.Fatalf("contaminated points not scored above clean: %v vs %v", scores[0], scores[50])
+	}
+	if _, err := m.Scores(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	// Zero-MAD (constant) series degrades to zero scores.
+	flat, err := m.Scores([]float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range flat {
+		if s != 0 {
+			t.Fatalf("constant series scores %v", flat)
+		}
+	}
+}
+
+// End-to-end: MSD filter on a synthetic spiky series achieves reasonable
+// detection quality against ground truth.
+func TestFilterDetectionQuality(t *testing.T) {
+	r := rng.New(42)
+	n := 1000
+	vals := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range vals {
+		vals[i] = 10 + r.Normal(0, 1)
+	}
+	for _, start := range []int{100, 300, 500, 700} {
+		for i := start; i < start+8; i++ {
+			vals[i] *= 8
+			truth[i] = true
+		}
+	}
+	f, err := NewFilter(&MSD{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate on a clean prefix.
+	clean := make([]float64, 500)
+	for i := range clean {
+		clean[i] = 10 + r.Normal(0, 1)
+	}
+	if err := f.Calibrate(clean); err != nil {
+		t.Fatal(err)
+	}
+	flags, _, err := f.Detect(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := metrics.EvalDetection(truth, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recall() < 0.9 {
+		t.Fatalf("recall %v too low for 8x spikes", c.Recall())
+	}
+	if c.FPR() > 0.05 {
+		t.Fatalf("FPR %v too high", c.FPR())
+	}
+}

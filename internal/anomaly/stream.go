@@ -1,0 +1,90 @@
+package anomaly
+
+import (
+	"fmt"
+)
+
+// LastPointScorer scores only the newest point of a window — the
+// primitive streaming detection is built on. The autoencoder detector
+// implements this by reconstructing the window ending at the new point.
+type LastPointScorer interface {
+	// WindowLen is the look-back the scorer needs.
+	WindowLen() int
+	// ScoreLast returns the anomaly score of window's final point.
+	ScoreLast(window []float64) (float64, error)
+}
+
+// StreamDecision is the verdict for one streamed point.
+type StreamDecision struct {
+	// Index is the 0-based position of the point in the stream.
+	Index int
+	// Score is the point's anomaly score (NaN while the warm-up window is
+	// still filling; such points are never flagged).
+	Score float64
+	// Flagged reports whether the score exceeded the threshold.
+	Flagged bool
+	// Ready is false during warm-up (fewer than WindowLen points seen).
+	Ready bool
+}
+
+// Stream is an online anomaly detector for live charging feeds: points
+// are pushed one at a time and judged against a pre-calibrated threshold
+// using only past data, the way a deployed station monitors its own
+// stream. It is not safe for concurrent use.
+type Stream struct {
+	scorer    LastPointScorer
+	threshold float64
+	window    []float64
+	seen      int
+}
+
+// NewStream builds a streaming detector around a last-point scorer and a
+// calibrated threshold (obtain one from Filter.Threshold after offline
+// calibration).
+func NewStream(scorer LastPointScorer, threshold float64) (*Stream, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("%w: nil scorer", ErrBadConfig)
+	}
+	if scorer.WindowLen() <= 0 {
+		return nil, fmt.Errorf("%w: window length %d", ErrBadConfig, scorer.WindowLen())
+	}
+	return &Stream{
+		scorer:    scorer,
+		threshold: threshold,
+		window:    make([]float64, 0, scorer.WindowLen()),
+	}, nil
+}
+
+// Push feeds the next point and returns its decision.
+func (s *Stream) Push(v float64) (StreamDecision, error) {
+	idx := s.seen
+	s.seen++
+	if len(s.window) < cap(s.window) {
+		s.window = append(s.window, v)
+	} else {
+		copy(s.window, s.window[1:])
+		s.window[len(s.window)-1] = v
+	}
+	if len(s.window) < cap(s.window) {
+		return StreamDecision{Index: idx}, nil
+	}
+	score, err := s.scorer.ScoreLast(s.window)
+	if err != nil {
+		return StreamDecision{}, fmt.Errorf("anomaly: stream score: %w", err)
+	}
+	return StreamDecision{
+		Index:   idx,
+		Score:   score,
+		Flagged: score > s.threshold,
+		Ready:   true,
+	}, nil
+}
+
+// Seen returns the number of points pushed so far.
+func (s *Stream) Seen() int { return s.seen }
+
+// Reset clears the warm-up window (e.g. after a data gap).
+func (s *Stream) Reset() {
+	s.window = s.window[:0]
+	s.seen = 0
+}

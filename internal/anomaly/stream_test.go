@@ -1,0 +1,125 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// lastAbsScorer scores the final window point by |value|.
+type lastAbsScorer struct{ winLen int }
+
+func (l lastAbsScorer) WindowLen() int { return l.winLen }
+func (l lastAbsScorer) ScoreLast(window []float64) (float64, error) {
+	return math.Abs(window[len(window)-1]), nil
+}
+
+type badScorer struct{}
+
+func (badScorer) WindowLen() int                       { return 3 }
+func (badScorer) ScoreLast([]float64) (float64, error) { return 0, errors.New("boom") }
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(nil, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil scorer: %v", err)
+	}
+	if _, err := NewStream(lastAbsScorer{winLen: 0}, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero window: %v", err)
+	}
+}
+
+func TestStreamWarmupAndFlags(t *testing.T) {
+	s, err := NewStream(lastAbsScorer{winLen: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two points: warm-up, never flagged.
+	for i, v := range []float64{100, 100} {
+		d, err := s.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Ready || d.Flagged {
+			t.Fatalf("point %d flagged during warm-up: %+v", i, d)
+		}
+		if d.Index != i {
+			t.Fatalf("index %d want %d", d.Index, i)
+		}
+	}
+	// Third point completes the window.
+	d, err := s.Push(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Ready || d.Flagged {
+		t.Fatalf("benign point misjudged: %+v", d)
+	}
+	d, err = s.Push(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Flagged {
+		t.Fatalf("anomalous point not flagged: %+v", d)
+	}
+	if s.Seen() != 4 {
+		t.Fatalf("seen %d", s.Seen())
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s, err := NewStream(lastAbsScorer{winLen: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Seen() != 0 {
+		t.Fatalf("seen after reset: %d", s.Seen())
+	}
+	d, err := s.Push(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ready {
+		t.Fatal("stream ready immediately after reset")
+	}
+}
+
+func TestStreamScorerError(t *testing.T) {
+	s, err := NewStream(badScorer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Push(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Push(1); err == nil {
+		t.Fatal("scorer error should propagate")
+	}
+}
+
+// Sliding-window contents: scores must reflect only the newest point for
+// the lastAbsScorer regardless of history.
+func TestStreamSlidingWindow(t *testing.T) {
+	s, err := NewStream(lastAbsScorer{winLen: 4}, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7}
+	for i, v := range vals {
+		d, err := s.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 3 && d.Score != v {
+			t.Fatalf("point %d score %v want %v", i, d.Score, v)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package attack implements the paper's cyberattack model.
+//
+// The paper adapts documented real-world DDoS measurements — normal IP
+// traffic averaging 33,000 packets/s versus attack traffic at 350,500
+// packets/s (a 10.6× intensity multiplier) in 100 ms time slots — into
+// volume-spike anomalies on the EV charging series. This package
+// reproduces that adaptation end to end:
+//
+//  1. a packet-level traffic simulator draws per-slot packet counts for
+//     normal and attack regimes (Poisson arrivals at the published rates);
+//  2. an episode scheduler places attack bursts across the series horizon;
+//  3. the translation step converts each attacked hour's observed packet
+//     intensity ratio into a multiplicative charging-volume spike with
+//     ground-truth labels.
+//
+// Extension attack vectors from the paper's future-work list (false data
+// injection and temporal pattern disruption) are also provided for the
+// ablation benchmarks.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Published traffic constants from the paper (§II-B).
+const (
+	// NormalPacketsPerSecond is the documented normal IP traffic rate.
+	NormalPacketsPerSecond = 33000
+	// AttackPacketsPerSecond is the documented DDoS traffic rate.
+	AttackPacketsPerSecond = 350500
+	// SlotMillis is the measurement slot length.
+	SlotMillis = 100
+	// IntensityMultiplier is the documented attack/normal ratio (≈10.6×).
+	IntensityMultiplier = float64(AttackPacketsPerSecond) / float64(NormalPacketsPerSecond)
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig = errors.New("attack: invalid configuration")
+	ErrTooShort  = errors.New("attack: series too short for the requested episodes")
+)
+
+// TrafficConfig parameterizes the packet-level simulator.
+type TrafficConfig struct {
+	// NormalRate and AttackRate are packets/second.
+	NormalRate, AttackRate float64
+	// SlotMillis is the slot duration.
+	SlotMillis int
+}
+
+// DefaultTraffic returns the paper's published rates.
+func DefaultTraffic() TrafficConfig {
+	return TrafficConfig{
+		NormalRate: NormalPacketsPerSecond,
+		AttackRate: AttackPacketsPerSecond,
+		SlotMillis: SlotMillis,
+	}
+}
+
+// Trace is a simulated packet-count trace.
+type Trace struct {
+	// PacketsPerSlot holds per-slot packet counts.
+	PacketsPerSlot []int
+	// SlotMillis is the slot duration used.
+	SlotMillis int
+	// Attack marks slots generated under the attack regime.
+	Attack []bool
+}
+
+// MeanRate returns the trace's mean packet rate in packets/second.
+func (t *Trace) MeanRate() float64 {
+	if len(t.PacketsPerSlot) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range t.PacketsPerSlot {
+		sum += float64(p)
+	}
+	perSlot := sum / float64(len(t.PacketsPerSlot))
+	return perSlot * 1000 / float64(t.SlotMillis)
+}
+
+// SimulateTrace draws a packet trace of n slots where attackMask marks the
+// slots under attack. attackMask may be nil (all normal).
+func SimulateTrace(cfg TrafficConfig, n int, attackMask []bool, r *rng.Source) (*Trace, error) {
+	if cfg.NormalRate <= 0 || cfg.AttackRate <= 0 || cfg.SlotMillis <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if attackMask != nil && len(attackMask) != n {
+		return nil, fmt.Errorf("%w: mask length %d for %d slots", ErrBadConfig, len(attackMask), n)
+	}
+	slotSec := float64(cfg.SlotMillis) / 1000
+	tr := &Trace{
+		PacketsPerSlot: make([]int, n),
+		SlotMillis:     cfg.SlotMillis,
+		Attack:         make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		rate := cfg.NormalRate
+		if attackMask != nil && attackMask[i] {
+			rate = cfg.AttackRate
+			tr.Attack[i] = true
+		}
+		tr.PacketsPerSlot[i] = r.Poisson(rate * slotSec)
+	}
+	return tr, nil
+}
+
+// Episode is one contiguous attack burst on the hourly series.
+type Episode struct {
+	// Start is the first attacked hour index; Length the number of hours.
+	Start, Length int
+	// Severity scales how strongly the packet intensity translates into a
+	// volume spike (1 = full documented intensity).
+	Severity float64
+}
+
+// End returns the index one past the last attacked hour.
+func (e Episode) End() int { return e.Start + e.Length }
+
+// ScheduleConfig controls random episode placement.
+type ScheduleConfig struct {
+	// Episodes is the number of attack bursts to place.
+	Episodes int
+	// MinLen and MaxLen bound each burst's length in hours.
+	MinLen, MaxLen int
+	// MinSeverity and MaxSeverity bound per-episode severity.
+	MinSeverity, MaxSeverity float64
+	// MinGap is the minimum separation between bursts in hours.
+	MinGap int
+}
+
+// DefaultSchedule returns the experiment harness' schedule: 25 bursts of
+// 8–48 hours with severities spread from barely-visible (0.02) to modest
+// (0.15, i.e. volume spikes up to ≈ 2.4× at the documented 10.6× packet
+// intensity). Back-solving the paper's Table II (precision 0.913, recall
+// ≈ 0.55, FPR 1.21%) and Table I (attacked-vs-clean RMSE rising only
+// ≈ 1 kWh) implies roughly 15–20% of hours are attacked with modest
+// magnitudes, about half of which evade a 98th-percentile detector; this
+// schedule reproduces those properties on a StudyHours-long series.
+func DefaultSchedule() ScheduleConfig {
+	return ScheduleConfig{
+		Episodes: 25, MinLen: 8, MaxLen: 48,
+		MinSeverity: 0.02, MaxSeverity: 0.15,
+		MinGap: 24,
+	}
+}
+
+// Schedule places cfg.Episodes non-overlapping episodes over a series of n
+// hours, restricted to [from, n) so experiments can confine attacks to the
+// training or test region. Episodes are returned sorted by start.
+func Schedule(cfg ScheduleConfig, n, from int, r *rng.Source) ([]Episode, error) {
+	if cfg.Episodes <= 0 || cfg.MinLen <= 0 || cfg.MaxLen < cfg.MinLen {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.MinSeverity <= 0 || cfg.MaxSeverity < cfg.MinSeverity {
+		return nil, fmt.Errorf("%w: severity range [%v, %v]", ErrBadConfig, cfg.MinSeverity, cfg.MaxSeverity)
+	}
+	if from < 0 || from >= n {
+		return nil, fmt.Errorf("%w: from=%d n=%d", ErrBadConfig, from, n)
+	}
+	span := n - from
+	need := cfg.Episodes * (cfg.MaxLen + cfg.MinGap)
+	if span < need {
+		return nil, fmt.Errorf("%w: need %d hours, have %d", ErrTooShort, need, span)
+	}
+	// Partition the region into Episodes equal segments and place one burst
+	// uniformly inside each: O(1) placement with guaranteed gaps.
+	segment := span / cfg.Episodes
+	out := make([]Episode, 0, cfg.Episodes)
+	for i := 0; i < cfg.Episodes; i++ {
+		length := cfg.MinLen + r.Intn(cfg.MaxLen-cfg.MinLen+1)
+		lo := from + i*segment
+		hi := from + (i+1)*segment - length - cfg.MinGap
+		if hi <= lo {
+			hi = lo + 1
+		}
+		start := lo + r.Intn(hi-lo)
+		sev := r.Range(cfg.MinSeverity, cfg.MaxSeverity)
+		out = append(out, Episode{Start: start, Length: length, Severity: sev})
+	}
+	return out, nil
+}
+
+// Result describes an injected series.
+type Result struct {
+	// Values is the attacked copy of the input series.
+	Values []float64
+	// Labels marks ground-truth attacked hours.
+	Labels []bool
+	// Episodes echoes the injected bursts.
+	Episodes []Episode
+	// MeanMultiplier is the average volume multiplier applied over
+	// attacked hours (diagnostic).
+	MeanMultiplier float64
+}
+
+// InjectDDoS applies DDoS volume spikes to values. For every attacked
+// hour, the packet simulator draws one hour of traffic (36,000 slots at
+// 100 ms) under the attack regime, measures the realized intensity ratio
+// against the normal baseline, and multiplies the charging volume by
+//
+//	1 + severity · (ratio − 1) · u,  u ~ Uniform(0.3, 1)
+//
+// so spikes are irregular in magnitude (the paper describes "irregular
+// volume spikes"), bounded by the documented 10.6× intensity at full
+// severity. The default schedule draws severities in [0.01, 0.2]: the
+// paper's own error deltas (attacked-vs-clean RMSE rising only ~1 kWh,
+// Table I) show its adapted anomalies were modest in absolute magnitude,
+// with roughly half of attacked hours falling below the 98th-percentile
+// detector (recall ≈ 0.55, Table II).
+func InjectDDoS(values []float64, episodes []Episode, traffic TrafficConfig, r *rng.Source) (*Result, error) {
+	if traffic.NormalRate <= 0 || traffic.AttackRate <= 0 || traffic.SlotMillis <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, traffic)
+	}
+	out := &Result{
+		Values:   make([]float64, len(values)),
+		Labels:   make([]bool, len(values)),
+		Episodes: episodes,
+	}
+	copy(out.Values, values)
+	slotSec := float64(traffic.SlotMillis) / 1000
+	slotsPerHour := int(3600 / slotSec)
+	var multSum float64
+	var multN int
+	for _, e := range episodes {
+		if e.Start < 0 || e.End() > len(values) {
+			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
+		}
+		for t := e.Start; t < e.End(); t++ {
+			// Realized attack intensity for this hour. Sampling the mean of
+			// slotsPerHour Poisson slots is equivalent to one Poisson draw
+			// of the hourly total.
+			total := r.Poisson(traffic.AttackRate * slotSec * float64(slotsPerHour))
+			realized := float64(total) / (traffic.NormalRate * slotSec * float64(slotsPerHour))
+			u := r.Range(0.3, 1)
+			mult := 1 + e.Severity*(realized-1)*u
+			out.Values[t] = values[t] * mult
+			out.Labels[t] = true
+			multSum += mult
+			multN++
+		}
+	}
+	if multN > 0 {
+		out.MeanMultiplier = multSum / float64(multN)
+	}
+	return out, nil
+}
+
+// InjectFalseData applies a false-data-injection attack (future-work
+// vector): attacked hours get a persistent additive bias of biasFrac times
+// the local series level, a subtler manipulation than DDoS spikes.
+func InjectFalseData(values []float64, episodes []Episode, biasFrac float64, r *rng.Source) (*Result, error) {
+	if biasFrac == 0 {
+		return nil, fmt.Errorf("%w: zero bias", ErrBadConfig)
+	}
+	out := &Result{
+		Values:   make([]float64, len(values)),
+		Labels:   make([]bool, len(values)),
+		Episodes: episodes,
+	}
+	copy(out.Values, values)
+	for _, e := range episodes {
+		if e.Start < 0 || e.End() > len(values) {
+			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
+		}
+		for t := e.Start; t < e.End(); t++ {
+			jitter := 1 + 0.2*r.NormFloat64()
+			out.Values[t] = values[t] * (1 + biasFrac*e.Severity*jitter)
+			out.Labels[t] = true
+		}
+	}
+	return out, nil
+}
+
+// InjectTemporalDisruption shuffles the values within each attacked window
+// (future-work vector): totals are preserved but the temporal pattern is
+// destroyed, evading magnitude-based detectors.
+func InjectTemporalDisruption(values []float64, episodes []Episode, r *rng.Source) (*Result, error) {
+	out := &Result{
+		Values:   make([]float64, len(values)),
+		Labels:   make([]bool, len(values)),
+		Episodes: episodes,
+	}
+	copy(out.Values, values)
+	for _, e := range episodes {
+		if e.Start < 0 || e.End() > len(values) {
+			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
+		}
+		perm := r.Perm(e.Length)
+		window := make([]float64, e.Length)
+		for i := range perm {
+			window[i] = values[e.Start+perm[i]]
+		}
+		for i, v := range window {
+			out.Values[e.Start+i] = v
+			out.Labels[e.Start+i] = true
+		}
+	}
+	return out, nil
+}

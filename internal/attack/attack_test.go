@@ -1,0 +1,289 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func TestIntensityMultiplierConstant(t *testing.T) {
+	if math.Abs(IntensityMultiplier-10.621) > 0.01 {
+		t.Fatalf("intensity multiplier %v, paper documents ≈10.6", IntensityMultiplier)
+	}
+}
+
+func TestSimulateTraceRates(t *testing.T) {
+	r := rng.New(1)
+	mask := make([]bool, 2000)
+	for i := 1000; i < 2000; i++ {
+		mask[i] = true
+	}
+	tr, err := SimulateTrace(DefaultTraffic(), 2000, mask, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half normal (~3300 packets per 100ms slot), second half attack
+	// (~35050 per slot).
+	var normSum, atkSum float64
+	for i := 0; i < 1000; i++ {
+		normSum += float64(tr.PacketsPerSlot[i])
+	}
+	for i := 1000; i < 2000; i++ {
+		atkSum += float64(tr.PacketsPerSlot[i])
+	}
+	normRate := normSum / 1000 * 10 // per second
+	atkRate := atkSum / 1000 * 10
+	if math.Abs(normRate-NormalPacketsPerSecond)/NormalPacketsPerSecond > 0.02 {
+		t.Fatalf("normal rate %v", normRate)
+	}
+	if math.Abs(atkRate-AttackPacketsPerSecond)/AttackPacketsPerSecond > 0.02 {
+		t.Fatalf("attack rate %v", atkRate)
+	}
+	ratio := atkRate / normRate
+	if math.Abs(ratio-IntensityMultiplier) > 0.5 {
+		t.Fatalf("realized ratio %v", ratio)
+	}
+}
+
+func TestSimulateTraceErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := SimulateTrace(TrafficConfig{}, 10, nil, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := SimulateTrace(DefaultTraffic(), 10, make([]bool, 5), r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestTraceMeanRate(t *testing.T) {
+	tr := &Trace{PacketsPerSlot: []int{100, 200}, SlotMillis: 100}
+	if got := tr.MeanRate(); got != 1500 {
+		t.Fatalf("mean rate %v", got)
+	}
+	empty := &Trace{SlotMillis: 100}
+	if empty.MeanRate() != 0 {
+		t.Fatal("empty trace rate")
+	}
+}
+
+func TestScheduleInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := DefaultSchedule()
+		n := 4344
+		eps, err := Schedule(cfg, n, 0, r)
+		if err != nil || len(eps) != cfg.Episodes {
+			return false
+		}
+		for i, e := range eps {
+			if e.Start < 0 || e.End() > n {
+				return false
+			}
+			if e.Length < cfg.MinLen || e.Length > cfg.MaxLen {
+				return false
+			}
+			if e.Severity < cfg.MinSeverity || e.Severity > cfg.MaxSeverity {
+				return false
+			}
+			if i > 0 && e.Start-eps[i-1].End() < 0 {
+				return false // overlap
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRespectsFrom(t *testing.T) {
+	r := rng.New(5)
+	eps, err := Schedule(DefaultSchedule(), 4344, 3475, r)
+	if err == nil {
+		for _, e := range eps {
+			if e.Start < 3475 {
+				t.Fatalf("episode at %d before from", e.Start)
+			}
+		}
+		return
+	}
+	// The default 12-episode schedule may not fit 869 hours; a smaller one
+	// must.
+	cfg := DefaultSchedule()
+	cfg.Episodes = 4
+	eps, err = Schedule(cfg, 4344, 3475, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eps {
+		if e.Start < 3475 {
+			t.Fatalf("episode at %d before from", e.Start)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Schedule(ScheduleConfig{}, 100, 0, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := Schedule(DefaultSchedule(), 100, 0, r); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("want ErrTooShort, got %v", err)
+	}
+	cfg := DefaultSchedule()
+	if _, err := Schedule(cfg, 4344, 5000, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig for from >= n, got %v", err)
+	}
+}
+
+func flatSeries(n int, level float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = level
+	}
+	return v
+}
+
+func TestInjectDDoSSpikes(t *testing.T) {
+	r := rng.New(2)
+	vals := flatSeries(200, 10)
+	eps := []Episode{{Start: 50, Length: 5, Severity: 1}, {Start: 120, Length: 3, Severity: 1}}
+	res, err := InjectDDoS(vals, eps, DefaultTraffic(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input untouched.
+	for _, v := range vals {
+		if v != 10 {
+			t.Fatal("InjectDDoS mutated its input")
+		}
+	}
+	attacked := 0
+	for i, lab := range res.Labels {
+		if lab {
+			attacked++
+			if res.Values[i] <= 10 {
+				t.Fatalf("attacked hour %d not spiked: %v", i, res.Values[i])
+			}
+			// Bounded by documented intensity.
+			if res.Values[i] > 10*IntensityMultiplier*1.1 {
+				t.Fatalf("spike at %d exceeds documented intensity: %v", i, res.Values[i])
+			}
+		} else if res.Values[i] != 10 {
+			t.Fatalf("clean hour %d modified: %v", i, res.Values[i])
+		}
+	}
+	if attacked != 8 {
+		t.Fatalf("attacked hours %d want 8", attacked)
+	}
+	if res.MeanMultiplier < 2 || res.MeanMultiplier > IntensityMultiplier {
+		t.Fatalf("mean multiplier %v outside plausible range", res.MeanMultiplier)
+	}
+}
+
+func TestInjectDDoSSeverityScales(t *testing.T) {
+	vals := flatSeries(100, 10)
+	mean := func(sev float64, seed uint64) float64 {
+		r := rng.New(seed)
+		res, err := InjectDDoS(vals, []Episode{{Start: 10, Length: 50, Severity: sev}}, DefaultTraffic(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanMultiplier
+	}
+	low := mean(0.3, 3)
+	high := mean(1.0, 3)
+	if high <= low {
+		t.Fatalf("severity did not scale: %v vs %v", low, high)
+	}
+}
+
+func TestInjectDDoSErrors(t *testing.T) {
+	r := rng.New(1)
+	vals := flatSeries(10, 1)
+	if _, err := InjectDDoS(vals, []Episode{{Start: 8, Length: 5, Severity: 1}}, DefaultTraffic(), r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("out-of-range episode: want ErrBadConfig, got %v", err)
+	}
+	if _, err := InjectDDoS(vals, nil, TrafficConfig{}, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad traffic: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestInjectFalseData(t *testing.T) {
+	r := rng.New(4)
+	vals := flatSeries(100, 10)
+	res, err := InjectFalseData(vals, []Episode{{Start: 20, Length: 10, Severity: 1}}, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 30; i++ {
+		if !res.Labels[i] {
+			t.Fatalf("hour %d unlabeled", i)
+		}
+		if math.Abs(res.Values[i]-10)/10 < 0.05 {
+			t.Fatalf("bias too small at %d: %v", i, res.Values[i])
+		}
+	}
+	if _, err := InjectFalseData(vals, nil, 0, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := InjectFalseData(vals, []Episode{{Start: 95, Length: 10, Severity: 1}}, 0.3, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestInjectTemporalDisruptionPreservesMultiset(t *testing.T) {
+	r := rng.New(6)
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	res, err := InjectTemporalDisruption(vals, []Episode{{Start: 10, Length: 20, Severity: 1}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origSum, newSum float64
+	for i := 10; i < 30; i++ {
+		origSum += vals[i]
+		newSum += res.Values[i]
+	}
+	if math.Abs(origSum-newSum) > 1e-9 {
+		t.Fatalf("shuffle changed the window sum: %v vs %v", origSum, newSum)
+	}
+	changed := false
+	for i := 10; i < 30; i++ {
+		if res.Values[i] != vals[i] {
+			changed = true
+		}
+		if !res.Labels[i] {
+			t.Fatalf("hour %d unlabeled", i)
+		}
+	}
+	if !changed {
+		t.Fatal("shuffle left the window identical")
+	}
+	if _, err := InjectTemporalDisruption(vals, []Episode{{Start: 45, Length: 10}}, r); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	vals := flatSeries(300, 20)
+	eps := []Episode{{Start: 100, Length: 10, Severity: 0.8}}
+	a, err := InjectDDoS(vals, eps, DefaultTraffic(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InjectDDoS(vals, eps, DefaultTraffic(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("injection not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package autoencoder
+
+import "fmt"
+
+// Adapter adapts a trained Detector to the anomaly.Scorer interface, so
+// the autoencoder plugs into the same filter pipeline as the statistical
+// baselines.
+type Adapter struct {
+	// Detector is the trained autoencoder detector.
+	Detector *Detector
+}
+
+// Name implements anomaly.Scorer.
+func (a Adapter) Name() string {
+	if a.Detector == nil {
+		return "lstm-autoencoder(untrained)"
+	}
+	c := a.Detector.Config()
+	return fmt.Sprintf("lstm-autoencoder(%d→%d)", c.EncoderUnits, c.Bottleneck)
+}
+
+// Scores implements anomaly.Scorer.
+func (a Adapter) Scores(values []float64) ([]float64, error) {
+	return a.Detector.PointScores(values)
+}
+
+// WindowLen implements anomaly.LastPointScorer.
+func (a Adapter) WindowLen() int {
+	if a.Detector == nil {
+		return 0
+	}
+	return a.Detector.Config().SeqLen
+}
+
+// ScoreLast implements anomaly.LastPointScorer: the window ending at the
+// newest point is reconstructed and the squared error of that point is
+// its score (the streaming analogue of PointScores, which additionally
+// averages over future windows a live detector does not have yet).
+func (a Adapter) ScoreLast(window []float64) (float64, error) {
+	if a.Detector == nil || a.Detector.model == nil {
+		return 0, ErrNotTrained
+	}
+	seqLen := a.Detector.cfg.SeqLen
+	if len(window) != seqLen {
+		return 0, fmt.Errorf("%w: window %d, need %d", ErrBadConfig, len(window), seqLen)
+	}
+	seq := make([][]float64, seqLen)
+	for k, v := range window {
+		seq[k] = []float64{v}
+	}
+	out := a.Detector.model.Predict(seq)
+	d := window[seqLen-1] - out[seqLen-1][0]
+	return d * d, nil
+}

@@ -1,0 +1,212 @@
+// Package autoencoder implements the paper's unsupervised anomaly
+// detector: an LSTM autoencoder (encoder LSTM(50)→LSTM(25), decoder
+// RepeatVector→LSTM(25)→LSTM(50)→Dense(1), dropout 0.2) trained to
+// reconstruct normal charging sequences. Reconstruction error — mean
+// squared error between a sequence and its reconstruction — is the
+// anomaly score; the 98th percentile of training-set errors becomes the
+// detection threshold (applied in package anomaly).
+package autoencoder
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/series"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig  = errors.New("autoencoder: invalid configuration")
+	ErrNotTrained = errors.New("autoencoder: detector not trained")
+)
+
+// Config parameterizes the detector. DefaultConfig matches the paper.
+type Config struct {
+	// SeqLen is the reconstruction window length (paper: 24).
+	SeqLen int
+	// EncoderUnits is the outer LSTM width (paper: 50).
+	EncoderUnits int
+	// Bottleneck is the inner LSTM width (paper: 25).
+	Bottleneck int
+	// Dropout is the dropout rate (paper: 0.2).
+	Dropout float64
+	// Epochs bounds training passes; early stopping applies (patience 10).
+	Epochs int
+	// BatchSize is the minibatch size (paper: 32).
+	BatchSize int
+	// LearningRate feeds Adam (paper: 1e-3).
+	LearningRate float64
+	// Patience is the early-stopping patience (paper: 10).
+	Patience int
+	// ValFrac is the validation fraction for early stopping.
+	ValFrac float64
+	// TrainStride is the hop between training sequences (1 = fully
+	// overlapping; larger values trade fidelity for speed).
+	TrainStride int
+	// Seed drives initialization, shuffling and dropout.
+	Seed uint64
+	// Workers is the parallel gradient worker count (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the paper's hyperparameters.
+func DefaultConfig() Config {
+	return Config{
+		SeqLen:       24,
+		EncoderUnits: 50,
+		Bottleneck:   25,
+		Dropout:      0.2,
+		Epochs:       30,
+		BatchSize:    32,
+		LearningRate: 0.001,
+		Patience:     10,
+		ValFrac:      0.1,
+		TrainStride:  1,
+		Seed:         1,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.SeqLen <= 0:
+		return fmt.Errorf("%w: seqLen %d", ErrBadConfig, c.SeqLen)
+	case c.EncoderUnits <= 0 || c.Bottleneck <= 0:
+		return fmt.Errorf("%w: units %d/%d", ErrBadConfig, c.EncoderUnits, c.Bottleneck)
+	case c.Epochs <= 0 || c.BatchSize <= 0:
+		return fmt.Errorf("%w: epochs %d batch %d", ErrBadConfig, c.Epochs, c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("%w: lr %v", ErrBadConfig, c.LearningRate)
+	case c.TrainStride <= 0:
+		return fmt.Errorf("%w: stride %d", ErrBadConfig, c.TrainStride)
+	}
+	return nil
+}
+
+// Detector is a trained LSTM-autoencoder anomaly scorer. Values fed to the
+// detector must be scaled the same way as the training data (the pipeline
+// uses per-client MinMax scaling to [0, 1]).
+type Detector struct {
+	cfg   Config
+	model *nn.Model
+}
+
+// Train fits the autoencoder on normal (non-anomalous) values, as the
+// paper prescribes: the model learns baseline reconstruction patterns and
+// later scores deviations from them.
+func Train(values []float64, cfg Config) (*Detector, nn.History, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nn.History{}, err
+	}
+	seqs, err := series.MakeSequences(values, cfg.SeqLen, cfg.TrainStride)
+	if err != nil {
+		return nil, nn.History{}, fmt.Errorf("autoencoder: build training sequences: %w", err)
+	}
+	model, err := nn.Build(nn.AutoencoderSpec(cfg.SeqLen, cfg.EncoderUnits, cfg.Bottleneck, cfg.Dropout), cfg.Seed)
+	if err != nil {
+		return nil, nn.History{}, fmt.Errorf("autoencoder: build model: %w", err)
+	}
+	inputs := make([]nn.Seq, len(seqs))
+	for i, s := range seqs {
+		inputs[i] = s
+	}
+	tc := nn.DefaultTrainConfig(cfg.Epochs, cfg.Seed+1)
+	tc.BatchSize = cfg.BatchSize
+	tc.Optimizer = nn.NewAdam(cfg.LearningRate)
+	tc.ValFrac = cfg.ValFrac
+	tc.Patience = cfg.Patience
+	tc.Workers = cfg.Workers
+	hist, err := nn.Fit(model, inputs, inputs, tc)
+	if err != nil {
+		return nil, hist, fmt.Errorf("autoencoder: fit: %w", err)
+	}
+	return &Detector{cfg: cfg, model: model}, hist, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Model exposes the underlying network (read-mostly; used for weight
+// persistence).
+func (d *Detector) Model() *nn.Model { return d.model }
+
+// SequenceErrors returns the reconstruction MSE of every stride-1 window
+// of values, indexed by window start.
+func (d *Detector) SequenceErrors(values []float64) ([]float64, error) {
+	if d == nil || d.model == nil {
+		return nil, ErrNotTrained
+	}
+	seqs, err := series.MakeSequences(values, d.cfg.SeqLen, 1)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: build scoring sequences: %w", err)
+	}
+	var loss nn.MSE
+	out := make([]float64, len(seqs))
+	for i, s := range seqs {
+		out[i] = loss.Value(d.model.Predict(s), s)
+	}
+	return out, nil
+}
+
+// PointScores assigns an anomaly score to every point of values: each
+// overlapping window is reconstructed, reconstructions covering a point
+// are averaged, and the score is the squared error between the point and
+// its averaged reconstruction. This converts the paper's sequence-level
+// MSE criterion into the point-level flags the mitigation stage needs
+// while preserving the thresholding semantics (scores are squared
+// reconstruction errors in scaled units).
+func (d *Detector) PointScores(values []float64) ([]float64, error) {
+	if d == nil || d.model == nil {
+		return nil, ErrNotTrained
+	}
+	n := len(values)
+	if n < d.cfg.SeqLen {
+		return nil, fmt.Errorf("%w: %d values for window %d", series.ErrTooShort, n, d.cfg.SeqLen)
+	}
+	nWin := n - d.cfg.SeqLen + 1
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nWin {
+		workers = nWin
+	}
+	// Each worker accumulates into private buffers; model.Predict is
+	// re-entrant, so windows can be reconstructed concurrently.
+	recons := make([][]float64, workers)
+	counts := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		recons[w] = make([]float64, n)
+		counts[w] = make([]float64, n)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seq := make(nn.Seq, d.cfg.SeqLen)
+			for s := w; s < nWin; s += workers {
+				for k := 0; k < d.cfg.SeqLen; k++ {
+					seq[k] = []float64{values[s+k]}
+				}
+				out := d.model.Predict(seq)
+				for k := 0; k < d.cfg.SeqLen; k++ {
+					recons[w][s+k] += out[k][0]
+					counts[w][s+k]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	scores := make([]float64, n)
+	for i := range scores {
+		var recon, count float64
+		for w := 0; w < workers; w++ {
+			recon += recons[w][i]
+			count += counts[w][i]
+		}
+		diff := values[i] - recon/count
+		scores[i] = diff * diff
+	}
+	return scores, nil
+}

@@ -1,0 +1,193 @@
+package autoencoder
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/anomaly"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// smallConfig is a scaled-down detector that trains in well under a second.
+func smallConfig(seed uint64) Config {
+	return Config{
+		SeqLen:       12,
+		EncoderUnits: 10,
+		Bottleneck:   5,
+		Dropout:      0.1,
+		Epochs:       12,
+		BatchSize:    16,
+		LearningRate: 0.005,
+		Patience:     10,
+		ValFrac:      0.1,
+		TrainStride:  2,
+		Seed:         seed,
+	}
+}
+
+// dailySine builds a clean periodic series in [0, 1].
+func dailySine(n int, noise float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5 + 0.35*math.Sin(2*math.Pi*float64(i)/12) + r.Normal(0, noise)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.SeqLen = 0 },
+		func(c *Config) { c.EncoderUnits = 0 },
+		func(c *Config) { c.Bottleneck = -1 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.LearningRate = 0 },
+		func(c *Config) { c.TrainStride = 0 },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, _, err := Train(dailySine(100, 0.01, 1), cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestTrainTooShort(t *testing.T) {
+	cfg := smallConfig(1)
+	if _, _, err := Train(make([]float64, cfg.SeqLen-1), cfg); err == nil {
+		t.Fatal("short input should error")
+	}
+}
+
+func TestDetectorSeparatesAnomalies(t *testing.T) {
+	train := dailySine(400, 0.02, 2)
+	det, hist, err := Train(train, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalTrainLoss() >= hist.TrainLoss[0] {
+		t.Fatalf("training loss did not decrease: %v", hist.TrainLoss)
+	}
+
+	// Test series: same process with injected spikes.
+	test := dailySine(200, 0.02, 4)
+	truth := make([]bool, len(test))
+	for i := 60; i < 66; i++ {
+		test[i] = math.Min(1.5, test[i]*4)
+		truth[i] = true
+	}
+	for i := 140; i < 144; i++ {
+		test[i] = math.Min(1.5, test[i]*4)
+		truth[i] = true
+	}
+	scores, err := det.PointScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(test) {
+		t.Fatalf("scores length %d", len(scores))
+	}
+	// Mean score over anomalous points must dominate clean points.
+	var anomSum, cleanSum float64
+	var anomN, cleanN int
+	for i, s := range scores {
+		if truth[i] {
+			anomSum += s
+			anomN++
+		} else {
+			cleanSum += s
+			cleanN++
+		}
+	}
+	anomMean := anomSum / float64(anomN)
+	cleanMean := cleanSum / float64(cleanN)
+	if anomMean < 10*cleanMean {
+		t.Fatalf("anomaly separation too weak: anomalous %v vs clean %v", anomMean, cleanMean)
+	}
+}
+
+func TestDetectorAsScorer(t *testing.T) {
+	train := dailySine(300, 0.02, 5)
+	det, _, err := Train(train, smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scorer anomaly.Scorer = Adapter{det}
+	if scorer.Name() == "" {
+		t.Fatal("empty scorer name")
+	}
+	scores, err := scorer.Scores(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(train) {
+		t.Fatalf("scores length %d", len(scores))
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	train := dailySine(300, 0.02, 7)
+	det, _, err := Train(train, smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, err := det.SequenceErrors(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(train) - det.Config().SeqLen + 1
+	if len(errs) != want {
+		t.Fatalf("sequence errors %d want %d", len(errs), want)
+	}
+	for i, e := range errs {
+		if e < 0 || math.IsNaN(e) {
+			t.Fatalf("bad error %v at %d", e, i)
+		}
+	}
+}
+
+func TestUntrainedDetectorErrors(t *testing.T) {
+	var det *Detector
+	if _, err := det.PointScores([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+	if _, err := det.SequenceErrors([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+}
+
+func TestPointScoresTooShort(t *testing.T) {
+	det, _, err := Train(dailySine(200, 0.02, 9), smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.PointScores(make([]float64, det.Config().SeqLen-1)); err == nil {
+		t.Fatal("short scoring input should error")
+	}
+}
+
+func TestPointScoresDeterministicAcrossWorkers(t *testing.T) {
+	det, _, err := Train(dailySine(200, 0.02, 11), smallConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := dailySine(100, 0.02, 13)
+	det.cfg.Workers = 1
+	s1, err := det.PointScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.cfg.Workers = 8
+	s8, err := det.PointScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if math.Abs(s1[i]-s8[i]) > 1e-12 {
+			t.Fatalf("scores differ across worker counts at %d: %v vs %v", i, s1[i], s8[i])
+		}
+	}
+}

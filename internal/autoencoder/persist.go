@@ -1,0 +1,52 @@
+package autoencoder
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/evfed/evfed/internal/nn"
+)
+
+// detectorFile is the single gob frame holding everything needed to
+// reconstruct a trained detector. (One frame, not a header followed by a
+// second stream: gob decoders read ahead, so two consecutive streams on
+// one reader would corrupt each other.)
+type detectorFile struct {
+	Config  Config
+	Weights []float64
+}
+
+// Save persists the detector (configuration + trained weights) so a
+// station can reload it without retraining.
+func (d *Detector) Save(w io.Writer) error {
+	if d == nil || d.model == nil {
+		return ErrNotTrained
+	}
+	f := detectorFile{Config: d.cfg, Weights: d.model.WeightsVector()}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("autoencoder: encode detector: %w", err)
+	}
+	return nil
+}
+
+// Load restores a detector previously written by Save.
+func Load(r io.Reader) (*Detector, error) {
+	var f detectorFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("autoencoder: decode detector: %w", err)
+	}
+	if err := f.Config.validate(); err != nil {
+		return nil, err
+	}
+	model, err := nn.Build(nn.AutoencoderSpec(
+		f.Config.SeqLen, f.Config.EncoderUnits, f.Config.Bottleneck, f.Config.Dropout,
+	), f.Config.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: rebuild model: %w", err)
+	}
+	if err := model.SetWeightsVector(f.Weights); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: f.Config, model: model}, nil
+}

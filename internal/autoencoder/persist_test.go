@@ -1,0 +1,72 @@
+package autoencoder
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	train := dailySine(300, 0.02, 21)
+	det, _, err := Train(train, smallConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config() != det.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Config(), det.Config())
+	}
+	// Scores must be identical: same weights, deterministic inference.
+	test := dailySine(120, 0.02, 23)
+	a, err := det.PointScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.PointScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scores differ at %d after reload: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var det *Detector
+	var buf bytes.Buffer
+	if err := det.Save(&buf); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a detector")); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	train := dailySine(200, 0.02, 24)
+	det, _, err := Train(train, smallConfig(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input should error")
+	}
+}

@@ -1,0 +1,91 @@
+package autoencoder
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/anomaly"
+)
+
+// TestStreamingMatchesBatchOnSpikes: the online detector (window ending at
+// each point) must flag the same strong spikes the batch detector does.
+func TestStreamingMatchesBatchOnSpikes(t *testing.T) {
+	train := dailySine(400, 0.02, 31)
+	det, _, err := Train(train, smallConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := Adapter{Detector: det}
+
+	// Calibrate a threshold offline.
+	f, err := anomaly.NewFilter(adapter, anomaly.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(train); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := f.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live stream with two strong spikes.
+	live := dailySine(150, 0.02, 33)
+	truth := make([]bool, len(live))
+	for i := 60; i < 64; i++ {
+		live[i] = math.Min(1.6, live[i]*5)
+		truth[i] = true
+	}
+	for i := 120; i < 123; i++ {
+		live[i] = math.Min(1.6, live[i]*5)
+		truth[i] = true
+	}
+
+	stream, err := anomaly.NewStream(adapter, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	falseFlags := 0
+	for _, v := range live {
+		d, err := stream.Push(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Flagged {
+			if truth[d.Index] {
+				caught++
+			} else {
+				falseFlags++
+			}
+		}
+	}
+	if caught < 4 {
+		t.Fatalf("online detector caught only %d/7 spike points", caught)
+	}
+	if falseFlags > 8 {
+		t.Fatalf("online detector produced %d false flags on 143 clean points", falseFlags)
+	}
+}
+
+func TestScoreLastValidation(t *testing.T) {
+	det, _, err := Train(dailySine(200, 0.02, 34), smallConfig(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Adapter{Detector: det}
+	if a.WindowLen() != det.Config().SeqLen {
+		t.Fatalf("window len %d", a.WindowLen())
+	}
+	if _, err := a.ScoreLast(make([]float64, 3)); err == nil {
+		t.Fatal("wrong window size should error")
+	}
+	var empty Adapter
+	if empty.WindowLen() != 0 {
+		t.Fatal("nil detector window len")
+	}
+	if _, err := empty.ScoreLast(make([]float64, 1)); err == nil {
+		t.Fatal("nil detector should error")
+	}
+}

@@ -1,0 +1,221 @@
+// Package baseline implements the classical forecasting baselines the
+// paper's introduction positions LSTM against: persistence (naive last
+// value), seasonal-naive (value one season ago), and an autoregressive
+// ridge regression over the look-back window (the linear-model stand-in
+// for the ARIMA/SVM family).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/evfed/evfed/internal/series"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig = errors.New("baseline: invalid configuration")
+	ErrNotFitted = errors.New("baseline: model not fitted")
+)
+
+// Forecaster is a one-step-ahead predictor over a look-back window.
+type Forecaster interface {
+	// Name identifies the baseline in reports.
+	Name() string
+	// Fit trains on the training series (no-op for naive methods).
+	Fit(train []float64) error
+	// Predict forecasts the value following the look-back window.
+	Predict(window []float64) (float64, error)
+}
+
+// Persistence predicts the last observed value.
+type Persistence struct{}
+
+var _ Forecaster = Persistence{}
+
+// Name implements Forecaster.
+func (Persistence) Name() string { return "persistence" }
+
+// Fit implements Forecaster.
+func (Persistence) Fit([]float64) error { return nil }
+
+// Predict implements Forecaster.
+func (Persistence) Predict(window []float64) (float64, error) {
+	if len(window) == 0 {
+		return 0, fmt.Errorf("%w: empty window", ErrBadConfig)
+	}
+	return window[len(window)-1], nil
+}
+
+// SeasonalNaive predicts the value one season back (Period samples).
+type SeasonalNaive struct {
+	// Period is the season length (24 for daily seasonality at hourly
+	// resolution).
+	Period int
+}
+
+var _ Forecaster = SeasonalNaive{}
+
+// Name implements Forecaster.
+func (s SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", s.Period) }
+
+// Fit implements Forecaster.
+func (s SeasonalNaive) Fit([]float64) error {
+	if s.Period <= 0 {
+		return fmt.Errorf("%w: period %d", ErrBadConfig, s.Period)
+	}
+	return nil
+}
+
+// Predict implements Forecaster.
+func (s SeasonalNaive) Predict(window []float64) (float64, error) {
+	if s.Period <= 0 || len(window) < s.Period {
+		return 0, fmt.Errorf("%w: window %d for period %d", ErrBadConfig, len(window), s.Period)
+	}
+	return window[len(window)-s.Period], nil
+}
+
+// Ridge is an L2-regularized autoregressive linear model over the
+// look-back window: y ≈ w·window + b, fitted by solving the regularized
+// normal equations with Gaussian elimination.
+type Ridge struct {
+	// SeqLen is the look-back length.
+	SeqLen int
+	// Lambda is the L2 regularization strength.
+	Lambda float64
+
+	w      []float64
+	b      float64
+	fitted bool
+}
+
+var _ Forecaster = (*Ridge)(nil)
+
+// Name implements Forecaster.
+func (r *Ridge) Name() string { return fmt.Sprintf("ridge(seq=%d,λ=%g)", r.SeqLen, r.Lambda) }
+
+// Fit implements Forecaster: builds the window design matrix and solves
+// (XᵀX + λI)w = Xᵀy.
+func (r *Ridge) Fit(train []float64) error {
+	if r.SeqLen <= 0 {
+		return fmt.Errorf("%w: seqLen %d", ErrBadConfig, r.SeqLen)
+	}
+	if r.Lambda < 0 {
+		return fmt.Errorf("%w: lambda %v", ErrBadConfig, r.Lambda)
+	}
+	ws, err := series.MakeWindows(train, r.SeqLen)
+	if err != nil {
+		return fmt.Errorf("baseline: ridge windows: %w", err)
+	}
+	d := r.SeqLen + 1 // +1 for the bias column
+	// Normal equations accumulation.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1) // augmented column = Xᵀy
+	}
+	row := make([]float64, d)
+	for _, w := range ws {
+		for k := 0; k < r.SeqLen; k++ {
+			row[k] = w.Input[k][0]
+		}
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] * w.Target
+		}
+	}
+	for i := 0; i < d-1; i++ {
+		a[i][i] += r.Lambda // do not regularize the bias
+	}
+	sol, err := solveGauss(a)
+	if err != nil {
+		return fmt.Errorf("baseline: ridge solve: %w", err)
+	}
+	r.w = sol[:d-1]
+	r.b = sol[d-1]
+	r.fitted = true
+	return nil
+}
+
+// Predict implements Forecaster.
+func (r *Ridge) Predict(window []float64) (float64, error) {
+	if !r.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(window) != r.SeqLen {
+		return 0, fmt.Errorf("%w: window %d, fitted seqLen %d", ErrBadConfig, len(window), r.SeqLen)
+	}
+	out := r.b
+	for i, v := range window {
+		out += r.w[i] * v
+	}
+	return out, nil
+}
+
+// solveGauss solves the augmented system a·x = a[:, last] in place with
+// partial pivoting.
+func solveGauss(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[best][col]) {
+				best = r
+			}
+		}
+		a[col], a[best] = a[best], a[col]
+		if abs(a[col][col]) < 1e-12 {
+			return nil, errors.New("singular system")
+		}
+		inv := 1 / a[col][col]
+		for j := col; j <= n; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a[i][n]
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// EvalOneStep runs a fitted forecaster over every window of test and
+// returns aligned (truth, predictions).
+func EvalOneStep(f Forecaster, test []float64, seqLen int) (truth, preds []float64, err error) {
+	ws, err := series.MakeWindows(test, seqLen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("baseline: eval windows: %w", err)
+	}
+	window := make([]float64, seqLen)
+	for _, w := range ws {
+		for k := 0; k < seqLen; k++ {
+			window[k] = w.Input[k][0]
+		}
+		p, err := f.Predict(window)
+		if err != nil {
+			return nil, nil, err
+		}
+		truth = append(truth, w.Target)
+		preds = append(preds, p)
+	}
+	return truth, preds, nil
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/metrics"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func sine(n int, noise float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/24) + r.Normal(0, noise)
+	}
+	return out
+}
+
+func TestPersistence(t *testing.T) {
+	var p Persistence
+	if err := p.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("persistence %v", got)
+	}
+	if _, err := p.Predict(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	s := SeasonalNaive{Period: 3}
+	got, err := s.Predict([]float64{7, 8, 9, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("seasonal naive %v", got)
+	}
+	if err := (SeasonalNaive{}).Fit(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := s.Predict([]float64{1, 2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestSeasonalNaiveOnPeriodicSignal(t *testing.T) {
+	// On a pure 24-periodic signal, seasonal-naive with period 24 is exact.
+	vals := sine(300, 0, 1)
+	s := SeasonalNaive{Period: 24}
+	truth, preds, err := EvalOneStep(s, vals, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := metrics.EvalRegression(truth, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.RMSE > 1e-9 {
+		t.Fatalf("seasonal naive RMSE %v on pure periodic signal", reg.RMSE)
+	}
+}
+
+func TestRidgeFitsLinearProcess(t *testing.T) {
+	// AR(2) process: ridge must recover near-perfect predictions.
+	r := rng.New(3)
+	n := 500
+	vals := make([]float64, n)
+	vals[0], vals[1] = 1, 1
+	for i := 2; i < n; i++ {
+		vals[i] = 0.6*vals[i-1] + 0.3*vals[i-2] + 1 + r.Normal(0, 0.01)
+	}
+	ridge := &Ridge{SeqLen: 4, Lambda: 1e-6}
+	if err := ridge.Fit(vals[:400]); err != nil {
+		t.Fatal(err)
+	}
+	truth, preds, err := EvalOneStep(ridge, vals[400:], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := metrics.EvalRegression(truth, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-step-ahead error on an AR(2) process is bounded below by the
+	// innovation noise (σ = 0.01); a correctly fitted ridge must get
+	// within a factor of two of that floor.
+	if reg.RMSE > 0.02 {
+		t.Fatalf("ridge RMSE %v, innovation floor is 0.01", reg.RMSE)
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	bad := &Ridge{SeqLen: 0}
+	if err := bad.Fit(sine(100, 0.1, 1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	bad2 := &Ridge{SeqLen: 4, Lambda: -1}
+	if err := bad2.Fit(sine(100, 0.1, 1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	unfit := &Ridge{SeqLen: 4, Lambda: 0.1}
+	if _, err := unfit.Predict(make([]float64, 4)); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	fitted := &Ridge{SeqLen: 4, Lambda: 0.1}
+	if err := fitted.Fit(sine(100, 0.1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fitted.Predict(make([]float64, 3)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestBaselineOrdering(t *testing.T) {
+	// On a noisy periodic series, seasonal-naive and ridge must beat
+	// persistence (which lags the signal).
+	vals := sine(600, 0.3, 7)
+	seqLen := 48
+	rmse := func(f Forecaster) float64 {
+		if err := f.Fit(vals[:480]); err != nil {
+			t.Fatal(err)
+		}
+		truth, preds, err := EvalOneStep(f, vals[480:], seqLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := metrics.EvalRegression(truth, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.RMSE
+	}
+	pers := rmse(Persistence{})
+	seas := rmse(SeasonalNaive{Period: 24})
+	ridge := rmse(&Ridge{SeqLen: seqLen, Lambda: 0.1})
+	if seas >= pers {
+		t.Fatalf("seasonal (%v) should beat persistence (%v) on periodic data", seas, pers)
+	}
+	if ridge >= pers {
+		t.Fatalf("ridge (%v) should beat persistence (%v)", ridge, pers)
+	}
+}
+
+func TestEvalOneStepErrors(t *testing.T) {
+	if _, _, err := EvalOneStep(Persistence{}, make([]float64, 3), 5); err == nil {
+		t.Fatal("short test series should error")
+	}
+}

@@ -1,0 +1,102 @@
+// Package central implements the paper's baseline: a single centralized
+// LSTM trained on the pooled sequences of every client (13,032 timestamps
+// for the three study zones), the architecture federated learning is
+// compared against in Tables I and III.
+package central
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/series"
+)
+
+// ErrNoData is returned when no client contributes any window.
+var ErrNoData = errors.New("central: no training data")
+
+// Config controls centralized training. The epoch budget conventionally
+// equals the federated Rounds × EpochsPerRound so both arms see the same
+// number of optimization passes.
+type Config struct {
+	// Epochs is the total training epochs (paper-equivalent: 50).
+	Epochs int
+	// BatchSize is the minibatch size (paper: 32).
+	BatchSize int
+	// LearningRate feeds Adam (paper: 1e-3).
+	LearningRate float64
+	// Seed initializes weights and shuffling.
+	Seed uint64
+	// Workers bounds gradient parallelism.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's centralized setup.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Epochs:       50,
+		BatchSize:    32,
+		LearningRate: 0.001,
+		Seed:         seed,
+	}
+}
+
+// Result is the trained centralized model plus timing.
+type Result struct {
+	// Model is the trained network.
+	Model *nn.Model
+	// TrainSeconds is the wall-clock training time.
+	TrainSeconds float64
+	// History is the training history.
+	History nn.History
+	// NumSamples is the pooled window count.
+	NumSamples int
+}
+
+// Train pools windows from every client series (already scaled per client,
+// as the paper does) and trains a single model from spec.
+func Train(spec nn.Spec, clientValues [][]float64, seqLen int, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("central: invalid config %+v", cfg)
+	}
+	var inputs, targets []nn.Seq
+	for ci, values := range clientValues {
+		ws, err := series.MakeWindows(values, seqLen)
+		if err != nil {
+			return nil, fmt.Errorf("central: client %d windows: %w", ci, err)
+		}
+		for _, w := range ws {
+			inputs = append(inputs, w.Input)
+			targets = append(targets, nn.Seq{{w.Target}})
+		}
+	}
+	if len(inputs) == 0 {
+		return nil, ErrNoData
+	}
+	model, err := nn.Build(spec, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("central: build model: %w", err)
+	}
+	tc := nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: nn.NewAdam(cfg.LearningRate),
+		Loss:      nn.MSE{},
+		Shuffle:   true,
+		Seed:      cfg.Seed + 1,
+		ClipNorm:  5,
+		Workers:   cfg.Workers,
+	}
+	start := time.Now()
+	hist, err := nn.Fit(model, inputs, targets, tc)
+	if err != nil {
+		return nil, fmt.Errorf("central: fit: %w", err)
+	}
+	return &Result{
+		Model:        model,
+		TrainSeconds: time.Since(start).Seconds(),
+		History:      hist,
+		NumSamples:   len(inputs),
+	}, nil
+}

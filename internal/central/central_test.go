@@ -1,0 +1,74 @@
+package central
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func makeSeries(n int, phase float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i)/12+phase) + r.Normal(0, 0.02)
+	}
+	return out
+}
+
+func TestTrainPoolsAllClients(t *testing.T) {
+	clients := [][]float64{
+		makeSeries(100, 0, 1),
+		makeSeries(120, 1, 2),
+		makeSeries(140, 2, 3),
+	}
+	cfg := Config{Epochs: 4, BatchSize: 16, LearningRate: 0.005, Seed: 4}
+	res, err := Train(nn.ForecasterSpec(8, 4), clients, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (100 - 12) + (120 - 12) + (140 - 12)
+	if res.NumSamples != want {
+		t.Fatalf("pooled samples %d want %d", res.NumSamples, want)
+	}
+	if res.History.FinalTrainLoss() >= res.History.TrainLoss[0] {
+		t.Fatalf("loss did not decrease: %v", res.History.TrainLoss)
+	}
+	if res.TrainSeconds <= 0 {
+		t.Fatalf("train time %v", res.TrainSeconds)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	spec := nn.ForecasterSpec(8, 4)
+	if _, err := Train(spec, nil, 12, DefaultConfig(1)); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Train(spec, [][]float64{makeSeries(100, 0, 1)}, 12, Config{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	if _, err := Train(spec, [][]float64{make([]float64, 5)}, 12, DefaultConfig(1)); err == nil {
+		t.Fatal("short client series should error")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	clients := [][]float64{makeSeries(100, 0, 1), makeSeries(100, 1, 2)}
+	cfg := Config{Epochs: 2, BatchSize: 16, LearningRate: 0.005, Seed: 7, Workers: 2}
+	a, err := Train(nn.ForecasterSpec(6, 3), clients, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(nn.ForecasterSpec(6, 3), clients, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.Model.WeightsVector(), b.Model.WeightsVector()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("centralized training not reproducible at %d", i)
+		}
+	}
+}

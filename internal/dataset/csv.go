@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/evfed/evfed/internal/series"
+)
+
+// WriteCSV serializes a series as `timestamp,value` rows with an RFC 3339
+// timestamp column and a header, the interchange format of the cmd tools.
+func WriteCSV(w io.Writer, s *series.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "volume_kwh"}); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			s.TimeAt(i).Format(time.RFC3339),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series previously written by WriteCSV. The sampling
+// step is inferred from the first two timestamps (1 hour for a single-row
+// file).
+func ReadCSV(r io.Reader) (*series.Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: csv needs a header and at least one row, got %d records", len(records))
+	}
+	rows := records[1:]
+	vals := make([]float64, len(rows))
+	times := make([]time.Time, len(rows))
+	for i, rec := range rows {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want 2", i+1, len(rec))
+		}
+		ts, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d timestamp: %w", i+1, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d value: %w", i+1, err)
+		}
+		times[i] = ts
+		vals[i] = v
+	}
+	step := time.Hour
+	if len(times) >= 2 {
+		step = times[1].Sub(times[0])
+		if step <= 0 {
+			return nil, fmt.Errorf("dataset: non-increasing timestamps in csv (step %v)", step)
+		}
+	}
+	return series.New(times[0], step, vals), nil
+}

@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Profile: Profile102(), Hours: 500, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series.Values {
+		if a.Series.Values[i] != b.Series.Values[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	res, err := Generate(Config{Profile: Profile105(), Hours: StudyHours, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Len() != StudyHours {
+		t.Fatalf("length %d", res.Series.Len())
+	}
+	if !res.Series.Start.Equal(StudyStart) {
+		t.Fatalf("start %v", res.Series.Start)
+	}
+	if res.Series.Step != time.Hour {
+		t.Fatalf("step %v", res.Series.Step)
+	}
+	if len(res.Weather.TempC) != StudyHours || len(res.Weather.RainMM) != StudyHours {
+		t.Fatal("weather length mismatch")
+	}
+	for i, v := range res.Series.Values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bad value %v at %d", v, i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Profile: Profile102(), Hours: 0}); err == nil {
+		t.Fatal("zero hours should error")
+	}
+}
+
+// Daily periodicity: demand at 18:00 must systematically exceed demand at
+// 04:00 for the commuter-peak profiles.
+func TestDailyPattern(t *testing.T) {
+	res, err := Generate(Config{Profile: Profile102(), Hours: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eve, night float64
+	var nEve, nNight int
+	for i, v := range res.Series.Values {
+		switch res.Series.TimeAt(i).Hour() {
+		case 18:
+			eve += v
+			nEve++
+		case 4:
+			night += v
+			nNight++
+		}
+	}
+	if eve/float64(nEve) <= 1.3*night/float64(nNight) {
+		t.Fatalf("evening mean %v not clearly above night mean %v",
+			eve/float64(nEve), night/float64(nNight))
+	}
+}
+
+// Zone heterogeneity: the three study zones differ both in load level and
+// sharply in daily *shape* — the conflicting-pattern property that forces
+// the centralized model into a compromise (paper §III-E).
+func TestZoneHeterogeneity(t *testing.T) {
+	clients, err := StudyClients(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clients) != 3 {
+		t.Fatalf("%d clients", len(clients))
+	}
+	// Hour-of-day mean profile per zone.
+	profiles := make([][]float64, 3)
+	means := make([]float64, 3)
+	for i, c := range clients {
+		prof := make([]float64, 24)
+		counts := make([]float64, 24)
+		var sum float64
+		for k, v := range c.Series.Values {
+			h := c.Series.TimeAt(k).Hour()
+			prof[h] += v
+			counts[h]++
+			sum += v
+		}
+		for h := range prof {
+			prof[h] /= counts[h]
+		}
+		profiles[i] = prof
+		means[i] = sum / float64(c.Series.Len())
+	}
+	// Levels differ: zones occupy distinct load regimes.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			ratio := means[i] / means[j]
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio < 1.1 {
+				t.Fatalf("zones %d and %d levels too similar: %v", i, j, means)
+			}
+		}
+	}
+	// Shapes conflict: pairwise correlation of daily profiles is low.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if c := pearson(profiles[i], profiles[j]); c > 0.8 {
+				t.Fatalf("zones %d and %d daily shapes too similar (corr %v)", i, j, c)
+			}
+		}
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Zone 108 must have markedly more natural spikes than 102/105.
+func TestZone108Spikiness(t *testing.T) {
+	clients, err := StudyClients(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(spikes []bool) int {
+		n := 0
+		for _, s := range spikes {
+			if s {
+				n++
+			}
+		}
+		return n
+	}
+	n102 := count(clients[0].NaturalSpikes)
+	n108 := count(clients[2].NaturalSpikes)
+	if n108 <= 3*n102 {
+		t.Fatalf("zone 108 spikes (%d) not dominating zone 102 (%d)", n108, n102)
+	}
+}
+
+func TestProfileForZone(t *testing.T) {
+	if _, err := ProfileForZone(0); err == nil {
+		t.Fatal("zone 0 should error")
+	}
+	if _, err := ProfileForZone(TotalZones + 1); err == nil {
+		t.Fatal("zone 332 should error")
+	}
+	p102, err := ProfileForZone(102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p102.Zone != "102" || p102.Base != Profile102().Base {
+		t.Fatalf("zone 102 profile %+v", p102)
+	}
+	// Procedural zones are deterministic and distinct.
+	a, err := ProfileForZone(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileForZone(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("procedural profile not deterministic")
+	}
+	c, err := ProfileForZone(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base == c.Base && a.DailyAmp == c.DailyAmp {
+		t.Fatal("adjacent procedural zones identical")
+	}
+}
+
+func TestGenerateFiveMinuteAggregation(t *testing.T) {
+	raw, hourly, err := GenerateFiveMinute(Config{Profile: Profile102(), Hours: 48, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() != 48*12 {
+		t.Fatalf("raw length %d", raw.Len())
+	}
+	if hourly.Len() != 48 {
+		t.Fatalf("hourly length %d", hourly.Len())
+	}
+	if raw.Step != 5*time.Minute || hourly.Step != time.Hour {
+		t.Fatalf("steps %v %v", raw.Step, hourly.Step)
+	}
+	// The hourly aggregate tracks the underlying hourly mean closely.
+	direct, err := Generate(Config{Profile: Profile102(), Hours: 48, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hourly.Values {
+		rel := math.Abs(hourly.Values[i]-direct.Series.Values[i]) / (1 + direct.Series.Values[i])
+		if rel > 0.15 {
+			t.Fatalf("hour %d: aggregate %v vs direct %v", i, hourly.Values[i], direct.Series.Values[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res, err := Generate(Config{Profile: Profile108(), Hours: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.Series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != res.Series.Len() {
+		t.Fatalf("length %d vs %d", back.Len(), res.Series.Len())
+	}
+	if !back.Start.Equal(res.Series.Start) || back.Step != res.Series.Step {
+		t.Fatalf("metadata mismatch: %v/%v vs %v/%v", back.Start, back.Step, res.Series.Start, res.Series.Step)
+	}
+	for i := range back.Values {
+		if back.Values[i] != res.Series.Values[i] {
+			t.Fatalf("value %d: %v vs %v", i, back.Values[i], res.Series.Values[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"timestamp,volume_kwh\n",
+		"timestamp,volume_kwh\nnot-a-time,1\n",
+		"timestamp,volume_kwh\n2022-09-01T00:00:00Z,notanumber\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParamsValidation(t *testing.T) {
+	bad := QuickParams(1)
+	bad.Hours = 10
+	if _, err := Prepare(bad); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("want ErrBadParams, got %v", err)
+	}
+	bad2 := QuickParams(1)
+	bad2.TrainFrac = 1.5
+	if _, err := Prepare(bad2); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("want ErrBadParams, got %v", err)
+	}
+	bad3 := QuickParams(1)
+	bad3.Rounds = 0
+	if _, err := RunFederated("x", nil, nil, nil, bad3); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("want ErrBadParams, got %v", err)
+	}
+}
+
+// TestPipelineEndToEnd runs the complete miniature experiment and checks
+// the paper's qualitative findings hold:
+//
+//   - filtered recovers part of the attack-induced degradation;
+//   - federated beats centralized per client on filtered data;
+//   - detection precision is high and FPR low.
+//
+// This is the load-bearing integration test for the whole repository.
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test skipped with -short")
+	}
+	p := QuickParams(42)
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clients) != 3 {
+		t.Fatalf("%d clients", len(rep.Clients))
+	}
+
+	// Data scenarios are materially different.
+	for i, c := range rep.Clients {
+		if len(c.Clean) != p.Hours || len(c.Attacked) != p.Hours || len(c.Filtered) != p.Hours {
+			t.Fatalf("client %d lengths %d/%d/%d", i, len(c.Clean), len(c.Attacked), len(c.Filtered))
+		}
+		attackedHours := 0
+		for _, l := range c.Labels {
+			if l {
+				attackedHours++
+			}
+		}
+		if attackedHours == 0 {
+			t.Fatalf("client %d has no attacked hours", i)
+		}
+		// Calibrated to the paper's implied prevalence (~15-20% of hours;
+		// see attack.DefaultSchedule).
+		frac := float64(attackedHours) / float64(p.Hours)
+		if frac < 0.05 || frac > 0.3 {
+			t.Fatalf("client %d attack prevalence %v outside calibrated range", i, frac)
+		}
+	}
+
+	// Detection quality: precision-focused strategy (paper: 0.913
+	// precision, 1.21% FPR). The miniature config is noisier, so the
+	// bounds are loose but directional.
+	if rep.Headline.OverallPrecision < 0.5 {
+		t.Fatalf("overall precision %v too low", rep.Headline.OverallPrecision)
+	}
+	if rep.Headline.OverallFPRPct > 5 {
+		t.Fatalf("overall FPR %v%% too high", rep.Headline.OverallFPRPct)
+	}
+
+	// Forecast quality ordering for Client 1: clean >= filtered >= attacked
+	// in R² (allowing small violations for the miniature config).
+	r2Clean := rep.FedClean.PerClient[0].R2
+	r2Atk := rep.FedAttacked.PerClient[0].R2
+	r2Filt := rep.FedFiltered.PerClient[0].R2
+	if !(r2Clean > r2Atk) {
+		t.Fatalf("attack did not degrade R²: clean %v vs attacked %v", r2Clean, r2Atk)
+	}
+	if !(r2Filt > r2Atk) {
+		t.Fatalf("filtering did not recover R²: filtered %v vs attacked %v", r2Filt, r2Atk)
+	}
+
+	// Architectural comparison on identical filtered data. Under the paper
+	// protocol (scenario-native targets) our synthetic zones put the two
+	// architectures near parity (see EXPERIMENTS.md): federated must at
+	// least not lose materially.
+	var fedSum, cenSum float64
+	for i := range rep.Clients {
+		fedSum += rep.FedFiltered.PerClient[i].R2
+		cenSum += rep.CentralFiltered.PerClient[i].R2
+	}
+	if fedSum < cenSum-0.1 {
+		t.Fatalf("federated (%v) lost materially to centralized (%v) on filtered data", fedSum/3, cenSum/3)
+	}
+
+	// Under strict clean-demand targets the federated advantage is robust
+	// (the paper's §III-E effect): rerun the filtered arms in strict mode.
+	strict := p
+	strict.EvalAgainstClean = true
+	filteredVals := make([][]float64, len(rep.Clients))
+	cleanVals := make([][]float64, len(rep.Clients))
+	zones := make([]string, len(rep.Clients))
+	for i, c := range rep.Clients {
+		filteredVals[i] = c.Filtered
+		cleanVals[i] = c.Clean
+		zones[i] = c.Zone
+	}
+	fedStrict, err := RunFederated("filtered", filteredVals, cleanVals, zones, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenStrict, err := RunCentralized("filtered", filteredVals, cleanVals, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fedS, cenS float64
+	for i := range rep.Clients {
+		fedS += fedStrict.PerClient[i].R2
+		cenS += cenStrict.PerClient[i].R2
+	}
+	if fedS <= cenS {
+		t.Fatalf("strict mode: federated (%v) did not beat centralized (%v)", fedS/3, cenS/3)
+	}
+
+	// All four formatted tables/figures render with content.
+	for name, s := range map[string]string{
+		"table1":   rep.FormatTable1(),
+		"table2":   rep.FormatTable2(),
+		"table3":   rep.FormatTable3(),
+		"fig2":     rep.FormatFig2(),
+		"fig3":     rep.FormatFig3(),
+		"headline": rep.FormatHeadline(),
+	} {
+		if len(strings.Split(s, "\n")) < 3 {
+			t.Fatalf("%s too short:\n%s", name, s)
+		}
+	}
+	t.Logf("\n%s", rep.FormatAll())
+}
+
+func TestPrepareDeterministic(t *testing.T) {
+	p := QuickParams(7)
+	p.Hours = 600
+	p.AE.Epochs = 3
+	a, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range a {
+		if a[ci].Threshold != b[ci].Threshold {
+			t.Fatalf("client %d thresholds differ: %v vs %v", ci, a[ci].Threshold, b[ci].Threshold)
+		}
+		for i := range a[ci].Filtered {
+			if a[ci].Filtered[i] != b[ci].Filtered[i] {
+				t.Fatalf("client %d filtered series differ at %d", ci, i)
+			}
+		}
+	}
+}
+
+func TestFilteredCloserToCleanThanAttacked(t *testing.T) {
+	p := QuickParams(3)
+	p.Hours = 800
+	p.AE.Epochs = 4
+	clients, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clients {
+		var attackedDist, filteredDist float64
+		for i := range c.Clean {
+			attackedDist += math.Abs(c.Attacked[i] - c.Clean[i])
+			filteredDist += math.Abs(c.Filtered[i] - c.Clean[i])
+		}
+		if filteredDist >= attackedDist {
+			t.Fatalf("client %d: filtering did not move the series toward clean (%v vs %v)",
+				ci, filteredDist, attackedDist)
+		}
+	}
+}
+
+func TestScenarioRunnersShapes(t *testing.T) {
+	p := QuickParams(5)
+	p.Hours = 700
+	p.AE.Epochs = 3
+	p.Rounds = 1
+	p.EpochsPerRound = 2
+	clients, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]float64{clients[0].Clean, clients[1].Clean, clients[2].Clean}
+	zones := []string{"102", "105", "108"}
+	fr, err := RunFederated("clean", vals, vals, zones, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.PerClient) != 3 || fr.Arch != Federated {
+		t.Fatalf("federated result %+v", fr)
+	}
+	cr, err := RunCentralized("clean", vals, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.PerClient) != 3 || cr.Arch != Centralized {
+		t.Fatalf("centralized result %+v", cr)
+	}
+	for i := 0; i < 3; i++ {
+		if math.IsNaN(fr.PerClient[i].RMSE) || math.IsNaN(cr.PerClient[i].RMSE) {
+			t.Fatalf("NaN metrics at client %d", i)
+		}
+	}
+}

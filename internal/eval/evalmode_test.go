@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestEvalAgainstCleanStricter: scoring the attacked scenario against the
+// clean demand must be harsher than the paper protocol (scenario-native
+// targets), because attacked targets inflate the variance the R²
+// denominator normalizes by.
+func TestEvalAgainstCleanStricter(t *testing.T) {
+	p := QuickParams(15)
+	p.Hours = 800
+	p.AE.Epochs = 3
+	p.Rounds = 1
+	p.EpochsPerRound = 2
+	clients, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := make([][]float64, len(clients))
+	clean := make([][]float64, len(clients))
+	zones := make([]string, len(clients))
+	for i, c := range clients {
+		attacked[i] = c.Attacked
+		clean[i] = c.Clean
+		zones[i] = c.Zone
+	}
+
+	paperMode := p // EvalAgainstClean false by default
+	strict := p
+	strict.EvalAgainstClean = true
+
+	paperRes, err := RunFederated("attacked", attacked, clean, zones, paperMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictRes, err := RunFederated("attacked", attacked, clean, zones, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 1: strict scoring must not look better than the paper
+	// protocol on attacked data.
+	if strictRes.PerClient[0].R2 > paperRes.PerClient[0].R2 {
+		t.Fatalf("strict mode (%v) scored better than paper mode (%v) on attacked data",
+			strictRes.PerClient[0].R2, paperRes.PerClient[0].R2)
+	}
+	// On clean data the two modes are identical by construction.
+	a, err := RunFederated("clean", clean, clean, zones, paperMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFederated("clean", clean, clean, zones, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerClient {
+		if a.PerClient[i].R2 != b.PerClient[i].R2 {
+			t.Fatalf("modes differ on clean data at client %d", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonReport is the machine-readable projection of a Report.
+type jsonReport struct {
+	Seed     uint64         `json:"seed"`
+	Hours    int            `json:"hours"`
+	Clients  []jsonClient   `json:"clients"`
+	Runs     []jsonScenario `json:"runs"`
+	Headline jsonHeadline   `json:"headline"`
+}
+
+type jsonClient struct {
+	Zone      string  `json:"zone"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	FPRPct    float64 `json:"fprPct"`
+	Threshold float64 `json:"threshold"`
+}
+
+type jsonScenario struct {
+	Scenario     string       `json:"scenario"`
+	Architecture Architecture `json:"architecture"`
+	TrainSeconds float64      `json:"trainSeconds"`
+	PerClient    []jsonRegr   `json:"perClient"`
+}
+
+type jsonRegr struct {
+	Zone string  `json:"zone"`
+	MAE  float64 `json:"mae"`
+	RMSE float64 `json:"rmse"`
+	R2   float64 `json:"r2"`
+}
+
+type jsonHeadline struct {
+	R2ImprovementPct float64 `json:"r2ImprovementPct"`
+	RecoveryPct      float64 `json:"recoveryPct"`
+	OverallPrecision float64 `json:"overallPrecision"`
+	OverallFPRPct    float64 `json:"overallFprPct"`
+	TimeReductionPct float64 `json:"timeReductionPct"`
+}
+
+// WriteJSON emits the full report as indented JSON, for downstream
+// tooling and plotting scripts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Seed:  r.Params.Seed,
+		Hours: r.Params.Hours,
+		Headline: jsonHeadline{
+			R2ImprovementPct: r.Headline.R2ImprovementPct,
+			RecoveryPct:      r.Headline.RecoveryPct,
+			OverallPrecision: r.Headline.OverallPrecision,
+			OverallFPRPct:    r.Headline.OverallFPRPct,
+			TimeReductionPct: r.Headline.TimeReductionPct,
+		},
+	}
+	for _, c := range r.Clients {
+		out.Clients = append(out.Clients, jsonClient{
+			Zone:      c.Zone,
+			Precision: c.Detection.Precision,
+			Recall:    c.Detection.Recall,
+			F1:        c.Detection.F1,
+			FPRPct:    100 * c.Detection.FPR,
+			Threshold: c.Threshold,
+		})
+	}
+	for _, s := range []*ScenarioResult{r.FedClean, r.FedAttacked, r.FedFiltered, r.CentralFiltered} {
+		if s == nil {
+			continue
+		}
+		js := jsonScenario{
+			Scenario:     s.Scenario,
+			Architecture: s.Arch,
+			TrainSeconds: s.TrainSeconds,
+		}
+		for i, m := range s.PerClient {
+			zone := fmt.Sprintf("client-%d", i+1)
+			if i < len(r.Clients) {
+				zone = r.Clients[i].Zone
+			}
+			js.PerClient = append(js.PerClient, jsonRegr{Zone: zone, MAE: m.MAE, RMSE: m.RMSE, R2: m.R2})
+		}
+		out.Runs = append(out.Runs, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/evfed/evfed/internal/metrics"
+)
+
+func TestWriteJSON(t *testing.T) {
+	rep := &Report{
+		Params: Params{Seed: 7, Hours: 100},
+		Clients: []*ClientPrep{
+			{Zone: "102", Detection: metrics.Detection{Precision: 0.9, Recall: 0.5, F1: 0.64, FPR: 0.012}, Threshold: 0.01},
+		},
+		FedClean: &ScenarioResult{
+			Scenario: "clean", Arch: Federated, TrainSeconds: 1.5,
+			PerClient: []metrics.Regression{{MAE: 1, RMSE: 2, R2: 0.9}},
+		},
+		Headline: Headline{R2ImprovementPct: 15, RecoveryPct: 48},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["seed"].(float64) != 7 {
+		t.Fatalf("seed %v", decoded["seed"])
+	}
+	clients, ok := decoded["clients"].([]any)
+	if !ok || len(clients) != 1 {
+		t.Fatalf("clients %v", decoded["clients"])
+	}
+	runs, ok := decoded["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs %v", decoded["runs"])
+	}
+	head := decoded["headline"].(map[string]any)
+	if head["r2ImprovementPct"].(float64) != 15 {
+		t.Fatalf("headline %v", head)
+	}
+}

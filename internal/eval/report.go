@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evfed/evfed/internal/metrics"
+)
+
+// Report bundles every regenerated table and figure.
+type Report struct {
+	// Params echoes the configuration used.
+	Params Params
+	// Clients holds the prepared per-client data and detection quality.
+	Clients []*ClientPrep
+	// FedClean, FedAttacked, FedFiltered and CentralFiltered are the four
+	// experimental scenarios (paper §III-A).
+	FedClean, FedAttacked, FedFiltered, CentralFiltered *ScenarioResult
+	// Headline carries the paper's summary scalars.
+	Headline Headline
+}
+
+// Headline mirrors the abstract's headline numbers.
+type Headline struct {
+	// R2ImprovementPct is the federated-over-centralized R² gain on
+	// filtered data for Client 1 (paper: 15.2%... computed as relative
+	// improvement).
+	R2ImprovementPct float64
+	// RecoveryPct is the fraction of attack-induced R² degradation
+	// recovered by filtering for Client 1 (paper: 47.9%).
+	RecoveryPct float64
+	// OverallPrecision is detection precision pooled over clients
+	// (paper: 0.913).
+	OverallPrecision float64
+	// OverallFPRPct is the pooled false-positive rate in percent
+	// (paper: 1.21%).
+	OverallFPRPct float64
+	// TimeReductionPct is the federated training-time reduction versus
+	// centralized (paper: 18.1%).
+	TimeReductionPct float64
+}
+
+// Run executes the full experimental protocol: prepare data + detection,
+// run the four scenarios, and derive the headline scalars.
+func Run(p Params) (*Report, error) {
+	clients, err := Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return RunScenarios(p, clients)
+}
+
+// RunScenarios runs the four training scenarios on already prepared
+// clients (so ablations can reuse one Prepare call).
+func RunScenarios(p Params, clients []*ClientPrep) (*Report, error) {
+	zones := make([]string, len(clients))
+	clean := make([][]float64, len(clients))
+	attacked := make([][]float64, len(clients))
+	filtered := make([][]float64, len(clients))
+	for i, c := range clients {
+		zones[i] = c.Zone
+		clean[i] = c.Clean
+		attacked[i] = c.Attacked
+		filtered[i] = c.Filtered
+	}
+	rep := &Report{Params: p, Clients: clients}
+	var err error
+	if rep.FedClean, err = RunFederated("clean", clean, clean, zones, p); err != nil {
+		return nil, err
+	}
+	if rep.FedAttacked, err = RunFederated("attacked", attacked, clean, zones, p); err != nil {
+		return nil, err
+	}
+	if rep.FedFiltered, err = RunFederated("filtered", filtered, clean, zones, p); err != nil {
+		return nil, err
+	}
+	if rep.CentralFiltered, err = RunCentralized("filtered", filtered, clean, p); err != nil {
+		return nil, err
+	}
+	rep.deriveHeadline()
+	return rep, nil
+}
+
+func (r *Report) deriveHeadline() {
+	fed1 := r.FedFiltered.PerClient[0]
+	cen1 := r.CentralFiltered.PerClient[0]
+	r.Headline.R2ImprovementPct = 100 * metrics.RelativeImprovement(fed1.R2, cen1.R2)
+	r.Headline.RecoveryPct = 100 * metrics.RecoveryFraction(
+		r.FedClean.PerClient[0].R2,
+		r.FedAttacked.PerClient[0].R2,
+		r.FedFiltered.PerClient[0].R2,
+	)
+	var pooled metrics.Confusion
+	for _, c := range r.Clients {
+		pooled.Add(c.Detection.Confusion)
+	}
+	r.Headline.OverallPrecision = pooled.Precision()
+	r.Headline.OverallFPRPct = 100 * pooled.FPR()
+	r.Headline.TimeReductionPct = 100 * metrics.RelativeReduction(
+		r.FedFiltered.TrainSeconds, r.CentralFiltered.TrainSeconds)
+}
+
+// FormatTable1 renders the paper's Table I (complete performance
+// comparison for Client 1).
+func (r *Report) FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: Complete performance comparison for Client 1 (zone %s)\n", r.Clients[0].Zone)
+	fmt.Fprintf(&b, "%-14s %-12s %9s %9s %9s %9s\n", "Scenario", "Architecture", "MAE", "RMSE", "R2", "Time(s)")
+	row := func(name string, s *ScenarioResult) {
+		m := s.PerClient[0]
+		fmt.Fprintf(&b, "%-14s %-12s %9.4f %9.4f %9.4f %9.2f\n",
+			name, string(s.Arch), m.MAE, m.RMSE, m.R2, s.TrainSeconds)
+	}
+	row("Clean Data", r.FedClean)
+	row("Attacked Data", r.FedAttacked)
+	row("Filtered Data", r.FedFiltered)
+	row("Filtered Data", r.CentralFiltered)
+	return b.String()
+}
+
+// FormatTable2 renders the paper's Table II (client-specific anomaly
+// detection results).
+func (r *Report) FormatTable2() string {
+	var b strings.Builder
+	b.WriteString("Table II: Client-Specific Anomaly Detection Results\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s\n", "Client (Zone)", "Precision", "Recall", "F1", "FPR(%)")
+	for i, c := range r.Clients {
+		d := c.Detection
+		fmt.Fprintf(&b, "%-14s %10.3f %10.3f %10.3f %10.2f\n",
+			fmt.Sprintf("%d (%s)", i+1, c.Zone), d.Precision, d.Recall, d.F1, 100*d.FPR)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders the paper's Table III (client-specific performance
+// comparison for filtered data).
+func (r *Report) FormatTable3() string {
+	var b strings.Builder
+	b.WriteString("Table III: Client-specific performance comparison, filtered data\n")
+	fmt.Fprintf(&b, "%-14s %-12s %9s %9s %9s\n", "Client (Zone)", "Architecture", "MAE", "RMSE", "R2")
+	for i, c := range r.Clients {
+		f := r.FedFiltered.PerClient[i]
+		ce := r.CentralFiltered.PerClient[i]
+		label := fmt.Sprintf("%d (%s)", i+1, c.Zone)
+		fmt.Fprintf(&b, "%-14s %-12s %9.4f %9.4f %9.4f\n", label, "federated", f.MAE, f.RMSE, f.R2)
+		fmt.Fprintf(&b, "%-14s %-12s %9.4f %9.4f %9.4f\n", "", "centralized", ce.MAE, ce.RMSE, ce.R2)
+	}
+	return b.String()
+}
+
+// FormatFig2 renders the Fig 2 series: Client 1 RMSE and MAE across the
+// three federated data scenarios.
+func (r *Report) FormatFig2() string {
+	var b strings.Builder
+	b.WriteString("Fig 2: Anomaly-resilient federated LSTM, Client 1 (charging vol. kWh)\n")
+	fmt.Fprintf(&b, "%-10s %9s %9s\n", "Scenario", "RMSE", "MAE")
+	for _, s := range []*ScenarioResult{r.FedClean, r.FedAttacked, r.FedFiltered} {
+		m := s.PerClient[0]
+		fmt.Fprintf(&b, "%-10s %9.4f %9.4f\n", s.Scenario, m.RMSE, m.MAE)
+	}
+	return b.String()
+}
+
+// FormatFig3 renders the Fig 3 series: per-client R² for federated vs
+// centralized on filtered data.
+func (r *Report) FormatFig3() string {
+	var b strings.Builder
+	b.WriteString("Fig 3: R2 comparison on filtered data\n")
+	fmt.Fprintf(&b, "%-10s %11s %12s\n", "Client", "Federated", "Centralized")
+	for i := range r.Clients {
+		fmt.Fprintf(&b, "Client %-3d %11.4f %12.4f\n",
+			i+1, r.FedFiltered.PerClient[i].R2, r.CentralFiltered.PerClient[i].R2)
+	}
+	return b.String()
+}
+
+// FormatHeadline renders the abstract's headline scalars.
+func (r *Report) FormatHeadline() string {
+	var b strings.Builder
+	b.WriteString("Headline scalars (paper values in parentheses)\n")
+	fmt.Fprintf(&b, "  Federated R2 improvement over centralized: %6.1f%%  (15.2%%)\n", r.Headline.R2ImprovementPct)
+	fmt.Fprintf(&b, "  Attack-degradation recovery:               %6.1f%%  (47.9%%)\n", r.Headline.RecoveryPct)
+	fmt.Fprintf(&b, "  Overall detection precision:               %6.3f   (0.913)\n", r.Headline.OverallPrecision)
+	fmt.Fprintf(&b, "  Overall false-positive rate:               %6.2f%%  (1.21%%)\n", r.Headline.OverallFPRPct)
+	fmt.Fprintf(&b, "  Federated training-time reduction:         %6.1f%%  (18.1%%)\n", r.Headline.TimeReductionPct)
+	return b.String()
+}
+
+// FormatAll renders every table and figure.
+func (r *Report) FormatAll() string {
+	return strings.Join([]string{
+		r.FormatTable1(), r.FormatTable2(), r.FormatTable3(),
+		r.FormatFig2(), r.FormatFig3(), r.FormatHeadline(),
+	}, "\n")
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScalability(t *testing.T) {
+	p := QuickParams(9)
+	p.Hours = 500
+	p.Rounds = 1
+	p.EpochsPerRound = 1
+	p.LSTMUnits = 8
+	p.DenseHidden = 4
+	points, err := RunScalability([]int{2, 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, pt := range points {
+		if pt.WallSeconds <= 0 || pt.ClientSeconds <= 0 {
+			t.Fatalf("non-positive timing: %+v", pt)
+		}
+	}
+	// Sequential-equivalent compute must grow with federation size.
+	if points[1].ClientSeconds <= points[0].ClientSeconds {
+		t.Fatalf("client compute did not grow with federation size: %+v", points)
+	}
+	table := FormatScalability(points)
+	if !strings.Contains(table, "Clients") || len(strings.Split(table, "\n")) < 4 {
+		t.Fatalf("table too short:\n%s", table)
+	}
+}
+
+func TestRunScalabilityValidation(t *testing.T) {
+	p := QuickParams(1)
+	if _, err := RunScalability([]int{0}, p); err == nil {
+		t.Fatal("client count 0 should error")
+	}
+	bad := QuickParams(1)
+	bad.Rounds = 0
+	if _, err := RunScalability([]int{2}, bad); err == nil {
+		t.Fatal("invalid params should error")
+	}
+}

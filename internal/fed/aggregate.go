@@ -1,0 +1,170 @@
+package fed
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregator combines client updates into a new global weight vector.
+// FedAvg (sample-weighted mean) is the paper's rule; the robust
+// alternatives extend the paper's threat model from data-plane attacks
+// (DDoS on charging streams) to model-plane attacks, where a compromised
+// station submits poisoned weight updates to corrupt the global model.
+type Aggregator interface {
+	// Name identifies the aggregator in round statistics.
+	Name() string
+	// Aggregate combines the updates (all validated to equal dimension
+	// and positive sample counts by the coordinator).
+	Aggregate(updates []Update) ([]float64, error)
+}
+
+// MeanAggregator is sample-weighted FedAvg (the paper's rule).
+type MeanAggregator struct{}
+
+var _ Aggregator = MeanAggregator{}
+
+// Name implements Aggregator.
+func (MeanAggregator) Name() string { return "fedavg" }
+
+// Aggregate implements Aggregator.
+func (MeanAggregator) Aggregate(updates []Update) ([]float64, error) {
+	return FedAvg(updates)
+}
+
+// UniformAggregator averages updates with equal weight per client,
+// regardless of dataset size — the ablation point for FedAvg's sample
+// weighting.
+type UniformAggregator struct{}
+
+var _ Aggregator = UniformAggregator{}
+
+// Name implements Aggregator.
+func (UniformAggregator) Name() string { return "uniform" }
+
+// Aggregate implements Aggregator.
+func (UniformAggregator) Aggregate(updates []Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoClients
+	}
+	dim := len(updates[0].Weights)
+	out := make([]float64, dim)
+	inv := 1 / float64(len(updates))
+	for _, u := range updates {
+		if len(u.Weights) != dim {
+			return nil, fmt.Errorf("%w: client %s weight dim %d != %d",
+				ErrBadConfig, u.ClientID, len(u.Weights), dim)
+		}
+		for i, v := range u.Weights {
+			out[i] += inv * v
+		}
+	}
+	return out, nil
+}
+
+// MedianAggregator takes the coordinate-wise median of the updates. With
+// n clients it tolerates fewer than n/2 arbitrarily corrupted updates per
+// coordinate, at the price of ignoring sample weighting.
+type MedianAggregator struct{}
+
+var _ Aggregator = MedianAggregator{}
+
+// Name implements Aggregator.
+func (MedianAggregator) Name() string { return "median" }
+
+// Aggregate implements Aggregator.
+func (MedianAggregator) Aggregate(updates []Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoClients
+	}
+	dim := len(updates[0].Weights)
+	for _, u := range updates {
+		if len(u.Weights) != dim {
+			return nil, fmt.Errorf("%w: client %s weight dim %d != %d",
+				ErrBadConfig, u.ClientID, len(u.Weights), dim)
+		}
+	}
+	out := make([]float64, dim)
+	col := make([]float64, len(updates))
+	for i := 0; i < dim; i++ {
+		for c, u := range updates {
+			col[c] = u.Weights[i]
+		}
+		sort.Float64s(col)
+		n := len(col)
+		if n%2 == 1 {
+			out[i] = col[n/2]
+		} else {
+			out[i] = (col[n/2-1] + col[n/2]) / 2
+		}
+	}
+	return out, nil
+}
+
+// TrimmedMeanAggregator drops the TrimPerSide largest and smallest values
+// per coordinate before averaging the rest — the standard Byzantine-
+// tolerant compromise between FedAvg's efficiency and the median's
+// robustness.
+type TrimmedMeanAggregator struct {
+	// TrimPerSide is the number of extreme values removed at each end of
+	// every coordinate. 2·TrimPerSide must be smaller than the number of
+	// participating clients.
+	TrimPerSide int
+}
+
+var _ Aggregator = TrimmedMeanAggregator{}
+
+// Name implements Aggregator.
+func (t TrimmedMeanAggregator) Name() string {
+	return fmt.Sprintf("trimmed-mean(%d)", t.TrimPerSide)
+}
+
+// Aggregate implements Aggregator.
+func (t TrimmedMeanAggregator) Aggregate(updates []Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoClients
+	}
+	if t.TrimPerSide < 0 || 2*t.TrimPerSide >= len(updates) {
+		return nil, fmt.Errorf("%w: trim %d per side with %d clients",
+			ErrBadConfig, t.TrimPerSide, len(updates))
+	}
+	dim := len(updates[0].Weights)
+	for _, u := range updates {
+		if len(u.Weights) != dim {
+			return nil, fmt.Errorf("%w: client %s weight dim %d != %d",
+				ErrBadConfig, u.ClientID, len(u.Weights), dim)
+		}
+	}
+	out := make([]float64, dim)
+	col := make([]float64, len(updates))
+	kept := len(updates) - 2*t.TrimPerSide
+	inv := 1 / float64(kept)
+	for i := 0; i < dim; i++ {
+		for c, u := range updates {
+			col[c] = u.Weights[i]
+		}
+		sort.Float64s(col)
+		var sum float64
+		for _, v := range col[t.TrimPerSide : len(col)-t.TrimPerSide] {
+			sum += v
+		}
+		out[i] = sum * inv
+	}
+	return out, nil
+}
+
+// NewAggregator builds an aggregator by name: "fedavg" (default),
+// "uniform", "median", or "trimmed" (trim 1 per side).
+func NewAggregator(name string) (Aggregator, error) {
+	switch name {
+	case "", "fedavg":
+		return MeanAggregator{}, nil
+	case "uniform":
+		return UniformAggregator{}, nil
+	case "median":
+		return MedianAggregator{}, nil
+	case "trimmed":
+		return TrimmedMeanAggregator{TrimPerSide: 1}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown aggregator %q", ErrBadConfig, name)
+	}
+}

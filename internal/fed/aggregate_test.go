@@ -1,0 +1,200 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func upd(id string, n int, w ...float64) Update {
+	return Update{ClientID: id, NumSamples: n, Weights: w}
+}
+
+func TestUniformAggregator(t *testing.T) {
+	var a UniformAggregator
+	out, err := a.Aggregate([]Update{upd("a", 1, 0, 2), upd("b", 99, 4, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample counts ignored: (0+4)/2, (2+6)/2.
+	if out[0] != 2 || out[1] != 4 {
+		t.Fatalf("uniform %v", out)
+	}
+	if _, err := a.Aggregate(nil); !errors.Is(err, ErrNoClients) {
+		t.Fatalf("want ErrNoClients, got %v", err)
+	}
+	if _, err := a.Aggregate([]Update{upd("a", 1, 1), upd("b", 1, 1, 2)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestMedianAggregator(t *testing.T) {
+	var a MedianAggregator
+	out, err := a.Aggregate([]Update{
+		upd("a", 1, 1, 10),
+		upd("b", 1, 2, 20),
+		upd("c", 1, 1000, -500), // poisoned
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 10 {
+		t.Fatalf("median %v", out)
+	}
+	// Even count: midpoint.
+	out2, err := a.Aggregate([]Update{upd("a", 1, 1), upd("b", 1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0] != 2 {
+		t.Fatalf("even median %v", out2)
+	}
+	if _, err := a.Aggregate(nil); !errors.Is(err, ErrNoClients) {
+		t.Fatalf("want ErrNoClients, got %v", err)
+	}
+}
+
+func TestTrimmedMeanAggregator(t *testing.T) {
+	a := TrimmedMeanAggregator{TrimPerSide: 1}
+	out, err := a.Aggregate([]Update{
+		upd("a", 1, 1),
+		upd("b", 1, 2),
+		upd("c", 1, 3),
+		upd("d", 1, 1e9), // poisoned
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim 1 and 1e9, average 2 and 3.
+	if out[0] != 2.5 {
+		t.Fatalf("trimmed mean %v", out)
+	}
+	if _, err := (TrimmedMeanAggregator{TrimPerSide: 2}).Aggregate([]Update{upd("a", 1, 1), upd("b", 1, 2)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := a.Aggregate(nil); !errors.Is(err, ErrNoClients) {
+		t.Fatalf("want ErrNoClients, got %v", err)
+	}
+}
+
+// Robustness property: with one arbitrarily poisoned client among five,
+// median and trimmed-mean stay within the honest clients' range; plain
+// FedAvg does not.
+func TestRobustAggregatorsResistPoisoning(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(10)
+		honest := make([]Update, 4)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = math.Inf(1)
+			hi[i] = math.Inf(-1)
+		}
+		for c := range honest {
+			w := make([]float64, dim)
+			for i := range w {
+				w[i] = r.Normal(0, 1)
+				lo[i] = math.Min(lo[i], w[i])
+				hi[i] = math.Max(hi[i], w[i])
+			}
+			honest[c] = upd("h", 10, w...)
+		}
+		poison := make([]float64, dim)
+		for i := range poison {
+			poison[i] = r.Normal(0, 1e6)
+		}
+		all := append(append([]Update{}, honest...), upd("evil", 10, poison...))
+
+		med, err := MedianAggregator{}.Aggregate(all)
+		if err != nil {
+			return false
+		}
+		trm, err := (TrimmedMeanAggregator{TrimPerSide: 1}).Aggregate(all)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < dim; i++ {
+			if med[i] < lo[i]-1e-9 || med[i] > hi[i]+1e-9 {
+				return false
+			}
+			if trm[i] < lo[i]-1e-9 || trm[i] > hi[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// poisonedHandle wraps a client and corrupts its update weights.
+type poisonedHandle struct {
+	inner ClientHandle
+	scale float64
+}
+
+func (p *poisonedHandle) ID() string               { return p.inner.ID() }
+func (p *poisonedHandle) NumSamples() (int, error) { return p.inner.NumSamples() }
+func (p *poisonedHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	u, err := p.inner.Train(global, cfg)
+	if err != nil {
+		return u, err
+	}
+	for i := range u.Weights {
+		u.Weights[i] *= p.scale
+	}
+	return u, nil
+}
+
+// End-to-end: a federation with one poisoning client diverges under plain
+// FedAvg but stays sane under the median aggregator.
+func TestFederationWithPoisonedClient(t *testing.T) {
+	run := func(agg Aggregator) []float64 {
+		clients := makeClients(t, 3)
+		clients[2] = &poisonedHandle{inner: clients[2], scale: 1e4}
+		cfg := smallConfig(61)
+		cfg.Aggregator = agg
+		co, err := NewCoordinator(smallSpec(), clients, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Global
+	}
+	maxAbs := func(w []float64) float64 {
+		var m float64
+		for _, v := range w {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	fedavg := maxAbs(run(MeanAggregator{}))
+	median := maxAbs(run(MedianAggregator{}))
+	if fedavg < 100 {
+		t.Fatalf("poisoning had no effect on FedAvg (max |w| = %v)", fedavg)
+	}
+	if median > 50 {
+		t.Fatalf("median aggregator did not contain poisoning (max |w| = %v)", median)
+	}
+}
+
+func TestNewAggregator(t *testing.T) {
+	for _, name := range []string{"", "fedavg", "uniform", "median", "trimmed"} {
+		if _, err := NewAggregator(name); err != nil {
+			t.Fatalf("NewAggregator(%q): %v", name, err)
+		}
+	}
+	if _, err := NewAggregator("krum"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}

@@ -1,0 +1,284 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Config controls a federated run. DefaultConfig matches the paper.
+type Config struct {
+	// Rounds is the number of federated rounds (paper: 5).
+	Rounds int
+	// EpochsPerRound is the local epoch count per round (paper: 10).
+	EpochsPerRound int
+	// BatchSize is the local minibatch size (paper: 32).
+	BatchSize int
+	// LearningRate feeds each client's Adam optimizer (paper: 1e-3).
+	LearningRate float64
+	// Seed initializes the global model and drives failure injection.
+	Seed uint64
+	// Parallel trains clients concurrently within a round (the deployment
+	// reality the paper's training-time comparison reflects).
+	Parallel bool
+	// WorkersPerClient bounds gradient parallelism inside each client.
+	WorkersPerClient int
+	// Privacy optionally privatizes every client's update delta before it
+	// leaves the client (see Privacy).
+	Privacy Privacy
+	// ProximalMu enables FedProx local objectives (see
+	// LocalTrainConfig.ProximalMu). 0 = plain FedAvg.
+	ProximalMu float64
+	// Aggregator combines client updates each round; nil selects
+	// sample-weighted FedAvg (the paper's rule). Robust aggregators
+	// (median, trimmed mean) defend against poisoned model updates.
+	Aggregator Aggregator
+	// TolerateClientErrors treats a client error (crash, unreachable
+	// station, bad update) as a dropout for that round instead of aborting
+	// the federation — the behaviour a production deployment wants, since
+	// "the distributed architecture enables continued operation even when
+	// individual nodes experience downtime" (paper §III-F).
+	TolerateClientErrors bool
+	// Failures optionally injects client failures (see FailurePlan).
+	Failures *FailurePlan
+}
+
+// DefaultConfig returns the paper's federated hyperparameters.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Rounds:         5,
+		EpochsPerRound: 10,
+		BatchSize:      32,
+		LearningRate:   0.001,
+		Seed:           seed,
+		Parallel:       true,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("%w: rounds %d", ErrBadConfig, c.Rounds)
+	case c.EpochsPerRound <= 0:
+		return fmt.Errorf("%w: epochs per round %d", ErrBadConfig, c.EpochsPerRound)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("%w: batch size %d", ErrBadConfig, c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("%w: learning rate %v", ErrBadConfig, c.LearningRate)
+	}
+	if err := c.Privacy.validate(); err != nil {
+		return err
+	}
+	if c.ProximalMu < 0 {
+		return fmt.Errorf("%w: proximal mu %v", ErrBadConfig, c.ProximalMu)
+	}
+	if c.Failures != nil {
+		if c.Failures.DropoutProb < 0 || c.Failures.DropoutProb >= 1 {
+			return fmt.Errorf("%w: dropout probability %v", ErrBadConfig, c.Failures.DropoutProb)
+		}
+		if c.Failures.StragglerProb < 0 || c.Failures.StragglerProb > 1 {
+			return fmt.Errorf("%w: straggler probability %v", ErrBadConfig, c.Failures.StragglerProb)
+		}
+	}
+	return nil
+}
+
+// FailurePlan injects client failures per round, exercising the
+// resilience-through-redundancy property the paper claims for distributed
+// deployments.
+type FailurePlan struct {
+	// DropoutProb is the per-client per-round probability of missing the
+	// round entirely (its update is excluded from aggregation).
+	DropoutProb float64
+	// StragglerProb is the per-client per-round probability of being
+	// delayed by StragglerDelay before its update lands.
+	StragglerProb float64
+	// StragglerDelay is the injected delay.
+	StragglerDelay time.Duration
+}
+
+// RoundStat records one round's aggregate diagnostics.
+type RoundStat struct {
+	// Round is the 0-based round index.
+	Round int
+	// Participants lists client IDs whose updates were aggregated.
+	Participants []string
+	// Dropped lists client IDs that failed the round.
+	Dropped []string
+	// MeanLoss is the participant-weighted mean of final local losses.
+	MeanLoss float64
+	// WallSeconds is the round's wall-clock duration.
+	WallSeconds float64
+}
+
+// RunResult is the outcome of a federated run.
+type RunResult struct {
+	// Global is the final aggregated weight vector.
+	Global []float64
+	// Rounds records per-round diagnostics.
+	Rounds []RoundStat
+	// WallSeconds is the total orchestration wall-clock time.
+	WallSeconds float64
+	// ClientSeconds sums client-reported local training time (the
+	// sequential-equivalent cost).
+	ClientSeconds float64
+}
+
+// Coordinator orchestrates FedAvg over a set of client handles.
+type Coordinator struct {
+	spec    nn.Spec
+	clients []ClientHandle
+	cfg     Config
+}
+
+// NewCoordinator validates the configuration and builds a coordinator.
+func NewCoordinator(spec nn.Spec, clients []ClientHandle, cfg Config) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoClients
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{spec: spec, clients: clients, cfg: cfg}, nil
+}
+
+// Run executes the federated protocol: initialize a global model from the
+// shared spec, then for each round broadcast the global weights, train
+// locally on every (surviving) client, and FedAvg the updates.
+func (co *Coordinator) Run() (*RunResult, error) {
+	globalModel, err := nn.Build(co.spec, co.cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fed: build global model: %w", err)
+	}
+	global := globalModel.WeightsVector()
+	failRNG := rng.New(co.cfg.Seed ^ 0xfa11)
+
+	res := &RunResult{}
+	start := time.Now()
+	for round := 0; round < co.cfg.Rounds; round++ {
+		roundStart := time.Now()
+		stat := RoundStat{Round: round}
+
+		// Failure injection decisions are drawn up front so they are
+		// deterministic regardless of client scheduling.
+		dropped := make([]bool, len(co.clients))
+		delayed := make([]bool, len(co.clients))
+		if f := co.cfg.Failures; f != nil {
+			for i := range co.clients {
+				dropped[i] = failRNG.Bernoulli(f.DropoutProb)
+				delayed[i] = failRNG.Bernoulli(f.StragglerProb)
+			}
+		}
+
+		ltc := LocalTrainConfig{
+			Epochs:       co.cfg.EpochsPerRound,
+			BatchSize:    co.cfg.BatchSize,
+			LearningRate: co.cfg.LearningRate,
+			Workers:      co.cfg.WorkersPerClient,
+			Round:        round,
+			Privacy:      co.cfg.Privacy,
+			ProximalMu:   co.cfg.ProximalMu,
+		}
+		updates := make([]*Update, len(co.clients))
+		errs := make([]error, len(co.clients))
+		trainOne := func(i int) {
+			if dropped[i] {
+				return
+			}
+			if delayed[i] && co.cfg.Failures != nil {
+				time.Sleep(co.cfg.Failures.StragglerDelay)
+			}
+			u, err := co.clients[i].Train(global, ltc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			updates[i] = &u
+		}
+		if co.cfg.Parallel {
+			var wg sync.WaitGroup
+			for i := range co.clients {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					trainOne(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range co.clients {
+				trainOne(i)
+			}
+		}
+
+		var live []Update
+		var lossSum float64
+		var sampleSum int
+		for i, u := range updates {
+			id := co.clients[i].ID()
+			switch {
+			case dropped[i]:
+				stat.Dropped = append(stat.Dropped, id)
+			case errs[i] != nil:
+				if !co.cfg.TolerateClientErrors {
+					return nil, fmt.Errorf("fed: round %d: %w", round, errs[i])
+				}
+				stat.Dropped = append(stat.Dropped, id)
+			case u != nil:
+				live = append(live, *u)
+				stat.Participants = append(stat.Participants, id)
+				lossSum += u.FinalLoss * float64(u.NumSamples)
+				sampleSum += u.NumSamples
+				res.ClientSeconds += u.TrainSeconds
+			}
+		}
+		if len(live) == 0 {
+			// Every client failed this round: keep the previous global
+			// model and move on — the distributed system degrades
+			// gracefully instead of aborting (paper §III-F).
+			stat.WallSeconds = time.Since(roundStart).Seconds()
+			res.Rounds = append(res.Rounds, stat)
+			continue
+		}
+		agg := co.cfg.Aggregator
+		if agg == nil {
+			agg = MeanAggregator{}
+		}
+		global, err = agg.Aggregate(live)
+		if err != nil {
+			return nil, fmt.Errorf("fed: round %d: %w", round, err)
+		}
+		stat.MeanLoss = lossSum / float64(sampleSum)
+		stat.WallSeconds = time.Since(roundStart).Seconds()
+		res.Rounds = append(res.Rounds, stat)
+	}
+	anyUpdate := false
+	for _, rs := range res.Rounds {
+		if len(rs.Participants) > 0 {
+			anyUpdate = true
+			break
+		}
+	}
+	if !anyUpdate {
+		return nil, ErrAllDropped
+	}
+	res.Global = global
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// GlobalModel materializes a model carrying the run's final global
+// weights.
+func (co *Coordinator) GlobalModel(res *RunResult) (*nn.Model, error) {
+	m, err := nn.Build(co.spec, co.cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fed: build model: %w", err)
+	}
+	if err := m.SetWeightsVector(res.Global); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

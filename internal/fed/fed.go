@@ -1,0 +1,193 @@
+// Package fed implements the paper's federated learning runtime: local
+// LSTM clients that train on private data, a FedAvg coordinator that
+// aggregates weight vectors across rounds (weighted by sample count), and
+// pluggable transports — in-process handles for deterministic experiments
+// and a TCP/gob transport for genuinely distributed deployments.
+//
+// Privacy property (paper §I): only model parameter vectors cross the
+// client boundary; raw charging data never leaves the client.
+//
+// Hyperparameters mirror the paper: FEDERATED_ROUNDS = 5,
+// EPOCHS_PER_ROUND = 10, LSTM_UNITS = 50, LEARNING_RATE = 0.001,
+// batch 32, SEQUENCE_LENGTH = 24.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+	"github.com/evfed/evfed/internal/series"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig  = errors.New("fed: invalid configuration")
+	ErrNoClients  = errors.New("fed: no clients")
+	ErrAllDropped = errors.New("fed: every client dropped out of a round")
+)
+
+// Update is one client's contribution to a round.
+type Update struct {
+	// ClientID identifies the sender.
+	ClientID string
+	// Weights is the locally trained weight vector.
+	Weights []float64
+	// NumSamples weights the FedAvg average.
+	NumSamples int
+	// TrainSeconds is the client-reported local training time.
+	TrainSeconds float64
+	// FinalLoss is the client's last local training loss.
+	FinalLoss float64
+}
+
+// LocalTrainConfig is what the coordinator sends to a client each round.
+type LocalTrainConfig struct {
+	// Epochs is the number of local epochs (paper: 10).
+	Epochs int
+	// BatchSize is the minibatch size (paper: 32).
+	BatchSize int
+	// LearningRate feeds the client's Adam optimizer (paper: 1e-3).
+	LearningRate float64
+	// Workers bounds parallel gradient workers on the client.
+	Workers int
+	// Round is the 0-based round index (seeds per-round shuffling).
+	Round int
+	// Privacy optionally privatizes the update delta before it leaves the
+	// client (clip + Gaussian noise). Zero value disables it.
+	Privacy Privacy
+	// ProximalMu enables FedProx local training: the local objective gains
+	// μ/2·‖w − w_global‖², pulling each client's solution toward the
+	// broadcast global model. This is the standard remedy for client
+	// drift on heterogeneous (non-IID) data — exactly the spatial
+	// heterogeneity regime of the paper's zones. 0 = plain FedAvg.
+	ProximalMu float64
+}
+
+// ClientHandle abstracts how the coordinator reaches a client: in-process
+// or over the network.
+type ClientHandle interface {
+	// ID returns a stable client identifier.
+	ID() string
+	// NumSamples reports the client's training-set size (for weighting).
+	NumSamples() (int, error)
+	// Train installs the global weights, runs local training and returns
+	// the client's update.
+	Train(global []float64, cfg LocalTrainConfig) (Update, error)
+}
+
+// Client is the in-process client implementation: it owns a private
+// training set and a local model built from the shared spec.
+type Client struct {
+	id      string
+	model   *nn.Model
+	inputs  []nn.Seq
+	targets []nn.Seq
+	seed    uint64
+}
+
+var _ ClientHandle = (*Client)(nil)
+
+// NewClient builds an in-process client from scaled series values. seqLen
+// windowing happens here so the raw series never leaves the client
+// boundary in any form.
+func NewClient(id string, spec nn.Spec, values []float64, seqLen int, seed uint64) (*Client, error) {
+	ws, err := series.MakeWindows(values, seqLen)
+	if err != nil {
+		return nil, fmt.Errorf("fed: client %s: %w", id, err)
+	}
+	model, err := nn.Build(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fed: client %s: %w", id, err)
+	}
+	c := &Client{id: id, model: model, seed: seed}
+	for _, w := range ws {
+		c.inputs = append(c.inputs, w.Input)
+		c.targets = append(c.targets, nn.Seq{{w.Target}})
+	}
+	return c, nil
+}
+
+// ID implements ClientHandle.
+func (c *Client) ID() string { return c.id }
+
+// NumSamples implements ClientHandle.
+func (c *Client) NumSamples() (int, error) { return len(c.inputs), nil }
+
+// Train implements ClientHandle.
+func (c *Client) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	if err := c.model.SetWeightsVector(global); err != nil {
+		return Update{}, fmt.Errorf("fed: client %s: install global weights: %w", c.id, err)
+	}
+	tc := nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: nn.NewAdam(cfg.LearningRate),
+		Loss:      nn.MSE{},
+		Shuffle:   true,
+		Seed:      c.seed + uint64(cfg.Round)*1000003,
+		ClipNorm:  5,
+		Workers:   cfg.Workers,
+	}
+	if cfg.ProximalMu > 0 {
+		tc.ProxMu = cfg.ProximalMu
+		ref := make([]float64, len(global))
+		copy(ref, global)
+		tc.ProxRef = ref
+	}
+	start := time.Now()
+	hist, err := nn.Fit(c.model, c.inputs, c.targets, tc)
+	if err != nil {
+		return Update{}, fmt.Errorf("fed: client %s: local fit: %w", c.id, err)
+	}
+	weights := c.model.WeightsVector()
+	if cfg.Privacy.Enabled() {
+		privRNG := rng.New(c.seed ^ (uint64(cfg.Round+1) * 0x9e3779b97f4a7c15) ^ 0xd9)
+		if err := cfg.Privacy.privatize(weights, global, privRNG); err != nil {
+			return Update{}, fmt.Errorf("fed: client %s: privatize: %w", c.id, err)
+		}
+	}
+	return Update{
+		ClientID:     c.id,
+		Weights:      weights,
+		NumSamples:   len(c.inputs),
+		TrainSeconds: time.Since(start).Seconds(),
+		FinalLoss:    hist.FinalTrainLoss(),
+	}, nil
+}
+
+// Model exposes the client's local model (e.g. to evaluate local
+// specialization).
+func (c *Client) Model() *nn.Model { return c.model }
+
+// FedAvg computes the sample-weighted average of the updates' weight
+// vectors — McMahan et al.'s Federated Averaging, the paper's aggregation
+// rule.
+func FedAvg(updates []Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoClients
+	}
+	dim := len(updates[0].Weights)
+	total := 0
+	for _, u := range updates {
+		if len(u.Weights) != dim {
+			return nil, fmt.Errorf("%w: client %s weight dim %d != %d",
+				ErrBadConfig, u.ClientID, len(u.Weights), dim)
+		}
+		if u.NumSamples <= 0 {
+			return nil, fmt.Errorf("%w: client %s reports %d samples",
+				ErrBadConfig, u.ClientID, u.NumSamples)
+		}
+		total += u.NumSamples
+	}
+	out := make([]float64, dim)
+	for _, u := range updates {
+		w := float64(u.NumSamples) / float64(total)
+		for i, v := range u.Weights {
+			out[i] += w * v
+		}
+	}
+	return out, nil
+}

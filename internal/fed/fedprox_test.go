@@ -1,0 +1,101 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/nn"
+)
+
+func TestFedProxPullsTowardGlobal(t *testing.T) {
+	// With a very large μ the local solution must stay glued to the
+	// broadcast global weights; with μ = 0 it drifts freely.
+	c1, err := NewClient("a", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewClient("b", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.Build(smallSpec(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := m.WeightsVector()
+
+	drift := func(c *Client, mu float64) float64 {
+		u, err := c.Train(global, LocalTrainConfig{
+			Epochs: 2, BatchSize: 16, LearningRate: 0.01,
+			ProximalMu: mu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range u.Weights {
+			d := u.Weights[i] - global[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	free := drift(c1, 0)
+	glued := drift(c2, 100)
+	if glued >= free/3 {
+		t.Fatalf("FedProx did not restrain drift: μ=100 drift %v vs free drift %v", glued, free)
+	}
+}
+
+func TestFedProxFederationConverges(t *testing.T) {
+	clients := makeClients(t, 3)
+	cfg := smallConfig(71)
+	cfg.ProximalMu = 0.01
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[len(res.Rounds)-1].MeanLoss >= res.Rounds[0].MeanLoss {
+		t.Fatalf("FedProx federation did not converge: %+v", res.Rounds)
+	}
+}
+
+func TestFedProxValidation(t *testing.T) {
+	clients := makeClients(t, 1)
+	bad := smallConfig(1)
+	bad.ProximalMu = -1
+	if _, err := NewCoordinator(smallSpec(), clients, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestProxConfigValidationInFit(t *testing.T) {
+	m, err := nn.Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []nn.Seq{{{0.1}, {0.2}}}
+	// Pad the window to seqLen 12 for the small spec input (1 feature).
+	in := make(nn.Seq, 12)
+	for i := range in {
+		in[i] = []float64{0.1}
+	}
+	inputs = []nn.Seq{in}
+	targets := []nn.Seq{{{0.5}}}
+
+	cfg := nn.DefaultTrainConfig(1, 1)
+	cfg.ProxMu = -1
+	if _, err := nn.Fit(m, inputs, targets, cfg); !errors.Is(err, nn.ErrBadConfig) {
+		t.Fatalf("negative mu: want ErrBadConfig, got %v", err)
+	}
+	cfg2 := nn.DefaultTrainConfig(1, 1)
+	cfg2.ProxMu = 0.1
+	cfg2.ProxRef = []float64{1, 2, 3} // wrong length
+	if _, err := nn.Fit(m, inputs, targets, cfg2); !errors.Is(err, nn.ErrShape) {
+		t.Fatalf("bad ref: want ErrShape, got %v", err)
+	}
+}

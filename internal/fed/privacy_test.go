@@ -1,0 +1,164 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func TestPrivacyValidate(t *testing.T) {
+	cases := []struct {
+		p  Privacy
+		ok bool
+	}{
+		{Privacy{}, true},
+		{Privacy{ClipNorm: 1}, true},
+		{Privacy{ClipNorm: 1, NoiseStd: 0.1}, true},
+		{Privacy{NoiseStd: 0.1}, false}, // noise without clip
+		{Privacy{ClipNorm: -1}, false},
+		{Privacy{ClipNorm: 1, NoiseStd: -0.1}, false},
+	}
+	for i, c := range cases {
+		err := c.p.validate()
+		if c.ok && err != nil {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+		if !c.ok && !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestPrivatizeClipsDelta(t *testing.T) {
+	p := Privacy{ClipNorm: 1}
+	global := []float64{0, 0, 0}
+	weights := []float64{3, 4, 0} // delta norm 5
+	if err := p.privatize(weights, global, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i := range weights {
+		norm += (weights[i] - global[i]) * (weights[i] - global[i])
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-12 {
+		t.Fatalf("clipped delta norm %v", math.Sqrt(norm))
+	}
+	// Direction preserved.
+	if weights[0] <= 0 || weights[1] <= 0 || math.Abs(weights[0]/weights[1]-0.75) > 1e-12 {
+		t.Fatalf("clipping changed direction: %v", weights)
+	}
+}
+
+func TestPrivatizeSmallDeltaUntouched(t *testing.T) {
+	p := Privacy{ClipNorm: 10}
+	global := []float64{1, 1}
+	weights := []float64{1.1, 0.9}
+	orig := append([]float64(nil), weights...)
+	if err := p.privatize(weights, global, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range weights {
+		if weights[i] != orig[i] {
+			t.Fatalf("sub-threshold delta modified: %v", weights)
+		}
+	}
+}
+
+func TestPrivatizeNoiseStatistics(t *testing.T) {
+	p := Privacy{ClipNorm: 100, NoiseStd: 0.5}
+	r := rng.New(7)
+	const n = 20000
+	global := make([]float64, n)
+	weights := make([]float64, n) // delta zero, so output = pure noise
+	if err := p.privatize(weights, global, r); err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, v := range weights {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("noise mean %v", mean)
+	}
+	if math.Abs(std-0.5) > 0.02 {
+		t.Fatalf("noise std %v want 0.5", std)
+	}
+}
+
+func TestPrivatizeDisabledPassthrough(t *testing.T) {
+	var p Privacy
+	weights := []float64{5, 6}
+	if err := p.privatize(weights, []float64{0, 0}, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if weights[0] != 5 || weights[1] != 6 {
+		t.Fatalf("disabled privacy modified weights: %v", weights)
+	}
+}
+
+func TestPrivatizeLengthMismatch(t *testing.T) {
+	p := Privacy{ClipNorm: 1}
+	if err := p.privatize([]float64{1}, []float64{1, 2}, rng.New(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestClientTrainWithPrivacy(t *testing.T) {
+	c, err := NewClient("dp", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := m.WeightsVector()
+	ltc := LocalTrainConfig{
+		Epochs: 1, BatchSize: 16, LearningRate: 0.005,
+		Privacy: Privacy{ClipNorm: 0.5, NoiseStd: 0.01},
+	}
+	u, err := c.Train(global, ltc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipped update's delta must respect the clip bound (allowing for
+	// the added noise: n coords of std 0.01 → noise norm ≈ 0.01·sqrt(dim)).
+	var norm float64
+	for i := range u.Weights {
+		d := u.Weights[i] - global[i]
+		norm += d * d
+	}
+	noiseAllowance := 0.01 * math.Sqrt(float64(len(global))) * 2
+	if math.Sqrt(norm) > 0.5+noiseAllowance {
+		t.Fatalf("privatized delta norm %v exceeds clip+noise bound", math.Sqrt(norm))
+	}
+}
+
+func TestFederationWithPrivacyConverges(t *testing.T) {
+	clients := makeClients(t, 3)
+	cfg := smallConfig(67)
+	cfg.Privacy = Privacy{ClipNorm: 5, NoiseStd: 0.001}
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[len(res.Rounds)-1].MeanLoss >= res.Rounds[0].MeanLoss {
+		t.Fatalf("DP federation did not converge: %+v", res.Rounds)
+	}
+	// Invalid privacy rejected at construction.
+	bad := smallConfig(1)
+	bad.Privacy = Privacy{NoiseStd: 1}
+	if _, err := NewCoordinator(smallSpec(), clients, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}

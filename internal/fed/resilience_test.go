@@ -1,0 +1,130 @@
+package fed
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// failingHandle errors on every Train call after failAfter successes.
+type failingHandle struct {
+	inner     ClientHandle
+	calls     int
+	failAfter int
+}
+
+func (f *failingHandle) ID() string { return f.inner.ID() }
+
+func (f *failingHandle) NumSamples() (int, error) { return f.inner.NumSamples() }
+
+func (f *failingHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	f.calls++
+	if f.calls > f.failAfter {
+		return Update{}, errors.New("station offline")
+	}
+	return f.inner.Train(global, cfg)
+}
+
+func TestCoordinatorAbortsOnClientErrorByDefault(t *testing.T) {
+	clients := makeClients(t, 2)
+	clients[1] = &failingHandle{inner: clients[1], failAfter: 0}
+	co, err := NewCoordinator(smallSpec(), clients, smallConfig(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(); err == nil {
+		t.Fatal("client error should abort without TolerateClientErrors")
+	}
+}
+
+func TestCoordinatorToleratesClientErrors(t *testing.T) {
+	clients := makeClients(t, 3)
+	// Client C survives round 0 then goes offline permanently.
+	clients[2] = &failingHandle{inner: clients[2], failAfter: 1}
+	cfg := smallConfig(43)
+	cfg.Rounds = 3
+	cfg.TolerateClientErrors = true
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(res.Rounds))
+	}
+	if len(res.Rounds[0].Participants) != 3 {
+		t.Fatalf("round 0 participants %v", res.Rounds[0].Participants)
+	}
+	for _, rs := range res.Rounds[1:] {
+		if len(rs.Participants) != 2 {
+			t.Fatalf("round %d participants %v (offline client not dropped)", rs.Round, rs.Participants)
+		}
+		if len(rs.Dropped) != 1 {
+			t.Fatalf("round %d dropped %v", rs.Round, rs.Dropped)
+		}
+	}
+	if len(res.Global) == 0 {
+		t.Fatal("no global model despite surviving clients")
+	}
+}
+
+func TestFederationSurvivesRemoteServerStop(t *testing.T) {
+	// Two live TCP stations plus one that is stopped before the run: with
+	// TolerateClientErrors the federation completes on the survivors.
+	var handles []ClientHandle
+	for i := 0; i < 3; i++ {
+		c, err := NewClient(string(rune('p'+i)), smallSpec(), clientSeries(150, float64(i), uint64(i+70)), 12, uint64(i+80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			srv.Stop() // station 2 is offline for the whole run
+		} else {
+			defer srv.Stop()
+		}
+		rc := NewRemoteClient(c.ID(), srv.Addr())
+		rc.DialTimeout = 500 * time.Millisecond
+		handles = append(handles, rc)
+	}
+	cfg := smallConfig(47)
+	cfg.TolerateClientErrors = true
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range res.Rounds {
+		if len(rs.Participants) != 2 {
+			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
+		}
+	}
+}
+
+func TestStragglerDelayApplied(t *testing.T) {
+	clients := makeClients(t, 2)
+	cfg := smallConfig(53)
+	cfg.Rounds = 1
+	cfg.EpochsPerRound = 1
+	cfg.Failures = &FailurePlan{StragglerProb: 1, StragglerDelay: 150 * time.Millisecond}
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := co.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("straggler delay not applied: run took %v", elapsed)
+	}
+}

@@ -1,0 +1,170 @@
+package fed
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport turns the in-process federation into a real networked
+// deployment: each charging station runs a ClientServer; the coordinator
+// holds RemoteClient handles that speak a length-free gob protocol over a
+// persistent connection per training call.
+//
+// Wire protocol (gob streams):
+//
+//	coordinator → client:  trainRequest{Weights, Config}
+//	client → coordinator:  trainResponse{Update, Err}
+//
+// A NumSamples query uses Config.Epochs == 0 as the probe marker.
+
+// ErrRemote wraps an error string reported by the remote client.
+var ErrRemote = errors.New("fed: remote client error")
+
+type trainRequest struct {
+	Probe   bool // true = NumSamples query only
+	Weights []float64
+	Config  LocalTrainConfig
+}
+
+type trainResponse struct {
+	Update     Update
+	NumSamples int
+	Err        string
+}
+
+// ClientServer exposes a Client over TCP.
+type ClientServer struct {
+	client *Client
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeClient starts serving client on addr (e.g. "127.0.0.1:0") and
+// returns the running server. Stop must be called to release the listener.
+func ServeClient(client *Client, addr string) (*ClientServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: listen %s: %w", addr, err)
+	}
+	s := &ClientServer{client: client, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *ClientServer) Addr() string { return s.ln.Addr().String() }
+
+// Stop closes the listener and waits for in-flight connections to finish.
+func (s *ClientServer) Stop() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *ClientServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *ClientServer) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req trainRequest
+	if err := dec.Decode(&req); err != nil {
+		return // malformed request; drop the connection
+	}
+	var resp trainResponse
+	if req.Probe {
+		n, err := s.client.NumSamples()
+		resp.NumSamples = n
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	} else {
+		u, err := s.client.Train(req.Weights, req.Config)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Update = u
+		}
+	}
+	_ = enc.Encode(&resp) // best effort; coordinator detects broken pipes
+}
+
+// RemoteClient is a ClientHandle that reaches a ClientServer over TCP.
+type RemoteClient struct {
+	id   string
+	addr string
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+var _ ClientHandle = (*RemoteClient)(nil)
+
+// NewRemoteClient builds a handle for the client served at addr.
+func NewRemoteClient(id, addr string) *RemoteClient {
+	return &RemoteClient{id: id, addr: addr, DialTimeout: 5 * time.Second}
+}
+
+// ID implements ClientHandle.
+func (r *RemoteClient) ID() string { return r.id }
+
+// NumSamples implements ClientHandle.
+func (r *RemoteClient) NumSamples() (int, error) {
+	resp, err := r.roundTrip(trainRequest{Probe: true})
+	if err != nil {
+		return 0, err
+	}
+	return resp.NumSamples, nil
+}
+
+// Train implements ClientHandle.
+func (r *RemoteClient) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	resp, err := r.roundTrip(trainRequest{Weights: global, Config: cfg})
+	if err != nil {
+		return Update{}, err
+	}
+	return resp.Update, nil
+}
+
+func (r *RemoteClient) roundTrip(req trainRequest) (*trainResponse, error) {
+	conn, err := net.DialTimeout("tcp", r.addr, r.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("fed: dial %s: %w", r.addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return nil, fmt.Errorf("fed: send to %s: %w", r.addr, err)
+	}
+	var resp trainResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("fed: receive from %s: %w", r.addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, r.id, resp.Err)
+	}
+	return &resp, nil
+}

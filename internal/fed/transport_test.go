@@ -1,0 +1,199 @@
+package fed
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	c, err := NewClient("station-1", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	remote := NewRemoteClient("station-1", srv.Addr())
+	n, err := remote.NumSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localN, err := c.NumSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != localN {
+		t.Fatalf("remote NumSamples %d != local %d", n, localN)
+	}
+
+	// A full training round over the wire.
+	global, err := freshWeights(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := remote.Train(global, LocalTrainConfig{Epochs: 2, BatchSize: 16, LearningRate: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ClientID != "station-1" {
+		t.Fatalf("client id %q", u.ClientID)
+	}
+	if u.NumSamples != localN {
+		t.Fatalf("update samples %d", u.NumSamples)
+	}
+	if len(u.Weights) != len(global) {
+		t.Fatalf("weight dim %d != %d", len(u.Weights), len(global))
+	}
+	changed := false
+	for i := range u.Weights {
+		if u.Weights[i] != global[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("remote training did not change weights")
+	}
+}
+
+func freshWeights(t *testing.T) ([]float64, error) {
+	t.Helper()
+	m, err := nn.Build(smallSpec(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return m.WeightsVector(), nil
+}
+
+func TestTCPRemoteErrorPropagates(t *testing.T) {
+	c, err := NewClient("station-2", smallSpec(), clientSeries(150, 0, 2), 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	remote := NewRemoteClient("station-2", srv.Addr())
+	// Wrong weight dimension must surface as ErrRemote.
+	if _, err := remote.Train([]float64{1, 2, 3}, LocalTrainConfig{Epochs: 1, BatchSize: 8, LearningRate: 0.01}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	remote := NewRemoteClient("ghost", "127.0.0.1:1")
+	if _, err := remote.NumSamples(); err == nil {
+		t.Fatal("dialing a closed port should error")
+	}
+}
+
+func TestFederatedRunOverTCP(t *testing.T) {
+	// Full federation across three TCP-served clients: the paper's
+	// deployment topology in miniature.
+	var handles []ClientHandle
+	for i := 0; i < 3; i++ {
+		c, err := NewClient(string(rune('a'+i)), smallSpec(), clientSeries(150, float64(i), uint64(i+10)), 12, uint64(i+20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Stop()
+		handles = append(handles, NewRemoteClient(c.ID(), srv.Addr()))
+	}
+	cfg := smallConfig(31)
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Global) == 0 {
+		t.Fatal("no global weights")
+	}
+	if res.Rounds[len(res.Rounds)-1].MeanLoss >= res.Rounds[0].MeanLoss {
+		t.Fatalf("TCP federation loss did not decrease: %+v", res.Rounds)
+	}
+}
+
+func TestServerStopIdempotent(t *testing.T) {
+	c, err := NewClient("s", smallSpec(), clientSeries(120, 0, 3), 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+	srv.Stop() // must not panic or deadlock
+}
+
+func TestServerStopReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		c, err := NewClient("g", smallSpec(), clientSeries(120, 0, 9), 12, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote := NewRemoteClient("g", srv.Addr())
+		if _, err := remote.NumSamples(); err != nil {
+			t.Fatal(err)
+		}
+		srv.Stop()
+	}
+	// Allow exits to settle, then verify no accumulation.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+}
+
+func TestServerHandlesMalformedConnection(t *testing.T) {
+	c, err := NewClient("m", smallSpec(), clientSeries(120, 0, 5), 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	// Garbage bytes must not wedge or crash the server.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not gob")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The server must still answer a well-formed request afterwards.
+	remote := NewRemoteClient("m", srv.Addr())
+	if _, err := remote.NumSamples(); err != nil {
+		t.Fatalf("server wedged after malformed connection: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package mat provides the small dense linear-algebra kernels the neural
+// network substrate is built on: row-major matrices, matrix-vector and
+// matrix-matrix products, elementwise helpers, and weight initializers.
+//
+// The kernels are deliberately simple (no blocking, no SIMD intrinsics):
+// the models in this repository are small (≤50-unit LSTMs), so clarity and
+// determinism win over peak throughput. All operations are allocation-free
+// when given destination buffers, which matters inside the BPTT inner loop.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes dst = m · x. dst must have length m.Rows and x length
+// m.Cols. dst must not alias x.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch: %dx%d · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// MulVecAdd computes dst += m · x without zeroing dst first.
+func (m *Matrix) MulVecAdd(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecAdd shape mismatch: %dx%d · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] += sum
+	}
+}
+
+// MulVecT computes dst = mᵀ · x (x has length m.Rows, dst length m.Cols).
+func (m *Matrix) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecT shape mismatch: (%dx%d)ᵀ · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// MulVecTAdd computes dst += mᵀ · x.
+func (m *Matrix) MulVecTAdd(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecTAdd shape mismatch: (%dx%d)ᵀ · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuter accumulates the outer product m += a ⊗ b where len(a) == Rows and
+// len(b) == Cols. This is the gradient-accumulation primitive for dense and
+// recurrent weight matrices.
+func (m *Matrix) AddOuter(a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("mat: AddOuter shape mismatch: %d ⊗ %d into %dx%d",
+			len(a), len(b), m.Rows, m.Cols))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// XavierInit fills m with the Glorot/Xavier uniform distribution
+// U(-limit, limit) where limit = sqrt(6 / (fanIn + fanOut)). This is the
+// Keras default for LSTM and Dense kernels and is what the paper's stack
+// used.
+func (m *Matrix) XavierInit(r *rng.Source, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = r.Range(-limit, limit)
+	}
+}
+
+// OrthogonalishInit fills m with scaled normal deviates, the conventional
+// stand-in for Keras' orthogonal recurrent initializer: N(0, 1/sqrt(n))
+// keeps the recurrent spectral radius near 1 for stable early training.
+func (m *Matrix) OrthogonalishInit(r *rng.Source, n int) {
+	std := 1.0 / math.Sqrt(float64(n))
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, std)
+	}
+}
+
+// AddVec computes dst[i] += src[i].
+func AddVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: AddVec length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Axpy computes dst[i] += alpha * src[i].
+func Axpy(alpha float64, dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of v by alpha.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Hadamard computes dst[i] = a[i] * b[i].
+func Hadamard(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("mat: Hadamard length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// MaxAbs returns the largest absolute value in v (0 for empty input).
+func MaxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipNorm rescales v in place so its Euclidean norm does not exceed limit,
+// returning the scale factor applied (1 when no clipping occurred).
+func ClipNorm(v []float64, limit float64) float64 {
+	if limit <= 0 {
+		return 1
+	}
+	n := Norm2(v)
+	if n <= limit || n == 0 {
+		return 1
+	}
+	s := limit / n
+	Scale(s, v)
+	return s
+}

@@ -1,0 +1,208 @@
+// Package metrics implements the evaluation measures the paper reports:
+// regression metrics for forecasting quality (MAE, RMSE, R², MAPE) and
+// classification metrics for anomaly-detection quality (precision, recall,
+// F1, false-positive rate) computed from a confusion matrix.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrLengthMismatch is returned when prediction and truth lengths differ.
+var ErrLengthMismatch = errors.New("metrics: prediction and truth lengths differ")
+
+// ErrEmptyInput is returned for zero-length inputs.
+var ErrEmptyInput = errors.New("metrics: empty input")
+
+// Regression bundles the forecast-quality measures in Tables I and III.
+type Regression struct {
+	MAE  float64 `json:"mae"`
+	RMSE float64 `json:"rmse"`
+	R2   float64 `json:"r2"`
+	MAPE float64 `json:"mape"` // mean absolute percentage error, ignoring zero-truth points
+	N    int     `json:"n"`
+}
+
+// EvalRegression computes MAE, RMSE, R² and MAPE of pred against truth.
+func EvalRegression(truth, pred []float64) (Regression, error) {
+	if len(truth) != len(pred) {
+		return Regression{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return Regression{}, ErrEmptyInput
+	}
+	n := float64(len(truth))
+	var sumAbs, sumSq, sumTruth float64
+	var sumAPE float64
+	apeCount := 0
+	for i := range truth {
+		d := pred[i] - truth[i]
+		sumAbs += math.Abs(d)
+		sumSq += d * d
+		sumTruth += truth[i]
+		if truth[i] != 0 {
+			sumAPE += math.Abs(d / truth[i])
+			apeCount++
+		}
+	}
+	meanTruth := sumTruth / n
+	var ssTot float64
+	for _, v := range truth {
+		d := v - meanTruth
+		ssTot += d * d
+	}
+	r2 := math.NaN()
+	if ssTot > 0 {
+		r2 = 1 - sumSq/ssTot
+	} else if sumSq == 0 {
+		r2 = 1 // constant truth perfectly predicted
+	}
+	mape := math.NaN()
+	if apeCount > 0 {
+		mape = 100 * sumAPE / float64(apeCount)
+	}
+	return Regression{
+		MAE:  sumAbs / n,
+		RMSE: math.Sqrt(sumSq / n),
+		R2:   r2,
+		MAPE: mape,
+		N:    len(truth),
+	}, nil
+}
+
+// Confusion is a binary-classification confusion matrix where "positive"
+// means "flagged as anomalous".
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of classified points.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP / (TP + FP), or NaN when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN) — the paper's "True Attacks Detected"
+// ratio — or NaN when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or NaN when
+// undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPR returns FP / (FP + TN), the false-positive rate, or NaN when
+// undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return math.NaN()
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy returns (TP + TN) / total, or NaN for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// EvalDetection builds a confusion matrix from ground-truth and predicted
+// anomaly masks of equal length.
+func EvalDetection(truth, pred []bool) (Confusion, error) {
+	if len(truth) != len(pred) {
+		return Confusion{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(truth), len(pred))
+	}
+	var c Confusion
+	for i := range truth {
+		switch {
+		case truth[i] && pred[i]:
+			c.TP++
+		case !truth[i] && pred[i]:
+			c.FP++
+		case truth[i] && !pred[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Detection bundles the headline detection numbers the paper reports.
+type Detection struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	FPR       float64 `json:"fpr"`
+	Confusion Confusion
+}
+
+// Summarize converts a confusion matrix into a Detection summary.
+func Summarize(c Confusion) Detection {
+	return Detection{
+		Precision: c.Precision(),
+		Recall:    c.Recall(),
+		F1:        c.F1(),
+		FPR:       c.FPR(),
+		Confusion: c,
+	}
+}
+
+// RecoveryFraction quantifies how much of the attack-induced degradation the
+// mitigation recovered in a "higher is better" metric such as R²:
+//
+//	(filtered - attacked) / (clean - attacked)
+//
+// It returns NaN if the attack caused no degradation (clean <= attacked).
+func RecoveryFraction(clean, attacked, filtered float64) float64 {
+	gap := clean - attacked
+	if gap <= 0 {
+		return math.NaN()
+	}
+	return (filtered - attacked) / gap
+}
+
+// RelativeImprovement returns (a - b) / b, the fractional improvement of a
+// over b in a "higher is better" metric. NaN when b == 0.
+func RelativeImprovement(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return (a - b) / b
+}
+
+// RelativeReduction returns (b - a) / b, the fractional reduction a achieves
+// versus b in a "lower is better" metric (error, time). NaN when b == 0.
+func RelativeReduction(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return (b - a) / b
+}

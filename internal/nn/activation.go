@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation identifies an elementwise nonlinearity.
+type Activation int
+
+// Supported activations. Linear is the zero value so that an unset field
+// means "no nonlinearity", matching Keras' Dense default.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+// String returns the activation's conventional lowercase name.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// ParseActivation maps a lowercase name to an Activation.
+func ParseActivation(name string) (Activation, error) {
+	switch name {
+	case "linear", "":
+		return Linear, nil
+	case "relu":
+		return ReLU, nil
+	case "tanh":
+		return Tanh, nil
+	case "sigmoid":
+		return Sigmoid, nil
+	default:
+		return Linear, fmt.Errorf("%w: unknown activation %q", ErrBadConfig, name)
+	}
+}
+
+// apply computes the activation of v.
+func (a Activation) apply(v float64) float64 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case Tanh:
+		return math.Tanh(v)
+	case Sigmoid:
+		return sigmoid(v)
+	default:
+		return v
+	}
+}
+
+// derivFromOutput returns da/dz given the activation output y = a(z). All
+// supported activations admit this form, which avoids caching
+// pre-activations.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// sigmoid is the numerically stable logistic function.
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		z := math.Exp(-v)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(v)
+	return z / (1 + z)
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/mat"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Dense is a fully connected layer applied independently to every timestep
+// of its input sequence (Keras' Dense/TimeDistributed(Dense) semantics for
+// sequence inputs): out_t = act(W · x_t + b).
+type Dense struct {
+	in, out int
+	act     Activation
+	w       *mat.Matrix // out × in
+	b       *mat.Matrix // 1 × out
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, act Activation, r *rng.Source) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("%w: dense dims %dx%d", ErrBadConfig, in, out)
+	}
+	d := &Dense{
+		in:  in,
+		out: out,
+		act: act,
+		w:   mat.NewMatrix(out, in),
+		b:   mat.NewMatrix(1, out),
+	}
+	d.w.XavierInit(r, in, out)
+	return d, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d,%s)", d.in, d.out, d.act) }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.out }
+
+// InDim returns the expected input feature dimension.
+func (d *Dense) InDim() int { return d.in }
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{{Name: "w", Value: d.w}, {Name: "b", Value: d.b}}
+}
+
+type denseCache struct {
+	x   Seq // input reference
+	out Seq // post-activation output (for derivFromOutput)
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x Seq, _ *Context) (Seq, any) {
+	checkSeq(x, d.in, d.Name())
+	out := newSeq(len(x), d.out)
+	for t := range x {
+		d.w.MulVec(out[t], x[t])
+		mat.AddVec(out[t], d.b.Row(0))
+		if d.act != Linear {
+			for j := range out[t] {
+				out[t][j] = d.act.apply(out[t][j])
+			}
+		}
+	}
+	return out, &denseCache{x: x, out: out}
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(cache any, dOut Seq, grads []*mat.Matrix) Seq {
+	c, ok := cache.(*denseCache)
+	if !ok {
+		panic("nn: dense backward got foreign cache")
+	}
+	gw, gb := grads[0], grads[1]
+	dx := newSeq(len(dOut), d.in)
+	dz := make([]float64, d.out)
+	for t := range dOut {
+		for j := range dz {
+			dz[j] = dOut[t][j] * d.act.derivFromOutput(c.out[t][j])
+		}
+		gw.AddOuter(dz, c.x[t])
+		mat.AddVec(gb.Row(0), dz)
+		d.w.MulVecT(dx[t], dz)
+	}
+	return dx
+}

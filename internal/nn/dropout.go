@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/mat"
+)
+
+// Dropout zeroes each input element with probability rate during training
+// and rescales the survivors by 1/(1-rate) ("inverted dropout"), so
+// inference is the identity. The paper's autoencoder uses rate 0.2.
+type Dropout struct {
+	dim  int
+	rate float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a Dropout layer over a dim-dimensional feature
+// space with the given drop rate in [0, 1).
+func NewDropout(dim int, rate float64) (*Dropout, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: dropout dim %d", ErrBadConfig, dim)
+	}
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("%w: dropout rate %v", ErrBadConfig, rate)
+	}
+	return &Dropout{dim: dim, rate: rate}, nil
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.rate) }
+
+// OutDim implements Layer.
+func (d *Dropout) OutDim() int { return d.dim }
+
+// Params implements Layer.
+func (d *Dropout) Params() []Param { return nil }
+
+type dropoutCache struct {
+	mask Seq // nil when the pass was inference or rate == 0
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x Seq, ctx *Context) (Seq, any) {
+	checkSeq(x, d.dim, d.Name())
+	if !ctx.Train || d.rate == 0 {
+		return x, &dropoutCache{}
+	}
+	if ctx.RNG == nil {
+		panic("nn: dropout requires a Context RNG in training mode")
+	}
+	keep := 1 - d.rate
+	scaleUp := 1 / keep
+	mask := newSeq(len(x), d.dim)
+	out := newSeq(len(x), d.dim)
+	for t := range x {
+		for j := range x[t] {
+			if ctx.RNG.Float64() < keep {
+				mask[t][j] = scaleUp
+				out[t][j] = x[t][j] * scaleUp
+			}
+		}
+	}
+	return out, &dropoutCache{mask: mask}
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(cache any, dOut Seq, _ []*mat.Matrix) Seq {
+	c, ok := cache.(*dropoutCache)
+	if !ok {
+		panic("nn: dropout backward got foreign cache")
+	}
+	if c.mask == nil {
+		return dOut
+	}
+	dx := newSeq(len(dOut), d.dim)
+	for t := range dOut {
+		mat.Hadamard(dx[t], dOut[t], c.mask[t])
+	}
+	return dx
+}

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/evfed/evfed/internal/mat"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// GRU is a Gated Recurrent Unit layer, the lighter-weight alternative to
+// LSTM used by the architecture ablation (the paper's related work
+// contrasts LSTM against simpler recurrent models). Gate equations:
+//
+//	z_t = σ(Wxz x_t + Whz h_{t-1} + b_z)        update gate
+//	r_t = σ(Wxr x_t + Whr h_{t-1} + b_r)        reset gate
+//	n_t = tanh(Wxn x_t + r_t ⊙ (Whn h_{t-1}) + b_n)  candidate
+//	h_t = (1 − z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+//
+// Gates are stacked in order z, r, n so the kernels are single matrices
+// of shape [3U × in] and [3U × U].
+type GRU struct {
+	in, units int
+	returnSeq bool
+	wx        *mat.Matrix // 3U × in
+	wh        *mat.Matrix // 3U × U
+	b         *mat.Matrix // 1 × 3U
+}
+
+var _ Layer = (*GRU)(nil)
+
+// NewGRU constructs a GRU layer.
+func NewGRU(in, units int, returnSeq bool, r *rng.Source) (*GRU, error) {
+	if in <= 0 || units <= 0 {
+		return nil, fmt.Errorf("%w: gru dims in=%d units=%d", ErrBadConfig, in, units)
+	}
+	g := &GRU{
+		in:        in,
+		units:     units,
+		returnSeq: returnSeq,
+		wx:        mat.NewMatrix(3*units, in),
+		wh:        mat.NewMatrix(3*units, units),
+		b:         mat.NewMatrix(1, 3*units),
+	}
+	g.wx.XavierInit(r, in, units)
+	g.wh.OrthogonalishInit(r, units)
+	return g, nil
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string {
+	return fmt.Sprintf("gru(%d→%d,seq=%v)", g.in, g.units, g.returnSeq)
+}
+
+// OutDim implements Layer.
+func (g *GRU) OutDim() int { return g.units }
+
+// Params implements Layer.
+func (g *GRU) Params() []Param {
+	return []Param{
+		{Name: "wx", Value: g.wx},
+		{Name: "wh", Value: g.wh},
+		{Name: "b", Value: g.b},
+	}
+}
+
+type gruCache struct {
+	x     Seq
+	gates [][]float64 // [T][3U] post-activation z, r, n
+	hn    [][]float64 // [T][U] Whn·h_{t-1} (pre reset gating), needed for backprop
+	h     [][]float64 // [T][U]
+}
+
+// Forward implements Layer.
+func (g *GRU) Forward(x Seq, _ *Context) (Seq, any) {
+	checkSeq(x, g.in, g.Name())
+	T := len(x)
+	U := g.units
+	cache := &gruCache{
+		x:     x,
+		gates: make([][]float64, T),
+		hn:    make([][]float64, T),
+		h:     make([][]float64, T),
+	}
+	hPrev := make([]float64, U)
+	bias := g.b.Row(0)
+	for t := 0; t < T; t++ {
+		zrn := make([]float64, 3*U)
+		copy(zrn, bias)
+		g.wx.MulVecAdd(zrn, x[t])
+		// Recurrent contributions: z and r slices take Wh·h directly; the
+		// candidate slice needs Whn·h kept separate for reset gating.
+		rec := make([]float64, 3*U)
+		g.wh.MulVec(rec, hPrev)
+		hn := make([]float64, U)
+		copy(hn, rec[2*U:])
+		for j := 0; j < U; j++ {
+			zrn[j] += rec[j]
+			zrn[U+j] += rec[U+j]
+			zrn[j] = sigmoid(zrn[j])     // z
+			zrn[U+j] = sigmoid(zrn[U+j]) // r
+		}
+		h := make([]float64, U)
+		for j := 0; j < U; j++ {
+			zrn[2*U+j] = math.Tanh(zrn[2*U+j] + zrn[U+j]*hn[j]) // n
+			h[j] = (1-zrn[j])*zrn[2*U+j] + zrn[j]*hPrev[j]
+		}
+		cache.gates[t] = zrn
+		cache.hn[t] = hn
+		cache.h[t] = h
+		hPrev = h
+	}
+	if g.returnSeq {
+		out := make(Seq, T)
+		for t := range out {
+			out[t] = cache.h[t]
+		}
+		return out, cache
+	}
+	return Seq{cache.h[T-1]}, cache
+}
+
+// Backward implements Layer.
+func (g *GRU) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
+	cache, ok := cacheAny.(*gruCache)
+	if !ok {
+		panic("nn: gru backward got foreign cache")
+	}
+	T := len(cache.x)
+	U := g.units
+	gwx, gwh, gb := grads[0], grads[1], grads[2]
+
+	dh := make([]float64, U)
+	dzrn := make([]float64, 3*U) // pre-activation gate gradients
+	dx := newSeq(T, g.in)
+	dhRec := make([]float64, U)
+	recIn := make([]float64, 3*U) // what multiplied Wh rows this step
+
+	for t := T - 1; t >= 0; t-- {
+		if g.returnSeq {
+			mat.AddVec(dh, dOut[t])
+		} else if t == T-1 {
+			mat.AddVec(dh, dOut[0])
+		}
+		zrn := cache.gates[t]
+		hn := cache.hn[t]
+		var hPrev []float64
+		if t > 0 {
+			hPrev = cache.h[t-1]
+		}
+		// dhPrevDirect accumulates the direct h_{t-1} path (through the
+		// z ⊙ h_{t-1} term); the Wh paths flow through dzrn below.
+		dhPrevDirect := make([]float64, U)
+		for j := 0; j < U; j++ {
+			z, r, n := zrn[j], zrn[U+j], zrn[2*U+j]
+			var hp float64
+			if t > 0 {
+				hp = hPrev[j]
+			}
+			dN := dh[j] * (1 - z)
+			dZ := dh[j] * (hp - n)
+			dhPrevDirect[j] = dh[j] * z
+			// Candidate pre-activation.
+			dnPre := dN * (1 - n*n)
+			dzrn[2*U+j] = dnPre
+			// Reset gate: n's pre-activation contains r ⊙ (Whn h).
+			dR := dnPre * hn[j]
+			dzrn[U+j] = dR * r * (1 - r)
+			dzrn[j] = dZ * z * (1 - z)
+		}
+		// Parameter gradients. The recurrent kernel's effective input was
+		// hPrev for all three blocks, but the n block's output was used
+		// through the reset gate, which is already folded into dzrn[2U:]
+		// except for the gating factor r: d(Whn h)/d(Whn) sees dnPre·r.
+		for j := 0; j < U; j++ {
+			recIn[j] = dzrn[j]
+			recIn[U+j] = dzrn[U+j]
+			recIn[2*U+j] = dzrn[2*U+j] * zrn[U+j] // scale by r
+		}
+		gwx.AddOuter(dzrn, cache.x[t])
+		if t > 0 {
+			gwh.AddOuter(recIn, hPrev)
+		}
+		mat.AddVec(gb.Row(0), dzrn)
+		g.wx.MulVecT(dx[t], dzrn)
+		g.wh.MulVecT(dhRec, recIn)
+		for j := 0; j < U; j++ {
+			dh[j] = dhRec[j] + dhPrevDirect[j]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func TestGradGRUReturnLast(t *testing.T) {
+	r := rng.New(71)
+	g, err := NewGRU(2, 5, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(g)
+	checkGradients(t, m, randSeq(r, 6, 2), randSeq(r, 1, 5), 1e-5)
+}
+
+func TestGradGRUReturnSeq(t *testing.T) {
+	r := rng.New(72)
+	g, err := NewGRU(3, 4, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(g)
+	checkGradients(t, m, randSeq(r, 5, 3), randSeq(r, 5, 4), 1e-5)
+}
+
+func TestGradStackedGRU(t *testing.T) {
+	r := rng.New(73)
+	g1, _ := NewGRU(1, 4, true, r)
+	g2, _ := NewGRU(4, 3, false, r)
+	d, _ := NewDense(3, 1, Linear, r)
+	m, _ := NewModel(g1, g2, d)
+	checkGradients(t, m, randSeq(r, 7, 1), randSeq(r, 1, 1), 1e-5)
+}
+
+func TestGRUConfigErrors(t *testing.T) {
+	if _, err := NewGRU(0, 4, false, rng.New(1)); err == nil {
+		t.Fatal("zero input dim should error")
+	}
+	if _, err := NewGRU(1, 0, false, rng.New(1)); err == nil {
+		t.Fatal("zero units should error")
+	}
+}
+
+func TestGRUForecasterLearnsSine(t *testing.T) {
+	m, err := Build(GRUForecasterSpec(10, 5), 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, targets := sineDataset(250, 12, 75)
+	hist, err := Fit(m, inputs, targets, DefaultTrainConfig(12, 76))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalTrainLoss() > 0.01 {
+		t.Fatalf("GRU failed to learn sine: %v", hist.FinalTrainLoss())
+	}
+}
+
+func TestGRUParamCount(t *testing.T) {
+	// GRU(1→50): wx 150×1 + wh 150×50 + b 150 = 7,800 (vs LSTM's 10,400).
+	g, err := NewGRU(1, 50, false, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, p := range g.Params() {
+		n += len(p.Value.Data)
+	}
+	if n != 7800 {
+		t.Fatalf("GRU params %d", n)
+	}
+}
+
+func TestDenseForecasterSpec(t *testing.T) {
+	m, err := Build(DenseForecasterSpec(12, 8), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, targets := sineDataset(250, 12, 78)
+	flat := make([]Seq, len(inputs))
+	for i, w := range inputs {
+		flat[i] = FlattenWindow(w)
+	}
+	cfg := DefaultTrainConfig(40, 79)
+	cfg.Optimizer = NewAdam(0.005)
+	hist, err := Fit(m, flat, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalTrainLoss() > 0.02 {
+		t.Fatalf("dense forecaster failed to learn sine: %v", hist.FinalTrainLoss())
+	}
+	out := m.Predict(FlattenWindow(inputs[0]))
+	if len(out) != 1 || len(out[0]) != 1 {
+		t.Fatalf("dense forecaster output shape [%d][%d]", len(out), len(out[0]))
+	}
+}
+
+func TestFlattenWindow(t *testing.T) {
+	w := Seq{{1}, {2}, {3}}
+	flat := FlattenWindow(w)
+	if len(flat) != 1 || len(flat[0]) != 3 {
+		t.Fatalf("flatten shape [%d][%d]", len(flat), len(flat[0]))
+	}
+	for i, v := range []float64{1, 2, 3} {
+		if flat[0][i] != v {
+			t.Fatalf("flatten content %v", flat)
+		}
+	}
+}
+
+func TestGRUDeterministicBuild(t *testing.T) {
+	a, err := Build(GRUForecasterSpec(6, 3), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(GRUForecasterSpec(6, 3), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.WeightsVector(), b.WeightsVector()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("GRU build not deterministic")
+		}
+	}
+}
+
+func TestGRUStability(t *testing.T) {
+	// Long sequences must not blow up (gates keep h bounded in [-1, 1]).
+	r := rng.New(81)
+	g, err := NewGRU(1, 8, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(g)
+	x := randSeq(r, 500, 1)
+	out := m.Predict(x)
+	for t2 := range out {
+		for _, v := range out[t2] {
+			if math.IsNaN(v) || math.Abs(v) > 1+1e-9 {
+				t.Fatalf("unstable GRU output %v at t=%d", v, t2)
+			}
+		}
+	}
+}

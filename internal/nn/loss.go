@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss is a differentiable objective over a predicted and target sequence
+// of identical shape.
+type Loss interface {
+	// Name identifies the loss in history records.
+	Name() string
+	// Eval returns the scalar loss and the gradient with respect to pred.
+	Eval(pred, target Seq) (float64, Seq)
+	// Value returns only the scalar loss (no gradient allocation).
+	Value(pred, target Seq) float64
+}
+
+// MSE is mean squared error averaged over all timesteps and features —
+// both the training objective of the forecaster/autoencoder and the
+// reconstruction-error score the anomaly detector thresholds.
+type MSE struct{}
+
+var _ Loss = MSE{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss.
+func (MSE) Eval(pred, target Seq) (float64, Seq) {
+	n := seqSize(pred, target)
+	grad := newSeq(len(pred), len(pred[0]))
+	var sum float64
+	inv := 1 / float64(n)
+	for t := range pred {
+		for j := range pred[t] {
+			d := pred[t][j] - target[t][j]
+			sum += d * d
+			grad[t][j] = 2 * d * inv
+		}
+	}
+	return sum * inv, grad
+}
+
+// Value implements Loss.
+func (MSE) Value(pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	var sum float64
+	for t := range pred {
+		for j := range pred[t] {
+			d := pred[t][j] - target[t][j]
+			sum += d * d
+		}
+	}
+	return sum / float64(n)
+}
+
+// MAE is mean absolute error, provided for evaluation parity with the
+// paper's reported metrics (subgradient at zero is 0).
+type MAE struct{}
+
+var _ Loss = MAE{}
+
+// Name implements Loss.
+func (MAE) Name() string { return "mae" }
+
+// Eval implements Loss.
+func (MAE) Eval(pred, target Seq) (float64, Seq) {
+	n := seqSize(pred, target)
+	grad := newSeq(len(pred), len(pred[0]))
+	var sum float64
+	inv := 1 / float64(n)
+	for t := range pred {
+		for j := range pred[t] {
+			d := pred[t][j] - target[t][j]
+			sum += math.Abs(d)
+			switch {
+			case d > 0:
+				grad[t][j] = inv
+			case d < 0:
+				grad[t][j] = -inv
+			}
+		}
+	}
+	return sum * inv, grad
+}
+
+// Value implements Loss.
+func (MAE) Value(pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	var sum float64
+	for t := range pred {
+		for j := range pred[t] {
+			sum += math.Abs(pred[t][j] - target[t][j])
+		}
+	}
+	return sum / float64(n)
+}
+
+// Huber is the Huber loss with transition point Delta: quadratic for
+// residuals below Delta, linear above. Training the forecaster with a
+// Huber objective bounds the gradient contribution of residual
+// (undetected) attack spikes — the "robust training" ablation.
+type Huber struct {
+	// Delta is the quadratic/linear transition (default 1 when zero).
+	Delta float64
+}
+
+var _ Loss = Huber{}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Eval implements Loss.
+func (h Huber) Eval(pred, target Seq) (float64, Seq) {
+	n := seqSize(pred, target)
+	grad := newSeq(len(pred), len(pred[0]))
+	delta := h.delta()
+	var sum float64
+	inv := 1 / float64(n)
+	for t := range pred {
+		for j := range pred[t] {
+			d := pred[t][j] - target[t][j]
+			a := math.Abs(d)
+			if a <= delta {
+				sum += 0.5 * d * d
+				grad[t][j] = d * inv
+			} else {
+				sum += delta * (a - 0.5*delta)
+				if d > 0 {
+					grad[t][j] = delta * inv
+				} else {
+					grad[t][j] = -delta * inv
+				}
+			}
+		}
+	}
+	return sum * inv, grad
+}
+
+// Value implements Loss.
+func (h Huber) Value(pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	delta := h.delta()
+	var sum float64
+	for t := range pred {
+		for j := range pred[t] {
+			d := pred[t][j] - target[t][j]
+			a := math.Abs(d)
+			if a <= delta {
+				sum += 0.5 * d * d
+			} else {
+				sum += delta * (a - 0.5*delta)
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+// seqSize validates matching shapes and returns the element count.
+func seqSize(pred, target Seq) int {
+	if len(pred) != len(target) || len(pred) == 0 {
+		panic(fmt.Sprintf("nn: loss shape mismatch: %d vs %d timesteps", len(pred), len(target)))
+	}
+	n := 0
+	for t := range pred {
+		if len(pred[t]) != len(target[t]) {
+			panic(fmt.Sprintf("nn: loss feature mismatch at t=%d: %d vs %d",
+				t, len(pred[t]), len(target[t])))
+		}
+		n += len(pred[t])
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/evfed/evfed/internal/mat"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// LSTM is a standard Long Short-Term Memory layer with full
+// backpropagation-through-time. Gate equations (per timestep t):
+//
+//	i_t = σ(Wxi x_t + Whi h_{t-1} + b_i)
+//	f_t = σ(Wxf x_t + Whf h_{t-1} + b_f)
+//	g_t = tanh(Wxg x_t + Whg h_{t-1} + b_g)
+//	o_t = σ(Wxo x_t + Who h_{t-1} + b_o)
+//	c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//	h_t = o_t ⊙ tanh(c_t)
+//
+// The four gates are stored stacked (order i, f, g, o) so the input and
+// recurrent kernels are single matrices of shape [4U × in] and [4U × U].
+// The forget-gate bias is initialized to 1 (Keras' unit_forget_bias), which
+// materially speeds up convergence on daily-periodic load series.
+//
+// With ReturnSeq the layer outputs every hidden state ([T][U]); otherwise
+// only the final hidden state ([1][U]), matching Keras' return_sequences.
+type LSTM struct {
+	in, units int
+	returnSeq bool
+	wx        *mat.Matrix // 4U × in
+	wh        *mat.Matrix // 4U × U
+	b         *mat.Matrix // 1 × 4U
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// NewLSTM constructs an LSTM layer. in is the input feature dimension,
+// units the hidden size.
+func NewLSTM(in, units int, returnSeq bool, r *rng.Source) (*LSTM, error) {
+	if in <= 0 || units <= 0 {
+		return nil, fmt.Errorf("%w: lstm dims in=%d units=%d", ErrBadConfig, in, units)
+	}
+	l := &LSTM{
+		in:        in,
+		units:     units,
+		returnSeq: returnSeq,
+		wx:        mat.NewMatrix(4*units, in),
+		wh:        mat.NewMatrix(4*units, units),
+		b:         mat.NewMatrix(1, 4*units),
+	}
+	l.wx.XavierInit(r, in, units)
+	l.wh.OrthogonalishInit(r, units)
+	// unit_forget_bias: forget-gate slice is [units, 2*units).
+	for j := units; j < 2*units; j++ {
+		l.b.Data[j] = 1
+	}
+	return l, nil
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string {
+	return fmt.Sprintf("lstm(%d→%d,seq=%v)", l.in, l.units, l.returnSeq)
+}
+
+// OutDim implements Layer.
+func (l *LSTM) OutDim() int { return l.units }
+
+// Units returns the hidden size.
+func (l *LSTM) Units() int { return l.units }
+
+// InDim returns the expected input feature dimension.
+func (l *LSTM) InDim() int { return l.in }
+
+// ReturnSeq reports whether the layer emits all hidden states.
+func (l *LSTM) ReturnSeq() bool { return l.returnSeq }
+
+// Params implements Layer.
+func (l *LSTM) Params() []Param {
+	return []Param{
+		{Name: "wx", Value: l.wx},
+		{Name: "wh", Value: l.wh},
+		{Name: "b", Value: l.b},
+	}
+}
+
+// lstmCache stores everything BPTT needs, laid out per timestep.
+type lstmCache struct {
+	x     Seq         // input reference [T][in]
+	gates [][]float64 // [T][4U] post-activation gate values (i, f, g, o)
+	c     [][]float64 // [T][U] cell states
+	ct    [][]float64 // [T][U] tanh(c_t)
+	h     [][]float64 // [T][U] hidden states
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x Seq, _ *Context) (Seq, any) {
+	checkSeq(x, l.in, l.Name())
+	T := len(x)
+	U := l.units
+	cache := &lstmCache{
+		x:     x,
+		gates: make([][]float64, T),
+		c:     make([][]float64, T),
+		ct:    make([][]float64, T),
+		h:     make([][]float64, T),
+	}
+	hPrev := make([]float64, U)
+	cPrev := make([]float64, U)
+	bias := l.b.Row(0)
+	for t := 0; t < T; t++ {
+		z := make([]float64, 4*U)
+		copy(z, bias)
+		l.wx.MulVecAdd(z, x[t])
+		l.wh.MulVecAdd(z, hPrev)
+		// Gate activations in place: σ for i, f, o; tanh for g.
+		for j := 0; j < U; j++ {
+			z[j] = sigmoid(z[j])           // i
+			z[U+j] = sigmoid(z[U+j])       // f
+			z[2*U+j] = math.Tanh(z[2*U+j]) // g
+			z[3*U+j] = sigmoid(z[3*U+j])   // o
+		}
+		c := make([]float64, U)
+		ct := make([]float64, U)
+		h := make([]float64, U)
+		for j := 0; j < U; j++ {
+			c[j] = z[U+j]*cPrev[j] + z[j]*z[2*U+j]
+			ct[j] = math.Tanh(c[j])
+			h[j] = z[3*U+j] * ct[j]
+		}
+		cache.gates[t] = z
+		cache.c[t] = c
+		cache.ct[t] = ct
+		cache.h[t] = h
+		hPrev, cPrev = h, c
+	}
+	if l.returnSeq {
+		out := make(Seq, T)
+		for t := range out {
+			out[t] = cache.h[t]
+		}
+		return out, cache
+	}
+	return Seq{cache.h[T-1]}, cache
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
+	cache, ok := cacheAny.(*lstmCache)
+	if !ok {
+		panic("nn: lstm backward got foreign cache")
+	}
+	T := len(cache.x)
+	U := l.units
+	gwx, gwh, gb := grads[0], grads[1], grads[2]
+
+	dh := make([]float64, U)   // gradient flowing into h_t from the future
+	dc := make([]float64, U)   // gradient flowing into c_t from the future
+	dz := make([]float64, 4*U) // pre-activation gate gradient at step t
+	dx := newSeq(T, l.in)
+	dhRec := make([]float64, U)
+
+	for t := T - 1; t >= 0; t-- {
+		// Upstream gradient for this timestep's output.
+		if l.returnSeq {
+			mat.AddVec(dh, dOut[t])
+		} else if t == T-1 {
+			mat.AddVec(dh, dOut[0])
+		}
+		z := cache.gates[t]
+		ct := cache.ct[t]
+		var cPrev []float64
+		if t > 0 {
+			cPrev = cache.c[t-1]
+		}
+		for j := 0; j < U; j++ {
+			i, f, g, o := z[j], z[U+j], z[2*U+j], z[3*U+j]
+			// h_t = o ⊙ tanh(c_t)
+			dO := dh[j] * ct[j]
+			dcj := dc[j] + dh[j]*o*(1-ct[j]*ct[j])
+			// c_t = f ⊙ c_{t-1} + i ⊙ g
+			var cp float64
+			if t > 0 {
+				cp = cPrev[j]
+			}
+			dF := dcj * cp
+			dI := dcj * g
+			dG := dcj * i
+			// Through gate nonlinearities to pre-activations.
+			dz[j] = dI * i * (1 - i)
+			dz[U+j] = dF * f * (1 - f)
+			dz[2*U+j] = dG * (1 - g*g)
+			dz[3*U+j] = dO * o * (1 - o)
+			// Carry cell gradient to t-1.
+			dc[j] = dcj * f
+		}
+		// Parameter gradients.
+		gwx.AddOuter(dz, cache.x[t])
+		if t > 0 {
+			gwh.AddOuter(dz, cache.h[t-1])
+		}
+		mat.AddVec(gb.Row(0), dz)
+		// Input gradient.
+		l.wx.MulVecT(dx[t], dz)
+		// Recurrent gradient into h_{t-1}.
+		l.wh.MulVecT(dhRec, dz)
+		copy(dh, dhRec)
+	}
+	return dx
+}

@@ -1,0 +1,241 @@
+// Package nn is a small, dependency-free neural-network substrate built for
+// the paper's two architectures: the federated LSTM forecaster
+// (LSTM(50) → Dense(10, relu) → Dense(1)) and the LSTM autoencoder used for
+// anomaly detection (LSTM(50) → LSTM(25) → RepeatVector → LSTM(25) →
+// LSTM(50) → Dense(1)).
+//
+// Design notes:
+//
+//   - Data flows as sequences: a sample is a Seq with shape [T][D]
+//     (T timesteps, D features). Non-recurrent layers apply per timestep.
+//   - Forward/Backward are re-entrant: all per-sample intermediate state
+//     lives in an externally supplied Cache and all gradients accumulate
+//     into an externally supplied GradSet. This is what allows minibatch
+//     gradients to be computed on parallel workers, which in turn is what
+//     makes the full-size paper configuration tractable in pure Go.
+//   - Parameters are row-major matrices (biases are 1×n), so optimizers and
+//     the federated-averaging code can treat a model as a flat []float64.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/evfed/evfed/internal/mat"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Seq is a single sample: a sequence of T timestep vectors, each of equal
+// feature dimension.
+type Seq = [][]float64
+
+// Errors returned by the package.
+var (
+	ErrShape     = errors.New("nn: shape mismatch")
+	ErrNoLayers  = errors.New("nn: model has no layers")
+	ErrBadConfig = errors.New("nn: invalid configuration")
+)
+
+// Param is a named, shaped learnable parameter.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+}
+
+// Context carries per-call forward options.
+type Context struct {
+	// Train enables training-time behaviour (dropout masks).
+	Train bool
+	// RNG supplies stochasticity (dropout); must be non-nil when Train is
+	// true and the model contains stochastic layers.
+	RNG *rng.Source
+}
+
+// Layer is one differentiable block. Implementations must keep Forward and
+// Backward free of internal mutable state: everything needed for the
+// backward pass goes through the cache value returned by Forward.
+type Layer interface {
+	// Name identifies the layer in diagnostics and serialized weights.
+	Name() string
+	// OutDim maps the input feature dimension to the output feature
+	// dimension.
+	OutDim() int
+	// Params returns the learnable parameters (empty for stateless layers).
+	Params() []Param
+	// Forward computes the output sequence for x and returns an opaque
+	// cache consumed by Backward. x must not be mutated.
+	Forward(x Seq, ctx *Context) (Seq, any)
+	// Backward consumes the upstream gradient dOut (same shape as the
+	// Forward output), accumulates parameter gradients into grads (aligned
+	// with Params()) and returns the gradient with respect to the input.
+	Backward(cache any, dOut Seq, grads []*mat.Matrix) Seq
+}
+
+// Model is an ordered stack of layers.
+type Model struct {
+	layers []Layer
+}
+
+// NewModel builds a model from layers. At least one layer is required.
+func NewModel(layers ...Layer) (*Model, error) {
+	if len(layers) == 0 {
+		return nil, ErrNoLayers
+	}
+	return &Model{layers: layers}, nil
+}
+
+// Layers returns the layer stack (shared slice; callers must not mutate).
+func (m *Model) Layers() []Layer { return m.layers }
+
+// OutDim returns the feature dimension of the model output.
+func (m *Model) OutDim() int { return m.layers[len(m.layers)-1].OutDim() }
+
+// Params returns all learnable parameters in layer order.
+func (m *Model) Params() []Param {
+	var out []Param
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// Predict runs inference (no dropout, no caches kept).
+func (m *Model) Predict(x Seq) Seq {
+	ctx := Context{Train: false}
+	out := x
+	for _, l := range m.layers {
+		out, _ = l.Forward(out, &ctx)
+	}
+	return out
+}
+
+// Forward runs a training-mode forward pass, returning the output and the
+// per-layer caches needed by Backward.
+func (m *Model) Forward(x Seq, ctx *Context) (Seq, []any) {
+	caches := make([]any, len(m.layers))
+	out := x
+	for i, l := range m.layers {
+		out, caches[i] = l.Forward(out, ctx)
+	}
+	return out, caches
+}
+
+// Backward propagates dOut through the stack, accumulating parameter
+// gradients into gs.
+func (m *Model) Backward(caches []any, dOut Seq, gs *GradSet) {
+	d := dOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		d = m.layers[i].Backward(caches[i], d, gs.ByLayer[i])
+	}
+}
+
+// GradSet holds gradient accumulators shaped identically to the model's
+// parameters, grouped per layer.
+type GradSet struct {
+	ByLayer [][]*mat.Matrix
+}
+
+// NewGradSet allocates zeroed gradient buffers matching m's parameters.
+func (m *Model) NewGradSet() *GradSet {
+	gs := &GradSet{ByLayer: make([][]*mat.Matrix, len(m.layers))}
+	for i, l := range m.layers {
+		ps := l.Params()
+		gs.ByLayer[i] = make([]*mat.Matrix, len(ps))
+		for j, p := range ps {
+			gs.ByLayer[i][j] = mat.NewMatrix(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	return gs
+}
+
+// Zero resets every gradient buffer.
+func (gs *GradSet) Zero() {
+	for _, layer := range gs.ByLayer {
+		for _, g := range layer {
+			g.Zero()
+		}
+	}
+}
+
+// Add accumulates o into gs.
+func (gs *GradSet) Add(o *GradSet) {
+	for i := range gs.ByLayer {
+		for j := range gs.ByLayer[i] {
+			mat.AddVec(gs.ByLayer[i][j].Data, o.ByLayer[i][j].Data)
+		}
+	}
+}
+
+// Scale multiplies every gradient by alpha (used to average over a batch).
+func (gs *GradSet) Scale(alpha float64) {
+	for _, layer := range gs.ByLayer {
+		for _, g := range layer {
+			mat.Scale(alpha, g.Data)
+		}
+	}
+}
+
+// Flat returns the gradient matrices flattened in parameter order.
+func (gs *GradSet) Flat() []*mat.Matrix {
+	var out []*mat.Matrix
+	for _, layer := range gs.ByLayer {
+		out = append(out, layer...)
+	}
+	return out
+}
+
+// GlobalNorm returns the Euclidean norm over all gradient entries.
+func (gs *GradSet) GlobalNorm() float64 {
+	var sum float64
+	for _, layer := range gs.ByLayer {
+		for _, g := range layer {
+			for _, v := range g.Data {
+				sum += v * v
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGlobalNorm rescales all gradients so their global norm does not
+// exceed limit. No-op when limit <= 0.
+func (gs *GradSet) ClipGlobalNorm(limit float64) {
+	if limit <= 0 {
+		return
+	}
+	n := gs.GlobalNorm()
+	if n <= limit || n == 0 {
+		return
+	}
+	gs.Scale(limit / n)
+}
+
+// checkSeq validates that every timestep of x has dimension d.
+func checkSeq(x Seq, d int, layer string) {
+	for t := range x {
+		if len(x[t]) != d {
+			panic(fmt.Sprintf("nn: %s expected feature dim %d, got %d at timestep %d",
+				layer, d, len(x[t]), t))
+		}
+	}
+}
+
+// newSeq allocates a zeroed sequence of shape [t][d].
+func newSeq(t, d int) Seq {
+	s := make(Seq, t)
+	buf := make([]float64, t*d)
+	for i := range s {
+		s[i] = buf[i*d : (i+1)*d]
+	}
+	return s
+}

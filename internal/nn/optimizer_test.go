@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/mat"
+)
+
+// quadratic is the 1-D objective f(x) = (x - 3)², whose gradient is
+// 2(x - 3). Every optimizer must converge to x = 3.
+func optimizeQuadratic(t *testing.T, opt Optimizer, steps int) float64 {
+	t.Helper()
+	param := mat.NewMatrix(1, 1)
+	param.Data[0] = -5
+	grad := mat.NewMatrix(1, 1)
+	params := []*mat.Matrix{param}
+	grads := []*mat.Matrix{grad}
+	for i := 0; i < steps; i++ {
+		grad.Data[0] = 2 * (param.Data[0] - 3)
+		opt.Step(params, grads)
+	}
+	return param.Data[0]
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	x := optimizeQuadratic(t, NewSGD(0.1, 0), 200)
+	if math.Abs(x-3) > 1e-6 {
+		t.Fatalf("SGD converged to %v", x)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	x := optimizeQuadratic(t, NewSGD(0.05, 0.9), 400)
+	if math.Abs(x-3) > 1e-4 {
+		t.Fatalf("SGD+momentum converged to %v", x)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	x := optimizeQuadratic(t, NewAdam(0.1), 600)
+	if math.Abs(x-3) > 1e-3 {
+		t.Fatalf("Adam converged to %v", x)
+	}
+}
+
+func TestRMSPropConvergesOnQuadratic(t *testing.T) {
+	x := optimizeQuadratic(t, NewRMSProp(0.05), 800)
+	if math.Abs(x-3) > 1e-2 {
+		t.Fatalf("RMSProp converged to %v", x)
+	}
+}
+
+// Adam's first step must be approximately ±LR regardless of gradient
+// magnitude (the bias-correction property), unlike SGD whose first step
+// scales with the gradient.
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	for _, g0 := range []float64{1e-4, 1, 1e4} {
+		opt := NewAdam(0.01)
+		param := mat.NewMatrix(1, 1)
+		grad := mat.NewMatrix(1, 1)
+		grad.Data[0] = g0
+		opt.Step([]*mat.Matrix{param}, []*mat.Matrix{grad})
+		step := math.Abs(param.Data[0])
+		if math.Abs(step-0.01) > 0.001 {
+			t.Fatalf("grad %v: first Adam step %v, want ≈ lr", g0, step)
+		}
+	}
+}
+
+// Optimizer state must be keyed per parameter: updating two parameters
+// with different gradients must not cross-contaminate their momenta.
+func TestOptimizerStateIndependence(t *testing.T) {
+	opt := NewAdam(0.1)
+	a := mat.NewMatrix(1, 1)
+	b := mat.NewMatrix(1, 1)
+	ga := mat.NewMatrix(1, 1)
+	gb := mat.NewMatrix(1, 1)
+	for i := 0; i < 100; i++ {
+		ga.Data[0] = 2 * (a.Data[0] - 1) // a → 1
+		gb.Data[0] = 2 * (b.Data[0] + 2) // b → -2
+		opt.Step([]*mat.Matrix{a, b}, []*mat.Matrix{ga, gb})
+	}
+	if math.Abs(a.Data[0]-1) > 0.05 || math.Abs(b.Data[0]+2) > 0.05 {
+		t.Fatalf("a=%v (want 1), b=%v (want -2)", a.Data[0], b.Data[0])
+	}
+}
+
+// Zero gradients must leave SGD(0 momentum) parameters unchanged.
+func TestZeroGradientNoOp(t *testing.T) {
+	opt := NewSGD(0.5, 0)
+	p := mat.NewMatrix(2, 2)
+	for i := range p.Data {
+		p.Data[i] = float64(i)
+	}
+	g := mat.NewMatrix(2, 2)
+	before := append([]float64(nil), p.Data...)
+	opt.Step([]*mat.Matrix{p}, []*mat.Matrix{g})
+	for i := range before {
+		if p.Data[i] != before[i] {
+			t.Fatalf("param %d changed with zero gradient", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/mat"
+)
+
+// RepeatVector replicates a single-timestep input [1][D] into a [T][D]
+// sequence, the Keras bridge between an encoder's final state and a
+// sequence decoder in the LSTM autoencoder.
+type RepeatVector struct {
+	dim, times int
+}
+
+var _ Layer = (*RepeatVector)(nil)
+
+// NewRepeatVector constructs a RepeatVector emitting times copies of its
+// dim-dimensional input vector.
+func NewRepeatVector(dim, times int) (*RepeatVector, error) {
+	if dim <= 0 || times <= 0 {
+		return nil, fmt.Errorf("%w: repeatvector dim=%d times=%d", ErrBadConfig, dim, times)
+	}
+	return &RepeatVector{dim: dim, times: times}, nil
+}
+
+// Name implements Layer.
+func (r *RepeatVector) Name() string { return fmt.Sprintf("repeat(%d)", r.times) }
+
+// OutDim implements Layer.
+func (r *RepeatVector) OutDim() int { return r.dim }
+
+// Params implements Layer.
+func (r *RepeatVector) Params() []Param { return nil }
+
+// Forward implements Layer. The input must be a single timestep.
+func (r *RepeatVector) Forward(x Seq, _ *Context) (Seq, any) {
+	if len(x) != 1 {
+		panic(fmt.Sprintf("nn: repeatvector expects a single timestep, got %d", len(x)))
+	}
+	checkSeq(x, r.dim, r.Name())
+	out := make(Seq, r.times)
+	for t := range out {
+		out[t] = x[0]
+	}
+	return out, nil
+}
+
+// Backward implements Layer: gradients of all copies sum into the single
+// input vector.
+func (r *RepeatVector) Backward(_ any, dOut Seq, _ []*mat.Matrix) Seq {
+	dx := newSeq(1, r.dim)
+	for t := range dOut {
+		mat.AddVec(dx[0], dOut[t])
+	}
+	return dx
+}

@@ -1,0 +1,292 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/evfed/evfed/internal/mat"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// TrainConfig controls Fit. The zero value is not valid; use the paper's
+// hyperparameters via DefaultTrainConfig and override as needed.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the minibatch size (paper: 32).
+	BatchSize int
+	// Optimizer updates the parameters; required.
+	Optimizer Optimizer
+	// Loss is the training objective; required.
+	Loss Loss
+	// Shuffle reshuffles sample order every epoch.
+	Shuffle bool
+	// Seed drives shuffling and dropout masks.
+	Seed uint64
+	// ValFrac reserves the trailing fraction of samples for validation
+	// (early stopping). 0 disables validation.
+	ValFrac float64
+	// Patience stops training after this many epochs without validation
+	// improvement (paper: 10 for the autoencoder). 0 disables early
+	// stopping.
+	Patience int
+	// ClipNorm caps the global gradient norm per batch. 0 disables.
+	ClipNorm float64
+	// Workers is the number of parallel gradient workers per batch.
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// ProxMu adds FedProx's proximal term μ/2·‖w − w_ref‖² to the
+	// objective: every batch gradient gains μ·(w − ProxRef). This
+	// regularizes local training toward the global model on heterogeneous
+	// federated clients. 0 disables; ProxRef must be a flat weight vector
+	// (see Model.WeightsVector) when ProxMu > 0.
+	ProxMu float64
+	// ProxRef is the reference weight vector for the proximal term.
+	ProxRef []float64
+}
+
+// DefaultTrainConfig returns the paper's standardized hyperparameters:
+// batch 32, Adam with lr 1e-3, MSE loss, shuffled batches.
+func DefaultTrainConfig(epochs int, seed uint64) TrainConfig {
+	return TrainConfig{
+		Epochs:    epochs,
+		BatchSize: 32,
+		Optimizer: NewAdam(0.001),
+		Loss:      MSE{},
+		Shuffle:   true,
+		Seed:      seed,
+		ClipNorm:  5,
+	}
+}
+
+// History records per-epoch training diagnostics.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64 // empty when ValFrac == 0
+	// StoppedEarly reports whether patience triggered before Epochs.
+	StoppedEarly bool
+	// BestEpoch is the epoch index (0-based) with the lowest validation
+	// loss, or the final epoch when validation is disabled.
+	BestEpoch int
+}
+
+// FinalTrainLoss returns the last recorded training loss (NaN when empty).
+func (h History) FinalTrainLoss() float64 {
+	if len(h.TrainLoss) == 0 {
+		return math.NaN()
+	}
+	return h.TrainLoss[len(h.TrainLoss)-1]
+}
+
+// ErrNoData is returned when Fit receives no samples.
+var ErrNoData = errors.New("nn: no training samples")
+
+// Fit trains the model on aligned inputs/targets.
+//
+// Each minibatch gradient is the average of per-sample gradients computed
+// concurrently by cfg.Workers goroutines; each worker owns its caches,
+// gradient buffers and RNG sub-stream, so results are deterministic for a
+// given (Seed, Workers) pair and independent of scheduling.
+func Fit(m *Model, inputs, targets []Seq, cfg TrainConfig) (History, error) {
+	if len(inputs) == 0 {
+		return History{}, ErrNoData
+	}
+	if len(inputs) != len(targets) {
+		return History{}, fmt.Errorf("%w: %d inputs vs %d targets", ErrShape, len(inputs), len(targets))
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return History{}, fmt.Errorf("%w: epochs=%d batch=%d", ErrBadConfig, cfg.Epochs, cfg.BatchSize)
+	}
+	if cfg.Optimizer == nil || cfg.Loss == nil {
+		return History{}, fmt.Errorf("%w: optimizer and loss are required", ErrBadConfig)
+	}
+	if cfg.ValFrac < 0 || cfg.ValFrac >= 1 {
+		return History{}, fmt.Errorf("%w: val fraction %v", ErrBadConfig, cfg.ValFrac)
+	}
+	if cfg.ProxMu < 0 {
+		return History{}, fmt.Errorf("%w: proximal mu %v", ErrBadConfig, cfg.ProxMu)
+	}
+	if cfg.ProxMu > 0 && len(cfg.ProxRef) != m.NumParams() {
+		return History{}, fmt.Errorf("%w: proximal reference has %d weights, model has %d",
+			ErrShape, len(cfg.ProxRef), m.NumParams())
+	}
+
+	// Temporal validation split (trailing samples), mirroring Keras'
+	// validation_split semantics.
+	nVal := int(float64(len(inputs)) * cfg.ValFrac)
+	nTrain := len(inputs) - nVal
+	if nTrain == 0 {
+		return History{}, fmt.Errorf("%w: validation split leaves no training data", ErrBadConfig)
+	}
+	trainX, trainY := inputs[:nTrain], targets[:nTrain]
+	valX, valY := inputs[nTrain:], targets[nTrain:]
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+
+	src := rng.New(cfg.Seed)
+	pool := newGradPool(m, workers, src)
+	params := flatParams(m)
+
+	var hist History
+	bestVal := math.Inf(1)
+	bestWeights := m.WeightsVector()
+	sinceBest := 0
+	order := make([]int, nTrain)
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Shuffle {
+			src.Shuffle(order)
+		}
+		var epochLoss float64
+		var batches int
+		for start := 0; start < nTrain; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > nTrain {
+				end = nTrain
+			}
+			idx := order[start:end]
+			loss, gs := pool.batchGrad(m, trainX, trainY, idx, cfg.Loss)
+			if cfg.ProxMu > 0 {
+				addProximal(gs, params, cfg.ProxRef, cfg.ProxMu)
+			}
+			gs.ClipGlobalNorm(cfg.ClipNorm)
+			cfg.Optimizer.Step(params, gs.Flat())
+			epochLoss += loss
+			batches++
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
+
+		if nVal > 0 {
+			vl := evalLoss(m, valX, valY, cfg.Loss)
+			hist.ValLoss = append(hist.ValLoss, vl)
+			if vl < bestVal-1e-12 {
+				bestVal = vl
+				hist.BestEpoch = epoch
+				bestWeights = m.WeightsVector()
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+					hist.StoppedEarly = true
+					break
+				}
+			}
+		} else {
+			hist.BestEpoch = epoch
+		}
+	}
+	if nVal > 0 {
+		// Restore the best validation weights, as Keras'
+		// restore_best_weights does.
+		if err := m.SetWeightsVector(bestWeights); err != nil {
+			return hist, err
+		}
+	}
+	return hist, nil
+}
+
+// addProximal accumulates FedProx's μ·(w − ref) into the gradients.
+func addProximal(gs *GradSet, params []*mat.Matrix, ref []float64, mu float64) {
+	flat := gs.Flat()
+	off := 0
+	for pi, p := range params {
+		g := flat[pi].Data
+		for j := range p.Data {
+			g[j] += mu * (p.Data[j] - ref[off+j])
+		}
+		off += len(p.Data)
+	}
+}
+
+// evalLoss computes the mean per-sample loss without training behaviour.
+func evalLoss(m *Model, xs, ys []Seq, loss Loss) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range xs {
+		sum += loss.Value(m.Predict(xs[i]), ys[i])
+	}
+	return sum / float64(len(xs))
+}
+
+// gradPool owns the per-worker gradient buffers and RNG sub-streams.
+type gradPool struct {
+	grads []*GradSet
+	rngs  []*rng.Source
+}
+
+func newGradPool(m *Model, workers int, src *rng.Source) *gradPool {
+	p := &gradPool{
+		grads: make([]*GradSet, workers),
+		rngs:  make([]*rng.Source, workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.grads[i] = m.NewGradSet()
+		p.rngs[i] = src.Split()
+	}
+	return p
+}
+
+// batchGrad computes the mean loss and mean gradient over the samples in
+// idx, fanning the per-sample work across the pool's workers.
+func (p *gradPool) batchGrad(m *Model, xs, ys []Seq, idx []int, loss Loss) (float64, *GradSet) {
+	workers := len(p.grads)
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	losses := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		p.grads[w].Zero()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := Context{Train: true, RNG: p.rngs[w]}
+			var localLoss float64
+			for k := w; k < len(idx); k += workers {
+				i := idx[k]
+				out, caches := m.Forward(xs[i], &ctx)
+				l, dOut := loss.Eval(out, ys[i])
+				localLoss += l
+				m.Backward(caches, dOut, p.grads[w])
+			}
+			losses[w] = localLoss
+		}(w)
+	}
+	wg.Wait()
+
+	total := p.grads[0]
+	for w := 1; w < workers; w++ {
+		total.Add(p.grads[w])
+	}
+	inv := 1 / float64(len(idx))
+	total.Scale(inv)
+	var lossSum float64
+	for _, l := range losses {
+		lossSum += l
+	}
+	return lossSum * inv, total
+}
+
+// flatParams returns the model parameter matrices in the same order as
+// GradSet.Flat, for handing to an Optimizer.
+func flatParams(m *Model) []*mat.Matrix {
+	var out []*mat.Matrix
+	for _, p := range m.Params() {
+		out = append(out, p.Value)
+	}
+	return out
+}

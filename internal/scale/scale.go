@@ -1,0 +1,151 @@
+// Package scale provides feature scaling used by the forecasting pipeline.
+//
+// The paper applies MinMax normalization independently to each client's raw
+// series (fitted on the training portion and applied to both splits) so all
+// model inputs lie in [0, 1]. StandardScaler is provided for the detection
+// baselines.
+package scale
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotFitted is returned when Transform/Inverse is called before Fit.
+var ErrNotFitted = errors.New("scale: scaler has not been fitted")
+
+// ErrEmptyInput is returned when Fit receives no data.
+var ErrEmptyInput = errors.New("scale: cannot fit on empty input")
+
+// MinMaxScaler rescales values to [0, 1] via (x - min) / (max - min).
+// A degenerate series (max == min) maps every value to 0, matching
+// scikit-learn's behaviour of emitting the lower bound.
+type MinMaxScaler struct {
+	Min, Max float64
+	fitted   bool
+}
+
+// Fit computes the data minimum and maximum.
+func (s *MinMaxScaler) Fit(xs []float64) error {
+	if len(xs) == 0 {
+		return ErrEmptyInput
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a scaled copy of xs.
+func (s *MinMaxScaler) Transform(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	span := s.Max - s.Min
+	if span == 0 {
+		return out, nil // all zeros: degenerate constant series
+	}
+	for i, v := range xs {
+		out[i] = (v - s.Min) / span
+	}
+	return out, nil
+}
+
+// Inverse maps scaled values back to the original units.
+func (s *MinMaxScaler) Inverse(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	span := s.Max - s.Min
+	for i, v := range xs {
+		out[i] = v*span + s.Min
+	}
+	return out, nil
+}
+
+// InverseValue maps a single scaled value back to original units.
+func (s *MinMaxScaler) InverseValue(v float64) (float64, error) {
+	if !s.fitted {
+		return 0, ErrNotFitted
+	}
+	return v*(s.Max-s.Min) + s.Min, nil
+}
+
+// FitTransform fits on xs and returns the scaled copy.
+func (s *MinMaxScaler) FitTransform(xs []float64) ([]float64, error) {
+	if err := s.Fit(xs); err != nil {
+		return nil, err
+	}
+	return s.Transform(xs)
+}
+
+// StandardScaler standardizes values to zero mean and unit variance.
+type StandardScaler struct {
+	Mean, Std float64
+	fitted    bool
+}
+
+// Fit computes the sample mean and (population) standard deviation.
+func (s *StandardScaler) Fit(xs []float64) error {
+	if len(xs) == 0 {
+		return ErrEmptyInput
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	s.fitted = true
+	return nil
+}
+
+// Transform returns a standardized copy of xs. A zero-variance series maps
+// to all zeros.
+func (s *StandardScaler) Transform(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	if s.Std == 0 {
+		return out, nil
+	}
+	for i, v := range xs {
+		out[i] = (v - s.Mean) / s.Std
+	}
+	return out, nil
+}
+
+// Inverse maps standardized values back to original units.
+func (s *StandardScaler) Inverse(xs []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v*s.Std + s.Mean
+	}
+	return out, nil
+}
+
+// FitTransform fits on xs and returns the standardized copy.
+func (s *StandardScaler) FitTransform(xs []float64) ([]float64, error) {
+	if err := s.Fit(xs); err != nil {
+		return nil, err
+	}
+	return s.Transform(xs)
+}

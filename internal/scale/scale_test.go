@@ -1,0 +1,226 @@
+package scale
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func TestMinMaxBasic(t *testing.T) {
+	var s MinMaxScaler
+	out, err := s.FitTransform([]float64{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v want %v", out, want)
+		}
+	}
+	if s.Min != 0 || s.Max != 10 {
+		t.Fatalf("fitted bounds %v %v", s.Min, s.Max)
+	}
+}
+
+func TestMinMaxRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(50, 20)
+		}
+		var s MinMaxScaler
+		scaled, err := s.FitTransform(xs)
+		if err != nil {
+			return false
+		}
+		back, err := s.Inverse(scaled)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(back[i]-xs[i]) > 1e-9*(1+math.Abs(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 100)
+		}
+		var s MinMaxScaler
+		scaled, err := s.FitTransform(xs)
+		if err != nil {
+			return false
+		}
+		for _, v := range scaled {
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxConstantSeries(t *testing.T) {
+	var s MinMaxScaler
+	out, err := s.FitTransform([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant series should scale to zeros, got %v", out)
+		}
+	}
+	back, err := s.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range back {
+		if v != 3 {
+			t.Fatalf("inverse of constant series: %v", back)
+		}
+	}
+}
+
+func TestMinMaxUnfitted(t *testing.T) {
+	var s MinMaxScaler
+	if _, err := s.Transform([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	if _, err := s.Inverse([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	if _, err := s.InverseValue(1); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestMinMaxEmptyFit(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("want ErrEmptyInput, got %v", err)
+	}
+}
+
+func TestMinMaxOutOfSampleExtrapolates(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit([]float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform([]float64{20, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != -1 {
+		t.Fatalf("out-of-sample transform %v", out)
+	}
+}
+
+func TestStandardBasic(t *testing.T) {
+	var s StandardScaler
+	out, err := s.FitTransform([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 2 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("standardized sum %v", sum)
+	}
+}
+
+func TestStandardMomentsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(-7, 13)
+		}
+		var s StandardScaler
+		out, err := s.FitTransform(xs)
+		if err != nil {
+			return false
+		}
+		var mean float64
+		for _, v := range out {
+			mean += v
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range out {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(n)
+		return math.Abs(mean) < 1e-9 && math.Abs(variance-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardRoundTrip(t *testing.T) {
+	xs := []float64{4, 8, 15, 16, 23, 42}
+	var s StandardScaler
+	scaled, err := s.FitTransform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Inverse(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > 1e-9 {
+			t.Fatalf("round trip %v -> %v", xs, back)
+		}
+	}
+}
+
+func TestStandardConstant(t *testing.T) {
+	var s StandardScaler
+	out, err := s.FitTransform([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant series standardization %v", out)
+		}
+	}
+}
+
+func TestStandardUnfitted(t *testing.T) {
+	var s StandardScaler
+	if _, err := s.Transform([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	if err := s.Fit(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("want ErrEmptyInput, got %v", err)
+	}
+}

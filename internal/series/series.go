@@ -1,0 +1,309 @@
+// Package series provides the time-series plumbing the pipeline is built
+// on: an hourly series container, 5-minute→1-hour resampling (the paper's
+// collection pipeline), sliding-window sequence construction for LSTM
+// input, temporal train/test splitting, and the interpolation kernels used
+// by the anomaly-mitigation stage.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadSplit       = errors.New("series: split fraction must be in (0, 1)")
+	ErrTooShort       = errors.New("series: series shorter than required window")
+	ErrBadSeqLen      = errors.New("series: sequence length must be positive")
+	ErrBadResample    = errors.New("series: resample factor must be positive")
+	ErrLengthMismatch = errors.New("series: length mismatch")
+)
+
+// Series is a univariate time series with a fixed sampling interval.
+type Series struct {
+	// Start is the timestamp of the first sample.
+	Start time.Time
+	// Step is the sampling interval (1 hour for the region-level dataset).
+	Step time.Duration
+	// Values holds the observations in temporal order.
+	Values []float64
+}
+
+// New returns a Series over values starting at start with the given step.
+// The values slice is copied.
+func New(start time.Time, step time.Duration, values []float64) *Series {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Series{Start: start, Step: step, Values: v}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// Clone returns a deep copy.
+func (s *Series) Clone() *Series {
+	return New(s.Start, s.Step, s.Values)
+}
+
+// Slice returns a copy of the sub-series [from, to).
+func (s *Series) Slice(from, to int) (*Series, error) {
+	if from < 0 || to > len(s.Values) || from > to {
+		return nil, fmt.Errorf("series: slice [%d, %d) out of range (len %d)", from, to, len(s.Values))
+	}
+	out := New(s.TimeAt(from), s.Step, s.Values[from:to])
+	return out, nil
+}
+
+// Resample aggregates consecutive groups of factor samples into their mean,
+// reproducing the paper's 5-minute→1-hour region-level aggregation
+// (factor 12). A trailing partial group is dropped.
+func (s *Series) Resample(factor int) (*Series, error) {
+	if factor <= 0 {
+		return nil, ErrBadResample
+	}
+	n := len(s.Values) / factor
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < factor; j++ {
+			sum += s.Values[i*factor+j]
+		}
+		out[i] = sum / float64(factor)
+	}
+	return &Series{
+		Start:  s.Start,
+		Step:   s.Step * time.Duration(factor),
+		Values: out,
+	}, nil
+}
+
+// SplitFrac splits the series temporally: the first frac of samples become
+// the training portion and the remainder the test portion. The paper uses
+// frac = 0.8.
+func (s *Series) SplitFrac(frac float64) (train, test *Series, err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, ErrBadSplit
+	}
+	cut := int(float64(len(s.Values)) * frac)
+	if cut == 0 || cut == len(s.Values) {
+		return nil, nil, ErrTooShort
+	}
+	train = New(s.Start, s.Step, s.Values[:cut])
+	test = New(s.TimeAt(cut), s.Step, s.Values[cut:])
+	return train, test, nil
+}
+
+// SplitValues splits a raw value slice temporally at frac without copying
+// the series metadata.
+func SplitValues(values []float64, frac float64) (train, test []float64, err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, ErrBadSplit
+	}
+	cut := int(float64(len(values)) * frac)
+	if cut == 0 || cut == len(values) {
+		return nil, nil, ErrTooShort
+	}
+	return values[:cut], values[cut:], nil
+}
+
+// Window is one supervised training pair: SeqLen historical steps as input
+// and the immediately following value as the target.
+type Window struct {
+	// Input is the look-back window, shape [SeqLen][1] (each timestep is a
+	// 1-feature vector, matching the univariate LSTM input).
+	Input [][]float64
+	// Target is the next value after the window.
+	Target float64
+	// EndIndex is the index (into the source slice) of the target value,
+	// useful for aligning predictions with timestamps.
+	EndIndex int
+}
+
+// MakeWindows builds sliding look-back windows of length seqLen over
+// values: for every t in [seqLen, len), the window values[t-seqLen:t]
+// predicts values[t]. This mirrors the paper's 24-hour look-back (seqLen =
+// 24 at 1-hour resolution).
+func MakeWindows(values []float64, seqLen int) ([]Window, error) {
+	if seqLen <= 0 {
+		return nil, ErrBadSeqLen
+	}
+	if len(values) <= seqLen {
+		return nil, fmt.Errorf("%w: %d values for look-back %d", ErrTooShort, len(values), seqLen)
+	}
+	out := make([]Window, 0, len(values)-seqLen)
+	for t := seqLen; t < len(values); t++ {
+		in := make([][]float64, seqLen)
+		for k := 0; k < seqLen; k++ {
+			in[k] = []float64{values[t-seqLen+k]}
+		}
+		out = append(out, Window{Input: in, Target: values[t], EndIndex: t})
+	}
+	return out, nil
+}
+
+// MakeSequences builds overlapping fixed-length subsequences (no target),
+// used to train the reconstruction autoencoder. stride controls the hop
+// between consecutive sequences (1 = fully overlapping).
+func MakeSequences(values []float64, seqLen, stride int) ([][][]float64, error) {
+	if seqLen <= 0 || stride <= 0 {
+		return nil, ErrBadSeqLen
+	}
+	if len(values) < seqLen {
+		return nil, fmt.Errorf("%w: %d values for sequence length %d", ErrTooShort, len(values), seqLen)
+	}
+	n := (len(values)-seqLen)/stride + 1
+	out := make([][][]float64, 0, n)
+	for s := 0; s+seqLen <= len(values); s += stride {
+		seq := make([][]float64, seqLen)
+		for k := 0; k < seqLen; k++ {
+			seq[k] = []float64{values[s+k]}
+		}
+		out = append(out, seq)
+	}
+	return out, nil
+}
+
+// Run is a maximal consecutive stretch of flagged indices, possibly
+// spanning small unflagged gaps (see MergeRuns).
+type Run struct {
+	Start, End int // inclusive bounds into the mask
+}
+
+// Len returns the number of points the run covers.
+func (r Run) Len() int { return r.End - r.Start + 1 }
+
+// FindRuns returns the maximal runs of true values in mask.
+func FindRuns(mask []bool) []Run {
+	var runs []Run
+	i := 0
+	for i < len(mask) {
+		if !mask[i] {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(mask) && mask[j+1] {
+			j++
+		}
+		runs = append(runs, Run{Start: i, End: j})
+		i = j + 1
+	}
+	return runs
+}
+
+// MergeRuns merges runs separated by at most maxGap unflagged points,
+// implementing the paper's "allowing for small gaps (≤ 2 timestamps) to
+// maintain continuity" rule.
+func MergeRuns(runs []Run, maxGap int) []Run {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]Run, 0, len(runs))
+	cur := runs[0]
+	for _, r := range runs[1:] {
+		if r.Start-cur.End-1 <= maxGap {
+			cur.End = r.End
+		} else {
+			out = append(out, cur)
+			cur = r
+		}
+	}
+	out = append(out, cur)
+	return out
+}
+
+// InterpolateRuns replaces the values covered by each run with a linear
+// ramp between the nearest non-anomalous boundary points. A run touching
+// the start (end) of the series is filled with the boundary value on the
+// other side. values is modified in place.
+func InterpolateRuns(values []float64, runs []Run) {
+	for _, r := range runs {
+		lo := r.Start - 1
+		hi := r.End + 1
+		switch {
+		case lo < 0 && hi >= len(values):
+			// Entire series anomalous: nothing sane to anchor on; leave as-is.
+		case lo < 0:
+			for i := r.Start; i <= r.End; i++ {
+				values[i] = values[hi]
+			}
+		case hi >= len(values):
+			for i := r.Start; i <= r.End; i++ {
+				values[i] = values[lo]
+			}
+		default:
+			span := float64(hi - lo)
+			for i := r.Start; i <= r.End; i++ {
+				f := float64(i-lo) / span
+				values[i] = values[lo]*(1-f) + values[hi]*f
+			}
+		}
+	}
+}
+
+// SeasonalImputeRuns replaces run values with the value one season earlier
+// (or later if unavailable), an imputation baseline for the mitigation
+// ablation. period is the season length in samples (24 for daily
+// seasonality at hourly resolution).
+func SeasonalImputeRuns(values []float64, runs []Run, period int) error {
+	if period <= 0 {
+		return fmt.Errorf("series: seasonal period must be positive, got %d", period)
+	}
+	for _, r := range runs {
+		for i := r.Start; i <= r.End; i++ {
+			switch {
+			case i-period >= 0:
+				values[i] = values[i-period]
+			case i+period < len(values):
+				values[i] = values[i+period]
+			}
+		}
+	}
+	return nil
+}
+
+// CubicSmoothRuns replaces run values using a cubic Hermite blend between
+// boundary values and boundary slopes, a smoother alternative to linear
+// interpolation for the mitigation ablation.
+func CubicSmoothRuns(values []float64, runs []Run) {
+	for _, r := range runs {
+		lo, hi := r.Start-1, r.End+1
+		if lo < 1 || hi >= len(values)-1 {
+			// Not enough context for slopes; fall back to linear behaviour.
+			InterpolateRuns(values, []Run{r})
+			continue
+		}
+		y0, y1 := values[lo], values[hi]
+		// Per-sample slopes at the boundaries, rescaled to t-space tangents.
+		m0 := (values[lo] - values[lo-1])
+		m1 := (values[hi+1] - values[hi])
+		span := float64(hi - lo)
+		for i := r.Start; i <= r.End; i++ {
+			t := float64(i-lo) / span
+			h00 := (1 + 2*t) * (1 - t) * (1 - t)
+			h10 := t * (1 - t) * (1 - t)
+			h01 := t * t * (3 - 2*t)
+			h11 := t * t * (t - 1)
+			values[i] = h00*y0 + h10*span*m0 + h01*y1 + h11*span*m1
+		}
+	}
+}
+
+// MaskFromRuns converts runs back into a boolean mask of length n.
+func MaskFromRuns(runs []Run, n int) []bool {
+	mask := make([]bool, n)
+	for _, r := range runs {
+		for i := r.Start; i <= r.End && i < n; i++ {
+			if i >= 0 {
+				mask[i] = true
+			}
+		}
+	}
+	return mask
+}

@@ -1,0 +1,369 @@
+package series
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+var t0 = time.Date(2022, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSeriesBasics(t *testing.T) {
+	s := New(t0, time.Hour, []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if got := s.TimeAt(2); !got.Equal(t0.Add(2 * time.Hour)) {
+		t.Fatalf("TimeAt(2) = %v", got)
+	}
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	vals := []float64{1, 2}
+	s := New(t0, time.Hour, vals)
+	vals[0] = 42
+	if s.Values[0] != 1 {
+		t.Fatal("New did not copy input")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New(t0, time.Hour, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Values[0] != 1 {
+		t.Fatalf("slice %+v", sub)
+	}
+	if !sub.Start.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("slice start %v", sub.Start)
+	}
+	if _, err := s.Slice(3, 1); err == nil {
+		t.Fatal("inverted slice should error")
+	}
+	if _, err := s.Slice(0, 6); err == nil {
+		t.Fatal("out-of-range slice should error")
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Twelve 5-minute samples -> one hourly mean, like the paper pipeline.
+	vals := make([]float64, 25)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := New(t0, 5*time.Minute, vals)
+	hourly, err := s.Resample(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hourly.Len() != 2 {
+		t.Fatalf("resampled len %d", hourly.Len())
+	}
+	if hourly.Step != time.Hour {
+		t.Fatalf("resampled step %v", hourly.Step)
+	}
+	if math.Abs(hourly.Values[0]-5.5) > 1e-12 {
+		t.Fatalf("first hourly mean %v", hourly.Values[0])
+	}
+	if math.Abs(hourly.Values[1]-17.5) > 1e-12 {
+		t.Fatalf("second hourly mean %v", hourly.Values[1])
+	}
+	if _, err := s.Resample(0); !errors.Is(err, ErrBadResample) {
+		t.Fatalf("want ErrBadResample, got %v", err)
+	}
+}
+
+func TestResampleMeanPreservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12 * (1 + r.Intn(20))
+		vals := make([]float64, n)
+		var sum float64
+		for i := range vals {
+			vals[i] = r.Normal(10, 3)
+			sum += vals[i]
+		}
+		s := New(t0, 5*time.Minute, vals)
+		h, err := s.Resample(12)
+		if err != nil {
+			return false
+		}
+		var hsum float64
+		for _, v := range h.Values {
+			hsum += v * 12
+		}
+		return math.Abs(hsum-sum) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitFrac(t *testing.T) {
+	vals := make([]float64, 100)
+	s := New(t0, time.Hour, vals)
+	train, test, err := s.SplitFrac(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	if !test.Start.Equal(t0.Add(80 * time.Hour)) {
+		t.Fatalf("test start %v", test.Start)
+	}
+	if _, _, err := s.SplitFrac(0); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("want ErrBadSplit, got %v", err)
+	}
+	if _, _, err := s.SplitFrac(1.5); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("want ErrBadSplit, got %v", err)
+	}
+}
+
+func TestSplitValues(t *testing.T) {
+	train, test, err := SplitValues([]float64{1, 2, 3, 4, 5}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 4 || len(test) != 1 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	if _, _, err := SplitValues([]float64{1}, 0.5); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("want ErrTooShort, got %v", err)
+	}
+}
+
+func TestMakeWindows(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5}
+	ws, err := MakeWindows(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("window count %d", len(ws))
+	}
+	w := ws[0]
+	if w.Target != 3 || w.EndIndex != 3 {
+		t.Fatalf("first window %+v", w)
+	}
+	for k := 0; k < 3; k++ {
+		if w.Input[k][0] != float64(k) {
+			t.Fatalf("window input %v", w.Input)
+		}
+	}
+	last := ws[len(ws)-1]
+	if last.Target != 5 {
+		t.Fatalf("last target %v", last.Target)
+	}
+	if _, err := MakeWindows(vals, 0); !errors.Is(err, ErrBadSeqLen) {
+		t.Fatalf("want ErrBadSeqLen, got %v", err)
+	}
+	if _, err := MakeWindows(vals, 6); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("want ErrTooShort, got %v", err)
+	}
+}
+
+func TestMakeWindowsCountProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		seqLen := 1 + r.Intn(30)
+		n := seqLen + 1 + r.Intn(200)
+		vals := make([]float64, n)
+		ws, err := MakeWindows(vals, seqLen)
+		return err == nil && len(ws) == n-seqLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeSequences(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4}
+	seqs, err := MakeSequences(vals, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("sequence count %d", len(seqs))
+	}
+	seqs2, err := MakeSequences(vals, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs2) != 2 {
+		t.Fatalf("strided count %d", len(seqs2))
+	}
+	if seqs2[1][0][0] != 2 {
+		t.Fatalf("strided content %v", seqs2[1])
+	}
+}
+
+func TestFindRuns(t *testing.T) {
+	mask := []bool{false, true, true, false, false, true, false, true, true, true}
+	runs := FindRuns(mask)
+	want := []Run{{1, 2}, {5, 5}, {7, 9}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs %v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs %v want %v", runs, want)
+		}
+	}
+	if FindRuns(nil) != nil {
+		t.Fatal("empty mask should give nil runs")
+	}
+}
+
+func TestMergeRunsGapRule(t *testing.T) {
+	runs := []Run{{1, 2}, {5, 5}, {9, 9}}
+	// Gap between {1,2} and {5,5} is 2 (indices 3,4) -> merged with maxGap 2.
+	// Gap between {5,5} and {9,9} is 3 -> not merged.
+	merged := MergeRuns(runs, 2)
+	if len(merged) != 2 || merged[0] != (Run{1, 5}) || merged[1] != (Run{9, 9}) {
+		t.Fatalf("merged %v", merged)
+	}
+	if got := MergeRuns(nil, 2); got != nil {
+		t.Fatalf("merge of nil: %v", got)
+	}
+}
+
+func TestMergeRunsRoundTripProperty(t *testing.T) {
+	// With maxGap 0, merging is the identity on maximal runs.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(64)
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = r.Bernoulli(0.3)
+		}
+		runs := FindRuns(mask)
+		merged := MergeRuns(runs, 0)
+		back := MaskFromRuns(merged, n)
+		for i := range mask {
+			if mask[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpolateRunsLinear(t *testing.T) {
+	vals := []float64{0, 100, 100, 100, 4}
+	InterpolateRuns(vals, []Run{{1, 3}})
+	want := []float64{0, 1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("interpolated %v want %v", vals, want)
+		}
+	}
+}
+
+func TestInterpolateRunsEdges(t *testing.T) {
+	vals := []float64{99, 99, 3, 4}
+	InterpolateRuns(vals, []Run{{0, 1}})
+	if vals[0] != 3 || vals[1] != 3 {
+		t.Fatalf("left-edge fill %v", vals)
+	}
+	vals2 := []float64{1, 2, 99, 99}
+	InterpolateRuns(vals2, []Run{{2, 3}})
+	if vals2[2] != 2 || vals2[3] != 2 {
+		t.Fatalf("right-edge fill %v", vals2)
+	}
+	vals3 := []float64{7, 8}
+	InterpolateRuns(vals3, []Run{{0, 1}})
+	if vals3[0] != 7 || vals3[1] != 8 {
+		t.Fatalf("whole-series run should be untouched: %v", vals3)
+	}
+}
+
+func TestInterpolationBoundedProperty(t *testing.T) {
+	// Linear interpolation never exceeds the boundary values.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Normal(50, 10)
+		}
+		start := 1 + r.Intn(n-4)
+		end := start + r.Intn(n-start-2)
+		lo, hi := vals[start-1], vals[end+1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		InterpolateRuns(vals, []Run{{start, end}})
+		for i := start; i <= end; i++ {
+			if vals[i] < lo-1e-9 || vals[i] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeasonalImputeRuns(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 99, 99, 7, 8}
+	if err := SeasonalImputeRuns(vals, []Run{{4, 5}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if vals[4] != 1 || vals[5] != 2 {
+		t.Fatalf("seasonal impute %v", vals)
+	}
+	// Run at the head uses the next season.
+	vals2 := []float64{99, 2, 3, 4, 5, 6, 7, 8}
+	if err := SeasonalImputeRuns(vals2, []Run{{0, 0}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if vals2[0] != 5 {
+		t.Fatalf("head seasonal impute %v", vals2)
+	}
+	if err := SeasonalImputeRuns(vals, nil, 0); err == nil {
+		t.Fatal("period 0 should error")
+	}
+}
+
+func TestCubicSmoothRunsEndpoints(t *testing.T) {
+	vals := []float64{0, 1, 99, 99, 99, 5, 6}
+	CubicSmoothRuns(vals, []Run{{2, 4}})
+	// Interior values replaced and finite; monotone-ish between anchors.
+	for i := 2; i <= 4; i++ {
+		if math.IsNaN(vals[i]) || vals[i] == 99 {
+			t.Fatalf("cubic smoothing left value %v at %d", vals[i], i)
+		}
+	}
+	// Falls back to linear without slope context.
+	vals2 := []float64{99, 99, 3, 4}
+	CubicSmoothRuns(vals2, []Run{{0, 1}})
+	if vals2[0] != 3 || vals2[1] != 3 {
+		t.Fatalf("cubic fallback %v", vals2)
+	}
+}
+
+func TestMaskFromRuns(t *testing.T) {
+	mask := MaskFromRuns([]Run{{1, 2}, {4, 4}}, 6)
+	want := []bool{false, true, true, false, true, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask %v", mask)
+		}
+	}
+}
