@@ -183,13 +183,15 @@ type StreamDecision = anomaly.StreamDecision
 
 // NewStream builds an online detector from the filter's trained
 // autoencoder and calibrated threshold: push live points one at a time
-// and get per-point verdicts using only past data.
+// and get per-point verdicts using only past data. The stream owns a
+// reusable reconstruction workspace, so pushes are allocation-free in
+// steady state.
 func (a *AnomalyFilter) NewStream() (*anomaly.Stream, error) {
 	thr, err := a.filter.Threshold()
 	if err != nil {
 		return nil, err
 	}
-	return anomaly.NewStream(autoencoder.Adapter{Detector: a.det}, thr)
+	return anomaly.NewStream(a.det.NewStreamScorer(), thr)
 }
 
 // EvalDetection scores predicted flags against ground-truth labels.

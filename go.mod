@@ -1,0 +1,3 @@
+module github.com/evfed/evfed
+
+go 1.24

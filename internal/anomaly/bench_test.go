@@ -1,0 +1,27 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkStreamPush measures the per-point cost of the streaming
+// detector's window machinery itself (a trivial scorer isolates the
+// Stream from the autoencoder's reconstruction cost).
+func BenchmarkStreamPush(b *testing.B) {
+	for _, winLen := range []int{24, 168} {
+		b.Run(map[int]string{24: "w24", 168: "w168"}[winLen], func(b *testing.B) {
+			s, err := NewStream(lastAbsScorer{winLen: winLen}, math.Inf(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Push(float64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

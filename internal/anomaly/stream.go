@@ -18,8 +18,9 @@ type LastPointScorer interface {
 type StreamDecision struct {
 	// Index is the 0-based position of the point in the stream.
 	Index int
-	// Score is the point's anomaly score (NaN while the warm-up window is
-	// still filling; such points are never flagged).
+	// Score is the point's anomaly score (zero while the warm-up window
+	// is still filling; check Ready to distinguish warm-up from a genuine
+	// zero score — warm-up points are never flagged).
 	Score float64
 	// Flagged reports whether the score exceeded the threshold.
 	Flagged bool
@@ -31,10 +32,19 @@ type StreamDecision struct {
 // are pushed one at a time and judged against a pre-calibrated threshold
 // using only past data, the way a deployed station monitors its own
 // stream. It is not safe for concurrent use.
+//
+// The look-back window lives in a double-write ring buffer: each point is
+// stored at buf[k] and mirrored at buf[k+W], so the last W points are
+// always available as one contiguous, time-ordered slice with no per-push
+// shifting or copying. Push is O(1) and allocation-free regardless of
+// window length.
 type Stream struct {
 	scorer    LastPointScorer
 	threshold float64
-	window    []float64
+	buf       []float64 // 2W double-write ring
+	winLen    int       // W
+	pos       int       // next write slot in [0, W)
+	filled    int       // points currently in the window, ≤ W
 	seen      int
 }
 
@@ -48,27 +58,37 @@ func NewStream(scorer LastPointScorer, threshold float64) (*Stream, error) {
 	if scorer.WindowLen() <= 0 {
 		return nil, fmt.Errorf("%w: window length %d", ErrBadConfig, scorer.WindowLen())
 	}
+	w := scorer.WindowLen()
 	return &Stream{
 		scorer:    scorer,
 		threshold: threshold,
-		window:    make([]float64, 0, scorer.WindowLen()),
+		buf:       make([]float64, 2*w),
+		winLen:    w,
 	}, nil
 }
 
 // Push feeds the next point and returns its decision.
+//
+// The window slice handed to the scorer aliases the stream's ring buffer
+// and is only valid for the duration of the ScoreLast call; scorers must
+// not retain it.
 func (s *Stream) Push(v float64) (StreamDecision, error) {
 	idx := s.seen
 	s.seen++
-	if len(s.window) < cap(s.window) {
-		s.window = append(s.window, v)
-	} else {
-		copy(s.window, s.window[1:])
-		s.window[len(s.window)-1] = v
+	k := s.pos
+	s.buf[k] = v
+	s.buf[k+s.winLen] = v
+	s.pos = (k + 1) % s.winLen
+	if s.filled < s.winLen {
+		s.filled++
 	}
-	if len(s.window) < cap(s.window) {
+	if s.filled < s.winLen {
 		return StreamDecision{Index: idx}, nil
 	}
-	score, err := s.scorer.ScoreLast(s.window)
+	// The time-ordered window ending at the newest point is the
+	// contiguous mirror slice starting one slot past the write position.
+	window := s.buf[k+1 : k+1+s.winLen]
+	score, err := s.scorer.ScoreLast(window)
 	if err != nil {
 		return StreamDecision{}, fmt.Errorf("anomaly: stream score: %w", err)
 	}
@@ -85,6 +105,7 @@ func (s *Stream) Seen() int { return s.seen }
 
 // Reset clears the warm-up window (e.g. after a data gap).
 func (s *Stream) Reset() {
-	s.window = s.window[:0]
+	s.pos = 0
+	s.filled = 0
 	s.seen = 0
 }

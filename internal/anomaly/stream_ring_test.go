@@ -1,0 +1,111 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// shiftStream is the reference implementation the ring buffer replaced: a
+// window slice shifted by one on every push. The ring-buffered Stream
+// must be decision-for-decision identical to it.
+type shiftStream struct {
+	scorer    LastPointScorer
+	threshold float64
+	window    []float64
+	seen      int
+}
+
+func (s *shiftStream) push(v float64) (StreamDecision, error) {
+	idx := s.seen
+	s.seen++
+	if len(s.window) < cap(s.window) {
+		s.window = append(s.window, v)
+	} else {
+		copy(s.window, s.window[1:])
+		s.window[len(s.window)-1] = v
+	}
+	if len(s.window) < cap(s.window) {
+		return StreamDecision{Index: idx}, nil
+	}
+	score, err := s.scorer.ScoreLast(s.window)
+	if err != nil {
+		return StreamDecision{}, err
+	}
+	return StreamDecision{Index: idx, Score: score, Flagged: score > s.threshold, Ready: true}, nil
+}
+
+// orderSensitiveScorer folds every window element with a position weight,
+// so any window mis-ordering or stale value changes the score.
+type orderSensitiveScorer struct{ winLen int }
+
+func (o orderSensitiveScorer) WindowLen() int { return o.winLen }
+func (o orderSensitiveScorer) ScoreLast(window []float64) (float64, error) {
+	var sum float64
+	for i, v := range window {
+		sum += float64(i+1) * v
+	}
+	return sum, nil
+}
+
+func TestStreamMatchesShiftImplementation(t *testing.T) {
+	r := rng.New(123)
+	for _, winLen := range []int{1, 2, 3, 24, 168} {
+		scorer := orderSensitiveScorer{winLen: winLen}
+		ring, err := NewStream(scorer, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := &shiftStream{
+			scorer:    scorer,
+			threshold: 10,
+			window:    make([]float64, 0, winLen),
+		}
+		for i := 0; i < 4*winLen+7; i++ {
+			v := r.Normal(0, 5)
+			got, err := ring.Push(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := shift.push(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("winLen=%d push %d: ring %+v vs shift %+v", winLen, i, got, want)
+			}
+			// Reset mid-stream once to cover the warm-up-again path.
+			if i == 2*winLen {
+				ring.Reset()
+				shift.window = shift.window[:0]
+				shift.seen = 0
+			}
+		}
+		if ring.Seen() != shift.seen {
+			t.Fatalf("winLen=%d seen %d vs %d", winLen, ring.Seen(), shift.seen)
+		}
+	}
+}
+
+// TestStreamPushZeroAlloc guards the streaming hot path: once warm, a
+// push (including the scorer call here) must not allocate.
+func TestStreamPushZeroAlloc(t *testing.T) {
+	s, err := NewStream(orderSensitiveScorer{winLen: 24}, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		if _, err := s.Push(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := s.Push(1.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Push allocates %v times in steady state", n)
+	}
+}

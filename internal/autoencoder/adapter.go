@@ -1,6 +1,10 @@
 package autoencoder
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/nn"
+)
 
 // Adapter adapts a trained Detector to the anomaly.Scorer interface, so
 // the autoencoder plugs into the same filter pipeline as the statistical
@@ -36,19 +40,59 @@ func (a Adapter) WindowLen() int {
 // newest point is reconstructed and the squared error of that point is
 // its score (the streaming analogue of PointScores, which additionally
 // averages over future windows a live detector does not have yet).
+//
+// Adapter is stateless, so every call allocates its intermediates; a
+// long-lived stream should use Detector.NewStreamScorer instead.
 func (a Adapter) ScoreLast(window []float64) (float64, error) {
 	if a.Detector == nil || a.Detector.model == nil {
 		return 0, ErrNotTrained
 	}
-	seqLen := a.Detector.cfg.SeqLen
+	return a.Detector.NewStreamScorer().ScoreLast(window)
+}
+
+// StreamScorer is the reusable-buffer form of Adapter for online
+// detection: it owns an inference workspace and a window view, so scoring
+// a streamed point is allocation-free in steady state. Not safe for
+// concurrent use (anomaly.Stream is single-goroutine by contract).
+type StreamScorer struct {
+	det *Detector
+	ws  *nn.Workspace
+	seq nn.Seq
+}
+
+// NewStreamScorer builds an allocation-free anomaly.LastPointScorer
+// around the trained detector. An untrained detector yields a scorer
+// whose ScoreLast returns ErrNotTrained (mirroring Adapter).
+func (d *Detector) NewStreamScorer() *StreamScorer {
+	if d == nil || d.model == nil {
+		return &StreamScorer{det: d}
+	}
+	return &StreamScorer{
+		det: d,
+		ws:  nn.NewWorkspace(),
+		seq: make(nn.Seq, d.cfg.SeqLen),
+	}
+}
+
+// WindowLen implements anomaly.LastPointScorer.
+func (s *StreamScorer) WindowLen() int {
+	if s.det == nil {
+		return 0
+	}
+	return s.det.cfg.SeqLen
+}
+
+// ScoreLast implements anomaly.LastPointScorer.
+func (s *StreamScorer) ScoreLast(window []float64) (float64, error) {
+	if s.det == nil || s.det.model == nil {
+		return 0, ErrNotTrained
+	}
+	seqLen := s.det.cfg.SeqLen
 	if len(window) != seqLen {
 		return 0, fmt.Errorf("%w: window %d, need %d", ErrBadConfig, len(window), seqLen)
 	}
-	seq := make([][]float64, seqLen)
-	for k, v := range window {
-		seq[k] = []float64{v}
-	}
-	out := a.Detector.model.Predict(seq)
+	windowSeq(s.seq, window, 0, seqLen)
+	out := s.det.model.PredictWS(s.seq, s.ws)
 	d := window[seqLen-1] - out[seqLen-1][0]
 	return d * d, nil
 }

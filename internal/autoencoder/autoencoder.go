@@ -132,20 +132,36 @@ func (d *Detector) Config() Config { return d.cfg }
 // persistence).
 func (d *Detector) Model() *nn.Model { return d.model }
 
+// windowSeq overwrites seq with one-feature views of the window starting
+// at values[s]: seq[k] aliases values[s+k : s+k+1], so building a scoring
+// window copies nothing. Layers never mutate their input, which makes the
+// aliasing safe.
+func windowSeq(seq nn.Seq, values []float64, s, seqLen int) {
+	for k := 0; k < seqLen; k++ {
+		seq[k] = values[s+k : s+k+1 : s+k+1]
+	}
+}
+
 // SequenceErrors returns the reconstruction MSE of every stride-1 window
-// of values, indexed by window start.
+// of values, indexed by window start. Scoring reuses one workspace and
+// zero-copy window views, so the whole sweep performs no per-window
+// allocation.
 func (d *Detector) SequenceErrors(values []float64) ([]float64, error) {
 	if d == nil || d.model == nil {
 		return nil, ErrNotTrained
 	}
-	seqs, err := series.MakeSequences(values, d.cfg.SeqLen, 1)
-	if err != nil {
-		return nil, fmt.Errorf("autoencoder: build scoring sequences: %w", err)
+	if len(values) < d.cfg.SeqLen {
+		return nil, fmt.Errorf("autoencoder: build scoring sequences: %w: %d values for sequence length %d",
+			series.ErrTooShort, len(values), d.cfg.SeqLen)
 	}
 	var loss nn.MSE
-	out := make([]float64, len(seqs))
-	for i, s := range seqs {
-		out[i] = loss.Value(d.model.Predict(s), s)
+	nWin := len(values) - d.cfg.SeqLen + 1
+	out := make([]float64, nWin)
+	ws := nn.NewWorkspace()
+	seq := make(nn.Seq, d.cfg.SeqLen)
+	for s := 0; s < nWin; s++ {
+		windowSeq(seq, values, s, d.cfg.SeqLen)
+		out[s] = loss.Value(d.model.PredictWS(seq, ws), seq)
 	}
 	return out, nil
 }
@@ -173,8 +189,9 @@ func (d *Detector) PointScores(values []float64) ([]float64, error) {
 	if workers > nWin {
 		workers = nWin
 	}
-	// Each worker accumulates into private buffers; model.Predict is
-	// re-entrant, so windows can be reconstructed concurrently.
+	// Each worker accumulates into private buffers and owns a private
+	// workspace; the forward pass is re-entrant, so windows can be
+	// reconstructed concurrently with no per-window allocation.
 	recons := make([][]float64, workers)
 	counts := make([][]float64, workers)
 	var wg sync.WaitGroup
@@ -184,12 +201,11 @@ func (d *Detector) PointScores(values []float64) ([]float64, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ws := nn.NewWorkspace()
 			seq := make(nn.Seq, d.cfg.SeqLen)
 			for s := w; s < nWin; s += workers {
-				for k := 0; k < d.cfg.SeqLen; k++ {
-					seq[k] = []float64{values[s+k]}
-				}
-				out := d.model.Predict(seq)
+				windowSeq(seq, values, s, d.cfg.SeqLen)
+				out := d.model.PredictWS(seq, ws)
 				for k := 0; k < d.cfg.SeqLen; k++ {
 					recons[w][s+k] += out[k][0]
 					counts[w][s+k]++

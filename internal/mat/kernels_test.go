@@ -1,0 +1,169 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// The unrolled kernels must agree with a naive reference implementation to
+// within FP re-association error, across lengths that exercise every
+// remainder branch of the 4-way unroll.
+
+func refMulVec(m *Matrix, x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for j := 0; j < m.Cols; j++ {
+			sum += m.At(i, j) * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+func randMatrix(r *rng.Source, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 1)
+	}
+	return m
+}
+
+func randVec(r *rng.Source, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Normal(0, 1)
+	}
+	return v
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestUnrolledKernelsMatchReference(t *testing.T) {
+	r := rng.New(11)
+	const tol = 1e-12
+	for _, cols := range []int{1, 2, 3, 4, 5, 7, 8, 13, 50, 200} {
+		rows := cols + 3
+		m := randMatrix(r, rows, cols)
+		x := randVec(r, cols)
+		y := randVec(r, rows)
+
+		// MulVec.
+		want := refMulVec(m, x)
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		for i := range got {
+			if !almostEqual(got[i], want[i], tol) {
+				t.Fatalf("cols=%d MulVec[%d]: %v vs %v", cols, i, got[i], want[i])
+			}
+		}
+
+		// MulVecAdd accumulates on top of existing content.
+		got2 := randVec(r, rows)
+		base := append([]float64(nil), got2...)
+		m.MulVecAdd(got2, x)
+		for i := range got2 {
+			if !almostEqual(got2[i], base[i]+want[i], tol) {
+				t.Fatalf("cols=%d MulVecAdd[%d]: %v vs %v", cols, i, got2[i], base[i]+want[i])
+			}
+		}
+
+		// MulVecBias must be bit-identical to copy(bias) + MulVecAdd.
+		bias := randVec(r, rows)
+		gotB := make([]float64, rows)
+		m.MulVecBias(gotB, x, bias)
+		refB := append([]float64(nil), bias...)
+		m.MulVecAdd(refB, x)
+		for i := range gotB {
+			if gotB[i] != refB[i] {
+				t.Fatalf("cols=%d MulVecBias[%d]: %v vs %v", cols, i, gotB[i], refB[i])
+			}
+		}
+
+		// MulVecT against a transposed reference.
+		wantT := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			var sum float64
+			for i := 0; i < rows; i++ {
+				sum += m.At(i, j) * y[i]
+			}
+			wantT[j] = sum
+		}
+		gotT := randVec(r, cols) // stale content must be overwritten
+		m.MulVecT(gotT, y)
+		for j := range gotT {
+			if !almostEqual(gotT[j], wantT[j], tol) {
+				t.Fatalf("cols=%d MulVecT[%d]: %v vs %v", cols, j, gotT[j], wantT[j])
+			}
+		}
+
+		// MulVecTAdd.
+		gotTA := randVec(r, cols)
+		baseT := append([]float64(nil), gotTA...)
+		m.MulVecTAdd(gotTA, y)
+		for j := range gotTA {
+			if !almostEqual(gotTA[j], baseT[j]+wantT[j], tol) {
+				t.Fatalf("cols=%d MulVecTAdd[%d]: %v vs %v", cols, j, gotTA[j], baseT[j]+wantT[j])
+			}
+		}
+
+		// AddOuter.
+		acc := randMatrix(r, rows, cols)
+		wantM := acc.Clone()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				wantM.Set(i, j, wantM.At(i, j)+y[i]*x[j])
+			}
+		}
+		acc.AddOuter(y, x)
+		for i := range acc.Data {
+			if !almostEqual(acc.Data[i], wantM.Data[i], tol) {
+				t.Fatalf("cols=%d AddOuter[%d]: %v vs %v", cols, i, acc.Data[i], wantM.Data[i])
+			}
+		}
+	}
+}
+
+func TestGateActivations(t *testing.T) {
+	r := rng.New(12)
+	const u = 5
+	z := randVec(r, 4*u)
+	want := make([]float64, 4*u)
+	for j := 0; j < u; j++ {
+		want[j] = Sigmoid(z[j])
+		want[u+j] = Sigmoid(z[u+j])
+		want[2*u+j] = math.Tanh(z[2*u+j])
+		want[3*u+j] = Sigmoid(z[3*u+j])
+	}
+	GateActivations(z, u)
+	for i := range z {
+		if z[i] != want[i] {
+			t.Fatalf("gate %d: %v vs %v", i, z[i], want[i])
+		}
+	}
+}
+
+func TestGateActivationsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GateActivations(make([]float64, 7), 2)
+}
+
+func TestSigmoidStable(t *testing.T) {
+	for _, v := range []float64{-1000, -50, 0, 50, 1000} {
+		s := Sigmoid(v)
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Fatalf("Sigmoid(%v) = %v", v, s)
+		}
+	}
+	if Sigmoid(0) != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+}

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"github.com/evfed/evfed/internal/mat"
 )
 
 // Activation identifies an elementwise nonlinearity.
@@ -85,12 +87,6 @@ func (a Activation) derivFromOutput(y float64) float64 {
 	}
 }
 
-// sigmoid is the numerically stable logistic function.
-func sigmoid(v float64) float64 {
-	if v >= 0 {
-		z := math.Exp(-v)
-		return 1 / (1 + z)
-	}
-	z := math.Exp(v)
-	return z / (1 + z)
-}
+// sigmoid is the numerically stable logistic function (one shared
+// implementation with the mat kernels, so the two cannot drift).
+func sigmoid(v float64) float64 { return mat.Sigmoid(v) }

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Benchmarks for the BPTT hot path at the paper's working sizes:
+// LSTM(1→50) over a 24-step window, the per-sample unit of work the
+// federated trainer and the autoencoder both execute thousands of times.
+
+func benchSeq(t, d int) Seq {
+	r := rng.New(99)
+	return randSeq(r, t, d)
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	r := rng.New(1)
+	l, err := NewLSTM(1, 50, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewModel(l)
+	x := benchSeq(24, 1)
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		m.Forward(x, &ctx)
+	}
+}
+
+func BenchmarkLSTMBackward(b *testing.B) {
+	// Forward + backward: BPTT needs the forward caches, so the two are
+	// benchmarked as the unit the trainer actually executes per sample.
+	r := rng.New(1)
+	l, err := NewLSTM(1, 50, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewModel(l)
+	x := benchSeq(24, 1)
+	y := benchSeq(1, 50)
+	gs := m.NewGradSet()
+	loss := MSE{}
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs.Zero()
+		ws.Reset()
+		out, caches := m.Forward(x, &ctx)
+		dOut := ws.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, y)
+		m.Backward(caches, dOut, gs)
+	}
+}
+
+func BenchmarkGRUForward(b *testing.B) {
+	r := rng.New(2)
+	g, err := NewGRU(1, 50, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewModel(g)
+	x := benchSeq(24, 1)
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		m.Forward(x, &ctx)
+	}
+}
+
+func BenchmarkGRUBackward(b *testing.B) {
+	r := rng.New(2)
+	g, err := NewGRU(1, 50, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewModel(g)
+	x := benchSeq(24, 1)
+	y := benchSeq(1, 50)
+	gs := m.NewGradSet()
+	loss := MSE{}
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs.Zero()
+		ws.Reset()
+		out, caches := m.Forward(x, &ctx)
+		dOut := ws.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, y)
+		m.Backward(caches, dOut, gs)
+	}
+}
+
+// BenchmarkFitEpoch measures one full training epoch of the paper's
+// forecaster (LSTM(50) → Dense(10, relu) → Dense(1)) over 64 windows.
+func BenchmarkFitEpoch(b *testing.B) {
+	m, err := Build(ForecasterSpec(50, 10), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(4)
+	n := 64
+	inputs := make([]Seq, n)
+	targets := make([]Seq, n)
+	for i := range inputs {
+		inputs[i] = randSeq(r, 24, 1)
+		targets[i] = randSeq(r, 1, 1)
+	}
+	cfg := DefaultTrainConfig(1, 5)
+	cfg.Workers = 1
+	cfg.Shuffle = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, inputs, targets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoencoderStep measures forward+backward of the paper's
+// autoencoder (LSTM(50)→LSTM(25)→Repeat→LSTM(25)→LSTM(50)→Dense(1)) on a
+// 24-step window — the inner unit of per-client detector retraining.
+func BenchmarkAutoencoderStep(b *testing.B) {
+	m, err := Build(AutoencoderSpec(24, 50, 25, 0), 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchSeq(24, 1)
+	gs := m.NewGradSet()
+	loss := MSE{}
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs.Zero()
+		ws.Reset()
+		out, caches := m.Forward(x, &ctx)
+		dOut := ws.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, x)
+		m.Backward(caches, dOut, gs)
+	}
+}

@@ -50,24 +50,35 @@ func (d *Dense) Params() []Param {
 }
 
 type denseCache struct {
+	ws  *Workspace
 	x   Seq // input reference
 	out Seq // post-activation output (for derivFromOutput)
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x Seq, _ *Context) (Seq, any) {
-	checkSeq(x, d.in, d.Name())
-	out := newSeq(len(x), d.out)
+func (d *Dense) Forward(x Seq, ctx *Context) (Seq, any) {
+	checkSeq(x, d.in, d)
+	ws := ctx.WS
+	var cache *denseCache
+	if ws != nil {
+		cache = ws.denseCaches.get()
+	} else {
+		cache = &denseCache{}
+	}
+	out := wsSeqRaw(ws, len(x), d.out) // every row overwritten by MulVecBias
+	bias := d.b.Row(0)
 	for t := range x {
-		d.w.MulVec(out[t], x[t])
-		mat.AddVec(out[t], d.b.Row(0))
+		d.w.MulVecBias(out[t], x[t], bias)
 		if d.act != Linear {
 			for j := range out[t] {
 				out[t][j] = d.act.apply(out[t][j])
 			}
 		}
 	}
-	return out, &denseCache{x: x, out: out}
+	cache.ws = ws
+	cache.x = x
+	cache.out = out
+	return out, cache
 }
 
 // Backward implements Layer.
@@ -77,8 +88,8 @@ func (d *Dense) Backward(cache any, dOut Seq, grads []*mat.Matrix) Seq {
 		panic("nn: dense backward got foreign cache")
 	}
 	gw, gb := grads[0], grads[1]
-	dx := newSeq(len(dOut), d.in)
-	dz := make([]float64, d.out)
+	dx := wsSeqRaw(c.ws, len(dOut), d.in) // every row overwritten by MulVecT
+	dz := wsVec(c.ws, d.out)
 	for t := range dOut {
 		for j := range dz {
 			dz[j] = dOut[t][j] * d.act.derivFromOutput(c.out[t][j])

@@ -38,22 +38,32 @@ func (d *Dropout) OutDim() int { return d.dim }
 func (d *Dropout) Params() []Param { return nil }
 
 type dropoutCache struct {
+	ws   *Workspace
 	mask Seq // nil when the pass was inference or rate == 0
 }
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x Seq, ctx *Context) (Seq, any) {
-	checkSeq(x, d.dim, d.Name())
+	checkSeq(x, d.dim, d)
+	ws := ctx.WS
+	var cache *dropoutCache
+	if ws != nil {
+		cache = ws.dropoutCaches.get()
+	} else {
+		cache = &dropoutCache{}
+	}
+	cache.ws = ws
+	cache.mask = nil
 	if !ctx.Train || d.rate == 0 {
-		return x, &dropoutCache{}
+		return x, cache
 	}
 	if ctx.RNG == nil {
 		panic("nn: dropout requires a Context RNG in training mode")
 	}
 	keep := 1 - d.rate
 	scaleUp := 1 / keep
-	mask := newSeq(len(x), d.dim)
-	out := newSeq(len(x), d.dim)
+	mask := wsSeq(ws, len(x), d.dim)
+	out := wsSeq(ws, len(x), d.dim)
 	for t := range x {
 		for j := range x[t] {
 			if ctx.RNG.Float64() < keep {
@@ -62,7 +72,8 @@ func (d *Dropout) Forward(x Seq, ctx *Context) (Seq, any) {
 			}
 		}
 	}
-	return out, &dropoutCache{mask: mask}
+	cache.mask = mask
+	return out, cache
 }
 
 // Backward implements Layer.
@@ -74,7 +85,7 @@ func (d *Dropout) Backward(cache any, dOut Seq, _ []*mat.Matrix) Seq {
 	if c.mask == nil {
 		return dOut
 	}
-	dx := newSeq(len(dOut), d.dim)
+	dx := wsSeq(c.ws, len(dOut), d.dim)
 	for t := range dOut {
 		mat.Hadamard(dx[t], dOut[t], c.mask[t])
 	}

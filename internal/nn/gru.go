@@ -65,6 +65,7 @@ func (g *GRU) Params() []Param {
 }
 
 type gruCache struct {
+	ws    *Workspace
 	x     Seq
 	gates [][]float64 // [T][3U] post-activation z, r, n
 	hn    [][]float64 // [T][U] Whn·h_{t-1} (pre reset gating), needed for backprop
@@ -72,52 +73,49 @@ type gruCache struct {
 }
 
 // Forward implements Layer.
-func (g *GRU) Forward(x Seq, _ *Context) (Seq, any) {
-	checkSeq(x, g.in, g.Name())
+func (g *GRU) Forward(x Seq, ctx *Context) (Seq, any) {
+	checkSeq(x, g.in, g)
 	T := len(x)
 	U := g.units
-	cache := &gruCache{
-		x:     x,
-		gates: make([][]float64, T),
-		hn:    make([][]float64, T),
-		h:     make([][]float64, T),
+	ws := ctx.WS
+	var cache *gruCache
+	if ws != nil {
+		cache = ws.gruCaches.get()
+	} else {
+		cache = &gruCache{}
 	}
-	hPrev := make([]float64, U)
+	cache.ws = ws
+	cache.x = x
+	cache.gates = wsSeqRaw(ws, T, 3*U)
+	cache.hn = wsSeqRaw(ws, T, U)
+	cache.h = wsSeqRaw(ws, T, U)
+	hPrev := wsVec(ws, U)
+	rec := wsVec(ws, 3*U) // reused across timesteps; MulVec overwrites it
 	bias := g.b.Row(0)
 	for t := 0; t < T; t++ {
-		zrn := make([]float64, 3*U)
-		copy(zrn, bias)
-		g.wx.MulVecAdd(zrn, x[t])
+		zrn := cache.gates[t]
+		g.wx.MulVecBias(zrn, x[t], bias)
 		// Recurrent contributions: z and r slices take Wh·h directly; the
 		// candidate slice needs Whn·h kept separate for reset gating.
-		rec := make([]float64, 3*U)
 		g.wh.MulVec(rec, hPrev)
-		hn := make([]float64, U)
+		hn := cache.hn[t]
 		copy(hn, rec[2*U:])
-		for j := 0; j < U; j++ {
-			zrn[j] += rec[j]
-			zrn[U+j] += rec[U+j]
-			zrn[j] = sigmoid(zrn[j])     // z
-			zrn[U+j] = sigmoid(zrn[U+j]) // r
-		}
-		h := make([]float64, U)
+		mat.AddVec(zrn[:2*U], rec[:2*U])
+		mat.SigmoidInPlace(zrn[:2*U]) // z, r
+
+		h := cache.h[t]
 		for j := 0; j < U; j++ {
 			zrn[2*U+j] = math.Tanh(zrn[2*U+j] + zrn[U+j]*hn[j]) // n
 			h[j] = (1-zrn[j])*zrn[2*U+j] + zrn[j]*hPrev[j]
 		}
-		cache.gates[t] = zrn
-		cache.hn[t] = hn
-		cache.h[t] = h
 		hPrev = h
 	}
 	if g.returnSeq {
-		out := make(Seq, T)
-		for t := range out {
-			out[t] = cache.h[t]
-		}
-		return out, cache
+		return cache.h, cache
 	}
-	return Seq{cache.h[T-1]}, cache
+	out := wsHeads(ws, 1)
+	out[0] = cache.h[T-1]
+	return out, cache
 }
 
 // Backward implements Layer.
@@ -128,13 +126,17 @@ func (g *GRU) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
 	}
 	T := len(cache.x)
 	U := g.units
+	ws := cache.ws
 	gwx, gwh, gb := grads[0], grads[1], grads[2]
 
-	dh := make([]float64, U)
-	dzrn := make([]float64, 3*U) // pre-activation gate gradients
-	dx := newSeq(T, g.in)
-	dhRec := make([]float64, U)
-	recIn := make([]float64, 3*U) // what multiplied Wh rows this step
+	dh := wsVec(ws, U)
+	dzrn := wsVec(ws, 3*U)      // pre-activation gate gradients
+	dx := wsSeqRaw(ws, T, g.in) // every row overwritten by MulVecT
+	dhRec := wsVec(ws, U)
+	recIn := wsVec(ws, 3*U) // what multiplied Wh rows this step
+	// dhPrevDirect accumulates the direct h_{t-1} path (through the
+	// z ⊙ h_{t-1} term); fully overwritten every timestep.
+	dhPrevDirect := wsVec(ws, U)
 
 	for t := T - 1; t >= 0; t-- {
 		if g.returnSeq {
@@ -148,9 +150,8 @@ func (g *GRU) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
 		if t > 0 {
 			hPrev = cache.h[t-1]
 		}
-		// dhPrevDirect accumulates the direct h_{t-1} path (through the
-		// z ⊙ h_{t-1} term); the Wh paths flow through dzrn below.
-		dhPrevDirect := make([]float64, U)
+		// The Wh paths flow through dzrn below; the direct h_{t-1} path
+		// goes through dhPrevDirect.
 		for j := 0; j < U; j++ {
 			z, r, n := zrn[j], zrn[U+j], zrn[2*U+j]
 			var hp float64

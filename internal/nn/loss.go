@@ -12,6 +12,10 @@ type Loss interface {
 	Name() string
 	// Eval returns the scalar loss and the gradient with respect to pred.
 	Eval(pred, target Seq) (float64, Seq)
+	// EvalInto writes the gradient with respect to pred into dst (which
+	// must have pred's shape; every element is overwritten) and returns
+	// the scalar loss. This is the allocation-free form Eval wraps.
+	EvalInto(dst, pred, target Seq) float64
 	// Value returns only the scalar loss (no gradient allocation).
 	Value(pred, target Seq) float64
 }
@@ -27,19 +31,26 @@ var _ Loss = MSE{}
 func (MSE) Name() string { return "mse" }
 
 // Eval implements Loss.
-func (MSE) Eval(pred, target Seq) (float64, Seq) {
-	n := seqSize(pred, target)
+func (l MSE) Eval(pred, target Seq) (float64, Seq) {
+	seqSize(pred, target) // shape diagnostics before the allocation
 	grad := newSeq(len(pred), len(pred[0]))
+	return l.EvalInto(grad, pred, target), grad
+}
+
+// EvalInto implements Loss.
+func (MSE) EvalInto(dst, pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	checkGradDst(dst, pred)
 	var sum float64
 	inv := 1 / float64(n)
 	for t := range pred {
 		for j := range pred[t] {
 			d := pred[t][j] - target[t][j]
 			sum += d * d
-			grad[t][j] = 2 * d * inv
+			dst[t][j] = 2 * d * inv
 		}
 	}
-	return sum * inv, grad
+	return sum * inv
 }
 
 // Value implements Loss.
@@ -65,9 +76,16 @@ var _ Loss = MAE{}
 func (MAE) Name() string { return "mae" }
 
 // Eval implements Loss.
-func (MAE) Eval(pred, target Seq) (float64, Seq) {
-	n := seqSize(pred, target)
+func (l MAE) Eval(pred, target Seq) (float64, Seq) {
+	seqSize(pred, target) // shape diagnostics before the allocation
 	grad := newSeq(len(pred), len(pred[0]))
+	return l.EvalInto(grad, pred, target), grad
+}
+
+// EvalInto implements Loss.
+func (MAE) EvalInto(dst, pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	checkGradDst(dst, pred)
 	var sum float64
 	inv := 1 / float64(n)
 	for t := range pred {
@@ -76,13 +94,15 @@ func (MAE) Eval(pred, target Seq) (float64, Seq) {
 			sum += math.Abs(d)
 			switch {
 			case d > 0:
-				grad[t][j] = inv
+				dst[t][j] = inv
 			case d < 0:
-				grad[t][j] = -inv
+				dst[t][j] = -inv
+			default:
+				dst[t][j] = 0
 			}
 		}
 	}
-	return sum * inv, grad
+	return sum * inv
 }
 
 // Value implements Loss.
@@ -120,8 +140,15 @@ func (h Huber) delta() float64 {
 
 // Eval implements Loss.
 func (h Huber) Eval(pred, target Seq) (float64, Seq) {
-	n := seqSize(pred, target)
+	seqSize(pred, target) // shape diagnostics before the allocation
 	grad := newSeq(len(pred), len(pred[0]))
+	return h.EvalInto(grad, pred, target), grad
+}
+
+// EvalInto implements Loss.
+func (h Huber) EvalInto(dst, pred, target Seq) float64 {
+	n := seqSize(pred, target)
+	checkGradDst(dst, pred)
 	delta := h.delta()
 	var sum float64
 	inv := 1 / float64(n)
@@ -131,18 +158,18 @@ func (h Huber) Eval(pred, target Seq) (float64, Seq) {
 			a := math.Abs(d)
 			if a <= delta {
 				sum += 0.5 * d * d
-				grad[t][j] = d * inv
+				dst[t][j] = d * inv
 			} else {
 				sum += delta * (a - 0.5*delta)
 				if d > 0 {
-					grad[t][j] = delta * inv
+					dst[t][j] = delta * inv
 				} else {
-					grad[t][j] = -delta * inv
+					dst[t][j] = -delta * inv
 				}
 			}
 		}
 	}
-	return sum * inv, grad
+	return sum * inv
 }
 
 // Value implements Loss.
@@ -162,6 +189,19 @@ func (h Huber) Value(pred, target Seq) float64 {
 		}
 	}
 	return sum / float64(n)
+}
+
+// checkGradDst validates that dst matches pred's shape.
+func checkGradDst(dst, pred Seq) {
+	if len(dst) != len(pred) {
+		panic(fmt.Sprintf("nn: loss gradient shape mismatch: %d vs %d timesteps", len(dst), len(pred)))
+	}
+	for t := range dst {
+		if len(dst[t]) != len(pred[t]) {
+			panic(fmt.Sprintf("nn: loss gradient feature mismatch at t=%d: %d vs %d",
+				t, len(dst[t]), len(pred[t])))
+		}
+	}
 }
 
 // seqSize validates matching shapes and returns the element count.

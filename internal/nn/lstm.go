@@ -84,8 +84,11 @@ func (l *LSTM) Params() []Param {
 	}
 }
 
-// lstmCache stores everything BPTT needs, laid out per timestep.
+// lstmCache stores everything BPTT needs, laid out per timestep. With a
+// workspace, the cache struct and all its blocks come from the arena and
+// stay valid until the owner's next Reset.
 type lstmCache struct {
+	ws    *Workspace  // arena the cache (and Backward's buffers) draw from
 	x     Seq         // input reference [T][in]
 	gates [][]float64 // [T][4U] post-activation gate values (i, f, g, o)
 	c     [][]float64 // [T][U] cell states
@@ -94,54 +97,46 @@ type lstmCache struct {
 }
 
 // Forward implements Layer.
-func (l *LSTM) Forward(x Seq, _ *Context) (Seq, any) {
-	checkSeq(x, l.in, l.Name())
+func (l *LSTM) Forward(x Seq, ctx *Context) (Seq, any) {
+	checkSeq(x, l.in, l)
 	T := len(x)
 	U := l.units
-	cache := &lstmCache{
-		x:     x,
-		gates: make([][]float64, T),
-		c:     make([][]float64, T),
-		ct:    make([][]float64, T),
-		h:     make([][]float64, T),
+	ws := ctx.WS
+	var cache *lstmCache
+	if ws != nil {
+		cache = ws.lstmCaches.get()
+	} else {
+		cache = &lstmCache{}
 	}
-	hPrev := make([]float64, U)
-	cPrev := make([]float64, U)
+	cache.ws = ws
+	cache.x = x
+	cache.gates = wsSeqRaw(ws, T, 4*U)
+	cache.c = wsSeqRaw(ws, T, U)
+	cache.ct = wsSeqRaw(ws, T, U)
+	cache.h = wsSeqRaw(ws, T, U)
+	hPrev := wsVec(ws, U)
+	cPrev := wsVec(ws, U)
 	bias := l.b.Row(0)
 	for t := 0; t < T; t++ {
-		z := make([]float64, 4*U)
-		copy(z, bias)
-		l.wx.MulVecAdd(z, x[t])
+		z := cache.gates[t]
+		l.wx.MulVecBias(z, x[t], bias)
 		l.wh.MulVecAdd(z, hPrev)
-		// Gate activations in place: σ for i, f, o; tanh for g.
-		for j := 0; j < U; j++ {
-			z[j] = sigmoid(z[j])           // i
-			z[U+j] = sigmoid(z[U+j])       // f
-			z[2*U+j] = math.Tanh(z[2*U+j]) // g
-			z[3*U+j] = sigmoid(z[3*U+j])   // o
-		}
-		c := make([]float64, U)
-		ct := make([]float64, U)
-		h := make([]float64, U)
+		// Fused gate activations in place: σ for i, f, o; tanh for g.
+		mat.GateActivations(z, U)
+		c, ct, h := cache.c[t], cache.ct[t], cache.h[t]
 		for j := 0; j < U; j++ {
 			c[j] = z[U+j]*cPrev[j] + z[j]*z[2*U+j]
 			ct[j] = math.Tanh(c[j])
 			h[j] = z[3*U+j] * ct[j]
 		}
-		cache.gates[t] = z
-		cache.c[t] = c
-		cache.ct[t] = ct
-		cache.h[t] = h
 		hPrev, cPrev = h, c
 	}
 	if l.returnSeq {
-		out := make(Seq, T)
-		for t := range out {
-			out[t] = cache.h[t]
-		}
-		return out, cache
+		return cache.h, cache
 	}
-	return Seq{cache.h[T-1]}, cache
+	out := wsHeads(ws, 1)
+	out[0] = cache.h[T-1]
+	return out, cache
 }
 
 // Backward implements Layer.
@@ -152,13 +147,14 @@ func (l *LSTM) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
 	}
 	T := len(cache.x)
 	U := l.units
+	ws := cache.ws
 	gwx, gwh, gb := grads[0], grads[1], grads[2]
 
-	dh := make([]float64, U)   // gradient flowing into h_t from the future
-	dc := make([]float64, U)   // gradient flowing into c_t from the future
-	dz := make([]float64, 4*U) // pre-activation gate gradient at step t
-	dx := newSeq(T, l.in)
-	dhRec := make([]float64, U)
+	dh := wsVec(ws, U)          // gradient flowing into h_t from the future
+	dc := wsVec(ws, U)          // gradient flowing into c_t from the future
+	dz := wsVec(ws, 4*U)        // pre-activation gate gradient at step t
+	dx := wsSeqRaw(ws, T, l.in) // every row overwritten by MulVecT
+	dhRec := wsVec(ws, U)
 
 	for t := T - 1; t >= 0; t-- {
 		// Upstream gradient for this timestep's output.

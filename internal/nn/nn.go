@@ -13,6 +13,10 @@
 //     into an externally supplied GradSet. This is what allows minibatch
 //     gradients to be computed on parallel workers, which in turn is what
 //     makes the full-size paper configuration tractable in pure Go.
+//   - Hot paths are allocation-free in steady state: a per-goroutine
+//     Workspace (Context.WS) supplies every intermediate buffer from a
+//     shape-keyed arena, so training and scoring throughput is bounded by
+//     FLOPs, not the garbage collector.
 //   - Parameters are row-major matrices (biases are 1×n), so optimizers and
 //     the federated-averaging code can treat a model as a flat []float64.
 package nn
@@ -50,6 +54,11 @@ type Context struct {
 	// RNG supplies stochasticity (dropout); must be non-nil when Train is
 	// true and the model contains stochastic layers.
 	RNG *rng.Source
+	// WS, when non-nil, supplies every intermediate buffer (layer caches,
+	// dx sequences) from a reusable arena instead of the heap. The caller
+	// owns the workspace and must call WS.Reset between samples; see the
+	// Workspace contract. Nil keeps the allocate-per-call behaviour.
+	WS *Workspace
 }
 
 // Layer is one differentiable block. Implementations must keep Forward and
@@ -109,7 +118,8 @@ func (m *Model) NumParams() int {
 	return n
 }
 
-// Predict runs inference (no dropout, no caches kept).
+// Predict runs inference (no dropout, no caches kept). Every call
+// allocates its intermediates; use PredictWS on hot paths.
 func (m *Model) Predict(x Seq) Seq {
 	ctx := Context{Train: false}
 	out := x
@@ -119,10 +129,27 @@ func (m *Model) Predict(x Seq) Seq {
 	return out
 }
 
+// PredictWS runs inference with every intermediate buffer drawn from ws,
+// which is Reset on entry: the returned sequence (and any other buffer
+// previously obtained from ws) stays valid only until the next call that
+// uses the same workspace. Allocation-free in steady state.
+func (m *Model) PredictWS(x Seq, ws *Workspace) Seq {
+	ws.Reset()
+	ctx := &ws.predictCtx
+	ctx.Train = false
+	ctx.RNG = nil
+	ctx.WS = ws
+	out := x
+	for _, l := range m.layers {
+		out, _ = l.Forward(out, ctx)
+	}
+	return out
+}
+
 // Forward runs a training-mode forward pass, returning the output and the
 // per-layer caches needed by Backward.
 func (m *Model) Forward(x Seq, ctx *Context) (Seq, []any) {
-	caches := make([]any, len(m.layers))
+	caches := wsAnys(ctx.WS, len(m.layers))
 	out := x
 	for i, l := range m.layers {
 		out, caches[i] = l.Forward(out, ctx)
@@ -220,12 +247,14 @@ func (gs *GradSet) ClipGlobalNorm(limit float64) {
 	gs.Scale(limit / n)
 }
 
-// checkSeq validates that every timestep of x has dimension d.
-func checkSeq(x Seq, d int, layer string) {
+// checkSeq validates that every timestep of x has dimension d. The layer
+// is consulted for its name only on failure, keeping the happy path free
+// of the fmt.Sprintf most Name implementations perform.
+func checkSeq(x Seq, d int, layer Layer) {
 	for t := range x {
 		if len(x[t]) != d {
 			panic(fmt.Sprintf("nn: %s expected feature dim %d, got %d at timestep %d",
-				layer, d, len(x[t]), t))
+				layer.Name(), d, len(x[t]), t))
 		}
 	}
 }

@@ -33,23 +33,30 @@ func (r *RepeatVector) OutDim() int { return r.dim }
 // Params implements Layer.
 func (r *RepeatVector) Params() []Param { return nil }
 
-// Forward implements Layer. The input must be a single timestep.
-func (r *RepeatVector) Forward(x Seq, _ *Context) (Seq, any) {
+// Forward implements Layer. The input must be a single timestep. The
+// cache is the forward pass's workspace (nil without one), which Backward
+// draws its gradient buffer from.
+func (r *RepeatVector) Forward(x Seq, ctx *Context) (Seq, any) {
 	if len(x) != 1 {
 		panic(fmt.Sprintf("nn: repeatvector expects a single timestep, got %d", len(x)))
 	}
-	checkSeq(x, r.dim, r.Name())
-	out := make(Seq, r.times)
+	checkSeq(x, r.dim, r)
+	out := wsHeads(ctx.WS, r.times)
 	for t := range out {
 		out[t] = x[0]
 	}
-	return out, nil
+	var cache any
+	if ctx.WS != nil {
+		cache = ctx.WS
+	}
+	return out, cache
 }
 
 // Backward implements Layer: gradients of all copies sum into the single
 // input vector.
-func (r *RepeatVector) Backward(_ any, dOut Seq, _ []*mat.Matrix) Seq {
-	dx := newSeq(1, r.dim)
+func (r *RepeatVector) Backward(cacheAny any, dOut Seq, _ []*mat.Matrix) Seq {
+	ws, _ := cacheAny.(*Workspace)
+	dx := wsSeq(ws, 1, r.dim)
 	for t := range dOut {
 		mat.AddVec(dx[0], dOut[t])
 	}

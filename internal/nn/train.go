@@ -159,17 +159,17 @@ func Fit(m *Model, inputs, targets []Seq, cfg TrainConfig) (History, error) {
 			idx := order[start:end]
 			loss, gs := pool.batchGrad(m, trainX, trainY, idx, cfg.Loss)
 			if cfg.ProxMu > 0 {
-				addProximal(gs, params, cfg.ProxRef, cfg.ProxMu)
+				addProximal(pool.flat, params, cfg.ProxRef, cfg.ProxMu)
 			}
 			gs.ClipGlobalNorm(cfg.ClipNorm)
-			cfg.Optimizer.Step(params, gs.Flat())
+			cfg.Optimizer.Step(params, pool.flat)
 			epochLoss += loss
 			batches++
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
 
 		if nVal > 0 {
-			vl := evalLoss(m, valX, valY, cfg.Loss)
+			vl := evalLoss(m, valX, valY, cfg.Loss, pool.wss[0])
 			hist.ValLoss = append(hist.ValLoss, vl)
 			if vl < bestVal-1e-12 {
 				bestVal = vl
@@ -197,9 +197,8 @@ func Fit(m *Model, inputs, targets []Seq, cfg TrainConfig) (History, error) {
 	return hist, nil
 }
 
-// addProximal accumulates FedProx's μ·(w − ref) into the gradients.
-func addProximal(gs *GradSet, params []*mat.Matrix, ref []float64, mu float64) {
-	flat := gs.Flat()
+// addProximal accumulates FedProx's μ·(w − ref) into the flat gradients.
+func addProximal(flat []*mat.Matrix, params []*mat.Matrix, ref []float64, mu float64) {
 	off := 0
 	for pi, p := range params {
 		g := flat[pi].Data
@@ -210,60 +209,77 @@ func addProximal(gs *GradSet, params []*mat.Matrix, ref []float64, mu float64) {
 	}
 }
 
-// evalLoss computes the mean per-sample loss without training behaviour.
-func evalLoss(m *Model, xs, ys []Seq, loss Loss) float64 {
+// evalLoss computes the mean per-sample loss without training behaviour,
+// reusing ws for every reconstruction.
+func evalLoss(m *Model, xs, ys []Seq, loss Loss, ws *Workspace) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	var sum float64
 	for i := range xs {
-		sum += loss.Value(m.Predict(xs[i]), ys[i])
+		sum += loss.Value(m.PredictWS(xs[i], ws), ys[i])
 	}
 	return sum / float64(len(xs))
 }
 
-// gradPool owns the per-worker gradient buffers and RNG sub-streams.
+// gradPool owns the per-worker gradient buffers, RNG sub-streams and
+// scratch workspaces. Every buffer a batch needs lives here, so the
+// steady-state batch loop performs no heap allocation beyond the worker
+// goroutines themselves.
 type gradPool struct {
-	grads []*GradSet
-	rngs  []*rng.Source
+	grads  []*GradSet
+	rngs   []*rng.Source
+	wss    []*Workspace
+	losses []float64
+	// flat is grads[0] (the accumulation target) flattened once, reused
+	// for every optimizer step and proximal update.
+	flat []*mat.Matrix
 }
 
 func newGradPool(m *Model, workers int, src *rng.Source) *gradPool {
 	p := &gradPool{
-		grads: make([]*GradSet, workers),
-		rngs:  make([]*rng.Source, workers),
+		grads:  make([]*GradSet, workers),
+		rngs:   make([]*rng.Source, workers),
+		wss:    make([]*Workspace, workers),
+		losses: make([]float64, workers),
 	}
 	for i := 0; i < workers; i++ {
 		p.grads[i] = m.NewGradSet()
 		p.rngs[i] = src.Split()
+		p.wss[i] = NewWorkspace()
 	}
+	p.flat = p.grads[0].Flat()
 	return p
 }
 
 // batchGrad computes the mean loss and mean gradient over the samples in
-// idx, fanning the per-sample work across the pool's workers.
+// idx, fanning the per-sample work across the pool's workers. The result
+// accumulates into p.grads[0] (aliased by p.flat).
 func (p *gradPool) batchGrad(m *Model, xs, ys []Seq, idx []int, loss Loss) (float64, *GradSet) {
 	workers := len(p.grads)
 	if workers > len(idx) {
 		workers = len(idx)
 	}
-	losses := make([]float64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		p.grads[w].Zero()
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ctx := Context{Train: true, RNG: p.rngs[w]}
+			ws := p.wss[w]
+			ctx := Context{Train: true, RNG: p.rngs[w], WS: ws}
 			var localLoss float64
 			for k := w; k < len(idx); k += workers {
 				i := idx[k]
+				ws.Reset()
 				out, caches := m.Forward(xs[i], &ctx)
-				l, dOut := loss.Eval(out, ys[i])
-				localLoss += l
+				// EvalInto overwrites every element of dOut, so the
+				// unzeroed arena form is safe.
+				dOut := ws.seqRaw(len(out), len(out[0]))
+				localLoss += loss.EvalInto(dOut, out, ys[i])
 				m.Backward(caches, dOut, p.grads[w])
 			}
-			losses[w] = localLoss
+			p.losses[w] = localLoss
 		}(w)
 	}
 	wg.Wait()
@@ -275,7 +291,7 @@ func (p *gradPool) batchGrad(m *Model, xs, ys []Seq, idx []int, loss Loss) (floa
 	inv := 1 / float64(len(idx))
 	total.Scale(inv)
 	var lossSum float64
-	for _, l := range losses {
+	for _, l := range p.losses[:workers] {
 		lossSum += l
 	}
 	return lossSum * inv, total

@@ -125,7 +125,7 @@ func TestFitRestoresBestWeights(t *testing.T) {
 	}
 	// The restored weights must reproduce the best recorded val loss.
 	nVal := int(float64(len(inputs)) * cfg.ValFrac)
-	val := evalLoss(m, inputs[len(inputs)-nVal:], targets[len(targets)-nVal:], cfg.Loss)
+	val := evalLoss(m, inputs[len(inputs)-nVal:], targets[len(targets)-nVal:], cfg.Loss, NewWorkspace())
 	best := math.Inf(1)
 	for _, v := range hist.ValLoss {
 		if v < best {

@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// wsTestModel builds the paper's autoencoder shape (every layer kind:
+// LSTM, Dropout, RepeatVector, Dense) so one model exercises the whole
+// workspace surface.
+func wsTestModel(t testing.TB, dropout float64) *Model {
+	t.Helper()
+	m, err := Build(AutoencoderSpec(6, 8, 4, dropout), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWorkspaceBitIdentical proves the arena is purely a memory
+// optimization: forward outputs, parameter gradients and input gradients
+// with a workspace are bit-for-bit those of the allocate-per-call path.
+func TestWorkspaceBitIdentical(t *testing.T) {
+	m := wsTestModel(t, 0.2)
+	r := rng.New(5)
+	x := randSeq(r, 6, 1)
+	y := randSeq(r, 6, 1)
+	loss := MSE{}
+
+	run := func(ws *Workspace, seed uint64) (Seq, *GradSet, float64) {
+		ctx := Context{Train: true, RNG: rng.New(seed), WS: ws}
+		gs := m.NewGradSet()
+		out, caches := m.Forward(x, &ctx)
+		dOut := wsSeq(ws, len(out), len(out[0]))
+		l := loss.EvalInto(dOut, out, y)
+		m.Backward(caches, dOut, gs)
+		return out, gs, l
+	}
+
+	ws := NewWorkspace()
+	// Two workspace passes (second reuses warm buffers) against the
+	// allocation path, with identical dropout streams.
+	for pass := 0; pass < 2; pass++ {
+		ws.Reset()
+		outWS, gsWS, lWS := run(ws, 77)
+		outAlloc, gsAlloc, lAlloc := run(nil, 77)
+		if lWS != lAlloc {
+			t.Fatalf("pass %d: loss %v vs %v", pass, lWS, lAlloc)
+		}
+		for ti := range outAlloc {
+			for j := range outAlloc[ti] {
+				if outWS[ti][j] != outAlloc[ti][j] {
+					t.Fatalf("pass %d: output[%d][%d] %v vs %v",
+						pass, ti, j, outWS[ti][j], outAlloc[ti][j])
+				}
+			}
+		}
+		fa, fb := gsWS.Flat(), gsAlloc.Flat()
+		for pi := range fa {
+			for k := range fa[pi].Data {
+				if fa[pi].Data[k] != fb[pi].Data[k] {
+					t.Fatalf("pass %d: grad %d[%d] %v vs %v",
+						pass, pi, k, fa[pi].Data[k], fb[pi].Data[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictWSMatchesPredict checks the inference path the autoencoder
+// scorers use.
+func TestPredictWSMatchesPredict(t *testing.T) {
+	m := wsTestModel(t, 0.2) // dropout inactive at inference
+	r := rng.New(6)
+	ws := NewWorkspace()
+	for i := 0; i < 3; i++ {
+		x := randSeq(r, 6, 1)
+		want := m.Predict(x)
+		got := m.PredictWS(x, ws)
+		for ti := range want {
+			for j := range want[ti] {
+				if got[ti][j] != want[ti][j] {
+					t.Fatalf("iter %d: [%d][%d] %v vs %v", i, ti, j, got[ti][j], want[ti][j])
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc is the tentpole's acceptance guard: after
+// warm-up, a full forward+backward training step (LSTM model and the
+// complete autoencoder) and a PredictWS call allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	r := rng.New(7)
+	lstm, err := NewLSTM(1, 50, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(lstm)
+	x := randSeq(r, 24, 1)
+	y := randSeq(r, 1, 50)
+	gs := m.NewGradSet()
+	loss := MSE{}
+	ws := NewWorkspace()
+	ctx := Context{Train: true, WS: ws}
+	step := func() {
+		ws.Reset()
+		out, caches := m.Forward(x, &ctx)
+		dOut := ws.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, y)
+		m.Backward(caches, dOut, gs)
+	}
+	step() // warm up the arena
+	if n := testing.AllocsPerRun(20, step); n != 0 {
+		t.Fatalf("LSTM forward+backward step allocates %v times in steady state", n)
+	}
+
+	ae := wsTestModel(t, 0) // dropout 0: RNG-free training pass
+	aeX := randSeq(r, 6, 1)
+	aeGS := ae.NewGradSet()
+	aeWS := NewWorkspace()
+	aeCtx := Context{Train: true, WS: aeWS}
+	aeStep := func() {
+		aeWS.Reset()
+		out, caches := ae.Forward(aeX, &aeCtx)
+		dOut := aeWS.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, aeX)
+		ae.Backward(caches, dOut, aeGS)
+	}
+	aeStep()
+	if n := testing.AllocsPerRun(20, aeStep); n != 0 {
+		t.Fatalf("autoencoder step allocates %v times in steady state", n)
+	}
+
+	predWS := NewWorkspace()
+	ae.PredictWS(aeX, predWS)
+	if n := testing.AllocsPerRun(20, func() { ae.PredictWS(aeX, predWS) }); n != 0 {
+		t.Fatalf("PredictWS allocates %v times in steady state", n)
+	}
+}
+
+// TestConcurrentFitIsolated runs two Fit calls on separate models
+// concurrently (run under -race in CI): gradPool workspaces must never be
+// shared across trainers, and each result must equal its serial baseline.
+func TestConcurrentFitIsolated(t *testing.T) {
+	build := func() (*Model, []Seq, []Seq, TrainConfig) {
+		m, err := Build(ForecasterSpec(6, 4), 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(42)
+		n := 24
+		inputs := make([]Seq, n)
+		targets := make([]Seq, n)
+		for i := range inputs {
+			inputs[i] = randSeq(r, 8, 1)
+			targets[i] = randSeq(r, 1, 1)
+		}
+		cfg := DefaultTrainConfig(2, 43)
+		cfg.BatchSize = 8
+		cfg.Workers = 2
+		return m, inputs, targets, cfg
+	}
+
+	// Serial baseline.
+	mRef, in, tg, cfg := build()
+	histRef, err := Fit(mRef, in, tg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mRef.WeightsVector()
+
+	var wg sync.WaitGroup
+	results := make([][]float64, 2)
+	hists := make([]History, 2)
+	for g := 0; g < 2; g++ {
+		mG, inG, tgG, cfgG := build()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := Fit(mG, inG, tgG, cfgG)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hists[g] = h
+			results[g] = mG.WeightsVector()
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < 2; g++ {
+		if len(results[g]) != len(ref) {
+			t.Fatalf("goroutine %d: weight count %d vs %d", g, len(results[g]), len(ref))
+		}
+		for i := range ref {
+			if results[g][i] != ref[i] {
+				t.Fatalf("goroutine %d: weight %d diverged: %v vs %v (buffer sharing?)",
+					g, i, results[g][i], ref[i])
+			}
+		}
+		if hists[g].FinalTrainLoss() != histRef.FinalTrainLoss() {
+			t.Fatalf("goroutine %d: loss %v vs %v", g, hists[g].FinalTrainLoss(), histRef.FinalTrainLoss())
+		}
+	}
+}
+
+// TestWorkspaceShapePolymorphism reuses one workspace across models of
+// different shapes — the arena must key buffers by shape, not assume one.
+func TestWorkspaceShapePolymorphism(t *testing.T) {
+	r := rng.New(9)
+	ws := NewWorkspace()
+	loss := MSE{}
+	for _, units := range []int{3, 7, 12} {
+		l, err := NewLSTM(2, units, true, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewModel(l)
+		gs := m.NewGradSet()
+		x := randSeq(r, 5, 2)
+		y := randSeq(r, 5, units)
+		ctx := Context{Train: true, WS: ws}
+		for i := 0; i < 2; i++ {
+			ws.Reset()
+			out, caches := m.Forward(x, &ctx)
+			dOut := ws.seq(len(out), len(out[0]))
+			loss.EvalInto(dOut, out, y)
+			m.Backward(caches, dOut, gs)
+		}
+		// Cross-check against the allocation-free-free path.
+		ctxA := Context{Train: true}
+		gsA := m.NewGradSet()
+		outA, cachesA := m.Forward(x, &ctxA)
+		_, dOutA := loss.Eval(outA, y)
+		m.Backward(cachesA, dOutA, gsA)
+		gs.Zero()
+		ws.Reset()
+		out, caches := m.Forward(x, &ctx)
+		dOut := ws.seq(len(out), len(out[0]))
+		loss.EvalInto(dOut, out, y)
+		m.Backward(caches, dOut, gs)
+		fa, fb := gs.Flat(), gsA.Flat()
+		for pi := range fa {
+			for k := range fa[pi].Data {
+				if fa[pi].Data[k] != fb[pi].Data[k] {
+					t.Fatalf("units=%d grad %d[%d]: %v vs %v", units, pi, k, fa[pi].Data[k], fb[pi].Data[k])
+				}
+			}
+		}
+	}
+}
