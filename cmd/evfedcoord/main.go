@@ -2,11 +2,18 @@
 // evfedstation instances, speaking the TCP federation protocol. Only
 // model weight vectors cross the network.
 //
+// Before round 1 the coordinator performs a Hello handshake with every
+// station: it learns the station's self-reported ID (used in all round
+// stats and errors) and validates that the station's model dimension
+// matches the coordinator's architecture flags.
+//
 // Usage:
 //
 //	evfedcoord -stations host1:7102,host2:7105,host3:7108 \
 //	    [-rounds 5] [-epochs 10] [-aggregator fedavg|uniform|median|trimmed] \
-//	    [-tolerate-errors] [-weights-out global.gob]
+//	    [-tolerate-errors] [-client-fraction 1.0] [-max-concurrent 0] \
+//	    [-round-deadline 0] [-io-timeout 10m] [-dial-timeout 5s] \
+//	    [-retries 2] [-retry-backoff 200ms] [-weights-out global.gob]
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/evfed/evfed/internal/fed"
 	"github.com/evfed/evfed/internal/nn"
@@ -28,33 +36,79 @@ func main() {
 
 func run() error {
 	var (
-		stations    = flag.String("stations", "", "comma-separated station addresses (required)")
-		rounds      = flag.Int("rounds", 5, "federated rounds")
-		epochs      = flag.Int("epochs", 10, "local epochs per round")
-		batch       = flag.Int("batch", 32, "local batch size")
-		lr          = flag.Float64("lr", 0.001, "local learning rate")
-		lstmUnits   = flag.Int("lstm-units", 50, "forecaster LSTM units (must match stations)")
-		denseHidden = flag.Int("dense-hidden", 10, "forecaster dense hidden units (must match stations)")
-		aggregator  = flag.String("aggregator", "fedavg", "aggregation rule: fedavg, uniform, median, trimmed")
-		tolerate    = flag.Bool("tolerate-errors", false, "treat station errors as round dropouts")
-		proximalMu  = flag.Float64("proximal-mu", 0, "FedProx proximal coefficient (0 = plain FedAvg)")
-		dpClip      = flag.Float64("dp-clip", 0, "differential-privacy update clip norm (0 = off)")
-		dpNoise     = flag.Float64("dp-noise", 0, "differential-privacy Gaussian noise std (requires -dp-clip)")
-		seed        = flag.Uint64("seed", 1, "global model seed")
-		weightsOut  = flag.String("weights-out", "", "write the final global weights (gob) here")
+		stations     = flag.String("stations", "", "comma-separated station addresses (required)")
+		rounds       = flag.Int("rounds", 5, "federated rounds")
+		epochs       = flag.Int("epochs", 10, "local epochs per round")
+		batch        = flag.Int("batch", 32, "local batch size")
+		lr           = flag.Float64("lr", 0.001, "local learning rate")
+		lstmUnits    = flag.Int("lstm-units", 50, "forecaster LSTM units (must match stations)")
+		denseHidden  = flag.Int("dense-hidden", 10, "forecaster dense hidden units (must match stations)")
+		aggregator   = flag.String("aggregator", "fedavg", "aggregation rule: fedavg, uniform, median, trimmed")
+		tolerate     = flag.Bool("tolerate-errors", false, "treat station errors as round dropouts")
+		clientFrac   = flag.Float64("client-fraction", 1, "fraction of stations sampled per round (McMahan's C; 1 = all)")
+		maxConc      = flag.Int("max-concurrent", 0, "max stations training concurrently (0 = all selected)")
+		roundDL      = flag.Duration("round-deadline", 0, "per-round wall-clock budget; stragglers are dropped (0 = none)")
+		dialTimeout  = flag.Duration("dial-timeout", 5*time.Second, "per-attempt TCP dial timeout")
+		ioTimeout    = flag.Duration("io-timeout", 10*time.Minute, "per-call response deadline, including remote training time (0 = none)")
+		retries      = flag.Int("retries", 2, "retries after transient dial/IO failures")
+		retryBackoff = flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		proximalMu   = flag.Float64("proximal-mu", 0, "FedProx proximal coefficient (0 = plain FedAvg)")
+		dpClip       = flag.Float64("dp-clip", 0, "differential-privacy update clip norm (0 = off)")
+		dpNoise      = flag.Float64("dp-noise", 0, "differential-privacy Gaussian noise std (requires -dp-clip)")
+		seed         = flag.Uint64("seed", 1, "global model seed")
+		weightsOut   = flag.String("weights-out", "", "write the final global weights (gob) here")
 	)
 	flag.Parse()
 	if *stations == "" {
 		return fmt.Errorf("-stations is required")
 	}
 
+	newRemote := func(id, addr string) *fed.RemoteClient {
+		rc := fed.NewRemoteClient(id, addr)
+		rc.DialTimeout = *dialTimeout
+		rc.ReadTimeout = *ioTimeout
+		rc.MaxRetries = *retries
+		rc.RetryBackoff = *retryBackoff
+		return rc
+	}
+
+	spec := nn.ForecasterSpec(*lstmUnits, *denseHidden)
+	wantDim, err := modelDim(spec, *seed)
+	if err != nil {
+		return err
+	}
+
+	// Hello handshake: resolve each station's real identity so round stats
+	// and errors name stations rather than addresses, and reject model
+	// mismatches before any training happens. This pass is ID discovery
+	// only, so it skips the retry ladder — the coordinator's preflight
+	// revalidates every handle (with retries) before round 1.
 	var handles []fed.ClientHandle
 	for _, addr := range strings.Split(*stations, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		handles = append(handles, fed.NewRemoteClient(addr, addr))
+		probe := newRemote(addr, addr)
+		probe.MaxRetries = 0
+		info, err := probe.Hello()
+		switch {
+		case err != nil && *tolerate:
+			// Unreachable now; keep a fresh handle (addressed by addr, with
+			// the configured retries) so the station can join mid-run once
+			// it comes back.
+			fmt.Fprintf(os.Stderr, "evfedcoord: station %s unreachable at startup (%v); continuing\n", addr, err)
+			handles = append(handles, newRemote(addr, addr))
+			continue
+		case err != nil:
+			return fmt.Errorf("probe %s: %w", addr, err)
+		case info.ModelDim != wantDim:
+			return fmt.Errorf("%w: station %s (%s) serves a %d-parameter model, coordinator expects %d — check -lstm-units/-dense-hidden",
+				fed.ErrDimMismatch, info.StationID, addr, info.ModelDim, wantDim)
+		}
+		fmt.Printf("station %s at %s: %d private samples, %d-dim model\n",
+			info.StationID, addr, info.NumSamples, info.ModelDim)
+		handles = append(handles, newRemote(info.StationID, addr))
 	}
 	if len(handles) == 0 {
 		return fmt.Errorf("no station addresses parsed from %q", *stations)
@@ -64,7 +118,6 @@ func run() error {
 		return err
 	}
 
-	spec := nn.ForecasterSpec(*lstmUnits, *denseHidden)
 	cfg := fed.Config{
 		Rounds:               *rounds,
 		EpochsPerRound:       *epochs,
@@ -72,6 +125,9 @@ func run() error {
 		LearningRate:         *lr,
 		Seed:                 *seed,
 		Parallel:             true,
+		MaxConcurrentClients: *maxConc,
+		ClientFraction:       *clientFrac,
+		RoundDeadline:        *roundDL,
 		Aggregator:           agg,
 		TolerateClientErrors: *tolerate,
 		ProximalMu:           *proximalMu,
@@ -89,10 +145,18 @@ func run() error {
 	}
 	for _, rs := range res.Rounds {
 		fmt.Printf("round %d: %d participants", rs.Round+1, len(rs.Participants))
+		if len(rs.Selected) < len(handles) {
+			fmt.Printf(" (of %d sampled)", len(rs.Selected))
+		}
 		if len(rs.Dropped) > 0 {
 			fmt.Printf(", %d dropped (%s)", len(rs.Dropped), strings.Join(rs.Dropped, ", "))
 		}
 		fmt.Printf(", weighted loss %.6f, %.2fs\n", rs.MeanLoss, rs.WallSeconds)
+		for _, id := range rs.Dropped {
+			if reason, ok := rs.Errors[id]; ok {
+				fmt.Printf("  dropped %s: %s\n", id, reason)
+			}
+		}
 	}
 	fmt.Printf("done: %.1fs wall clock, %.1fs total client compute\n", res.WallSeconds, res.ClientSeconds)
 
@@ -112,4 +176,12 @@ func run() error {
 		fmt.Printf("global weights written to %s\n", *weightsOut)
 	}
 	return nil
+}
+
+func modelDim(spec nn.Spec, seed uint64) (int, error) {
+	m, err := nn.Build(spec, seed)
+	if err != nil {
+		return 0, err
+	}
+	return m.NumParams(), nil
 }

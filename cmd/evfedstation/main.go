@@ -3,10 +3,17 @@
 // scales it locally, and serves local-training requests from a
 // coordinator (cmd/evfedcoord). Raw data never leaves the process.
 //
+// The station answers three request kinds from the coordinator: a Hello
+// handshake (identity + model dimension), a NumSamples probe, and full
+// local-training calls. -request-timeout bounds reading a request and
+// writing its response, so half-open coordinator connections cannot pin
+// handler goroutines.
+//
 // Usage:
 //
 //	evfedstation -id station-102 -data z102.csv -listen 0.0.0.0:7102 \
-//	    [-seq-len 24] [-lstm-units 50] [-dense-hidden 10] [-train-frac 0.8]
+//	    [-seq-len 24] [-lstm-units 50] [-dense-hidden 10] [-train-frac 0.8] \
+//	    [-request-timeout 1m]
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/evfed/evfed/internal/dataset"
 	"github.com/evfed/evfed/internal/fed"
@@ -40,6 +48,7 @@ func run() error {
 		denseHidden = flag.Int("dense-hidden", 10, "forecaster dense hidden units")
 		trainFrac   = flag.Float64("train-frac", 0.8, "fraction of the series used for training")
 		seed        = flag.Uint64("seed", 1, "local model seed")
+		reqTimeout  = flag.Duration("request-timeout", time.Minute, "deadline for reading a request / writing a response (0 = none)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -70,7 +79,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := fed.ServeClient(client, *listen)
+	srv, err := fed.ServeClientConfig(client, *listen, fed.ServerConfig{RequestTimeout: *reqTimeout})
 	if err != nil {
 		return err
 	}

@@ -214,8 +214,30 @@ type FederatedClient = fed.Client
 // ClientHandle abstracts in-process and remote clients.
 type ClientHandle = fed.ClientHandle
 
-// FederatedConfig controls a federated run.
+// FederatedConfig controls a federated run, including the production
+// runtime knobs: MaxConcurrentClients bounds the coordinator's per-round
+// fan-out, ClientFraction samples a McMahan C-fraction of stations per
+// round, RoundDeadline cuts off stragglers, and TolerateClientErrors
+// turns station failures into round dropouts.
 type FederatedConfig = fed.Config
+
+// FederatedResult is the outcome of a federated run (final global
+// weights plus per-round diagnostics).
+type FederatedResult = fed.RunResult
+
+// FederatedRoundStat is one round's diagnostics: the sampled station
+// set, the participants whose updates were aggregated, and the dropped
+// stations.
+type FederatedRoundStat = fed.RoundStat
+
+// StationHello is the identity a station reports during the transport's
+// Hello handshake: its ID, weight-vector dimension and sample count. The
+// coordinator uses it to validate compatibility before round 1.
+type StationHello = fed.HelloInfo
+
+// FederatedServerConfig tunes a served client's connection lifecycle
+// (request read/response write deadlines).
+type FederatedServerConfig = fed.ServerConfig
 
 // NewFederatedClient builds a client over scaled series values with the
 // paper's forecaster architecture (LSTM units → Dense hidden → Dense 1).
@@ -234,12 +256,23 @@ func RunFederation(clients []ClientHandle, lstmUnits, denseHidden int, cfg Feder
 }
 
 // ServeFederatedClient exposes a client over TCP for distributed
-// deployments; returns the running server (Stop releases the listener).
+// deployments; returns the running server (Stop releases the listener
+// and aborts in-flight connections).
 func ServeFederatedClient(c *FederatedClient, addr string) (*fed.ClientServer, error) {
 	return fed.ServeClient(c, addr)
 }
 
-// NewRemoteClient builds a TCP handle for a served client.
+// ServeFederatedClientConfig exposes a client over TCP with explicit
+// connection-lifecycle configuration (request deadlines).
+func ServeFederatedClientConfig(c *FederatedClient, addr string, scfg FederatedServerConfig) (*fed.ClientServer, error) {
+	return fed.ServeClientConfig(c, addr, scfg)
+}
+
+// NewRemoteClient builds a TCP handle for a served client. The returned
+// handle carries production-leaning defaults for dial timeout, per-call
+// read/write deadlines and transient-failure retries; adjust its exported
+// fields before use to tune them. Its Hello method performs the identity
+// handshake with the station.
 func NewRemoteClient(id, addr string) *fed.RemoteClient {
 	return fed.NewRemoteClient(id, addr)
 }

@@ -53,6 +53,14 @@ type Params struct {
 	// Workers bounds gradient parallelism per trainer (0 = GOMAXPROCS).
 	Workers int
 
+	// ClientFraction optionally samples a McMahan C-fraction of clients
+	// per federated round (0 or 1 = all clients participate every round).
+	// Large federations use this to keep per-round cost flat.
+	ClientFraction float64
+	// MaxConcurrentClients bounds the federated coordinator's per-round
+	// training fan-out (0 = one goroutine per selected client).
+	MaxConcurrentClients int
+
 	// CentralizedRaw feeds the centralized baseline raw pooled kWh values,
 	// the paper's literal §II-C1 protocol ("reshaped combined sequences
 	// from all clients, processed jointly ... without preprocessing").
@@ -136,6 +144,10 @@ func (p Params) validate() error {
 		return fmt.Errorf("%w: model dims %d/%d/%d", ErrBadParams, p.SeqLen, p.LSTMUnits, p.DenseHidden)
 	case p.Rounds <= 0 || p.EpochsPerRound <= 0 || p.BatchSize <= 0 || p.LearningRate <= 0:
 		return fmt.Errorf("%w: training schedule", ErrBadParams)
+	case p.ClientFraction < 0 || p.ClientFraction > 1:
+		return fmt.Errorf("%w: client fraction %v", ErrBadParams, p.ClientFraction)
+	case p.MaxConcurrentClients < 0:
+		return fmt.Errorf("%w: max concurrent clients %d", ErrBadParams, p.MaxConcurrentClients)
 	}
 	return nil
 }

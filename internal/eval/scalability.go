@@ -12,13 +12,18 @@ import (
 type ScalabilityPoint struct {
 	// Clients is the federation size.
 	Clients int
+	// MeanParticipants is the average number of clients that contributed
+	// an update per round (equals Clients with sampling off).
+	MeanParticipants float64
 	// WallSeconds is the federated run's wall-clock time (parallel
 	// client training).
 	WallSeconds float64
 	// ClientSeconds is the summed client compute (sequential-equivalent).
 	ClientSeconds float64
 	// MeanR2 is the mean per-client test R² of the locally specialized
-	// models.
+	// models. With client sampling enabled, only clients that trained in
+	// at least one round are scored — an unsampled client's model never
+	// left its random initialization.
 	MeanR2 float64
 }
 
@@ -26,6 +31,11 @@ type ScalabilityPoint struct {
 // 331-zone pool, quantifying the paper's §III-F scalability claim: with
 // parallel stations, wall-clock time should stay roughly flat as the
 // federation grows, while sequential-equivalent compute grows linearly.
+//
+// With p.ClientFraction < 1 the sweep exercises FedAvg client sampling:
+// each round trains a deterministic seeded C-fraction of the federation
+// (bounded by p.MaxConcurrentClients), so per-round cost stays flat even
+// as the federation grows into the hundreds.
 func RunScalability(clientCounts []int, p Params) ([]ScalabilityPoint, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -38,25 +48,43 @@ func RunScalability(clientCounts []int, p Params) ([]ScalabilityPoint, error) {
 		values := make([][]float64, 0, n)
 		zones := make([]string, 0, n)
 		for i := 0; i < n; i++ {
-			zoneID := 100 + i*3 // spread across the zone pool
+			zoneID := 100 + (i*3)%231 // spread across the zone pool
 			prof, err := dataset.ProfileForZone(zoneID)
 			if err != nil {
 				return nil, err
 			}
-			gen, err := dataset.Generate(dataset.Config{Profile: prof, Hours: p.Hours, Seed: p.Seed})
+			gen, err := dataset.Generate(dataset.Config{Profile: prof, Hours: p.Hours, Seed: p.Seed + uint64(i)})
 			if err != nil {
 				return nil, err
 			}
 			values = append(values, gen.Series.Values)
-			zones = append(zones, prof.Zone)
+			zones = append(zones, fmt.Sprintf("%s#%d", prof.Zone, i))
 		}
 		res, err := RunFederated("scalability", values, values, zones, p)
 		if err != nil {
 			return nil, err
 		}
+		// Score only clients that trained at least once; with sampling off
+		// that is everyone.
+		participated := make(map[string]bool)
+		var participantRounds int
+		for _, rs := range res.Rounds {
+			participantRounds += len(rs.Participants)
+			for _, id := range rs.Participants {
+				participated[id] = true
+			}
+		}
 		var sumR2 float64
-		for _, m := range res.PerClient {
+		var scored int
+		for i, m := range res.PerClient {
+			if !participated[zones[i]] {
+				continue
+			}
 			sumR2 += m.R2
+			scored++
+		}
+		if scored == 0 {
+			return nil, fmt.Errorf("%w: no client participated in any round", ErrBadParams)
 		}
 		// Recover client compute from a fresh coordinator run result is
 		// not exposed by ScenarioResult; re-derive the sequential cost as
@@ -66,17 +94,19 @@ func RunScalability(clientCounts []int, p Params) ([]ScalabilityPoint, error) {
 			return nil, err
 		}
 		out = append(out, ScalabilityPoint{
-			Clients:       n,
-			WallSeconds:   res.TrainSeconds,
-			ClientSeconds: seq,
-			MeanR2:        sumR2 / float64(len(res.PerClient)),
+			Clients:          n,
+			MeanParticipants: float64(participantRounds) / float64(len(res.Rounds)),
+			WallSeconds:      res.TrainSeconds,
+			ClientSeconds:    seq,
+			MeanR2:           sumR2 / float64(scored),
 		})
 	}
 	return out, nil
 }
 
 // sequentialCost measures the summed client-reported training time of one
-// federated run over the given clients.
+// federated run over the given clients (under the same sampling and
+// concurrency configuration as the measured run).
 func sequentialCost(clientValues [][]float64, zones []string, p Params) (float64, error) {
 	frames, err := buildFrames(clientValues, clientValues, p)
 	if err != nil {
@@ -92,13 +122,15 @@ func sequentialCost(clientValues [][]float64, zones []string, p Params) (float64
 		handles[i] = c
 	}
 	cfg := fed.Config{
-		Rounds:           p.Rounds,
-		EpochsPerRound:   p.EpochsPerRound,
-		BatchSize:        p.BatchSize,
-		LearningRate:     p.LearningRate,
-		Seed:             p.Seed,
-		Parallel:         true,
-		WorkersPerClient: p.Workers,
+		Rounds:               p.Rounds,
+		EpochsPerRound:       p.EpochsPerRound,
+		BatchSize:            p.BatchSize,
+		LearningRate:         p.LearningRate,
+		Seed:                 p.Seed,
+		Parallel:             true,
+		WorkersPerClient:     p.Workers,
+		ClientFraction:       p.ClientFraction,
+		MaxConcurrentClients: p.MaxConcurrentClients,
 	}
 	co, err := fed.NewCoordinator(spec, handles, cfg)
 	if err != nil {
@@ -114,10 +146,10 @@ func sequentialCost(clientValues [][]float64, zones []string, p Params) (float64
 // FormatScalability renders the sweep as a table.
 func FormatScalability(points []ScalabilityPoint) string {
 	out := "Scalability: federation size vs training cost\n"
-	out += fmt.Sprintf("%-8s %12s %15s %10s\n", "Clients", "Wall (s)", "Client CPU (s)", "Mean R2")
+	out += fmt.Sprintf("%-8s %12s %12s %15s %10s\n", "Clients", "Avg part.", "Wall (s)", "Client CPU (s)", "Mean R2")
 	for _, pt := range points {
-		out += fmt.Sprintf("%-8d %12.2f %15.2f %10.4f\n",
-			pt.Clients, pt.WallSeconds, pt.ClientSeconds, pt.MeanR2)
+		out += fmt.Sprintf("%-8d %12.1f %12.2f %15.2f %10.4f\n",
+			pt.Clients, pt.MeanParticipants, pt.WallSeconds, pt.ClientSeconds, pt.MeanR2)
 	}
 	return out
 }

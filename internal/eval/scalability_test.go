@@ -34,6 +34,45 @@ func TestRunScalability(t *testing.T) {
 	}
 }
 
+// TestRunScalabilitySampled sweeps a 50-station federation with McMahan
+// C-fraction sampling and a bounded coordinator pool: per-round cost is
+// paid for 10 stations, not 50, which is what keeps wall-clock flat as
+// federations grow.
+func TestRunScalabilitySampled(t *testing.T) {
+	p := QuickParams(9)
+	p.Hours = 400
+	p.Rounds = 2
+	p.EpochsPerRound = 1
+	p.LSTMUnits = 6
+	p.DenseHidden = 3
+	p.ClientFraction = 0.2
+	p.MaxConcurrentClients = 8
+	points, err := RunScalability([]int{50}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("%d points", len(points))
+	}
+	pt := points[0]
+	if pt.Clients != 50 {
+		t.Fatalf("clients %d", pt.Clients)
+	}
+	if pt.MeanParticipants != 10 {
+		t.Fatalf("mean participants %v, want 10 (C=0.2 of 50)", pt.MeanParticipants)
+	}
+	if pt.WallSeconds <= 0 || pt.ClientSeconds <= 0 {
+		t.Fatalf("non-positive timing: %+v", pt)
+	}
+	if pt.MeanR2 != pt.MeanR2 { // NaN guard
+		t.Fatalf("MeanR2 is NaN: %+v", pt)
+	}
+	table := FormatScalability(points)
+	if !strings.Contains(table, "Avg part.") {
+		t.Fatalf("table missing participants column:\n%s", table)
+	}
+}
+
 func TestRunScalabilityValidation(t *testing.T) {
 	p := QuickParams(1)
 	if _, err := RunScalability([]int{0}, p); err == nil {

@@ -32,6 +32,10 @@ type ScenarioResult struct {
 	PerClient []metrics.Regression
 	// TrainSeconds is the wall-clock training time.
 	TrainSeconds float64
+	// Rounds carries the federated run's per-round diagnostics (nil for
+	// the centralized arm). With client sampling enabled it records which
+	// clients were selected and which actually participated.
+	Rounds []fed.RoundStat
 }
 
 // clientFrame is one client's scaled train/eval data plus the scaler for
@@ -144,13 +148,15 @@ func RunFederated(scenario string, clientValues, cleanValues [][]float64, zones 
 		handles[i] = c
 	}
 	cfg := fed.Config{
-		Rounds:           p.Rounds,
-		EpochsPerRound:   p.EpochsPerRound,
-		BatchSize:        p.BatchSize,
-		LearningRate:     p.LearningRate,
-		Seed:             p.Seed,
-		Parallel:         true,
-		WorkersPerClient: p.Workers,
+		Rounds:               p.Rounds,
+		EpochsPerRound:       p.EpochsPerRound,
+		BatchSize:            p.BatchSize,
+		LearningRate:         p.LearningRate,
+		Seed:                 p.Seed,
+		Parallel:             true,
+		WorkersPerClient:     p.Workers,
+		ClientFraction:       p.ClientFraction,
+		MaxConcurrentClients: p.MaxConcurrentClients,
 	}
 	co, err := fed.NewCoordinator(spec, handles, cfg)
 	if err != nil {
@@ -164,6 +170,7 @@ func RunFederated(scenario string, clientValues, cleanValues [][]float64, zones 
 		Scenario:     scenario,
 		Arch:         Federated,
 		TrainSeconds: run.WallSeconds,
+		Rounds:       run.Rounds,
 	}
 	for i, f := range frames {
 		// Each client is scored with its locally specialized model (the

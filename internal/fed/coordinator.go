@@ -2,6 +2,8 @@ package fed
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,11 +21,29 @@ type Config struct {
 	BatchSize int
 	// LearningRate feeds each client's Adam optimizer (paper: 1e-3).
 	LearningRate float64
-	// Seed initializes the global model and drives failure injection.
+	// Seed initializes the global model and drives failure injection and
+	// client sampling.
 	Seed uint64
 	// Parallel trains clients concurrently within a round (the deployment
 	// reality the paper's training-time comparison reflects).
 	Parallel bool
+	// MaxConcurrentClients bounds the per-round training fan-out when
+	// Parallel is set: at most this many clients train at once, the rest
+	// queue on a worker pool. 0 = one goroutine per selected client (the
+	// small-federation default; large federations should bound this so
+	// the coordinator does not open hundreds of simultaneous network
+	// calls).
+	MaxConcurrentClients int
+	// ClientFraction is McMahan's C: each round a deterministic seeded
+	// subset of max(1, round(C·N)) clients is selected to train, the rest
+	// sit the round out. 0 or 1 = every client participates every round.
+	ClientFraction float64
+	// RoundDeadline bounds one round's wall clock. Clients that have not
+	// returned by the deadline are abandoned for the round and counted as
+	// errors (dropped under TolerateClientErrors, fatal otherwise). Their
+	// goroutines are not cancelled — Go cannot interrupt CPU-bound local
+	// training — but their late results are discarded. 0 = no deadline.
+	RoundDeadline time.Duration
 	// WorkersPerClient bounds gradient parallelism inside each client.
 	WorkersPerClient int
 	// Privacy optionally privatizes every client's update delta before it
@@ -37,10 +57,11 @@ type Config struct {
 	// (median, trimmed mean) defend against poisoned model updates.
 	Aggregator Aggregator
 	// TolerateClientErrors treats a client error (crash, unreachable
-	// station, bad update) as a dropout for that round instead of aborting
-	// the federation — the behaviour a production deployment wants, since
-	// "the distributed architecture enables continued operation even when
-	// individual nodes experience downtime" (paper §III-F).
+	// station, bad update, blown deadline) as a dropout for that round
+	// instead of aborting the federation — the behaviour a production
+	// deployment wants, since "the distributed architecture enables
+	// continued operation even when individual nodes experience downtime"
+	// (paper §III-F).
 	TolerateClientErrors bool
 	// Failures optionally injects client failures (see FailurePlan).
 	Failures *FailurePlan
@@ -68,6 +89,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: batch size %d", ErrBadConfig, c.BatchSize)
 	case c.LearningRate <= 0:
 		return fmt.Errorf("%w: learning rate %v", ErrBadConfig, c.LearningRate)
+	case c.MaxConcurrentClients < 0:
+		return fmt.Errorf("%w: max concurrent clients %d", ErrBadConfig, c.MaxConcurrentClients)
+	case c.ClientFraction < 0 || c.ClientFraction > 1:
+		return fmt.Errorf("%w: client fraction %v", ErrBadConfig, c.ClientFraction)
+	case c.RoundDeadline < 0:
+		return fmt.Errorf("%w: round deadline %v", ErrBadConfig, c.RoundDeadline)
 	}
 	if err := c.Privacy.validate(); err != nil {
 		return err
@@ -104,10 +131,19 @@ type FailurePlan struct {
 type RoundStat struct {
 	// Round is the 0-based round index.
 	Round int
+	// Selected lists the client IDs sampled into the round (in client
+	// order). With ClientFraction unset it is every client.
+	Selected []string
 	// Participants lists client IDs whose updates were aggregated.
 	Participants []string
-	// Dropped lists client IDs that failed the round.
+	// Dropped lists client IDs that were selected but failed the round
+	// (injected dropout, error, or blown deadline).
 	Dropped []string
+	// Errors maps a dropped client ID to the tolerated error that
+	// dropped it, so persistent failures (an unreachable station, a
+	// misconfigured model) stay visible instead of degrading silently.
+	// Injected dropouts carry no entry.
+	Errors map[string]string
 	// MeanLoss is the participant-weighted mean of final local losses.
 	MeanLoss float64
 	// WallSeconds is the round's wall-clock duration.
@@ -145,16 +181,81 @@ func NewCoordinator(spec nn.Spec, clients []ClientHandle, cfg Config) (*Coordina
 	return &Coordinator{spec: spec, clients: clients, cfg: cfg}, nil
 }
 
+// sampleSize returns the per-round participant count for n clients.
+func (co *Coordinator) sampleSize(n int) int {
+	f := co.cfg.ClientFraction
+	if f <= 0 || f >= 1 {
+		return n
+	}
+	k := int(math.Round(f * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// preflight runs the Hello handshake against every client handle that
+// supports it, verifying model-dimension compatibility before round 1. A
+// station whose weight vector cannot be aggregated is a configuration bug
+// and always fatal; an unreachable station is fatal only without
+// TolerateClientErrors (with tolerance it simply drops out of rounds).
+// A station that is unreachable at preflight and later joins with an
+// incompatible model is not retro-validated: its Train calls fail every
+// round and the reason is recorded in RoundStat.Errors.
+func (co *Coordinator) preflight(wantDim int) error {
+	// Handshakes run concurrently: a sequential sweep would pay each
+	// unreachable station's full dial/retry ladder back to back, turning
+	// a few dead stations into minutes of startup delay.
+	errs := make([]error, len(co.clients))
+	var wg sync.WaitGroup
+	for idx, c := range co.clients {
+		p, ok := c.(Prober)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, id string, p Prober) {
+			defer wg.Done()
+			info, err := p.Hello()
+			switch {
+			case err != nil:
+				if !co.cfg.TolerateClientErrors {
+					errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
+				}
+			case info.ModelDim != wantDim:
+				errs[idx] = fmt.Errorf("%w: station %s has %d parameters, coordinator expects %d",
+					ErrDimMismatch, info.StationID, info.ModelDim, wantDim)
+			}
+		}(idx, c.ID(), p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes the federated protocol: initialize a global model from the
-// shared spec, then for each round broadcast the global weights, train
-// locally on every (surviving) client, and FedAvg the updates.
+// shared spec, validate station compatibility, then for each round sample
+// the participating clients, broadcast the global weights, train locally
+// on every (surviving) selected client under the concurrency bound and
+// round deadline, and FedAvg the updates.
 func (co *Coordinator) Run() (*RunResult, error) {
 	globalModel, err := nn.Build(co.spec, co.cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("fed: build global model: %w", err)
 	}
 	global := globalModel.WeightsVector()
+	if err := co.preflight(len(global)); err != nil {
+		return nil, err
+	}
 	failRNG := rng.New(co.cfg.Seed ^ 0xfa11)
+	sampleRNG := rng.New(co.cfg.Seed ^ 0x5a3c7e11)
 
 	res := &RunResult{}
 	start := time.Now()
@@ -162,8 +263,10 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		roundStart := time.Now()
 		stat := RoundStat{Round: round}
 
-		// Failure injection decisions are drawn up front so they are
-		// deterministic regardless of client scheduling.
+		// Sampling and failure-injection decisions are drawn up front, in
+		// client order, so they are deterministic regardless of client
+		// scheduling.
+		selected := co.sampleRound(sampleRNG)
 		dropped := make([]bool, len(co.clients))
 		delayed := make([]bool, len(co.clients))
 		if f := co.cfg.Failures; f != nil {
@@ -171,6 +274,9 @@ func (co *Coordinator) Run() (*RunResult, error) {
 				dropped[i] = failRNG.Bernoulli(f.DropoutProb)
 				delayed[i] = failRNG.Bernoulli(f.StragglerProb)
 			}
+		}
+		for _, i := range selected {
+			stat.Selected = append(stat.Selected, co.clients[i].ID())
 		}
 
 		ltc := LocalTrainConfig{
@@ -184,6 +290,10 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		}
 		updates := make([]*Update, len(co.clients))
 		errs := make([]error, len(co.clients))
+		// Stragglers abandoned at the round deadline keep running into
+		// later rounds; they must read this round's broadcast snapshot,
+		// not the coordinator's live global variable.
+		roundGlobal := global
 		trainOne := func(i int) {
 			if dropped[i] {
 				return
@@ -191,53 +301,54 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			if delayed[i] && co.cfg.Failures != nil {
 				time.Sleep(co.cfg.Failures.StragglerDelay)
 			}
-			u, err := co.clients[i].Train(global, ltc)
+			u, err := co.clients[i].Train(roundGlobal, ltc)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			updates[i] = &u
 		}
-		if co.cfg.Parallel {
-			var wg sync.WaitGroup
-			for i := range co.clients {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					trainOne(i)
-				}(i)
-			}
-			wg.Wait()
-		} else {
-			for i := range co.clients {
-				trainOne(i)
-			}
-		}
+		finished := co.runSelected(selected, trainOne, roundStart)
 
 		var live []Update
 		var lossSum float64
 		var sampleSum int
-		for i, u := range updates {
+		dropWithError := func(id string, err error) {
+			stat.Dropped = append(stat.Dropped, id)
+			if stat.Errors == nil {
+				stat.Errors = make(map[string]string)
+			}
+			stat.Errors[id] = err.Error()
+		}
+		for _, i := range selected {
 			id := co.clients[i].ID()
 			switch {
 			case dropped[i]:
 				stat.Dropped = append(stat.Dropped, id)
+			case !finished[i]:
+				// The client blew the round deadline; its slot is never
+				// read (the straggler goroutine may still be writing it).
+				if !co.cfg.TolerateClientErrors {
+					return nil, fmt.Errorf("fed: round %d: client %s: %w",
+						round, id, ErrRoundDeadline)
+				}
+				dropWithError(id, ErrRoundDeadline)
 			case errs[i] != nil:
 				if !co.cfg.TolerateClientErrors {
 					return nil, fmt.Errorf("fed: round %d: %w", round, errs[i])
 				}
-				stat.Dropped = append(stat.Dropped, id)
-			case u != nil:
-				live = append(live, *u)
+				dropWithError(id, errs[i])
+			case updates[i] != nil:
+				live = append(live, *updates[i])
 				stat.Participants = append(stat.Participants, id)
-				lossSum += u.FinalLoss * float64(u.NumSamples)
-				sampleSum += u.NumSamples
-				res.ClientSeconds += u.TrainSeconds
+				lossSum += updates[i].FinalLoss * float64(updates[i].NumSamples)
+				sampleSum += updates[i].NumSamples
+				res.ClientSeconds += updates[i].TrainSeconds
 			}
 		}
 		if len(live) == 0 {
-			// Every client failed this round: keep the previous global
-			// model and move on — the distributed system degrades
+			// Every selected client failed this round: keep the previous
+			// global model and move on — the distributed system degrades
 			// gracefully instead of aborting (paper §III-F).
 			stat.WallSeconds = time.Since(roundStart).Seconds()
 			res.Rounds = append(res.Rounds, stat)
@@ -268,6 +379,133 @@ func (co *Coordinator) Run() (*RunResult, error) {
 	res.Global = global
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// sampleRound draws the round's participant indices (sorted, so
+// aggregation order stays fixed by client index). With ClientFraction
+// unset no RNG state is consumed and every client is selected.
+func (co *Coordinator) sampleRound(sampleRNG *rng.Source) []int {
+	n := len(co.clients)
+	k := co.sampleSize(n)
+	if k == n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	sel := sampleRNG.Perm(n)[:k]
+	sort.Ints(sel)
+	return sel
+}
+
+// runSelected trains the selected clients under the configured
+// concurrency bound and round deadline. It returns finished[i] == true
+// for every client whose trainOne call completed before the deadline;
+// the updates/errs slots of unfinished clients must not be read.
+func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStart time.Time) []bool {
+	finished := make([]bool, len(co.clients))
+	deadline := co.cfg.RoundDeadline
+
+	if !co.cfg.Parallel {
+		if deadline <= 0 {
+			for _, i := range selected {
+				trainOne(i)
+				finished[i] = true
+			}
+			return finished
+		}
+		// Sequential order is preserved, but each client runs in a
+		// goroutine so an in-flight hung call can still be abandoned
+		// when the round deadline fires.
+		timer := time.NewTimer(deadline - time.Since(roundStart))
+		defer timer.Stop()
+		for _, i := range selected {
+			ch := make(chan struct{})
+			go func(i int) {
+				trainOne(i)
+				close(ch)
+			}(i)
+			select {
+			case <-ch:
+				finished[i] = true
+			case <-timer.C:
+				// If the client completed in the same instant the timer
+				// fired, keep its result instead of discarding real work.
+				select {
+				case <-ch:
+					finished[i] = true
+				default:
+				}
+				return finished // abandon the in-flight client and the rest
+			}
+		}
+		return finished
+	}
+
+	workers := co.cfg.MaxConcurrentClients
+	if workers <= 0 || workers > len(selected) {
+		workers = len(selected)
+	}
+	sem := make(chan struct{}, workers)
+	// done is buffered so abandoned stragglers can report and exit
+	// instead of leaking on a blocked send after the deadline fires.
+	done := make(chan int, len(selected))
+	// cancel keeps queued workers from starting stale Train calls after
+	// the deadline has already cut the round off: a hung station pinning
+	// every pool slot would otherwise cascade — the queued calls would
+	// run to completion into later rounds, serialize behind the next
+	// round's call to the same client, and blow its deadline too.
+	// Workers parked on the semaphore exit immediately on cancel rather
+	// than leaking until a slot frees.
+	cancel := make(chan struct{})
+	for _, i := range selected {
+		go func(i int) {
+			select {
+			case sem <- struct{}{}:
+			case <-cancel:
+				return
+			}
+			defer func() { <-sem }()
+			select {
+			case <-cancel:
+				return
+			default:
+			}
+			trainOne(i)
+			done <- i
+		}(i)
+	}
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline - time.Since(roundStart))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for remaining := len(selected); remaining > 0; {
+		select {
+		case i := <-done:
+			// The channel receive orders the goroutine's writes to
+			// updates[i]/errs[i] before the coordinator's reads.
+			finished[i] = true
+			remaining--
+		case <-timeout:
+			close(cancel)
+			// Keep completions that raced the timer: clients already in
+			// the buffered channel finished before the deadline and must
+			// not be discarded (fatal under strict mode, a wrongful drop
+			// under tolerance).
+			for {
+				select {
+				case i := <-done:
+					finished[i] = true
+				default:
+					return finished // cut off the true stragglers
+				}
+			}
+		}
+	}
+	return finished
 }
 
 // GlobalModel materializes a model carrying the run's final global

@@ -15,6 +15,7 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/evfed/evfed/internal/nn"
@@ -24,9 +25,11 @@ import (
 
 // Errors returned by the package.
 var (
-	ErrBadConfig  = errors.New("fed: invalid configuration")
-	ErrNoClients  = errors.New("fed: no clients")
-	ErrAllDropped = errors.New("fed: every client dropped out of a round")
+	ErrBadConfig     = errors.New("fed: invalid configuration")
+	ErrNoClients     = errors.New("fed: no clients")
+	ErrAllDropped    = errors.New("fed: every client dropped out of a round")
+	ErrRoundDeadline = errors.New("fed: round deadline exceeded")
+	ErrDimMismatch   = errors.New("fed: station model dimension mismatch")
 )
 
 // Update is one client's contribution to a round.
@@ -81,7 +84,13 @@ type ClientHandle interface {
 // Client is the in-process client implementation: it owns a private
 // training set and a local model built from the shared spec.
 type Client struct {
-	id      string
+	id string
+	// mu serializes Train calls: the local model is stateful, and a
+	// coordinator retry or abandoned straggler call can overlap a live
+	// round's call (each ClientServer connection gets its own handler
+	// goroutine). Queued calls each install their own broadcast weights,
+	// so every call still returns a self-consistent update.
+	mu      sync.Mutex
 	model   *nn.Model
 	inputs  []nn.Seq
 	targets []nn.Seq
@@ -89,6 +98,7 @@ type Client struct {
 }
 
 var _ ClientHandle = (*Client)(nil)
+var _ Prober = (*Client)(nil)
 
 // NewClient builds an in-process client from scaled series values. seqLen
 // windowing happens here so the raw series never leaves the client
@@ -116,8 +126,21 @@ func (c *Client) ID() string { return c.id }
 // NumSamples implements ClientHandle.
 func (c *Client) NumSamples() (int, error) { return len(c.inputs), nil }
 
+// Hello implements Prober: an in-process client reports its identity and
+// model dimension directly, so the coordinator's pre-round compatibility
+// check covers local and remote clients alike.
+func (c *Client) Hello() (HelloInfo, error) {
+	return HelloInfo{
+		StationID:  c.id,
+		ModelDim:   c.model.NumParams(),
+		NumSamples: len(c.inputs),
+	}, nil
+}
+
 // Train implements ClientHandle.
 func (c *Client) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.model.SetWeightsVector(global); err != nil {
 		return Update{}, fmt.Errorf("fed: client %s: install global weights: %w", c.id, err)
 	}

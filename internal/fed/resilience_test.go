@@ -2,6 +2,8 @@ package fed
 
 import (
 	"errors"
+	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -108,6 +110,253 @@ func TestFederationSurvivesRemoteServerStop(t *testing.T) {
 			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
 		}
 	}
+}
+
+// TestResilienceHungStationCutByRoundDeadline is the §III-F acceptance
+// scenario: one station accepts the training call and never answers, and
+// no per-call read deadline is armed — the coordinator's round deadline
+// alone must cut it off so the federation completes on the survivors.
+func TestResilienceHungStationCutByRoundDeadline(t *testing.T) {
+	skipIfShort(t)
+	clients := makeClients(t, 2)
+	hung := newHangListener(t)
+	rc := NewRemoteClient("hung", hung.Addr())
+	rc.ReadTimeout = 0                       // wait forever: only the round deadline saves us
+	rc.ProbeTimeout = 200 * time.Millisecond // preflight must not hang either
+	rc.MaxRetries = 0
+	handles := append(clients, rc)
+
+	const deadline = 2 * time.Second
+	cfg := smallConfig(61)
+	cfg.Rounds = 2
+	cfg.EpochsPerRound = 1
+	cfg.TolerateClientErrors = true
+	cfg.RoundDeadline = deadline
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Duration(cfg.Rounds)*deadline+2*time.Second {
+		t.Fatalf("run did not respect round deadlines: %v", elapsed)
+	}
+	for _, rs := range res.Rounds {
+		if len(rs.Participants) != 2 {
+			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
+		}
+		if len(rs.Dropped) != 1 || rs.Dropped[0] != "hung" {
+			t.Fatalf("round %d dropped %v, want [hung]", rs.Round, rs.Dropped)
+		}
+		if rs.WallSeconds > (deadline + time.Second).Seconds() {
+			t.Fatalf("round %d overran its deadline: %.2fs", rs.Round, rs.WallSeconds)
+		}
+	}
+	if len(res.Global) == 0 {
+		t.Fatal("no global model despite surviving stations")
+	}
+}
+
+// TestResilienceHungStationCutByClientDeadline drops the hung station via
+// the RemoteClient read deadline instead of the round deadline.
+func TestResilienceHungStationCutByClientDeadline(t *testing.T) {
+	skipIfShort(t)
+	clients := makeClients(t, 2)
+	hung := newHangListener(t)
+	rc := NewRemoteClient("hung", hung.Addr())
+	rc.ReadTimeout = 200 * time.Millisecond
+	rc.ProbeTimeout = 200 * time.Millisecond
+	rc.MaxRetries = 1
+	rc.RetryBackoff = 20 * time.Millisecond
+	handles := append(clients, rc)
+
+	cfg := smallConfig(67)
+	cfg.Rounds = 2
+	cfg.EpochsPerRound = 1
+	cfg.TolerateClientErrors = true
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range res.Rounds {
+		if len(rs.Participants) != 2 {
+			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
+		}
+		if len(rs.Dropped) != 1 || rs.Dropped[0] != "hung" {
+			t.Fatalf("round %d dropped %v, want [hung]", rs.Round, rs.Dropped)
+		}
+	}
+}
+
+// slowHandle sleeps through every Train call, simulating a station whose
+// compute (not its network) is the bottleneck. It deliberately does not
+// implement Prober, so preflight cannot reject it early.
+type slowHandle struct {
+	inner ClientHandle
+	delay time.Duration
+}
+
+func (s *slowHandle) ID() string               { return s.inner.ID() }
+func (s *slowHandle) NumSamples() (int, error) { return s.inner.NumSamples() }
+func (s *slowHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	time.Sleep(s.delay)
+	return s.inner.Train(global, cfg)
+}
+
+// TestResilienceRoundDeadlineAbortsWithoutTolerance verifies the strict
+// mode: a blown deadline is fatal when errors are not tolerated.
+func TestResilienceRoundDeadlineAbortsWithoutTolerance(t *testing.T) {
+	skipIfShort(t)
+	clients := makeClients(t, 2)
+	clients[1] = &slowHandle{inner: clients[1], delay: 10 * time.Second}
+
+	cfg := smallConfig(71)
+	cfg.Rounds = 1
+	cfg.EpochsPerRound = 1
+	cfg.RoundDeadline = 500 * time.Millisecond
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(); !errors.Is(err, ErrRoundDeadline) {
+		t.Fatalf("want ErrRoundDeadline, got %v", err)
+	}
+}
+
+// TestResilienceSequentialRoundDeadline verifies the deadline also cuts
+// off an in-flight hung client when Parallel is off, and that the drop
+// reason is recorded for the operator.
+func TestResilienceSequentialRoundDeadline(t *testing.T) {
+	skipIfShort(t)
+	clients := makeClients(t, 2)
+	clients[1] = &slowHandle{inner: clients[1], delay: 10 * time.Second}
+
+	cfg := smallConfig(103)
+	cfg.Parallel = false
+	cfg.Rounds = 2
+	cfg.EpochsPerRound = 1
+	cfg.TolerateClientErrors = true
+	cfg.RoundDeadline = 500 * time.Millisecond
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("sequential run ignored the round deadline: %v", elapsed)
+	}
+	for _, rs := range res.Rounds {
+		if len(rs.Participants) != 1 {
+			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
+		}
+		if len(rs.Dropped) != 1 {
+			t.Fatalf("round %d dropped %v", rs.Round, rs.Dropped)
+		}
+		if reason := rs.Errors[rs.Dropped[0]]; reason != ErrRoundDeadline.Error() {
+			t.Fatalf("round %d drop reason %q, want round-deadline", rs.Round, reason)
+		}
+	}
+}
+
+// TestResilienceServerStoppedMidRun stops one station while the
+// federation is in flight; with tolerance the run completes on the
+// survivors and the stopped station ends up dropped.
+func TestResilienceServerStoppedMidRun(t *testing.T) {
+	skipIfShort(t)
+	var handles []ClientHandle
+	var victim *ClientServer
+	for i := 0; i < 3; i++ {
+		c, err := NewClient(string(rune('q'+i)), smallSpec(), clientSeries(150, float64(i), uint64(i+90)), 12, uint64(i+95))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			victim = srv
+		} else {
+			defer srv.Stop()
+		}
+		rc := NewRemoteClient(c.ID(), srv.Addr())
+		rc.DialTimeout = 500 * time.Millisecond
+		rc.MaxRetries = 1
+		rc.RetryBackoff = 20 * time.Millisecond
+		handles = append(handles, rc)
+	}
+	cfg := smallConfig(73)
+	cfg.Rounds = 3
+	cfg.TolerateClientErrors = true
+	// Stretch every round past the victim's stop time so the stop lands
+	// mid-run (tiny test models otherwise finish all rounds in tens of ms).
+	cfg.Failures = &FailurePlan{StragglerProb: 1, StragglerDelay: 150 * time.Millisecond}
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		victim.Stop()
+	}()
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(res.Rounds))
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if len(last.Participants) != 2 {
+		t.Fatalf("final round participants %v (stopped station not dropped)", last.Participants)
+	}
+	if len(res.Global) == 0 {
+		t.Fatal("no global model")
+	}
+}
+
+// TestResilienceConcurrentStopAccept hammers a server with connections
+// while stopping it; under -race this proves accept tracking cannot race
+// Stop's WaitGroup wait.
+func TestResilienceConcurrentStopAccept(t *testing.T) {
+	c, err := NewClient("race", smallSpec(), clientSeries(120, 0, 11), 12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return // listener closed
+				}
+				conn.Close()
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	srv.Stop()
+	wg.Wait()
+	srv.Stop() // still idempotent after the storm
 }
 
 func TestStragglerDelayApplied(t *testing.T) {

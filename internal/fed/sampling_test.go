@@ -1,0 +1,237 @@
+package fed
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+)
+
+// stubHandle is a zero-compute client: Train echoes back a canned weight
+// vector and tracks the coordinator's concurrency. It does not implement
+// Prober.
+type stubHandle struct {
+	id      string
+	weights []float64
+
+	inFlight *atomic.Int32
+	maxSeen  *atomic.Int32
+	trained  *atomic.Int32
+}
+
+func (s *stubHandle) ID() string               { return s.id }
+func (s *stubHandle) NumSamples() (int, error) { return 1, nil }
+
+func (s *stubHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	if s.inFlight != nil {
+		cur := s.inFlight.Add(1)
+		for {
+			seen := s.maxSeen.Load()
+			if cur <= seen || s.maxSeen.CompareAndSwap(seen, cur) {
+				break
+			}
+		}
+		defer s.inFlight.Add(-1)
+	}
+	if s.trained != nil {
+		s.trained.Add(1)
+	}
+	time.Sleep(time.Millisecond) // force overlap so the pool bound is observable
+	return Update{
+		ClientID:   s.id,
+		Weights:    s.weights,
+		NumSamples: 1,
+		FinalLoss:  0.1,
+	}, nil
+}
+
+// stubFederation builds n zero-compute handles with instrumented
+// concurrency counters, all serving weight vectors of the spec's
+// dimension.
+func stubFederation(t *testing.T, n int) ([]ClientHandle, *atomic.Int32, *atomic.Int32) {
+	t.Helper()
+	m, err := nn.Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := m.WeightsVector()
+	var inFlight, maxSeen atomic.Int32
+	handles := make([]ClientHandle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = &stubHandle{
+			id:       string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			weights:  weights,
+			inFlight: &inFlight,
+			maxSeen:  &maxSeen,
+		}
+	}
+	return handles, &inFlight, &maxSeen
+}
+
+// TestSamplingFiftyClientsDeterministic is the scale acceptance scenario:
+// a 50-client federation with ClientFraction 0.2 and a bounded worker
+// pool completes, trains exactly 10 clients per round, respects the
+// concurrency bound, and reproduces the same participant sets for a
+// fixed seed.
+func TestSamplingFiftyClientsDeterministic(t *testing.T) {
+	const (
+		nClients = 50
+		rounds   = 3
+		pool     = 4
+	)
+	run := func() (*RunResult, int32) {
+		handles, _, maxSeen := stubFederation(t, nClients)
+		cfg := smallConfig(83)
+		cfg.Rounds = rounds
+		cfg.ClientFraction = 0.2
+		cfg.MaxConcurrentClients = pool
+		co, err := NewCoordinator(smallSpec(), handles, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, maxSeen.Load()
+	}
+	res1, max1 := run()
+	res2, _ := run()
+
+	if len(res1.Rounds) != rounds {
+		t.Fatalf("rounds %d", len(res1.Rounds))
+	}
+	sawDifferentSets := false
+	for r, rs := range res1.Rounds {
+		if len(rs.Selected) != 10 {
+			t.Fatalf("round %d selected %d clients, want 10 (C=0.2 of 50)", r, len(rs.Selected))
+		}
+		if len(rs.Participants) != 10 {
+			t.Fatalf("round %d participants %d, want 10", r, len(rs.Participants))
+		}
+		if !reflect.DeepEqual(rs.Selected, res2.Rounds[r].Selected) {
+			t.Fatalf("round %d selection not deterministic:\n%v\n%v", r, rs.Selected, res2.Rounds[r].Selected)
+		}
+		if !reflect.DeepEqual(rs.Participants, res2.Rounds[r].Participants) {
+			t.Fatalf("round %d participants not deterministic", r)
+		}
+		if r > 0 && !reflect.DeepEqual(rs.Selected, res1.Rounds[0].Selected) {
+			sawDifferentSets = true
+		}
+	}
+	if !sawDifferentSets {
+		t.Fatal("every round sampled the identical subset; sampling is not rotating (seed-dependent; adjust seed)")
+	}
+	if max1 > pool {
+		t.Fatalf("observed %d concurrent Train calls, pool bound is %d", max1, pool)
+	}
+	if len(res1.Global) == 0 {
+		t.Fatal("no global weights")
+	}
+}
+
+// TestSamplingFractionUnsetSelectsAll pins the compatibility behaviour:
+// with ClientFraction 0 (or 1) every client is selected every round and
+// no sampling RNG state is consumed.
+func TestSamplingFractionUnsetSelectsAll(t *testing.T) {
+	for _, frac := range []float64{0, 1} {
+		handles, _, _ := stubFederation(t, 7)
+		cfg := smallConfig(89)
+		cfg.ClientFraction = frac
+		co, err := NewCoordinator(smallSpec(), handles, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rs := range res.Rounds {
+			if len(rs.Selected) != 7 || len(rs.Participants) != 7 {
+				t.Fatalf("fraction %v: round %d selected %d / participants %d, want 7/7",
+					frac, rs.Round, len(rs.Selected), len(rs.Participants))
+			}
+		}
+	}
+}
+
+// TestSamplingRealClients runs sampling over genuine training clients,
+// confirming the aggregation path works when only a subset contributes.
+func TestSamplingRealClients(t *testing.T) {
+	clients := makeClients(t, 4)
+	cfg := smallConfig(97)
+	cfg.Rounds = 3
+	cfg.EpochsPerRound = 1
+	cfg.ClientFraction = 0.5
+	cfg.MaxConcurrentClients = 2
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range res.Rounds {
+		if len(rs.Selected) != 2 {
+			t.Fatalf("round %d selected %v, want 2 of 4", rs.Round, rs.Selected)
+		}
+		if len(rs.Participants) != 2 {
+			t.Fatalf("round %d participants %v", rs.Round, rs.Participants)
+		}
+		if rs.MeanLoss <= 0 {
+			t.Fatalf("round %d mean loss %v", rs.Round, rs.MeanLoss)
+		}
+	}
+	if len(res.Global) == 0 {
+		t.Fatal("no global weights")
+	}
+}
+
+// badDimHandle reports an incompatible model dimension during preflight.
+type badDimHandle struct{ stubHandle }
+
+func (b *badDimHandle) Hello() (HelloInfo, error) {
+	return HelloInfo{StationID: b.id, ModelDim: 3, NumSamples: 1}, nil
+}
+
+func TestPreflightRejectsDimMismatch(t *testing.T) {
+	handles, _, _ := stubFederation(t, 2)
+	handles[1] = &badDimHandle{stubHandle{id: "bad", weights: []float64{1, 2, 3}}}
+	cfg := smallConfig(101)
+	co, err := NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("want ErrDimMismatch, got %v", err)
+	}
+	// The mismatch is a configuration bug: tolerance must not mask it.
+	cfg.TolerateClientErrors = true
+	co, err = NewCoordinator(smallSpec(), handles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("tolerant run: want ErrDimMismatch, got %v", err)
+	}
+}
+
+func TestConfigValidatesRuntimeKnobs(t *testing.T) {
+	handles, _, _ := stubFederation(t, 2)
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.MaxConcurrentClients = -1 },
+		func(c *Config) { c.ClientFraction = -0.1 },
+		func(c *Config) { c.ClientFraction = 1.5 },
+		func(c *Config) { c.RoundDeadline = -time.Second },
+	} {
+		cfg := smallConfig(1)
+		mut(&cfg)
+		if _, err := NewCoordinator(smallSpec(), handles, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("mutated config should be rejected, got %v", err)
+		}
+	}
+}

@@ -14,46 +14,102 @@ import (
 // holds RemoteClient handles that speak a length-free gob protocol over a
 // persistent connection per training call.
 //
-// Wire protocol (gob streams):
+// Wire protocol (gob streams, one request/response pair per connection):
 //
-//	coordinator → client:  trainRequest{Weights, Config}
-//	client → coordinator:  trainResponse{Update, Err}
+//	coordinator → client:  trainRequest{Hello | Probe | Weights+Config}
+//	client → coordinator:  trainResponse{StationID, ModelDim, NumSamples, Update, Err}
 //
-// A NumSamples query uses Config.Epochs == 0 as the probe marker.
+// Request kinds are selected by explicit markers: trainRequest.Hello asks
+// for the station's identity (ID, weight-vector dimension, sample count)
+// so the coordinator can validate compatibility before round 1;
+// trainRequest.Probe asks for NumSamples only; otherwise the request is a
+// full local-training call.
+//
+// Failure handling: RemoteClient applies a dial timeout, per-call
+// read/write deadlines, and bounded exponential-backoff retries for
+// transient dial/IO errors. Application errors reported by the station
+// (ErrRemote) are never retried. ClientServer tracks every accepted
+// connection under its mutex, so Stop cannot race a concurrent accept; on
+// Stop, the listener and all in-flight connections are closed and handler
+// goroutines are awaited.
 
 // ErrRemote wraps an error string reported by the remote client.
 var ErrRemote = errors.New("fed: remote client error")
 
 type trainRequest struct {
+	Hello   bool // true = identity/compatibility handshake only
 	Probe   bool // true = NumSamples query only
 	Weights []float64
 	Config  LocalTrainConfig
 }
 
 type trainResponse struct {
+	StationID  string
+	ModelDim   int
 	Update     Update
 	NumSamples int
 	Err        string
+}
+
+// HelloInfo is the station identity returned by the Hello handshake.
+type HelloInfo struct {
+	// StationID is the station's self-reported identifier.
+	StationID string
+	// ModelDim is the station's weight-vector dimension; the coordinator
+	// rejects stations whose dimension differs from the global model's.
+	ModelDim int
+	// NumSamples is the station's private training-set size.
+	NumSamples int
+}
+
+// Prober is implemented by client handles that support the Hello
+// handshake. The coordinator probes every Prober before round 1 and
+// fails fast on model-dimension mismatches instead of discovering them
+// as aggregation errors mid-run.
+type Prober interface {
+	Hello() (HelloInfo, error)
+}
+
+// ServerConfig tunes a ClientServer's connection lifecycle.
+type ServerConfig struct {
+	// RequestTimeout bounds reading one request off an accepted
+	// connection and, separately, writing its response — it guards
+	// against half-open peers pinning handler goroutines forever.
+	// 0 disables the deadlines. It does NOT bound local training time:
+	// the write deadline is armed only after training completes.
+	RequestTimeout time.Duration
 }
 
 // ClientServer exposes a Client over TCP.
 type ClientServer struct {
 	client *Client
 	ln     net.Listener
+	scfg   ServerConfig
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
-// ServeClient starts serving client on addr (e.g. "127.0.0.1:0") and
-// returns the running server. Stop must be called to release the listener.
+// ServeClient starts serving client on addr (e.g. "127.0.0.1:0") with the
+// default (deadline-free) server configuration and returns the running
+// server. Stop must be called to release the listener.
 func ServeClient(client *Client, addr string) (*ClientServer, error) {
+	return ServeClientConfig(client, addr, ServerConfig{})
+}
+
+// ServeClientConfig starts serving client on addr with explicit lifecycle
+// configuration. Stop must be called to release the listener.
+func ServeClientConfig(client *Client, addr string, scfg ServerConfig) (*ClientServer, error) {
+	if scfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("%w: request timeout %v", ErrBadConfig, scfg.RequestTimeout)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fed: listen %s: %w", addr, err)
 	}
-	s := &ClientServer{client: client, ln: ln}
+	s := &ClientServer{client: client, ln: ln, scfg: scfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -62,12 +118,18 @@ func ServeClient(client *Client, addr string) (*ClientServer, error) {
 // Addr returns the server's bound address.
 func (s *ClientServer) Addr() string { return s.ln.Addr().String() }
 
-// Stop closes the listener and waits for in-flight connections to finish.
+// Stop closes the listener and every in-flight connection, then waits for
+// the accept loop and all handler goroutines to exit. Handlers blocked on
+// network IO are unblocked by the connection close; a handler mid-training
+// finishes its (now unanswerable) local computation before exiting.
 func (s *ClientServer) Stop() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		s.ln.Close()
+		for c := range s.conns {
+			c.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -80,30 +142,70 @@ func (s *ClientServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		s.wg.Add(1)
+		if !s.track(conn) {
+			// Stop won the race: the server is closed, so the fresh
+			// connection is dropped instead of spawning an untracked
+			// handler behind Stop's back.
+			conn.Close()
+			return
+		}
 		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
+			defer s.untrack(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
+// track registers conn and reserves a handler slot in the WaitGroup.
+// Both happen under the mutex that Stop takes before wg.Wait, so either
+// the connection is fully tracked before Stop waits, or Stop already
+// closed and the caller must drop the connection — wg.Add can never race
+// wg.Wait.
+func (s *ClientServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *ClientServer) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
 func (s *ClientServer) handle(conn net.Conn) {
+	if s.scfg.RequestTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.scfg.RequestTimeout))
+	}
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var req trainRequest
 	if err := dec.Decode(&req); err != nil {
-		return // malformed request; drop the connection
+		return // malformed or timed-out request; drop the connection
 	}
-	var resp trainResponse
-	if req.Probe {
+	resp := trainResponse{StationID: s.client.id}
+	switch {
+	case req.Hello:
+		info, err := s.client.Hello()
+		resp.ModelDim = info.ModelDim
+		resp.NumSamples = info.NumSamples
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	case req.Probe:
 		n, err := s.client.NumSamples()
 		resp.NumSamples = n
 		if err != nil {
 			resp.Err = err.Error()
 		}
-	} else {
+	default:
 		u, err := s.client.Train(req.Weights, req.Config)
 		if err != nil {
 			resp.Err = err.Error()
@@ -111,26 +213,76 @@ func (s *ClientServer) handle(conn net.Conn) {
 			resp.Update = u
 		}
 	}
+	if s.scfg.RequestTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.scfg.RequestTimeout))
+	}
 	_ = enc.Encode(&resp) // best effort; coordinator detects broken pipes
 }
 
 // RemoteClient is a ClientHandle that reaches a ClientServer over TCP.
+// The exported fields tune failure handling and may be adjusted before
+// the handle is used; they must not be mutated concurrently with calls.
 type RemoteClient struct {
 	id   string
 	addr string
-	// DialTimeout bounds connection establishment.
+	// DialTimeout bounds connection establishment per attempt.
 	DialTimeout time.Duration
+	// WriteTimeout bounds sending one request (the serialized global
+	// weight vector). 0 = no deadline.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds waiting for one Train response, which includes
+	// the station's local training time — size it to the slowest
+	// acceptable station, not to network latency. 0 = no deadline (the
+	// coordinator's round deadline is then the only straggler cutoff).
+	ReadTimeout time.Duration
+	// ProbeTimeout bounds waiting for Hello/NumSamples responses, which
+	// involve no training and should answer immediately; it keeps the
+	// coordinator's preflight handshake from hanging on a dead station
+	// even when ReadTimeout is unset. 0 = fall back to ReadTimeout.
+	ProbeTimeout time.Duration
+	// MaxRetries is the number of additional attempts after a transient
+	// dial/IO failure. Application errors (ErrRemote) are never retried.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry; it doubles after
+	// every failed attempt.
+	RetryBackoff time.Duration
 }
 
 var _ ClientHandle = (*RemoteClient)(nil)
+var _ Prober = (*RemoteClient)(nil)
 
-// NewRemoteClient builds a handle for the client served at addr.
+// NewRemoteClient builds a handle for the client served at addr, with
+// production-leaning defaults: 5s dial timeout, 30s write deadline, 10m
+// training read deadline, 10s probe deadline, and 2 retries starting at
+// a 200ms backoff.
 func NewRemoteClient(id, addr string) *RemoteClient {
-	return &RemoteClient{id: id, addr: addr, DialTimeout: 5 * time.Second}
+	return &RemoteClient{
+		id:           id,
+		addr:         addr,
+		DialTimeout:  5 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		ReadTimeout:  10 * time.Minute,
+		ProbeTimeout: 10 * time.Second,
+		MaxRetries:   2,
+		RetryBackoff: 200 * time.Millisecond,
+	}
 }
 
 // ID implements ClientHandle.
 func (r *RemoteClient) ID() string { return r.id }
+
+// Hello performs the identity/compatibility handshake with the station.
+func (r *RemoteClient) Hello() (HelloInfo, error) {
+	resp, err := r.roundTrip(trainRequest{Hello: true})
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	return HelloInfo{
+		StationID:  resp.StationID,
+		ModelDim:   resp.ModelDim,
+		NumSamples: resp.NumSamples,
+	}, nil
+}
 
 // NumSamples implements ClientHandle.
 func (r *RemoteClient) NumSamples() (int, error) {
@@ -150,14 +302,60 @@ func (r *RemoteClient) Train(global []float64, cfg LocalTrainConfig) (Update, er
 	return resp.Update, nil
 }
 
+// roundTrip performs one call with bounded retries. Retrying a Train call
+// is safe: the station reinstalls the broadcast weights on every call, so
+// a duplicate attempt recomputes the same deterministic update.
 func (r *RemoteClient) roundTrip(req trainRequest) (*trainResponse, error) {
+	attempts := 1 + r.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := r.call(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrRemote) {
+			// The station answered and reported an application error;
+			// retrying would only repeat it.
+			return nil, err
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("fed: %s: %d attempts failed: %w", r.addr, attempts, lastErr)
+	}
+	return nil, lastErr
+}
+
+// call performs a single dial/send/receive cycle with per-phase deadlines.
+func (r *RemoteClient) call(req trainRequest) (*trainResponse, error) {
 	conn, err := net.DialTimeout("tcp", r.addr, r.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("fed: dial %s: %w", r.addr, err)
 	}
 	defer conn.Close()
+	if r.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(r.WriteTimeout))
+	}
 	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
 		return nil, fmt.Errorf("fed: send to %s: %w", r.addr, err)
+	}
+	readTimeout := r.ReadTimeout
+	if (req.Hello || req.Probe) && r.ProbeTimeout > 0 {
+		readTimeout = r.ProbeTimeout
+	}
+	if readTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(readTimeout))
 	}
 	var resp trainResponse
 	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {

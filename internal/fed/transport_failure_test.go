@@ -1,0 +1,271 @@
+package fed
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// skipIfShort keeps the slower networked failure-mode tests out of
+// short-mode runs; the dedicated CI shard
+// (go test -run 'Transport|Resilience' -race -timeout 120s) covers them
+// with a tight timeout so a reintroduced hang fails fast exactly once.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("networked failure-mode test; covered by the networked-fed CI shard")
+	}
+}
+
+// hangListener accepts connections and never responds, simulating a hung
+// station. Close releases the listener and every held connection.
+type hangListener struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newHangListener(t *testing.T) *hangListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hangListener{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.conns = append(h.conns, c)
+			h.mu.Unlock()
+		}
+	}()
+	t.Cleanup(h.Close)
+	return h
+}
+
+func (h *hangListener) Addr() string { return h.ln.Addr().String() }
+
+func (h *hangListener) Close() {
+	h.ln.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.conns {
+		c.Close()
+	}
+	h.conns = nil
+}
+
+func TestTransportHelloHandshake(t *testing.T) {
+	c, err := NewClient("station-7", smallSpec(), clientSeries(150, 0, 7), 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// The remote handle is constructed with a placeholder ID (the
+	// address); Hello reports the station's real identity.
+	remote := NewRemoteClient(srv.Addr(), srv.Addr())
+	info, err := remote.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StationID != "station-7" {
+		t.Fatalf("station id %q", info.StationID)
+	}
+	if want := c.Model().NumParams(); info.ModelDim != want {
+		t.Fatalf("model dim %d, want %d", info.ModelDim, want)
+	}
+	n, err := c.NumSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumSamples != n {
+		t.Fatalf("samples %d, want %d", info.NumSamples, n)
+	}
+}
+
+func TestTransportReadDeadlineFiresOnHungServer(t *testing.T) {
+	skipIfShort(t)
+	hung := newHangListener(t)
+	rc := NewRemoteClient("hung", hung.Addr())
+	rc.ReadTimeout = 150 * time.Millisecond
+	rc.ProbeTimeout = 150 * time.Millisecond
+	rc.MaxRetries = 0
+	start := time.Now()
+	_, err := rc.NumSamples()
+	if err == nil {
+		t.Fatal("hung server should time out")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a net timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: %v", elapsed)
+	}
+}
+
+// flakyFront fronts a real ClientServer but kills the first failures
+// connections immediately, exercising the transient-error retry path.
+func flakyFront(t *testing.T, backendAddr string, failures int32) net.Listener {
+	t.Helper()
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { front.Close() })
+	var remaining atomic.Int32
+	remaining.Store(failures)
+	go func() {
+		for {
+			conn, err := front.Accept()
+			if err != nil {
+				return
+			}
+			if remaining.Add(-1) >= 0 {
+				conn.Close()
+				continue
+			}
+			back, err := net.Dial("tcp", backendAddr)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { _, _ = io.Copy(back, conn) }()
+			go func() {
+				_, _ = io.Copy(conn, back)
+				conn.Close()
+				back.Close()
+			}()
+		}
+	}()
+	return front
+}
+
+func TestTransportRetryThenSucceed(t *testing.T) {
+	skipIfShort(t)
+	c, err := NewClient("retry", smallSpec(), clientSeries(150, 0, 8), 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	front := flakyFront(t, srv.Addr(), 2)
+	rc := NewRemoteClient("retry", front.Addr().String())
+	rc.MaxRetries = 2
+	rc.RetryBackoff = 20 * time.Millisecond
+	n, err := rc.NumSamples()
+	if err != nil {
+		t.Fatalf("retries should absorb two transient failures: %v", err)
+	}
+	localN, err := c.NumSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != localN {
+		t.Fatalf("samples %d, want %d", n, localN)
+	}
+}
+
+func TestTransportRetriesExhausted(t *testing.T) {
+	skipIfShort(t)
+	c, err := NewClient("exhaust", smallSpec(), clientSeries(150, 0, 8), 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	front := flakyFront(t, srv.Addr(), 3)
+	rc := NewRemoteClient("exhaust", front.Addr().String())
+	rc.MaxRetries = 1 // two attempts, three failures queued
+	rc.RetryBackoff = 10 * time.Millisecond
+	if _, err := rc.NumSamples(); err == nil {
+		t.Fatal("exhausted retries should fail")
+	}
+}
+
+func TestTransportRemoteErrorNotRetried(t *testing.T) {
+	c, err := NewClient("app-err", smallSpec(), clientSeries(150, 0, 4), 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClient(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	rc := NewRemoteClient("app-err", srv.Addr())
+	rc.MaxRetries = 3
+	rc.RetryBackoff = 300 * time.Millisecond
+	start := time.Now()
+	_, err = rc.Train([]float64{1, 2, 3}, LocalTrainConfig{Epochs: 1, BatchSize: 8, LearningRate: 0.01})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	// An application error must fail immediately — no backoff sleeps.
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("application error was retried: %v", elapsed)
+	}
+}
+
+func TestTransportServerRequestTimeoutFreesHandler(t *testing.T) {
+	skipIfShort(t)
+	c, err := NewClient("half-open", smallSpec(), clientSeries(150, 0, 6), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeClientConfig(c, "127.0.0.1:0", ServerConfig{RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A half-open connection that never sends a request must not pin the
+	// server: the read deadline reaps it.
+	idle, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	time.Sleep(250 * time.Millisecond)
+
+	remote := NewRemoteClient("half-open", srv.Addr())
+	if _, err := remote.NumSamples(); err != nil {
+		t.Fatalf("server wedged by half-open connection: %v", err)
+	}
+	start := time.Now()
+	srv.Stop()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Stop hung on reaped connection: %v", elapsed)
+	}
+}
+
+func TestTransportServerConfigValidation(t *testing.T) {
+	c, err := NewClient("bad-cfg", smallSpec(), clientSeries(150, 0, 6), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ServeClientConfig(c, "127.0.0.1:0", ServerConfig{RequestTimeout: -time.Second}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
