@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// benchRecord is the machine-readable perf record written by -bench-json:
+// one JSON object per run, so successive BENCH_*.json files form the
+// repository's performance trajectory across PRs.
+type benchRecord struct {
+	// Config identifies the run shape ("paper" or "quick").
+	Config string `json:"config"`
+	// Seed echoes the pipeline seed.
+	Seed uint64 `json:"seed"`
+	// BatchSize, Workers and GOMAXPROCS pin the parallelism regime the
+	// timings were taken under (Workers as configured; 0 = all cores).
+	BatchSize  int `json:"batchSize"`
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Rounds and EpochsPerRound are the federated schedule.
+	Rounds         int `json:"rounds"`
+	EpochsPerRound int `json:"epochsPerRound"`
+	// PhaseSeconds is the wall time of each pipeline phase: "prepare"
+	// (detector training, threshold calibration, filtering), one entry
+	// per training scenario, and "total".
+	PhaseSeconds map[string]float64 `json:"phaseSeconds"`
+	// FedEpochsPerSec is local-epoch throughput of the federated filtered
+	// arm: rounds × epochsPerRound × clients / wall seconds.
+	FedEpochsPerSec float64 `json:"fedEpochsPerSec"`
+	// RoundsPerSec is federated round throughput on the same arm.
+	RoundsPerSec float64 `json:"roundsPerSec"`
+}
+
+// newBenchRecord derives the perf record from a finished report and the
+// measured prepare/total wall times.
+func newBenchRecord(cfg string, p eval.Params, rep *eval.Report, prepareSec, totalSec float64) benchRecord {
+	rec := benchRecord{
+		Config:         cfg,
+		Seed:           p.Seed,
+		BatchSize:      p.BatchSize,
+		Workers:        p.Workers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Rounds:         p.Rounds,
+		EpochsPerRound: p.EpochsPerRound,
+		PhaseSeconds: map[string]float64{
+			"prepare":          prepareSec,
+			"fed_clean":        rep.FedClean.TrainSeconds,
+			"fed_attacked":     rep.FedAttacked.TrainSeconds,
+			"fed_filtered":     rep.FedFiltered.TrainSeconds,
+			"central_filtered": rep.CentralFiltered.TrainSeconds,
+			"total":            totalSec,
+		},
+	}
+	if s := rep.FedFiltered.TrainSeconds; s > 0 {
+		clients := len(rep.Clients)
+		rec.FedEpochsPerSec = float64(p.Rounds*p.EpochsPerRound*clients) / s
+		rec.RoundsPerSec = float64(p.Rounds) / s
+	}
+	return rec
+}
+
+// writeBenchJSON writes the record to path (pretty-printed, trailing
+// newline, so committed BENCH_*.json files diff cleanly).
+func writeBenchJSON(path string, rec benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

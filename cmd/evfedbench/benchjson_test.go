@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+func TestBenchRecordRoundTrip(t *testing.T) {
+	p := eval.QuickParams(7)
+	p.Workers = 2
+	rep := &eval.Report{
+		Clients:         make([]*eval.ClientPrep, 3),
+		FedClean:        &eval.ScenarioResult{TrainSeconds: 1.5},
+		FedAttacked:     &eval.ScenarioResult{TrainSeconds: 1.25},
+		FedFiltered:     &eval.ScenarioResult{TrainSeconds: 2},
+		CentralFiltered: &eval.ScenarioResult{TrainSeconds: 3},
+	}
+	rec := newBenchRecord("quick", p, rep, 0.5, 8.25)
+
+	if rec.Config != "quick" || rec.Seed != 7 || rec.Workers != 2 {
+		t.Fatalf("config fields wrong: %+v", rec)
+	}
+	if rec.BatchSize != p.BatchSize || rec.Rounds != p.Rounds || rec.EpochsPerRound != p.EpochsPerRound {
+		t.Fatalf("schedule fields wrong: %+v", rec)
+	}
+	if rec.PhaseSeconds["prepare"] != 0.5 || rec.PhaseSeconds["total"] != 8.25 ||
+		rec.PhaseSeconds["fed_filtered"] != 2 || rec.PhaseSeconds["central_filtered"] != 3 {
+		t.Fatalf("phase seconds wrong: %+v", rec.PhaseSeconds)
+	}
+	// rounds × epochs × clients / fed_filtered seconds.
+	wantEps := float64(p.Rounds*p.EpochsPerRound*3) / 2
+	if rec.FedEpochsPerSec != wantEps {
+		t.Fatalf("epochs/sec %v, want %v", rec.FedEpochsPerSec, wantEps)
+	}
+	if rec.RoundsPerSec != float64(p.Rounds)/2 {
+		t.Fatalf("rounds/sec %v", rec.RoundsPerSec)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != rec.Config || back.PhaseSeconds["total"] != 8.25 || back.GOMAXPROCS != rec.GOMAXPROCS {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -39,6 +39,7 @@ func run() error {
 		all     = flag.Bool("all", false, "print every table and figure (default)")
 		strict  = flag.Bool("strict", false, "score every scenario against the true clean demand instead of the paper protocol")
 		jsonOut = flag.String("json", "", "also write the full report as JSON to this path")
+		bench   = flag.String("bench-json", "", "write a machine-readable perf record (phase wall times, epochs/sec, rounds/sec) to this path")
 		scal    = flag.String("scalability", "", "run the federation-size sweep instead (comma-separated client counts, e.g. 3,6,12)")
 	)
 	flag.Parse()
@@ -66,11 +67,26 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "running %s configuration (seed %d, %d hours/client)...\n",
 		configName(*quick), *seed, p.Hours)
 	start := time.Now()
-	rep, err := eval.Run(p)
+	// Run the pipeline in its two phases so -bench-json can time them
+	// separately (Prepare + RunScenarios is exactly eval.Run).
+	clients, err := eval.Prepare(p)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "pipeline completed in %.1fs\n\n", time.Since(start).Seconds())
+	prepareSec := time.Since(start).Seconds()
+	rep, err := eval.RunScenarios(p, clients)
+	if err != nil {
+		return err
+	}
+	totalSec := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "pipeline completed in %.1fs\n\n", totalSec)
+
+	if *bench != "" {
+		rec := newBenchRecord(configName(*quick), p, rep, prepareSec, totalSec)
+		if err := writeBenchJSON(*bench, rec); err != nil {
+			return err
+		}
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

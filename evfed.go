@@ -178,6 +178,14 @@ func (a *AnomalyFilter) Apply(values []float64) (*FilterResult, error) {
 // Threshold returns the calibrated reconstruction-error threshold.
 func (a *AnomalyFilter) Threshold() (float64, error) { return a.filter.Threshold() }
 
+// ScoreWindows batch-scores many independent SeqLen-length windows (e.g.
+// the newest window from every station of a fleet) in one batched
+// inference pass, returning per-window reconstruction-error scores and
+// threshold flags.
+func (a *AnomalyFilter) ScoreWindows(windows [][]float64) ([]float64, []bool, error) {
+	return a.filter.ScoreWindows(windows)
+}
+
 // StreamDecision is the online detector's verdict for one streamed point.
 type StreamDecision = anomaly.StreamDecision
 

@@ -30,6 +30,18 @@ type Scorer interface {
 	Scores(values []float64) ([]float64, error)
 }
 
+// WindowScorer is implemented by scorers that can score a batch of
+// independent fixed-length windows in one call (batched inference). The
+// autoencoder adapter implements it; statistical baselines that only
+// score whole series need not.
+type WindowScorer interface {
+	// WindowLen returns the scorer's fixed window length.
+	WindowLen() int
+	// ScoreWindows returns one anomaly score per window. Every window
+	// must have exactly WindowLen values.
+	ScoreWindows(windows [][]float64) ([]float64, error)
+}
+
 // Mitigation selects how flagged segments are repaired.
 type Mitigation int
 
@@ -201,6 +213,32 @@ func (f *Filter) Detect(values []float64) ([]bool, []float64, error) {
 		flags[i] = s > f.threshold
 	}
 	return flags, scores, nil
+}
+
+// ScoreWindows batch-scores many independent fixed-length windows against
+// the calibrated threshold in one call — the fleet-scale entry point: a
+// coordinator holding the newest window from each of N stations classifies
+// them all with one batched inference pass instead of N. Returns the
+// per-window scores and threshold flags. The filter's scorer must
+// implement WindowScorer.
+func (f *Filter) ScoreWindows(windows [][]float64) ([]float64, []bool, error) {
+	if !f.ready {
+		return nil, nil, ErrNotCalibrated
+	}
+	ws, ok := f.scorer.(WindowScorer)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: scorer %s cannot batch-score windows",
+			ErrBadConfig, f.scorer.Name())
+	}
+	scores, err := ws.ScoreWindows(windows)
+	if err != nil {
+		return nil, nil, fmt.Errorf("anomaly: score windows: %w", err)
+	}
+	flags := make([]bool, len(scores))
+	for i, s := range scores {
+		flags[i] = s > f.threshold
+	}
+	return scores, flags, nil
 }
 
 // Apply runs the full pipeline on values: detect, merge segments with the

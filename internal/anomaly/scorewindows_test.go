@@ -1,0 +1,73 @@
+package anomaly
+
+import (
+	"errors"
+	"testing"
+)
+
+// meanWindowScorer is a trivial Scorer + WindowScorer: a window's score
+// is its mean (and per-point Scores mirror the values), so thresholding
+// behaviour is exactly predictable.
+type meanWindowScorer struct{ winLen int }
+
+func (m meanWindowScorer) Name() string { return "mean-window" }
+
+func (m meanWindowScorer) Scores(values []float64) ([]float64, error) {
+	out := make([]float64, len(values))
+	copy(out, values)
+	return out, nil
+}
+
+func (m meanWindowScorer) WindowLen() int { return m.winLen }
+
+func (m meanWindowScorer) ScoreWindows(windows [][]float64) ([]float64, error) {
+	out := make([]float64, len(windows))
+	for i, w := range windows {
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		out[i] = sum / float64(len(w))
+	}
+	return out, nil
+}
+
+func TestFilterScoreWindows(t *testing.T) {
+	f, err := NewFilter(meanWindowScorer{winLen: 3}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.ScoreWindows(nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("want ErrNotCalibrated before calibration, got %v", err)
+	}
+	f.SetThreshold(0.5)
+	windows := [][]float64{
+		{0, 0, 0},       // score 0      -> normal
+		{1, 1, 1},       // score 1      -> anomalous
+		{0.3, 0.6, 0.9}, // score 0.6 -> anomalous
+		{0.5, 0.5, 0.5}, // score 0.5 -> not strictly above threshold
+	}
+	scores, flags, err := f.ScoreWindows(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlags := []bool{false, true, true, false}
+	for i := range windows {
+		if flags[i] != wantFlags[i] {
+			t.Fatalf("window %d: score %v flag %v, want %v", i, scores[i], flags[i], wantFlags[i])
+		}
+	}
+}
+
+// TestFilterScoreWindowsNeedsWindowScorer: a scorer without the batch
+// interface is rejected with a diagnostic, not a panic.
+func TestFilterScoreWindowsNeedsWindowScorer(t *testing.T) {
+	f, err := NewFilter(MAD{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetThreshold(1)
+	if _, _, err := f.ScoreWindows([][]float64{{1, 2, 3}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig for non-batch scorer, got %v", err)
+	}
+}

@@ -28,6 +28,18 @@ func (a Adapter) Scores(values []float64) ([]float64, error) {
 	return a.Detector.PointScores(values)
 }
 
+// ScoreWindows implements anomaly.WindowScorer: each window is scored by
+// its reconstruction MSE through the detector's batched inference path.
+// The detector reuses one cached fleet scorer under a mutex, so repeated
+// calls are allocation-amortized but serialize; hold a
+// Detector.NewBatchScorer per goroutine to score in parallel.
+func (a Adapter) ScoreWindows(windows [][]float64) ([]float64, error) {
+	if a.Detector == nil {
+		return nil, ErrNotTrained
+	}
+	return a.Detector.ScoreWindows(windows)
+}
+
 // WindowLen implements anomaly.LastPointScorer.
 func (a Adapter) WindowLen() int {
 	if a.Detector == nil {

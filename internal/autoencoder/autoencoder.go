@@ -91,6 +91,12 @@ func (c Config) validate() error {
 type Detector struct {
 	cfg   Config
 	model *nn.Model
+
+	// fleet is the lazily-built batch scorer behind ScoreWindows; the
+	// mutex serializes fleet calls so the scorer's workspace keeps its
+	// single-owner contract.
+	fleetMu sync.Mutex
+	fleet   *BatchScorer
 }
 
 // Train fits the autoencoder on normal (non-anomalous) values, as the
@@ -142,10 +148,100 @@ func windowSeq(seq nn.Seq, values []float64, s, seqLen int) {
 	}
 }
 
+// scoreBatch is the number of windows reconstructed per batched inference
+// pass (the shared chunked-inference sub-batch size).
+const scoreBatch = nn.PredictBatch
+
+// BatchScorer owns the reusable buffers for repeated batched window
+// scoring: an inference workspace and zero-copy window views. Steady-state
+// scoring through ScoreWindowsInto is allocation-free. Not safe for
+// concurrent use; parallel scorers each own one (PointScores does this).
+type BatchScorer struct {
+	det  *Detector
+	ws   *nn.Workspace
+	seqs []nn.Seq
+}
+
+// NewBatchScorer builds a batched window scorer around the trained
+// detector. An untrained detector yields a scorer whose methods return
+// ErrNotTrained.
+func (d *Detector) NewBatchScorer() *BatchScorer {
+	if d == nil || d.model == nil {
+		return &BatchScorer{det: d}
+	}
+	s := &BatchScorer{det: d, ws: nn.NewWorkspace(), seqs: make([]nn.Seq, scoreBatch)}
+	for i := range s.seqs {
+		s.seqs[i] = make(nn.Seq, d.cfg.SeqLen)
+	}
+	return s
+}
+
+// ScoreWindowsInto writes the reconstruction MSE of each window (all of
+// the detector's SeqLen) into dst[i]. len(dst) must equal len(windows).
+// Windows are reconstructed scoreBatch at a time through the batched
+// forward path; in steady state the call performs no allocation.
+func (s *BatchScorer) ScoreWindowsInto(dst []float64, windows [][]float64) error {
+	if s.det == nil || s.det.model == nil {
+		return ErrNotTrained
+	}
+	if len(dst) != len(windows) {
+		return fmt.Errorf("%w: %d scores for %d windows", ErrBadConfig, len(dst), len(windows))
+	}
+	seqLen := s.det.cfg.SeqLen
+	for i, w := range windows {
+		if len(w) != seqLen {
+			return fmt.Errorf("%w: window %d has %d values, need %d", ErrBadConfig, i, len(w), seqLen)
+		}
+	}
+	var loss nn.MSE
+	for lo := 0; lo < len(windows); lo += scoreBatch {
+		hi := lo + scoreBatch
+		if hi > len(windows) {
+			hi = len(windows)
+		}
+		for i := lo; i < hi; i++ {
+			windowSeq(s.seqs[i-lo], windows[i], 0, seqLen)
+		}
+		outs := s.det.model.PredictBatchWS(s.seqs[:hi-lo], s.ws)
+		for i, out := range outs {
+			dst[lo+i] = loss.Value(out, s.seqs[i])
+		}
+	}
+	return nil
+}
+
+// ScoreWindows is ScoreWindowsInto with a freshly allocated result slice.
+func (s *BatchScorer) ScoreWindows(windows [][]float64) ([]float64, error) {
+	dst := make([]float64, len(windows))
+	if err := s.ScoreWindowsInto(dst, windows); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ScoreWindows batch-scores independent SeqLen-length windows: each
+// window's score is its reconstruction MSE, the paper's sequence-level
+// anomaly criterion. The detector lazily builds and caches one fleet
+// scorer for this entry point (a Workspace belongs to one goroutine, so
+// concurrent calls serialize on it); hold your own NewBatchScorer to
+// score from several goroutines at once.
+func (d *Detector) ScoreWindows(windows [][]float64) ([]float64, error) {
+	if d == nil || d.model == nil {
+		return nil, ErrNotTrained
+	}
+	d.fleetMu.Lock()
+	defer d.fleetMu.Unlock()
+	if d.fleet == nil {
+		d.fleet = d.NewBatchScorer()
+	}
+	return d.fleet.ScoreWindows(windows)
+}
+
 // SequenceErrors returns the reconstruction MSE of every stride-1 window
-// of values, indexed by window start. Scoring reuses one workspace and
-// zero-copy window views, so the whole sweep performs no per-window
-// allocation.
+// of values, indexed by window start. Windows are scored scoreBatch at a
+// time through the batched forward path with zero-copy window views, so
+// the sweep allocates nothing beyond the result, the window headers and
+// one scorer.
 func (d *Detector) SequenceErrors(values []float64) ([]float64, error) {
 	if d == nil || d.model == nil {
 		return nil, ErrNotTrained
@@ -154,14 +250,14 @@ func (d *Detector) SequenceErrors(values []float64) ([]float64, error) {
 		return nil, fmt.Errorf("autoencoder: build scoring sequences: %w: %d values for sequence length %d",
 			series.ErrTooShort, len(values), d.cfg.SeqLen)
 	}
-	var loss nn.MSE
 	nWin := len(values) - d.cfg.SeqLen + 1
+	windows := make([][]float64, nWin)
+	for s := range windows {
+		windows[s] = values[s : s+d.cfg.SeqLen : s+d.cfg.SeqLen]
+	}
 	out := make([]float64, nWin)
-	ws := nn.NewWorkspace()
-	seq := make(nn.Seq, d.cfg.SeqLen)
-	for s := 0; s < nWin; s++ {
-		windowSeq(seq, values, s, d.cfg.SeqLen)
-		out[s] = loss.Value(d.model.PredictWS(seq, ws), seq)
+	if err := d.NewBatchScorer().ScoreWindowsInto(out, windows); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -190,8 +286,9 @@ func (d *Detector) PointScores(values []float64) ([]float64, error) {
 		workers = nWin
 	}
 	// Each worker accumulates into private buffers and owns a private
-	// workspace; the forward pass is re-entrant, so windows can be
-	// reconstructed concurrently with no per-window allocation.
+	// batch scorer; its strided share of windows is reconstructed
+	// scoreBatch windows per batched forward pass, so the sweep's weight
+	// panels are loaded once per batch instead of once per window.
 	recons := make([][]float64, workers)
 	counts := make([][]float64, workers)
 	var wg sync.WaitGroup
@@ -201,14 +298,21 @@ func (d *Detector) PointScores(values []float64) ([]float64, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := nn.NewWorkspace()
-			seq := make(nn.Seq, d.cfg.SeqLen)
-			for s := w; s < nWin; s += workers {
-				windowSeq(seq, values, s, d.cfg.SeqLen)
-				out := d.model.PredictWS(seq, ws)
-				for k := 0; k < d.cfg.SeqLen; k++ {
-					recons[w][s+k] += out[k][0]
-					counts[w][s+k]++
+			bs := d.NewBatchScorer()
+			starts := make([]int, 0, scoreBatch)
+			for base := w; base < nWin; base += workers * scoreBatch {
+				starts = starts[:0]
+				for s := base; s < nWin && len(starts) < scoreBatch; s += workers {
+					windowSeq(bs.seqs[len(starts)], values, s, d.cfg.SeqLen)
+					starts = append(starts, s)
+				}
+				outs := d.model.PredictBatchWS(bs.seqs[:len(starts)], bs.ws)
+				for i, s := range starts {
+					out := outs[i]
+					for k := 0; k < d.cfg.SeqLen; k++ {
+						recons[w][s+k] += out[k][0]
+						counts[w][s+k]++
+					}
 				}
 			}
 		}(w)

@@ -99,13 +99,27 @@ func buildFrames(scenarioValues, cleanValues [][]float64, p Params) ([]*clientFr
 	return frames, nil
 }
 
-// evalModel runs the model over a client's evaluation windows and scores
-// the inverse-scaled predictions against the true demand.
+// predictWindows runs batched inference over the windows' inputs and
+// returns the raw model outputs (one scalar forecast per window).
+func predictWindows(m *nn.Model, windows []series.Window) []float64 {
+	xs := make([]nn.Seq, len(windows))
+	for i, w := range windows {
+		xs[i] = w.Input
+	}
+	out := make([]float64, len(windows))
+	m.PredictChunked(xs, nn.NewWorkspace(), func(i int, o nn.Seq) {
+		out[i] = o[0][0]
+	})
+	return out
+}
+
+// evalModel runs the model over a client's evaluation windows (batched)
+// and scores the inverse-scaled predictions against the true demand.
 func evalModel(m *nn.Model, f *clientFrame) (metrics.Regression, error) {
-	preds := make([]float64, len(f.evalWindows))
-	for i, w := range f.evalWindows {
-		out := m.Predict(w.Input)
-		p, err := f.scaler.InverseValue(out[0][0])
+	raw := predictWindows(m, f.evalWindows)
+	preds := make([]float64, len(raw))
+	for i, v := range raw {
+		p, err := f.scaler.InverseValue(v)
 		if err != nil {
 			return metrics.Regression{}, err
 		}
@@ -266,14 +280,14 @@ func RunCentralized(scenario string, clientValues, cleanValues [][]float64, p Pa
 		if err != nil {
 			return nil, err
 		}
-		preds := make([]float64, len(ws))
-		for k, w := range ws {
-			out := run.Model.Predict(w.Input)
-			v, err := sc.InverseValue(out[0][0])
+		raw := predictWindows(run.Model, ws)
+		preds := make([]float64, len(raw))
+		for k, v := range raw {
+			iv, err := sc.InverseValue(v)
 			if err != nil {
 				return nil, err
 			}
-			preds[k] = v
+			preds[k] = iv
 		}
 		reg, err := metrics.EvalRegression(s.truth, preds)
 		if err != nil {

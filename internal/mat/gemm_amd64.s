@@ -1,0 +1,411 @@
+// AVX2/FMA micro-kernels for the batched GEMM path. Each kernel mirrors a
+// scalar micro-kernel in gemm.go exactly (same blocking shape, same
+// accumulator association per lane); lane sums are reduced in a fixed
+// order, so results are deterministic for a given binary and machine.
+// Guarded at runtime by CPUID feature detection (see gemm_amd64.go).
+
+#include "textflag.h"
+
+// func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fmaDot4x2(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64)
+//
+// out[2*i+j] = a_i · b_j over the shared depth n. Eight 4-lane FMA
+// accumulator chains; the lanes of each chain are reduced pairwise at the
+// end, then the scalar tail (n % 4 elements) accumulates into the reduced
+// sums with scalar FMAs.
+TEXT ·fmaDot4x2(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b0+32(FP), R12
+	MOVQ b1+40(FP), R13
+	MOVQ n+48(FP), CX
+	MOVQ out+56(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	JZ   dotreduce
+
+dotloop:
+	VMOVUPD (R12)(AX*8), Y12
+	VMOVUPD (R13)(AX*8), Y13
+	VMOVUPD (R8)(AX*8), Y8
+	VMOVUPD (R9)(AX*8), Y9
+	VMOVUPD (R10)(AX*8), Y10
+	VMOVUPD (R11)(AX*8), Y11
+	VFMADD231PD Y12, Y8, Y0
+	VFMADD231PD Y13, Y8, Y1
+	VFMADD231PD Y12, Y9, Y2
+	VFMADD231PD Y13, Y9, Y3
+	VFMADD231PD Y12, Y10, Y4
+	VFMADD231PD Y13, Y10, Y5
+	VFMADD231PD Y12, Y11, Y6
+	VFMADD231PD Y13, Y11, Y7
+	ADDQ $4, AX
+	CMPQ AX, DX
+	JL   dotloop
+
+dotreduce:
+	// Reduce each 4-lane accumulator to its low lane: (l0+l2) + (l1+l3).
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD       X8, X0, X0
+	VPERMILPD    $1, X0, X8
+	VADDSD       X8, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD       X8, X1, X1
+	VPERMILPD    $1, X1, X8
+	VADDSD       X8, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD       X8, X2, X2
+	VPERMILPD    $1, X2, X8
+	VADDSD       X8, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD       X8, X3, X3
+	VPERMILPD    $1, X3, X8
+	VADDSD       X8, X3, X3
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD       X8, X4, X4
+	VPERMILPD    $1, X4, X8
+	VADDSD       X8, X4, X4
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD       X8, X5, X5
+	VPERMILPD    $1, X5, X8
+	VADDSD       X8, X5, X5
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD       X8, X6, X6
+	VPERMILPD    $1, X6, X8
+	VADDSD       X8, X6, X6
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD       X8, X7, X7
+	VPERMILPD    $1, X7, X8
+	VADDSD       X8, X7, X7
+
+	CMPQ AX, CX
+	JGE  dotstore
+
+dottail:
+	VMOVSD (R12)(AX*8), X12
+	VMOVSD (R13)(AX*8), X13
+	VMOVSD (R8)(AX*8), X8
+	VMOVSD (R9)(AX*8), X9
+	VMOVSD (R10)(AX*8), X10
+	VMOVSD (R11)(AX*8), X11
+	VFMADD231SD X12, X8, X0
+	VFMADD231SD X13, X8, X1
+	VFMADD231SD X12, X9, X2
+	VFMADD231SD X13, X9, X3
+	VFMADD231SD X12, X10, X4
+	VFMADD231SD X13, X10, X5
+	VFMADD231SD X12, X11, X6
+	VFMADD231SD X13, X11, X7
+	INCQ AX
+	CMPQ AX, CX
+	JL   dottail
+
+dotstore:
+	VMOVSD X0, (DI)
+	VMOVSD X1, 8(DI)
+	VMOVSD X2, 16(DI)
+	VMOVSD X3, 24(DI)
+	VMOVSD X4, 32(DI)
+	VMOVSD X5, 40(DI)
+	VMOVSD X6, 48(DI)
+	VMOVSD X7, 56(DI)
+	VZEROUPPER
+	RET
+
+// func fmaAxpy2x4(c *[8]float64, d0, d1, s0, s1, s2, s3 *float64, n int)
+//
+// d0 += c[0]*s0 + c[1]*s1 + c[2]*s2 + c[3]*s3
+// d1 += c[4]*s0 + c[5]*s1 + c[6]*s2 + c[7]*s3
+TEXT ·fmaAxpy2x4(SB), NOSPLIT, $0-64
+	MOVQ c+0(FP), SI
+	MOVQ d0+8(FP), DI
+	MOVQ d1+16(FP), DX
+	MOVQ s0+24(FP), R8
+	MOVQ s1+32(FP), R9
+	MOVQ s2+40(FP), R10
+	MOVQ s3+48(FP), R11
+	MOVQ n+56(FP), CX
+
+	VBROADCASTSD (SI), Y8
+	VBROADCASTSD 8(SI), Y9
+	VBROADCASTSD 16(SI), Y10
+	VBROADCASTSD 24(SI), Y11
+	VBROADCASTSD 32(SI), Y12
+	VBROADCASTSD 40(SI), Y13
+	VBROADCASTSD 48(SI), Y14
+	VBROADCASTSD 56(SI), Y15
+
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	JZ   axpytailcheck
+
+axpyloop:
+	VMOVUPD (R8)(AX*8), Y4
+	VMOVUPD (R9)(AX*8), Y5
+	VMOVUPD (R10)(AX*8), Y6
+	VMOVUPD (R11)(AX*8), Y7
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD (DX)(AX*8), Y1
+	VFMADD231PD Y4, Y8, Y0
+	VFMADD231PD Y5, Y9, Y0
+	VFMADD231PD Y6, Y10, Y0
+	VFMADD231PD Y7, Y11, Y0
+	VFMADD231PD Y4, Y12, Y1
+	VFMADD231PD Y5, Y13, Y1
+	VFMADD231PD Y6, Y14, Y1
+	VFMADD231PD Y7, Y15, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, (DX)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, BX
+	JL   axpyloop
+
+axpytailcheck:
+	CMPQ AX, CX
+	JGE  axpydone
+
+axpytail:
+	VMOVSD (R8)(AX*8), X4
+	VMOVSD (R9)(AX*8), X5
+	VMOVSD (R10)(AX*8), X6
+	VMOVSD (R11)(AX*8), X7
+	VMOVSD (DI)(AX*8), X0
+	VMOVSD (DX)(AX*8), X1
+	VFMADD231SD X4, X8, X0
+	VFMADD231SD X5, X9, X0
+	VFMADD231SD X6, X10, X0
+	VFMADD231SD X7, X11, X0
+	VFMADD231SD X4, X12, X1
+	VFMADD231SD X5, X13, X1
+	VFMADD231SD X6, X14, X1
+	VFMADD231SD X7, X15, X1
+	VMOVSD X0, (DI)(AX*8)
+	VMOVSD X1, (DX)(AX*8)
+	INCQ AX
+	CMPQ AX, CX
+	JL   axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// Constants for the 4-lane vectorized exp kernel (each value repeated 4×
+// so it can serve directly as a 256-bit memory operand). Layout:
+// log2e=0x000 ln2hi=0x020 ln2lo=0x040 one=0x060 clamp=0x080
+// signmask=0x0A0 bias=0x0C0 then Taylor 1/13! ... 1/2! at 0x0E0..0x240.
+DATA expconst<>+0x000(SB)/8, $0x3FF71547652B82FE
+DATA expconst<>+0x008(SB)/8, $0x3FF71547652B82FE
+DATA expconst<>+0x010(SB)/8, $0x3FF71547652B82FE
+DATA expconst<>+0x018(SB)/8, $0x3FF71547652B82FE
+DATA expconst<>+0x020(SB)/8, $0x3FE62E42FEE00000
+DATA expconst<>+0x028(SB)/8, $0x3FE62E42FEE00000
+DATA expconst<>+0x030(SB)/8, $0x3FE62E42FEE00000
+DATA expconst<>+0x038(SB)/8, $0x3FE62E42FEE00000
+DATA expconst<>+0x040(SB)/8, $0x3DEA39EF35793C76
+DATA expconst<>+0x048(SB)/8, $0x3DEA39EF35793C76
+DATA expconst<>+0x050(SB)/8, $0x3DEA39EF35793C76
+DATA expconst<>+0x058(SB)/8, $0x3DEA39EF35793C76
+DATA expconst<>+0x060(SB)/8, $0x3FF0000000000000
+DATA expconst<>+0x068(SB)/8, $0x3FF0000000000000
+DATA expconst<>+0x070(SB)/8, $0x3FF0000000000000
+DATA expconst<>+0x078(SB)/8, $0x3FF0000000000000
+DATA expconst<>+0x080(SB)/8, $0xC086200000000000
+DATA expconst<>+0x088(SB)/8, $0xC086200000000000
+DATA expconst<>+0x090(SB)/8, $0xC086200000000000
+DATA expconst<>+0x098(SB)/8, $0xC086200000000000
+DATA expconst<>+0x0a0(SB)/8, $0x8000000000000000
+DATA expconst<>+0x0a8(SB)/8, $0x8000000000000000
+DATA expconst<>+0x0b0(SB)/8, $0x8000000000000000
+DATA expconst<>+0x0b8(SB)/8, $0x8000000000000000
+DATA expconst<>+0x0c0(SB)/8, $0x00000000000003FF
+DATA expconst<>+0x0c8(SB)/8, $0x00000000000003FF
+DATA expconst<>+0x0d0(SB)/8, $0x00000000000003FF
+DATA expconst<>+0x0d8(SB)/8, $0x00000000000003FF
+DATA expconst<>+0x0e0(SB)/8, $0x3DE6124613A86D09
+DATA expconst<>+0x0e8(SB)/8, $0x3DE6124613A86D09
+DATA expconst<>+0x0f0(SB)/8, $0x3DE6124613A86D09
+DATA expconst<>+0x0f8(SB)/8, $0x3DE6124613A86D09
+DATA expconst<>+0x100(SB)/8, $0x3E21EED8EFF8D898
+DATA expconst<>+0x108(SB)/8, $0x3E21EED8EFF8D898
+DATA expconst<>+0x110(SB)/8, $0x3E21EED8EFF8D898
+DATA expconst<>+0x118(SB)/8, $0x3E21EED8EFF8D898
+DATA expconst<>+0x120(SB)/8, $0x3E5AE64567F544E4
+DATA expconst<>+0x128(SB)/8, $0x3E5AE64567F544E4
+DATA expconst<>+0x130(SB)/8, $0x3E5AE64567F544E4
+DATA expconst<>+0x138(SB)/8, $0x3E5AE64567F544E4
+DATA expconst<>+0x140(SB)/8, $0x3E927E4FB7789F5C
+DATA expconst<>+0x148(SB)/8, $0x3E927E4FB7789F5C
+DATA expconst<>+0x150(SB)/8, $0x3E927E4FB7789F5C
+DATA expconst<>+0x158(SB)/8, $0x3E927E4FB7789F5C
+DATA expconst<>+0x160(SB)/8, $0x3EC71DE3A556C734
+DATA expconst<>+0x168(SB)/8, $0x3EC71DE3A556C734
+DATA expconst<>+0x170(SB)/8, $0x3EC71DE3A556C734
+DATA expconst<>+0x178(SB)/8, $0x3EC71DE3A556C734
+DATA expconst<>+0x180(SB)/8, $0x3EFA01A01A01A01A
+DATA expconst<>+0x188(SB)/8, $0x3EFA01A01A01A01A
+DATA expconst<>+0x190(SB)/8, $0x3EFA01A01A01A01A
+DATA expconst<>+0x198(SB)/8, $0x3EFA01A01A01A01A
+DATA expconst<>+0x1a0(SB)/8, $0x3F2A01A01A01A01A
+DATA expconst<>+0x1a8(SB)/8, $0x3F2A01A01A01A01A
+DATA expconst<>+0x1b0(SB)/8, $0x3F2A01A01A01A01A
+DATA expconst<>+0x1b8(SB)/8, $0x3F2A01A01A01A01A
+DATA expconst<>+0x1c0(SB)/8, $0x3F56C16C16C16C17
+DATA expconst<>+0x1c8(SB)/8, $0x3F56C16C16C16C17
+DATA expconst<>+0x1d0(SB)/8, $0x3F56C16C16C16C17
+DATA expconst<>+0x1d8(SB)/8, $0x3F56C16C16C16C17
+DATA expconst<>+0x1e0(SB)/8, $0x3F81111111111111
+DATA expconst<>+0x1e8(SB)/8, $0x3F81111111111111
+DATA expconst<>+0x1f0(SB)/8, $0x3F81111111111111
+DATA expconst<>+0x1f8(SB)/8, $0x3F81111111111111
+DATA expconst<>+0x200(SB)/8, $0x3FA5555555555555
+DATA expconst<>+0x208(SB)/8, $0x3FA5555555555555
+DATA expconst<>+0x210(SB)/8, $0x3FA5555555555555
+DATA expconst<>+0x218(SB)/8, $0x3FA5555555555555
+DATA expconst<>+0x220(SB)/8, $0x3FC5555555555555
+DATA expconst<>+0x228(SB)/8, $0x3FC5555555555555
+DATA expconst<>+0x230(SB)/8, $0x3FC5555555555555
+DATA expconst<>+0x238(SB)/8, $0x3FC5555555555555
+DATA expconst<>+0x240(SB)/8, $0x3FE0000000000000
+DATA expconst<>+0x248(SB)/8, $0x3FE0000000000000
+DATA expconst<>+0x250(SB)/8, $0x3FE0000000000000
+DATA expconst<>+0x258(SB)/8, $0x3FE0000000000000
+GLOBL expconst<>(SB), RODATA, $608
+
+// The vexp macro body (inlined in both panels below) computes
+// Y4 = exp(Y1) for lane values in [-708, 0]:
+//
+//	n   = rint(x·log2e)                      (round to nearest even)
+//	r   = x − n·ln2hi − n·ln2lo              (|r| ≤ ln2/2)
+//	e^r = Taylor-13 Horner with FMA          (trunc. error ~4e-18)
+//	e^x = e^r · 2^n                          (exponent-field construction)
+//
+// Total error ≤ ~2 ulp versus math.Exp; inputs are clamped at -708 so
+// 2^n stays normal. The clamp MAX places the input in the NaN-returning
+// operand position, so NaN lanes propagate to the result exactly as the
+// scalar path's math.Exp does. Clobbers Y1-Y4; expects the constant
+// registers loaded by the panel prologue: Y8=log2e Y9=ln2hi Y10=ln2lo
+// Y11=one Y12=clamp Y13=signmask Y14=bias.
+
+#define VEXP_Y1_TO_Y4 \
+	VMAXPD Y1, Y12, Y1 \
+	VMULPD Y8, Y1, Y2 \
+	VROUNDPD $0, Y2, Y2 \
+	VMOVAPD Y1, Y3 \
+	VFNMADD231PD Y9, Y2, Y3 \
+	VFNMADD231PD Y10, Y2, Y3 \
+	VMOVUPD 224(BX), Y4 \
+	VFMADD213PD 256(BX), Y3, Y4 \
+	VFMADD213PD 288(BX), Y3, Y4 \
+	VFMADD213PD 320(BX), Y3, Y4 \
+	VFMADD213PD 352(BX), Y3, Y4 \
+	VFMADD213PD 384(BX), Y3, Y4 \
+	VFMADD213PD 416(BX), Y3, Y4 \
+	VFMADD213PD 448(BX), Y3, Y4 \
+	VFMADD213PD 480(BX), Y3, Y4 \
+	VFMADD213PD 512(BX), Y3, Y4 \
+	VFMADD213PD 544(BX), Y3, Y4 \
+	VFMADD213PD 576(BX), Y3, Y4 \
+	VFMADD213PD Y11, Y3, Y4 \
+	VFMADD213PD Y11, Y3, Y4 \
+	VCVTPD2DQY Y2, X2 \
+	VPMOVSXDQ X2, Y2 \
+	VPADDQ Y14, Y2, Y2 \
+	VPSLLQ $52, Y2, Y2 \
+	VMULPD Y2, Y4, Y4
+
+#define VEXP_CONSTS \
+	MOVQ $expconst<>(SB), BX \
+	VMOVUPD 0(BX), Y8 \
+	VMOVUPD 32(BX), Y9 \
+	VMOVUPD 64(BX), Y10 \
+	VMOVUPD 96(BX), Y11 \
+	VMOVUPD 128(BX), Y12 \
+	VMOVUPD 160(BX), Y13 \
+	VMOVUPD 192(BX), Y14
+
+// func fmaSigmoidPanel(v *float64, n int)
+//
+// v[i] = σ(v[i]) four lanes at a time: p = 1/(1+exp(-|x|)) then a sign
+// blend selects p or 1−p. n must be a multiple of 4 (the Go wrapper
+// routes the remainder through the scalar form).
+TEXT ·fmaSigmoidPanel(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	VEXP_CONSTS
+	XORQ AX, AX
+
+sigloop:
+	VMOVUPD (DI)(AX*8), Y0
+	VORPD   Y13, Y0, Y1
+	VEXP_Y1_TO_Y4
+	VADDPD Y11, Y4, Y5
+	VDIVPD Y5, Y11, Y6
+	VSUBPD Y6, Y11, Y7
+	VBLENDVPD Y0, Y7, Y6, Y6
+	VMOVUPD Y6, (DI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JL   sigloop
+
+	VZEROUPPER
+	RET
+
+// func fmaTanhPanel(v *float64, n int)
+//
+// v[i] = tanh(v[i]) via t = exp(-2|x|), |tanh| = (1−t)/(1+t), sign
+// reapplied bitwise. n must be a multiple of 4.
+TEXT ·fmaTanhPanel(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	VEXP_CONSTS
+	XORQ AX, AX
+
+tanhloop:
+	VMOVUPD (DI)(AX*8), Y0
+	VORPD   Y13, Y0, Y1
+	VADDPD  Y1, Y1, Y1
+	VEXP_Y1_TO_Y4
+	VSUBPD Y4, Y11, Y5
+	VADDPD Y11, Y4, Y6
+	VDIVPD Y6, Y5, Y5
+	VANDPD Y13, Y0, Y2
+	VORPD  Y2, Y5, Y5
+	VMOVUPD Y5, (DI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JL   tanhloop
+
+	VZEROUPPER
+	RET

@@ -2,21 +2,24 @@
 // network substrate is built on: row-major matrices, matrix-vector and
 // matrix-matrix products, elementwise helpers, and weight initializers.
 //
-// The kernels are portable scalar Go (no SIMD intrinsics, no assembly):
-// the models in this repository are small (≤50-unit LSTMs), so clarity and
-// determinism win over peak throughput. The matrix-vector products and the
-// outer-product accumulator — the four operations that dominate BPTT — use
-// 4-way unrolled dot/axpy inner loops with independent accumulators and
-// 2–4-row register blocking, which roughly doubles throughput on small
-// rows without changing the algorithm. All operations are allocation-free
-// when given destination buffers, which matters inside the BPTT inner
-// loop.
+// The per-sample kernels are portable scalar Go: the matrix-vector
+// products and the outer-product accumulator — the four operations that
+// dominate per-sample BPTT — use 4-way unrolled dot/axpy inner loops with
+// independent accumulators and 2–4-row register blocking, which roughly
+// doubles throughput on small rows without changing the algorithm. The
+// batched GEMM path (gemm.go) additionally carries AVX2+FMA micro-kernels
+// and vectorized panel activations behind runtime CPUID detection, with
+// the same scalar blocking as the portable fallback (see gemm_amd64.go);
+// EVFED_PURE_GO=1 forces the fallback everywhere. All operations are
+// allocation-free when given destination buffers, which matters inside
+// the BPTT inner loop.
 //
-// Note on determinism: the unrolled dot product sums into four independent
-// accumulators, so results can differ from a naive left-to-right sum in the
-// last floating-point bits. Every run of the same binary remains bit-for-bit
-// deterministic; only exact equality with a differently-associated
-// implementation is waived.
+// Note on determinism: the unrolled dot product sums into independent
+// accumulators (four scalar chains, or four FMA lanes per chain on the
+// fast path), so results can differ from a naive left-to-right sum in the
+// last floating-point bits. Every run of the same binary on the same
+// machine remains bit-for-bit deterministic; only exact equality with a
+// differently-associated implementation is waived.
 package mat
 
 import (

@@ -81,6 +81,66 @@ func (d *Dense) Forward(x Seq, ctx *Context) (Seq, any) {
 	return out, cache
 }
 
+// denseBatchCache is denseCache in batch form.
+type denseBatchCache struct {
+	ws  *Workspace
+	x   *BatchSeq
+	out *BatchSeq
+}
+
+var _ BatchLayer = (*Dense)(nil)
+
+// ForwardBatch implements BatchLayer: one B×in → B×out GEMM per timestep.
+func (d *Dense) ForwardBatch(x *BatchSeq, ctx *Context) (*BatchSeq, any) {
+	checkBatch(x, d.in, d)
+	ws := ctx.WS
+	var cache *denseBatchCache
+	if ws != nil {
+		cache = ws.denseBatchCaches.get()
+	} else {
+		cache = &denseBatchCache{}
+	}
+	out := wsBatchRaw(ws, x.T(), x.B, d.out) // every step overwritten by MulTBias
+	bias := d.b.Row(0)
+	for t := range out.Steps {
+		s := out.Steps[t]
+		s.MulTBias(x.Steps[t], d.w, bias)
+		if d.act != Linear {
+			for i := range s.Data {
+				s.Data[i] = d.act.apply(s.Data[i])
+			}
+		}
+	}
+	cache.ws = ws
+	cache.x = x
+	cache.out = out
+	return out, cache
+}
+
+// BackwardBatch implements BatchLayer.
+func (d *Dense) BackwardBatch(cache any, dOut *BatchSeq, grads []*mat.Matrix) *BatchSeq {
+	c, ok := cache.(*denseBatchCache)
+	if !ok {
+		panic("nn: dense batched backward got foreign cache")
+	}
+	gw, gb := grads[0], grads[1]
+	T := dOut.T()
+	B := dOut.B
+	dx := wsBatchRaw(c.ws, T, B, d.in) // every step overwritten by Mul
+	dz := wsMatRaw(c.ws, B, d.out)
+	for t := 0; t < T; t++ {
+		outT := c.out.Steps[t]
+		dOutT := dOut.Steps[t]
+		for i := range dz.Data {
+			dz.Data[i] = dOutT.Data[i] * d.act.derivFromOutput(outT.Data[i])
+		}
+		gw.MulATAdd(dz, c.x.Steps[t])
+		dz.ColSumsAdd(gb.Row(0))
+		dx.Steps[t].Mul(dz, d.w)
+	}
+	return dx
+}
+
 // Backward implements Layer.
 func (d *Dense) Backward(cache any, dOut Seq, grads []*mat.Matrix) Seq {
 	c, ok := cache.(*denseCache)

@@ -76,6 +76,82 @@ func (d *Dropout) Forward(x Seq, ctx *Context) (Seq, any) {
 	return out, cache
 }
 
+// dropoutBatchCache is dropoutCache in batch form.
+type dropoutBatchCache struct {
+	ws   *Workspace
+	mask []*mat.Matrix // [T] B×D; nil for inference or rate == 0
+}
+
+var _ BatchLayer = (*Dropout)(nil)
+
+// ForwardBatch implements BatchLayer. Sample b's mask is drawn entirely
+// from ctx.BatchRNGs[b], in the same (timestep, feature) order the
+// per-sample path uses — so a sample's mask depends only on its own
+// sub-stream, not on which batch it happened to land in.
+func (d *Dropout) ForwardBatch(x *BatchSeq, ctx *Context) (*BatchSeq, any) {
+	checkBatch(x, d.dim, d)
+	ws := ctx.WS
+	var cache *dropoutBatchCache
+	if ws != nil {
+		cache = ws.dropoutBatchCaches.get()
+	} else {
+		cache = &dropoutBatchCache{}
+	}
+	cache.ws = ws
+	cache.mask = nil
+	if !ctx.Train || d.rate == 0 {
+		return x, cache
+	}
+	if len(ctx.BatchRNGs) < x.B {
+		panic(fmt.Sprintf("nn: batched dropout needs %d per-sample RNGs, got %d",
+			x.B, len(ctx.BatchRNGs)))
+	}
+	keep := 1 - d.rate
+	scaleUp := 1 / keep
+	T := x.T()
+	mask := wsMatList(ws, T)
+	outSteps := wsMatList(ws, T)
+	for t := 0; t < T; t++ {
+		mask[t] = wsMatRaw(ws, x.B, d.dim)
+		outSteps[t] = wsMatRaw(ws, x.B, d.dim)
+	}
+	for b := 0; b < x.B; b++ {
+		r := ctx.BatchRNGs[b]
+		for t := 0; t < T; t++ {
+			mr := mask[t].Row(b)
+			or := outSteps[t].Row(b)
+			xr := x.Steps[t].Row(b)
+			for j := 0; j < d.dim; j++ {
+				if r.Float64() < keep {
+					mr[j] = scaleUp
+					or[j] = xr[j] * scaleUp
+				} else {
+					mr[j] = 0
+					or[j] = 0
+				}
+			}
+		}
+	}
+	cache.mask = mask
+	return wsBatchView(ws, x.B, d.dim, outSteps), cache
+}
+
+// BackwardBatch implements BatchLayer.
+func (d *Dropout) BackwardBatch(cache any, dOut *BatchSeq, _ []*mat.Matrix) *BatchSeq {
+	c, ok := cache.(*dropoutBatchCache)
+	if !ok {
+		panic("nn: dropout batched backward got foreign cache")
+	}
+	if c.mask == nil {
+		return dOut
+	}
+	dx := wsBatchRaw(c.ws, dOut.T(), dOut.B, d.dim)
+	for t := range dOut.Steps {
+		mat.Hadamard(dx.Steps[t].Data, dOut.Steps[t].Data, c.mask[t].Data)
+	}
+	return dx
+}
+
 // Backward implements Layer.
 func (d *Dropout) Backward(cache any, dOut Seq, _ []*mat.Matrix) Seq {
 	c, ok := cache.(*dropoutCache)

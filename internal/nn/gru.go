@@ -118,6 +118,154 @@ func (g *GRU) Forward(x Seq, ctx *Context) (Seq, any) {
 	return out, cache
 }
 
+// gruBatchCache is gruCache in timestep-major batch form.
+type gruBatchCache struct {
+	ws    *Workspace
+	x     *BatchSeq
+	gates []*mat.Matrix // [T] B×3U post-activation z, r, n
+	hn    []*mat.Matrix // [T] B×U Whn·h_{t-1} (pre reset gating)
+	h     []*mat.Matrix // [T] B×U
+}
+
+var _ BatchLayer = (*GRU)(nil)
+
+// ForwardBatch implements BatchLayer (see LSTM.ForwardBatch; the GRU form
+// additionally keeps the candidate's recurrent product un-gated per row).
+func (g *GRU) ForwardBatch(x *BatchSeq, ctx *Context) (*BatchSeq, any) {
+	checkBatch(x, g.in, g)
+	T := x.T()
+	B := x.B
+	U := g.units
+	ws := ctx.WS
+	var cache *gruBatchCache
+	if ws != nil {
+		cache = ws.gruBatchCaches.get()
+	} else {
+		cache = &gruBatchCache{}
+	}
+	cache.ws = ws
+	cache.x = x
+	cache.gates = wsMatList(ws, T)
+	cache.hn = wsMatList(ws, T)
+	cache.h = wsMatList(ws, T)
+	hPrev := wsMatZero(ws, B, U)
+	rec := wsMatRaw(ws, B, 3*U) // reused across timesteps; MulT overwrites
+	bias := g.b.Row(0)
+	for t := 0; t < T; t++ {
+		zrn := wsMatRaw(ws, B, 3*U)
+		cache.gates[t] = zrn
+		zrn.MulTBias(x.Steps[t], g.wx, bias)
+		rec.MulT(hPrev, g.wh)
+		hn := wsMatRaw(ws, B, U)
+		cache.hn[t] = hn
+		h := wsMatRaw(ws, B, U)
+		cache.h[t] = h
+		for bi := 0; bi < B; bi++ {
+			recr := rec.Row(bi)
+			copy(hn.Row(bi), recr[2*U:])
+			mat.AddVec(zrn.Row(bi)[:2*U], recr[:2*U])
+		}
+		zrn.SigmoidRows(0, 2*U) // z, r
+		for bi := 0; bi < B; bi++ {
+			zr := zrn.Row(bi)
+			hnr := hn.Row(bi)
+			for j := 0; j < U; j++ {
+				zr[2*U+j] += zr[U+j] * hnr[j] // candidate pre-activation
+			}
+			mat.TanhPanel(zr[2*U:]) // n
+		}
+		for bi := 0; bi < B; bi++ {
+			zr := zrn.Row(bi)
+			hpr := hPrev.Row(bi)
+			hr := h.Row(bi)
+			for j := 0; j < U; j++ {
+				hr[j] = (1-zr[j])*zr[2*U+j] + zr[j]*hpr[j]
+			}
+		}
+		hPrev = h
+	}
+	if g.returnSeq {
+		return wsBatchView(ws, B, U, cache.h), cache
+	}
+	steps := wsMatList(ws, 1)
+	steps[0] = cache.h[T-1]
+	return wsBatchView(ws, B, U, steps), cache
+}
+
+// BackwardBatch implements BatchLayer.
+func (g *GRU) BackwardBatch(cacheAny any, dOut *BatchSeq, grads []*mat.Matrix) *BatchSeq {
+	cache, ok := cacheAny.(*gruBatchCache)
+	if !ok {
+		panic("nn: gru batched backward got foreign cache")
+	}
+	T := cache.x.T()
+	B := cache.x.B
+	U := g.units
+	ws := cache.ws
+	gwx, gwh, gb := grads[0], grads[1], grads[2]
+
+	dh := wsMatZero(ws, B, U)
+	dzrn := wsMatRaw(ws, B, 3*U)
+	recIn := wsMatRaw(ws, B, 3*U)
+	dhPrevDirect := wsMatRaw(ws, B, U) // fully overwritten every timestep
+	dx := wsBatchRaw(ws, T, B, g.in)   // every step overwritten by Mul
+
+	for t := T - 1; t >= 0; t-- {
+		if g.returnSeq {
+			mat.AddVec(dh.Data, dOut.Steps[t].Data)
+		} else if t == T-1 {
+			mat.AddVec(dh.Data, dOut.Steps[0].Data)
+		}
+		zrn := cache.gates[t]
+		hn := cache.hn[t]
+		var hPrev *mat.Matrix
+		if t > 0 {
+			hPrev = cache.h[t-1]
+		}
+		for bi := 0; bi < B; bi++ {
+			zr := zrn.Row(bi)
+			hnr := hn.Row(bi)
+			dhr := dh.Row(bi)
+			dzr := dzrn.Row(bi)
+			recr := recIn.Row(bi)
+			ddir := dhPrevDirect.Row(bi)
+			var hpr []float64
+			if t > 0 {
+				hpr = hPrev.Row(bi)
+			}
+			for j := 0; j < U; j++ {
+				z, r, n := zr[j], zr[U+j], zr[2*U+j]
+				var hp float64
+				if t > 0 {
+					hp = hpr[j]
+				}
+				dN := dhr[j] * (1 - z)
+				dZ := dhr[j] * (hp - n)
+				ddir[j] = dhr[j] * z
+				dnPre := dN * (1 - n*n)
+				dzr[2*U+j] = dnPre
+				dR := dnPre * hnr[j]
+				dzr[U+j] = dR * r * (1 - r)
+				dzr[j] = dZ * z * (1 - z)
+				// Recurrent-kernel input gradient: candidate block scaled
+				// by the reset gate (see the per-sample Backward).
+				recr[j] = dzr[j]
+				recr[U+j] = dzr[U+j]
+				recr[2*U+j] = dnPre * r
+			}
+		}
+		gwx.MulATAdd(dzrn, cache.x.Steps[t])
+		if t > 0 {
+			gwh.MulATAdd(recIn, hPrev)
+		}
+		dzrn.ColSumsAdd(gb.Row(0))
+		dx.Steps[t].Mul(dzrn, g.wx)
+		dh.Mul(recIn, g.wh)
+		mat.AddVec(dh.Data, dhPrevDirect.Data)
+	}
+	return dx
+}
+
 // Backward implements Layer.
 func (g *GRU) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
 	cache, ok := cacheAny.(*gruCache)

@@ -18,6 +18,14 @@ type Loss interface {
 	EvalInto(dst, pred, target Seq) float64
 	// Value returns only the scalar loss (no gradient allocation).
 	Value(pred, target Seq) float64
+	// EvalBatchInto is EvalInto over a batch: it writes each sample's
+	// per-sample-normalized gradient into the matching rows of dst (every
+	// element overwritten) and returns the SUM of the per-sample losses —
+	// callers divide by their total sample count, exactly as they would
+	// accumulate B EvalInto results. Per-sample sums run in (timestep,
+	// feature) order and samples accumulate in row order, so the result is
+	// deterministic for a given batch composition.
+	EvalBatchInto(dst, pred, target *BatchSeq) float64
 }
 
 // MSE is mean squared error averaged over all timesteps and features —
@@ -51,6 +59,26 @@ func (MSE) EvalInto(dst, pred, target Seq) float64 {
 		}
 	}
 	return sum * inv
+}
+
+// EvalBatchInto implements Loss.
+func (MSE) EvalBatchInto(dst, pred, target *BatchSeq) float64 {
+	n := batchSize(dst, pred, target)
+	var total float64
+	inv := 1 / float64(n)
+	for b := 0; b < pred.B; b++ {
+		var sum float64
+		for t := range pred.Steps {
+			pr, tr, dr := pred.Steps[t].Row(b), target.Steps[t].Row(b), dst.Steps[t].Row(b)
+			for j := range pr {
+				d := pr[j] - tr[j]
+				sum += d * d
+				dr[j] = 2 * d * inv
+			}
+		}
+		total += sum * inv
+	}
+	return total
 }
 
 // Value implements Loss.
@@ -103,6 +131,33 @@ func (MAE) EvalInto(dst, pred, target Seq) float64 {
 		}
 	}
 	return sum * inv
+}
+
+// EvalBatchInto implements Loss.
+func (MAE) EvalBatchInto(dst, pred, target *BatchSeq) float64 {
+	n := batchSize(dst, pred, target)
+	var total float64
+	inv := 1 / float64(n)
+	for b := 0; b < pred.B; b++ {
+		var sum float64
+		for t := range pred.Steps {
+			pr, tr, dr := pred.Steps[t].Row(b), target.Steps[t].Row(b), dst.Steps[t].Row(b)
+			for j := range pr {
+				d := pr[j] - tr[j]
+				sum += math.Abs(d)
+				switch {
+				case d > 0:
+					dr[j] = inv
+				case d < 0:
+					dr[j] = -inv
+				default:
+					dr[j] = 0
+				}
+			}
+		}
+		total += sum * inv
+	}
+	return total
 }
 
 // Value implements Loss.
@@ -172,6 +227,37 @@ func (h Huber) EvalInto(dst, pred, target Seq) float64 {
 	return sum * inv
 }
 
+// EvalBatchInto implements Loss.
+func (h Huber) EvalBatchInto(dst, pred, target *BatchSeq) float64 {
+	n := batchSize(dst, pred, target)
+	delta := h.delta()
+	var total float64
+	inv := 1 / float64(n)
+	for b := 0; b < pred.B; b++ {
+		var sum float64
+		for t := range pred.Steps {
+			pr, tr, dr := pred.Steps[t].Row(b), target.Steps[t].Row(b), dst.Steps[t].Row(b)
+			for j := range pr {
+				d := pr[j] - tr[j]
+				a := math.Abs(d)
+				if a <= delta {
+					sum += 0.5 * d * d
+					dr[j] = d * inv
+				} else {
+					sum += delta * (a - 0.5*delta)
+					if d > 0 {
+						dr[j] = delta * inv
+					} else {
+						dr[j] = -delta * inv
+					}
+				}
+			}
+		}
+		total += sum * inv
+	}
+	return total
+}
+
 // Value implements Loss.
 func (h Huber) Value(pred, target Seq) float64 {
 	n := seqSize(pred, target)
@@ -202,6 +288,21 @@ func checkGradDst(dst, pred Seq) {
 				t, len(dst[t]), len(pred[t])))
 		}
 	}
+}
+
+// batchSize validates that dst, pred and target share one batch shape and
+// returns the per-sample element count (timesteps × features).
+func batchSize(dst, pred, target *BatchSeq) int {
+	if pred.T() == 0 {
+		panic("nn: batch loss over empty sequence")
+	}
+	for _, o := range []*BatchSeq{dst, target} {
+		if o.B != pred.B || o.D != pred.D || o.T() != pred.T() {
+			panic(fmt.Sprintf("nn: batch loss shape mismatch: %d×(%dx%d) vs %d×(%dx%d)",
+				o.T(), o.B, o.D, pred.T(), pred.B, pred.D))
+		}
+	}
+	return pred.T() * pred.D
 }
 
 // seqSize validates matching shapes and returns the element count.

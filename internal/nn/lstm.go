@@ -139,6 +139,151 @@ func (l *LSTM) Forward(x Seq, ctx *Context) (Seq, any) {
 	return out, cache
 }
 
+// lstmBatchCache is lstmCache in timestep-major batch form: every block
+// is a [T] list of B×width panels.
+type lstmBatchCache struct {
+	ws    *Workspace
+	x     *BatchSeq
+	gates []*mat.Matrix // [T] B×4U post-activation gate values (i, f, g, o)
+	c     []*mat.Matrix // [T] B×U cell states
+	ct    []*mat.Matrix // [T] B×U tanh(c_t)
+	h     []*mat.Matrix // [T] B×U hidden states
+}
+
+var _ BatchLayer = (*LSTM)(nil)
+
+// ForwardBatch implements BatchLayer: one B×in → B×4U GEMM pair per
+// timestep instead of B matvec pairs, followed by the same fused gate
+// activations and elementwise cell update applied row-wise.
+func (l *LSTM) ForwardBatch(x *BatchSeq, ctx *Context) (*BatchSeq, any) {
+	checkBatch(x, l.in, l)
+	T := x.T()
+	B := x.B
+	U := l.units
+	ws := ctx.WS
+	var cache *lstmBatchCache
+	if ws != nil {
+		cache = ws.lstmBatchCaches.get()
+	} else {
+		cache = &lstmBatchCache{}
+	}
+	cache.ws = ws
+	cache.x = x
+	cache.gates = wsMatList(ws, T)
+	cache.c = wsMatList(ws, T)
+	cache.ct = wsMatList(ws, T)
+	cache.h = wsMatList(ws, T)
+	hPrev := wsMatZero(ws, B, U)
+	cPrev := wsMatZero(ws, B, U)
+	bias := l.b.Row(0)
+	for t := 0; t < T; t++ {
+		z := wsMatRaw(ws, B, 4*U)
+		cache.gates[t] = z
+		z.MulTBias(x.Steps[t], l.wx, bias)
+		z.MulTAdd(hPrev, l.wh)
+		z.GateActivationsRows(U)
+		c := wsMatRaw(ws, B, U)
+		ct := wsMatRaw(ws, B, U)
+		h := wsMatRaw(ws, B, U)
+		cache.c[t], cache.ct[t], cache.h[t] = c, ct, h
+		for bi := 0; bi < B; bi++ {
+			zr := z.Row(bi)
+			cpr := cPrev.Row(bi)
+			cr := c.Row(bi)
+			for j := 0; j < U; j++ {
+				cr[j] = zr[U+j]*cpr[j] + zr[j]*zr[2*U+j]
+			}
+		}
+		// tanh(c) over the whole B×U panel in one vectorized pass.
+		copy(ct.Data, c.Data)
+		mat.TanhPanel(ct.Data)
+		for bi := 0; bi < B; bi++ {
+			zr := z.Row(bi)
+			ctr, hr := ct.Row(bi), h.Row(bi)
+			for j := 0; j < U; j++ {
+				hr[j] = zr[3*U+j] * ctr[j]
+			}
+		}
+		hPrev, cPrev = h, c
+	}
+	if l.returnSeq {
+		return wsBatchView(ws, B, U, cache.h), cache
+	}
+	steps := wsMatList(ws, 1)
+	steps[0] = cache.h[T-1]
+	return wsBatchView(ws, B, U, steps), cache
+}
+
+// BackwardBatch implements BatchLayer. Parameter gradients are summed
+// over the batch rows by the aᵀ·b GEMM, so one call accumulates what B
+// per-sample Backward calls would (up to floating-point association).
+func (l *LSTM) BackwardBatch(cacheAny any, dOut *BatchSeq, grads []*mat.Matrix) *BatchSeq {
+	cache, ok := cacheAny.(*lstmBatchCache)
+	if !ok {
+		panic("nn: lstm batched backward got foreign cache")
+	}
+	T := cache.x.T()
+	B := cache.x.B
+	U := l.units
+	ws := cache.ws
+	gwx, gwh, gb := grads[0], grads[1], grads[2]
+
+	dh := wsMatZero(ws, B, U)
+	dc := wsMatZero(ws, B, U)
+	dz := wsMatRaw(ws, B, 4*U)
+	dx := wsBatchRaw(ws, T, B, l.in) // every step overwritten by Mul
+
+	for t := T - 1; t >= 0; t-- {
+		if l.returnSeq {
+			mat.AddVec(dh.Data, dOut.Steps[t].Data)
+		} else if t == T-1 {
+			mat.AddVec(dh.Data, dOut.Steps[0].Data)
+		}
+		z := cache.gates[t]
+		ct := cache.ct[t]
+		var cPrev *mat.Matrix
+		if t > 0 {
+			cPrev = cache.c[t-1]
+		}
+		for bi := 0; bi < B; bi++ {
+			zr := z.Row(bi)
+			ctr := ct.Row(bi)
+			dhr, dcr, dzr := dh.Row(bi), dc.Row(bi), dz.Row(bi)
+			var cpr []float64
+			if t > 0 {
+				cpr = cPrev.Row(bi)
+			}
+			for j := 0; j < U; j++ {
+				i, f, g, o := zr[j], zr[U+j], zr[2*U+j], zr[3*U+j]
+				dO := dhr[j] * ctr[j]
+				dcj := dcr[j] + dhr[j]*o*(1-ctr[j]*ctr[j])
+				var cp float64
+				if t > 0 {
+					cp = cpr[j]
+				}
+				dF := dcj * cp
+				dI := dcj * g
+				dG := dcj * i
+				dzr[j] = dI * i * (1 - i)
+				dzr[U+j] = dF * f * (1 - f)
+				dzr[2*U+j] = dG * (1 - g*g)
+				dzr[3*U+j] = dO * o * (1 - o)
+				dcr[j] = dcj * f
+			}
+		}
+		gwx.MulATAdd(dz, cache.x.Steps[t])
+		if t > 0 {
+			gwh.MulATAdd(dz, cache.h[t-1])
+		}
+		dz.ColSumsAdd(gb.Row(0))
+		dx.Steps[t].Mul(dz, l.wx)
+		// Recurrent gradient into h_{t-1} replaces dh for the next
+		// (earlier) step; the upstream dOut contribution is added there.
+		dh.Mul(dz, l.wh)
+	}
+	return dx
+}
+
 // Backward implements Layer.
 func (l *LSTM) Backward(cacheAny any, dOut Seq, grads []*mat.Matrix) Seq {
 	cache, ok := cacheAny.(*lstmCache)

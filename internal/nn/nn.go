@@ -59,6 +59,13 @@ type Context struct {
 	// owns the workspace and must call WS.Reset between samples; see the
 	// Workspace contract. Nil keeps the allocate-per-call behaviour.
 	WS *Workspace
+	// BatchRNGs supplies one RNG sub-stream per batch row for stochastic
+	// layers on the batched path (ForwardBatch): sample b's dropout mask
+	// is drawn from BatchRNGs[b] alone, so masks are per-sample
+	// deterministic regardless of how samples are grouped into batches.
+	// Required (len >= batch size) when Train is true and the model
+	// contains stochastic layers; ignored by the per-sample path.
+	BatchRNGs []*rng.Source
 }
 
 // Layer is one differentiable block. Implementations must keep Forward and

@@ -52,6 +52,40 @@ func (r *RepeatVector) Forward(x Seq, ctx *Context) (Seq, any) {
 	return out, cache
 }
 
+var _ BatchLayer = (*RepeatVector)(nil)
+
+// ForwardBatch implements BatchLayer: all times output steps alias the
+// single input step matrix (layers never mutate their inputs, so sharing
+// is safe — see the BatchSeq aliasing contract).
+func (r *RepeatVector) ForwardBatch(x *BatchSeq, ctx *Context) (*BatchSeq, any) {
+	if x.T() != 1 {
+		panic(fmt.Sprintf("nn: repeatvector expects a single timestep, got %d", x.T()))
+	}
+	checkBatch(x, r.dim, r)
+	ws := ctx.WS
+	steps := wsMatList(ws, r.times)
+	for t := range steps {
+		steps[t] = x.Steps[0]
+	}
+	var cache any
+	if ws != nil {
+		cache = ws
+	}
+	return wsBatchView(ws, x.B, r.dim, steps), cache
+}
+
+// BackwardBatch implements BatchLayer: gradients of all copies sum into
+// the single input step.
+func (r *RepeatVector) BackwardBatch(cacheAny any, dOut *BatchSeq, _ []*mat.Matrix) *BatchSeq {
+	ws, _ := cacheAny.(*Workspace)
+	dx := wsBatchRaw(ws, 1, dOut.B, r.dim)
+	dx.Steps[0].Zero()
+	for t := range dOut.Steps {
+		mat.AddVec(dx.Steps[0].Data, dOut.Steps[t].Data)
+	}
+	return dx
+}
+
 // Backward implements Layer: gradients of all copies sum into the single
 // input vector.
 func (r *RepeatVector) Backward(cacheAny any, dOut Seq, _ []*mat.Matrix) Seq {

@@ -124,13 +124,11 @@ func Fit(m *Model, inputs, targets []Seq, cfg TrainConfig) (History, error) {
 	trainX, trainY := inputs[:nTrain], targets[:nTrain]
 	valX, valY := inputs[nTrain:], targets[nTrain:]
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	maxBatch := cfg.BatchSize
+	if maxBatch > nTrain {
+		maxBatch = nTrain
 	}
-	if workers > cfg.BatchSize {
-		workers = cfg.BatchSize
-	}
+	workers := effectiveWorkers(cfg.Workers, maxBatch)
 
 	src := rng.New(cfg.Seed)
 	pool := newGradPool(m, workers, src)
@@ -169,7 +167,7 @@ func Fit(m *Model, inputs, targets []Seq, cfg TrainConfig) (History, error) {
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
 
 		if nVal > 0 {
-			vl := evalLoss(m, valX, valY, cfg.Loss, pool.wss[0])
+			vl := pool.evalLoss(m, valX, valY, cfg.Loss)
 			hist.ValLoss = append(hist.ValLoss, vl)
 			if vl < bestVal-1e-12 {
 				bestVal = vl
@@ -209,8 +207,36 @@ func addProximal(flat []*mat.Matrix, params []*mat.Matrix, ref []float64, mu flo
 	}
 }
 
+// effectiveWorkers is the single place the configured worker count is
+// resolved and clamped: requested (0 selecting GOMAXPROCS) capped by the
+// most samples any parallel region can usefully split (for Fit, the
+// smaller of BatchSize and the training-set size — a tiny dataset must
+// not spawn idle workers).
+//
+// Invariant: the pool is sized here, once. Per-call code (batchGrad,
+// evalLoss) never re-derives a worker count from the config; it only
+// shrinks the ACTIVE worker count to the per-call sample count — the
+// final ragged batch and a short validation split can carry fewer samples
+// than the pool has workers. Each worker's per-run sub-batch size is in
+// turn bounded by ceil(samples/activeWorkers) ≤ BatchSize, so batch
+// arenas never outgrow the configured batch.
+func effectiveWorkers(requested, samples int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > samples {
+		w = samples
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // evalLoss computes the mean per-sample loss without training behaviour,
-// reusing ws for every reconstruction.
+// reusing ws for every reconstruction. This is the sequential reference
+// form; Fit uses the pool's parallel batched equivalent.
 func evalLoss(m *Model, xs, ys []Seq, loss Loss, ws *Workspace) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -222,18 +248,76 @@ func evalLoss(m *Model, xs, ys []Seq, loss Loss, ws *Workspace) float64 {
 	return sum / float64(len(xs))
 }
 
+// evalLoss computes the mean validation loss, fanning contiguous sample
+// chunks across the pool's workers and scoring each chunk with the
+// batched inference path. Per-worker partial sums combine in worker
+// order, so the returned mean is bit-identical across runs for a fixed
+// worker count.
+func (p *gradPool) evalLoss(m *Model, xs, ys []Seq, loss Loss) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	workers := len(p.wss)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		p.losses[0] = evalChunk(m, xs, ys, loss, p.wss[0])
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := w*n/workers, (w+1)*n/workers
+				p.losses[w] = evalChunk(m, xs[lo:hi], ys[lo:hi], loss, p.wss[w])
+			}(w)
+		}
+		wg.Wait()
+	}
+	var sum float64
+	for _, l := range p.losses[:workers] {
+		sum += l
+	}
+	return sum / float64(n)
+}
+
+// evalChunk sums the per-sample losses of xs, predicting PredictBatch
+// samples per batched pass.
+func evalChunk(m *Model, xs, ys []Seq, loss Loss, ws *Workspace) float64 {
+	var sum float64
+	m.PredictChunked(xs, ws, func(i int, out Seq) {
+		sum += loss.Value(out, ys[i])
+	})
+	return sum
+}
+
 // gradPool owns the per-worker gradient buffers, RNG sub-streams and
 // scratch workspaces. Every buffer a batch needs lives here, so the
 // steady-state batch loop performs no heap allocation beyond the worker
-// goroutines themselves.
+// goroutines themselves (and none at all with a single worker, which runs
+// inline).
 type gradPool struct {
 	grads  []*GradSet
 	rngs   []*rng.Source
 	wss    []*Workspace
+	wbs    []*workerBatch
 	losses []float64
 	// flat is grads[0] (the accumulation target) flattened once, reused
 	// for every optimizer step and proximal update.
 	flat []*mat.Matrix
+}
+
+// workerBatch is one worker's reusable sub-batch state: the sample
+// indices it drew from the current minibatch, the per-sample RNG
+// sub-streams feeding stochastic layers, and a reusable Context (handing
+// the same *Context to every interface call keeps it off the per-run
+// heap).
+type workerBatch struct {
+	idx  []int
+	rngs []*rng.Source
+	ctx  Context
 }
 
 func newGradPool(m *Model, workers int, src *rng.Source) *gradPool {
@@ -241,48 +325,39 @@ func newGradPool(m *Model, workers int, src *rng.Source) *gradPool {
 		grads:  make([]*GradSet, workers),
 		rngs:   make([]*rng.Source, workers),
 		wss:    make([]*Workspace, workers),
+		wbs:    make([]*workerBatch, workers),
 		losses: make([]float64, workers),
 	}
 	for i := 0; i < workers; i++ {
 		p.grads[i] = m.NewGradSet()
 		p.rngs[i] = src.Split()
 		p.wss[i] = NewWorkspace()
+		p.wbs[i] = &workerBatch{}
 	}
 	p.flat = p.grads[0].Flat()
 	return p
 }
 
 // batchGrad computes the mean loss and mean gradient over the samples in
-// idx, fanning the per-sample work across the pool's workers. The result
-// accumulates into p.grads[0] (aliased by p.flat).
+// idx, fanning the work across the pool's workers. Each worker consumes
+// its share as GEMM sub-batches through the batched forward/backward path
+// (maximal runs of same-shape samples per batch; a mixed-shape corpus
+// degrades gracefully to smaller runs). The result accumulates into
+// p.grads[0] (aliased by p.flat). Precondition: 1 <= len(idx) (see
+// effectiveWorkers for the worker-count invariant).
 func (p *gradPool) batchGrad(m *Model, xs, ys []Seq, idx []int, loss Loss) (float64, *GradSet) {
 	workers := len(p.grads)
 	if workers > len(idx) {
 		workers = len(idx)
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		p.grads[w].Zero()
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ws := p.wss[w]
-			ctx := Context{Train: true, RNG: p.rngs[w], WS: ws}
-			var localLoss float64
-			for k := w; k < len(idx); k += workers {
-				i := idx[k]
-				ws.Reset()
-				out, caches := m.Forward(xs[i], &ctx)
-				// EvalInto overwrites every element of dOut, so the
-				// unzeroed arena form is safe.
-				dOut := ws.seqRaw(len(out), len(out[0]))
-				localLoss += loss.EvalInto(dOut, out, ys[i])
-				m.Backward(caches, dOut, p.grads[w])
-			}
-			p.losses[w] = localLoss
-		}(w)
+	if workers == 1 {
+		// Inline fast path: no goroutine (and no WaitGroup, which would
+		// escape), so the steady-state batch step is allocation-free.
+		p.grads[0].Zero()
+		p.workerGrad(0, 1, m, xs, ys, idx, loss)
+	} else {
+		p.spawnWorkers(workers, m, xs, ys, idx, loss)
 	}
-	wg.Wait()
 
 	total := p.grads[0]
 	for w := 1; w < workers; w++ {
@@ -295,6 +370,65 @@ func (p *gradPool) batchGrad(m *Model, xs, ys []Seq, idx []int, loss Loss) (floa
 		lossSum += l
 	}
 	return lossSum * inv, total
+}
+
+// spawnWorkers fans workerGrad across goroutines (kept out of batchGrad
+// so its escaping WaitGroup is not allocated on the single-worker path).
+func (p *gradPool) spawnWorkers(workers int, m *Model, xs, ys []Seq, idx []int, loss Loss) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		p.grads[w].Zero()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.workerGrad(w, workers, m, xs, ys, idx, loss)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// workerGrad accumulates gradients for worker w's strided share of idx.
+// Every sample first receives an RNG sub-stream reseeded from the worker
+// stream — in sample order, one draw per sample — so dropout masks are
+// deterministic for a fixed (Seed, Workers) pair exactly as on the
+// per-sample path, and independent of how the share splits into runs.
+func (p *gradPool) workerGrad(w, workers int, m *Model, xs, ys []Seq, idx []int, loss Loss) {
+	ws := p.wss[w]
+	wb := p.wbs[w]
+	wb.idx = wb.idx[:0]
+	for k := w; k < len(idx); k += workers {
+		wb.idx = append(wb.idx, idx[k])
+	}
+	for len(wb.rngs) < len(wb.idx) {
+		wb.rngs = append(wb.rngs, rng.New(0))
+	}
+	for i := range wb.idx {
+		wb.rngs[i].Reseed(p.rngs[w].Uint64())
+	}
+	var localLoss float64
+	for lo := 0; lo < len(wb.idx); {
+		hi := lo + 1
+		for hi < len(wb.idx) &&
+			len(xs[wb.idx[hi]]) == len(xs[wb.idx[lo]]) &&
+			len(ys[wb.idx[hi]]) == len(ys[wb.idx[lo]]) {
+			hi++
+		}
+		ws.Reset()
+		wb.ctx.Train = true
+		wb.ctx.RNG = nil
+		wb.ctx.WS = ws
+		wb.ctx.BatchRNGs = wb.rngs[lo:hi]
+		xb := packSeqBatch(ws, xs, wb.idx[lo:hi])
+		yb := packSeqBatch(ws, ys, wb.idx[lo:hi])
+		out, caches := m.ForwardBatch(xb, &wb.ctx)
+		// EvalBatchInto overwrites every element of dOut, so the unzeroed
+		// arena form is safe.
+		dOut := wsBatchRaw(ws, out.T(), out.B, out.D)
+		localLoss += loss.EvalBatchInto(dOut, out, yb)
+		m.BackwardBatch(caches, dOut, p.grads[w])
+		lo = hi
+	}
+	p.losses[w] = localLoss
 }
 
 // flatParams returns the model parameter matrices in the same order as

@@ -1,5 +1,7 @@
 package nn
 
+import "github.com/evfed/evfed/internal/mat"
+
 // Workspace is a reusable, shape-keyed scratch arena for forward and
 // backward passes. It removes every per-sample allocation from the BPTT
 // hot path: layer caches, gate/cell/hidden timestep blocks, gradient
@@ -24,14 +26,23 @@ package nn
 // allocate-per-call behaviour; results are bit-for-bit identical either
 // way.
 type Workspace struct {
-	vecs  map[int]*vecArena
-	heads map[int]*headArena
-	anys  map[int]*anyArena
+	vecs     map[int]*vecArena
+	heads    map[int]*headArena
+	anys     map[int]*anyArena
+	mats     map[matKey]*matArena
+	matLists map[int]*matListArena
+	seqLists map[int]*seqListArena
 
 	lstmCaches    structArena[lstmCache]
 	gruCaches     structArena[gruCache]
 	denseCaches   structArena[denseCache]
 	dropoutCaches structArena[dropoutCache]
+
+	lstmBatchCaches    structArena[lstmBatchCache]
+	gruBatchCaches     structArena[gruBatchCache]
+	denseBatchCaches   structArena[denseBatchCache]
+	dropoutBatchCaches structArena[dropoutBatchCache]
+	batchSeqs          structArena[BatchSeq]
 
 	// predictCtx is the reusable Context for PredictWS: handing the same
 	// *Context to every interface call keeps it off the per-call heap.
@@ -42,9 +53,12 @@ type Workspace struct {
 // and reused after Reset.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		vecs:  make(map[int]*vecArena),
-		heads: make(map[int]*headArena),
-		anys:  make(map[int]*anyArena),
+		vecs:     make(map[int]*vecArena),
+		heads:    make(map[int]*headArena),
+		anys:     make(map[int]*anyArena),
+		mats:     make(map[matKey]*matArena),
+		matLists: make(map[int]*matListArena),
+		seqLists: make(map[int]*seqListArena),
 	}
 }
 
@@ -61,10 +75,24 @@ func (w *Workspace) Reset() {
 	for _, a := range w.anys {
 		a.n = 0
 	}
+	for _, a := range w.mats {
+		a.n = 0
+	}
+	for _, a := range w.matLists {
+		a.n = 0
+	}
+	for _, a := range w.seqLists {
+		a.n = 0
+	}
 	w.lstmCaches.reset()
 	w.gruCaches.reset()
 	w.denseCaches.reset()
 	w.dropoutCaches.reset()
+	w.lstmBatchCaches.reset()
+	w.gruBatchCaches.reset()
+	w.denseBatchCaches.reset()
+	w.dropoutBatchCaches.reset()
+	w.batchSeqs.reset()
 }
 
 // vecArena pools []float64 buffers of one length.
@@ -82,6 +110,29 @@ type headArena struct {
 // anyArena pools []any header slices of one length (per-layer cache lists).
 type anyArena struct {
 	bufs [][]any
+	n    int
+}
+
+// matKey identifies a matrix arena by shape.
+type matKey struct{ rows, cols int }
+
+// matArena pools *mat.Matrix buffers of one shape (batch panels).
+type matArena struct {
+	bufs []*mat.Matrix
+	n    int
+}
+
+// matListArena pools []*mat.Matrix header slices of one length (the Steps
+// slices of batch sequences).
+type matListArena struct {
+	bufs [][]*mat.Matrix
+	n    int
+}
+
+// seqListArena pools []Seq header slices of one length (per-sample view
+// lists returned by PredictBatchWS).
+type seqListArena struct {
+	bufs [][]Seq
 	n    int
 }
 
@@ -224,4 +275,87 @@ func wsAnys(ws *Workspace, n int) []any {
 		return make([]any, n)
 	}
 	return ws.anyList(n)
+}
+
+// matRaw returns an r×c matrix with unspecified contents, for panels whose
+// every element the caller overwrites before reading.
+func (w *Workspace) matRaw(r, c int) *mat.Matrix {
+	key := matKey{r, c}
+	a := w.mats[key]
+	if a == nil {
+		a = &matArena{}
+		w.mats[key] = a
+	}
+	if a.n == len(a.bufs) {
+		a.bufs = append(a.bufs, mat.NewMatrix(r, c))
+	}
+	m := a.bufs[a.n]
+	a.n++
+	return m
+}
+
+// matZero returns a zeroed r×c matrix.
+func (w *Workspace) matZero(r, c int) *mat.Matrix {
+	m := w.matRaw(r, c)
+	clear(m.Data)
+	return m
+}
+
+// matList returns an n-element []*mat.Matrix with unspecified contents;
+// callers must assign every element.
+func (w *Workspace) matList(n int) []*mat.Matrix {
+	a := w.matLists[n]
+	if a == nil {
+		a = &matListArena{}
+		w.matLists[n] = a
+	}
+	if a.n == len(a.bufs) {
+		a.bufs = append(a.bufs, make([]*mat.Matrix, n))
+	}
+	l := a.bufs[a.n]
+	a.n++
+	return l
+}
+
+// seqList returns an n-element []Seq with unspecified contents; callers
+// must assign every element.
+func (w *Workspace) seqList(n int) []Seq {
+	a := w.seqLists[n]
+	if a == nil {
+		a = &seqListArena{}
+		w.seqLists[n] = a
+	}
+	if a.n == len(a.bufs) {
+		a.bufs = append(a.bufs, make([]Seq, n))
+	}
+	l := a.bufs[a.n]
+	a.n++
+	return l
+}
+
+// wsMatRaw returns an r×c matrix with unspecified contents from ws, or a
+// fresh (zeroed) allocation when ws is nil.
+func wsMatRaw(ws *Workspace, r, c int) *mat.Matrix {
+	if ws == nil {
+		return mat.NewMatrix(r, c)
+	}
+	return ws.matRaw(r, c)
+}
+
+// wsMatZero returns a zeroed r×c matrix from ws, or a fresh allocation
+// when ws is nil.
+func wsMatZero(ws *Workspace, r, c int) *mat.Matrix {
+	if ws == nil {
+		return mat.NewMatrix(r, c)
+	}
+	return ws.matZero(r, c)
+}
+
+// wsMatList returns an n-element []*mat.Matrix from ws (contents
+// unspecified), or a fresh allocation when ws is nil.
+func wsMatList(ws *Workspace, n int) []*mat.Matrix {
+	if ws == nil {
+		return make([]*mat.Matrix, n)
+	}
+	return ws.matList(n)
 }
