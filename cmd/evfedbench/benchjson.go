@@ -24,6 +24,8 @@ type benchRecord struct {
 	// Rounds and EpochsPerRound are the federated schedule.
 	Rounds         int `json:"rounds"`
 	EpochsPerRound int `json:"epochsPerRound"`
+	// UpdateCodec names the federated wire compression the run used.
+	UpdateCodec string `json:"updateCodec"`
 	// PhaseSeconds is the wall time of each pipeline phase: "prepare"
 	// (detector training, threshold calibration, filtering), one entry
 	// per training scenario, and "total".
@@ -33,6 +35,17 @@ type benchRecord struct {
 	FedEpochsPerSec float64 `json:"fedEpochsPerSec"`
 	// RoundsPerSec is federated round throughput on the same arm.
 	RoundsPerSec float64 `json:"roundsPerSec"`
+	// MeanRoundSeconds is the mean per-round wall clock of the federated
+	// filtered arm — round latency as a first-class bench metric.
+	MeanRoundSeconds float64 `json:"meanRoundSeconds"`
+	// BytesDownPerRound and BytesUpPerRound are the federated filtered
+	// arm's mean modeled wire traffic per round under UpdateCodec (exact
+	// binary frame sizes, all clients summed).
+	BytesDownPerRound float64 `json:"bytesDownPerRound"`
+	BytesUpPerRound   float64 `json:"bytesUpPerRound"`
+	// Wire is the measured gob-vs-binary bytes-per-round comparison for
+	// this run's model shape (see wirebench.go).
+	Wire *wireComparison `json:"wireBytesPerRound,omitempty"`
 }
 
 // newBenchRecord derives the perf record from a finished report and the
@@ -55,10 +68,24 @@ func newBenchRecord(cfg string, p eval.Params, rep *eval.Report, prepareSec, tot
 			"total":            totalSec,
 		},
 	}
+	rec.UpdateCodec = p.UpdateCodec.String()
 	if s := rep.FedFiltered.TrainSeconds; s > 0 {
 		clients := len(rep.Clients)
 		rec.FedEpochsPerSec = float64(p.Rounds*p.EpochsPerRound*clients) / s
 		rec.RoundsPerSec = float64(p.Rounds) / s
+	}
+	if rounds := rep.FedFiltered.Rounds; len(rounds) > 0 {
+		var wall float64
+		var down, up uint64
+		for _, rs := range rounds {
+			wall += rs.WallSeconds
+			down += rs.BytesDown
+			up += rs.BytesUp
+		}
+		n := float64(len(rounds))
+		rec.MeanRoundSeconds = wall / n
+		rec.BytesDownPerRound = float64(down) / n
+		rec.BytesUpPerRound = float64(up) / n
 	}
 	return rec
 }

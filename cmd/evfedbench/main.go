@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	evfedbench [-quick] [-seed N] [-workers N] [-table 1|2|3] [-fig 2|3] [-summary] [-all]
+//	evfedbench [-quick] [-seed N] [-workers N] [-codec none|f32|q8]
+//	    [-table 1|2|3] [-fig 2|3] [-summary] [-all]
 //
 // With no selection flags, everything is printed (-all). The default
 // configuration is the paper's full size (4,344 hours per client,
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"github.com/evfed/evfed/internal/eval"
+	"github.com/evfed/evfed/internal/fed"
 )
 
 func main() {
@@ -39,7 +41,8 @@ func run() error {
 		all     = flag.Bool("all", false, "print every table and figure (default)")
 		strict  = flag.Bool("strict", false, "score every scenario against the true clean demand instead of the paper protocol")
 		jsonOut = flag.String("json", "", "also write the full report as JSON to this path")
-		bench   = flag.String("bench-json", "", "write a machine-readable perf record (phase wall times, epochs/sec, rounds/sec) to this path")
+		bench   = flag.String("bench-json", "", "write a machine-readable perf record (phase wall times, epochs/sec, rounds/sec, bytes/round) to this path")
+		codec   = flag.String("codec", "none", "federated update compression: none, f32 or q8")
 		scal    = flag.String("scalability", "", "run the federation-size sweep instead (comma-separated client counts, e.g. 3,6,12)")
 	)
 	flag.Parse()
@@ -50,6 +53,11 @@ func run() error {
 	}
 	p.Workers = *workers
 	p.EvalAgainstClean = *strict
+	uc, err := fed.ParseCodec(*codec)
+	if err != nil {
+		return err
+	}
+	p.UpdateCodec = uc
 
 	if *scal != "" {
 		counts, err := parseCounts(*scal)
@@ -83,6 +91,9 @@ func run() error {
 
 	if *bench != "" {
 		rec := newBenchRecord(configName(*quick), p, rep, prepareSec, totalSec)
+		if rec.Wire, err = measureWire(p); err != nil {
+			return err
+		}
 		if err := writeBenchJSON(*bench, rec); err != nil {
 			return err
 		}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/evfed/evfed/internal/eval"
+	"github.com/evfed/evfed/internal/fed/wire"
+	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// This file measures the wire cost of one federated round per client —
+// request plus response, headers included — under the legacy gob protocol
+// (the PR ≤ 3 baseline, reproduced here verbatim for measurement only)
+// and the binary codecs, by actually encoding representative payloads.
+// The acceptance gate for update compression reads off ReductionQ8VsGob.
+
+// legacyGobRequest/legacyGobResponse mirror the old gob wire schema.
+type legacyGobRequest struct {
+	Hello   bool
+	Probe   bool
+	Weights []float64
+	Config  legacyGobConfig
+}
+
+type legacyGobConfig struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Workers      int
+	Round        int
+	PrivacyClip  float64
+	PrivacyNoise float64
+	ProximalMu   float64
+}
+
+type legacyGobUpdate struct {
+	ClientID     string
+	Weights      []float64
+	NumSamples   int
+	TrainSeconds float64
+	FinalLoss    float64
+}
+
+type legacyGobResponse struct {
+	StationID  string
+	ModelDim   int
+	Update     legacyGobUpdate
+	NumSamples int
+	Err        string
+}
+
+// wireComparison is the measured bytes-per-round record committed in
+// BENCH_*.json. All figures are one client's traffic for one training
+// round (request + response).
+type wireComparison struct {
+	// ModelDim is the weight-vector dimension the figures were measured at.
+	ModelDim int `json:"modelDim"`
+	// Rounds is the schedule the q8 amortization uses.
+	Rounds int `json:"rounds"`
+	// GobF64 is the legacy gob protocol (full float64 both ways).
+	GobF64 int `json:"gobF64"`
+	// BinaryF64/BinaryF32 are the binary protocol without/with downcast.
+	BinaryF64 int `json:"binaryF64"`
+	BinaryF32 int `json:"binaryF32"`
+	// BinaryQ8First is the delta codec's first round on a connection
+	// (float32 broadcast fallback, int8 update); BinaryQ8Steady the
+	// rounds after (int8 both ways); BinaryQ8Amortized the per-round mean
+	// over Rounds.
+	BinaryQ8First     int     `json:"binaryQ8First"`
+	BinaryQ8Steady    int     `json:"binaryQ8Steady"`
+	BinaryQ8Amortized float64 `json:"binaryQ8Amortized"`
+	// ReductionQ8VsGob is GobF64 / BinaryQ8Amortized — the headline
+	// communication saving of int8 delta quantization over the gob
+	// float64 baseline.
+	ReductionQ8VsGob float64 `json:"reductionQ8VsGob"`
+}
+
+type countingWriter struct{ n int }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+func gobBytes(v any) (int, error) {
+	var cw countingWriter
+	if err := gob.NewEncoder(&cw).Encode(v); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// binaryFrameBytes measures a real encode of one Train or TrainOK frame.
+func binaryFrameBytes(t wire.MsgType, build func(b []byte) ([]byte, error)) (int, error) {
+	var cw countingWriter
+	c := wire.NewConn(struct {
+		io.Reader
+		io.Writer
+	}{nil, &cw})
+	if err := c.WriteFrame(t, build); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// measureWire builds a representative round for p's model shape and
+// measures every protocol variant.
+func measureWire(p eval.Params) (*wireComparison, error) {
+	m, err := nn.Build(nn.ForecasterSpec(p.LSTMUnits, p.DenseHidden), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	global := m.WeightsVector()
+	dim := len(global)
+	// A realistic update: the broadcast plus a small full-precision
+	// perturbation (gob's float encoding is length-dependent, so the
+	// values must look like trained weights, not round constants).
+	r := rng.New(p.Seed ^ 0x5157e)
+	update := make([]float64, dim)
+	for i, w := range global {
+		update[i] = w + 0.01*r.Normal(0, 1)
+	}
+	const stationID = "station-102"
+
+	cfg := legacyGobConfig{Epochs: p.EpochsPerRound, BatchSize: p.BatchSize, LearningRate: p.LearningRate}
+	reqGob, err := gobBytes(&legacyGobRequest{Weights: global, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	respGob, err := gobBytes(&legacyGobResponse{
+		StationID: stationID,
+		Update: legacyGobUpdate{
+			ClientID: stationID, Weights: update, NumSamples: 900,
+			TrainSeconds: 1.2345678, FinalLoss: 0.0123456,
+		},
+		NumSamples: 900,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tr := wire.Train{
+		Round: 1, Epochs: p.EpochsPerRound, BatchSize: p.BatchSize,
+		LearningRate: p.LearningRate,
+	}
+	ok := wire.TrainOK{StationID: stationID, NumSamples: 900, TrainSeconds: 1.2345678, FinalLoss: 0.0123456}
+	recon := make([]float64, dim)
+	roundBytes := func(down, up wire.VecCodec) (int, error) {
+		tr.UpdateCodec = up
+		var ref []float64
+		if down == wire.VecQ8 {
+			ref = update // a previous broadcast as delta reference
+		}
+		req, err := binaryFrameBytes(wire.MsgTrain, func(b []byte) ([]byte, error) {
+			b = wire.AppendTrain(b, tr)
+			return wire.AppendVector(b, down, global, ref, recon)
+		})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := binaryFrameBytes(wire.MsgTrainOK, func(b []byte) ([]byte, error) {
+			b, err := wire.AppendTrainOK(b, ok)
+			if err != nil {
+				return nil, err
+			}
+			return wire.AppendVector(b, up, update, recon, nil)
+		})
+		if err != nil {
+			return 0, err
+		}
+		return req + resp, nil
+	}
+
+	binF64, err := roundBytes(wire.VecF64, wire.VecF64)
+	if err != nil {
+		return nil, err
+	}
+	binF32, err := roundBytes(wire.VecF32, wire.VecF32)
+	if err != nil {
+		return nil, err
+	}
+	q8First, err := roundBytes(wire.VecF32, wire.VecQ8)
+	if err != nil {
+		return nil, err
+	}
+	q8Steady, err := roundBytes(wire.VecQ8, wire.VecQ8)
+	if err != nil {
+		return nil, err
+	}
+	rounds := p.Rounds
+	if rounds < 1 {
+		return nil, fmt.Errorf("wirebench: %d rounds", rounds)
+	}
+	amortized := float64(q8First+(rounds-1)*q8Steady) / float64(rounds)
+	return &wireComparison{
+		ModelDim:          dim,
+		Rounds:            rounds,
+		GobF64:            reqGob + respGob,
+		BinaryF64:         binF64,
+		BinaryF32:         binF32,
+		BinaryQ8First:     q8First,
+		BinaryQ8Steady:    q8Steady,
+		BinaryQ8Amortized: amortized,
+		ReductionQ8VsGob:  float64(reqGob+respGob) / amortized,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// The acceptance gate for update compression, enforced: int8 delta
+// quantization must move at least 5× fewer bytes per round than the gob
+// float64 baseline, measured by real encodes at the quick-config model
+// shape (the same figures BENCH_pr4.json records).
+func TestMeasureWireQuickReduction(t *testing.T) {
+	wc, err := measureWire(eval.QuickParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.ModelDim <= 0 {
+		t.Fatalf("model dim %d", wc.ModelDim)
+	}
+	if !(wc.BinaryF64 < wc.GobF64) {
+		t.Fatalf("binary f64 (%d) not below gob (%d)", wc.BinaryF64, wc.GobF64)
+	}
+	if !(wc.BinaryF32 < wc.BinaryF64 && wc.BinaryQ8Steady < wc.BinaryF32) {
+		t.Fatalf("codec ordering broken: f64=%d f32=%d q8=%d",
+			wc.BinaryF64, wc.BinaryF32, wc.BinaryQ8Steady)
+	}
+	if wc.BinaryQ8First <= wc.BinaryQ8Steady {
+		t.Fatalf("q8 first round (%d) should pay the f32 fallback over steady state (%d)",
+			wc.BinaryQ8First, wc.BinaryQ8Steady)
+	}
+	if wc.ReductionQ8VsGob < 5 {
+		t.Fatalf("q8 reduction %.2fx < 5x (gob %d bytes/round, q8 amortized %.0f)",
+			wc.ReductionQ8VsGob, wc.GobF64, wc.BinaryQ8Amortized)
+	}
+}

@@ -1,19 +1,24 @@
 // Command evfedcoord coordinates a federated training run across
-// evfedstation instances, speaking the TCP federation protocol. Only
-// model weight vectors cross the network.
+// evfedstation instances, speaking the binary TCP federation protocol
+// over persistent connections. Only model weight vectors cross the
+// network; -codec compresses them (float32 downcast, or int8 delta
+// quantization at ~8× fewer bytes per steady-state round).
 //
 // Before round 1 the coordinator performs a Hello handshake with every
 // station: it learns the station's self-reported ID (used in all round
-// stats and errors) and validates that the station's model dimension
-// matches the coordinator's architecture flags.
+// stats and errors), negotiates the protocol version (stations from a
+// different protocol revision are rejected with a typed error), and
+// validates that the station's model dimension matches the coordinator's
+// architecture flags.
 //
 // Usage:
 //
 //	evfedcoord -stations host1:7102,host2:7105,host3:7108 \
 //	    [-rounds 5] [-epochs 10] [-aggregator fedavg|uniform|median|trimmed] \
-//	    [-tolerate-errors] [-client-fraction 1.0] [-max-concurrent 0] \
-//	    [-round-deadline 0] [-io-timeout 10m] [-dial-timeout 5s] \
-//	    [-retries 2] [-retry-backoff 200ms] [-weights-out global.gob]
+//	    [-codec none|f32|q8] [-tolerate-errors] [-client-fraction 1.0] \
+//	    [-max-concurrent 0] [-round-deadline 0] [-io-timeout 10m] \
+//	    [-dial-timeout 5s] [-retries 2] [-retry-backoff 200ms] \
+//	    [-weights-out global.gob]
 package main
 
 import (
@@ -44,6 +49,7 @@ func run() error {
 		lstmUnits    = flag.Int("lstm-units", 50, "forecaster LSTM units (must match stations)")
 		denseHidden  = flag.Int("dense-hidden", 10, "forecaster dense hidden units (must match stations)")
 		aggregator   = flag.String("aggregator", "fedavg", "aggregation rule: fedavg, uniform, median, trimmed")
+		codecName    = flag.String("codec", "none", "update compression: none, f32 or q8 (int8 delta quantization)")
 		tolerate     = flag.Bool("tolerate-errors", false, "treat station errors as round dropouts")
 		clientFrac   = flag.Float64("client-fraction", 1, "fraction of stations sampled per round (McMahan's C; 1 = all)")
 		maxConc      = flag.Int("max-concurrent", 0, "max stations training concurrently (0 = all selected)")
@@ -63,14 +69,27 @@ func run() error {
 		return fmt.Errorf("-stations is required")
 	}
 
+	codec, err := fed.ParseCodec(*codecName)
+	if err != nil {
+		return err
+	}
+
+	var remotes []*fed.RemoteClient
 	newRemote := func(id, addr string) *fed.RemoteClient {
 		rc := fed.NewRemoteClient(id, addr)
 		rc.DialTimeout = *dialTimeout
 		rc.ReadTimeout = *ioTimeout
 		rc.MaxRetries = *retries
 		rc.RetryBackoff = *retryBackoff
+		remotes = append(remotes, rc)
 		return rc
 	}
+	// Connections are persistent across rounds; release them on exit.
+	defer func() {
+		for _, rc := range remotes {
+			rc.Close()
+		}
+	}()
 
 	spec := nn.ForecasterSpec(*lstmUnits, *denseHidden)
 	wantDim, err := modelDim(spec, *seed)
@@ -128,6 +147,7 @@ func run() error {
 		MaxConcurrentClients: *maxConc,
 		ClientFraction:       *clientFrac,
 		RoundDeadline:        *roundDL,
+		Codec:                codec,
 		Aggregator:           agg,
 		TolerateClientErrors: *tolerate,
 		ProximalMu:           *proximalMu,
@@ -151,14 +171,23 @@ func run() error {
 		if len(rs.Dropped) > 0 {
 			fmt.Printf(", %d dropped (%s)", len(rs.Dropped), strings.Join(rs.Dropped, ", "))
 		}
-		fmt.Printf(", weighted loss %.6f, %.2fs\n", rs.MeanLoss, rs.WallSeconds)
+		fmt.Printf(", weighted loss %.6f, %.2fs, %s down / %s up",
+			rs.MeanLoss, rs.WallSeconds, fmtBytes(rs.BytesDown), fmtBytes(rs.BytesUp))
+		fmt.Println()
 		for _, id := range rs.Dropped {
 			if reason, ok := rs.Errors[id]; ok {
 				fmt.Printf("  dropped %s: %s\n", id, reason)
 			}
 		}
 	}
-	fmt.Printf("done: %.1fs wall clock, %.1fs total client compute\n", res.WallSeconds, res.ClientSeconds)
+	var sent, recv uint64
+	for _, rc := range remotes {
+		s, r := rc.Traffic()
+		sent += s
+		recv += r
+	}
+	fmt.Printf("done: %.1fs wall clock, %.1fs total client compute, wire traffic %s sent / %s received (%s codec)\n",
+		res.WallSeconds, res.ClientSeconds, fmtBytes(sent), fmtBytes(recv), codec)
 
 	if *weightsOut != "" {
 		global, err := co.GlobalModel(res)
@@ -176,6 +205,17 @@ func run() error {
 		fmt.Printf("global weights written to %s\n", *weightsOut)
 	}
 	return nil
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func modelDim(spec nn.Spec, seed uint64) (int, error) {

@@ -1,19 +1,25 @@
 // Command evfedstation runs one charging station's federated client as a
 // long-lived TCP service: it loads the station's private charging CSV,
 // scales it locally, and serves local-training requests from a
-// coordinator (cmd/evfedcoord). Raw data never leaves the process.
+// coordinator (cmd/evfedcoord) over the binary federation protocol on
+// persistent connections. Raw data never leaves the process.
 //
 // The station answers three request kinds from the coordinator: a Hello
-// handshake (identity + model dimension), a NumSamples probe, and full
-// local-training calls. -request-timeout bounds reading a request and
-// writing its response, so half-open coordinator connections cannot pin
-// handler goroutines.
+// handshake (identity + model dimension + protocol-version negotiation —
+// peers from a different protocol revision get a typed error frame), a
+// NumSamples probe, and full local-training calls. -request-timeout
+// bounds waiting for a request and writing its response, so half-open
+// coordinator connections cannot pin handler goroutines (idle persistent
+// connections it reaps are transparently re-dialed). -codec sets the
+// uplink compression floor: updates are encoded with the more compressed
+// of this and what the coordinator requests — a station on a thin uplink
+// can force int8 delta quantization regardless of coordinator flags.
 //
 // Usage:
 //
 //	evfedstation -id station-102 -data z102.csv -listen 0.0.0.0:7102 \
 //	    [-seq-len 24] [-lstm-units 50] [-dense-hidden 10] [-train-frac 0.8] \
-//	    [-request-timeout 1m]
+//	    [-request-timeout 1m] [-codec none|f32|q8]
 package main
 
 import (
@@ -49,10 +55,15 @@ func run() error {
 		trainFrac   = flag.Float64("train-frac", 0.8, "fraction of the series used for training")
 		seed        = flag.Uint64("seed", 1, "local model seed")
 		reqTimeout  = flag.Duration("request-timeout", time.Minute, "deadline for reading a request / writing a response (0 = none)")
+		codecName   = flag.String("codec", "none", "uplink compression floor: none (follow coordinator), f32 or q8")
 	)
 	flag.Parse()
 	if *data == "" {
 		return fmt.Errorf("-data is required")
+	}
+	codec, err := fed.ParseCodec(*codecName)
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Open(*data)
@@ -79,7 +90,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := fed.ServeClientConfig(client, *listen, fed.ServerConfig{RequestTimeout: *reqTimeout})
+	srv, err := fed.ServeClientConfig(client, *listen, fed.ServerConfig{RequestTimeout: *reqTimeout, Codec: codec})
 	if err != nil {
 		return err
 	}

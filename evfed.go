@@ -225,17 +225,34 @@ type ClientHandle = fed.ClientHandle
 // FederatedConfig controls a federated run, including the production
 // runtime knobs: MaxConcurrentClients bounds the coordinator's per-round
 // fan-out, ClientFraction samples a McMahan C-fraction of stations per
-// round, RoundDeadline cuts off stragglers, and TolerateClientErrors
-// turns station failures into round dropouts.
+// round, RoundDeadline cuts off stragglers, TolerateClientErrors turns
+// station failures into round dropouts, and Codec compresses the weight
+// exchange (float32 downcast or int8 delta quantization — ~8× fewer
+// bytes per steady-state round).
 type FederatedConfig = fed.Config
+
+// UpdateCodec selects the compression applied to federated weight
+// exchange; see the codec constants.
+type UpdateCodec = fed.Codec
+
+// Update codecs: full float64, float32 downcast, int8 delta quantization.
+const (
+	UpdateCodecNone = fed.CodecNone
+	UpdateCodecF32  = fed.CodecF32
+	UpdateCodecQ8   = fed.CodecQ8
+)
+
+// ParseUpdateCodec maps "none"/"f32"/"q8" to an UpdateCodec.
+func ParseUpdateCodec(s string) (UpdateCodec, error) { return fed.ParseCodec(s) }
 
 // FederatedResult is the outcome of a federated run (final global
 // weights plus per-round diagnostics).
 type FederatedResult = fed.RunResult
 
 // FederatedRoundStat is one round's diagnostics: the sampled station
-// set, the participants whose updates were aggregated, and the dropped
-// stations.
+// set, the participants whose updates were aggregated, the dropped
+// stations, and the round's wire traffic (BytesDown/BytesUp, exact
+// binary frame sizes under the configured codec).
 type FederatedRoundStat = fed.RoundStat
 
 // StationHello is the identity a station reports during the transport's
@@ -276,11 +293,14 @@ func ServeFederatedClientConfig(c *FederatedClient, addr string, scfg FederatedS
 	return fed.ServeClientConfig(c, addr, scfg)
 }
 
-// NewRemoteClient builds a TCP handle for a served client. The returned
-// handle carries production-leaning defaults for dial timeout, per-call
-// read/write deadlines and transient-failure retries; adjust its exported
-// fields before use to tune them. Its Hello method performs the identity
-// handshake with the station.
+// NewRemoteClient builds a TCP handle for a served client, speaking the
+// binary federation protocol over a persistent connection (stale
+// connections are transparently re-dialed). The returned handle carries
+// production-leaning defaults for dial timeout, per-call read/write
+// deadlines and transient-failure retries; adjust its exported fields
+// before use to tune them. Its Hello method performs the identity and
+// protocol-version handshake with the station; its Traffic method
+// reports wire bytes moved; Close releases the connection.
 func NewRemoteClient(id, addr string) *fed.RemoteClient {
 	return fed.NewRemoteClient(id, addr)
 }

@@ -22,6 +22,7 @@ import (
 	"github.com/evfed/evfed/internal/attack"
 	"github.com/evfed/evfed/internal/autoencoder"
 	"github.com/evfed/evfed/internal/dataset"
+	"github.com/evfed/evfed/internal/fed"
 	"github.com/evfed/evfed/internal/metrics"
 	"github.com/evfed/evfed/internal/rng"
 	"github.com/evfed/evfed/internal/scale"
@@ -60,6 +61,12 @@ type Params struct {
 	// MaxConcurrentClients bounds the federated coordinator's per-round
 	// training fan-out (0 = one goroutine per selected client).
 	MaxConcurrentClients int
+	// UpdateCodec selects the federated wire compression (fed.CodecNone,
+	// fed.CodecF32 or fed.CodecQ8). In-process federated runs simulate
+	// the codec's exact value round trip, so accuracy parity between
+	// codecs is measurable without a network; the coordinator reports the
+	// matching modeled bytes per round.
+	UpdateCodec fed.Codec
 
 	// CentralizedRaw feeds the centralized baseline raw pooled kWh values,
 	// the paper's literal §II-C1 protocol ("reshaped combined sequences
@@ -148,6 +155,8 @@ func (p Params) validate() error {
 		return fmt.Errorf("%w: client fraction %v", ErrBadParams, p.ClientFraction)
 	case p.MaxConcurrentClients < 0:
 		return fmt.Errorf("%w: max concurrent clients %d", ErrBadParams, p.MaxConcurrentClients)
+	case p.UpdateCodec > fed.CodecQ8:
+		return fmt.Errorf("%w: update codec %d", ErrBadParams, p.UpdateCodec)
 	}
 	return nil
 }

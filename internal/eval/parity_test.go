@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/fed"
+)
+
+// parityParams is a reduced configuration for codec-parity measurement:
+// the full quick pipeline shape, shrunk so three federated arms run in a
+// few seconds.
+func parityParams(seed uint64) Params {
+	p := QuickParams(seed)
+	p.Hours = 800
+	p.LSTMUnits = 12
+	p.DenseHidden = 6
+	// Three rounds amortize the delta codec's first-round float32
+	// fallback enough to clear the 5× bytes bar below.
+	p.Rounds = 3
+	p.EpochsPerRound = 3
+	return p
+}
+
+// TestCodecParityFilteredScenario is the acceptance gate for update
+// compression: on the filtered scenario, the federated arm trained
+// through the float32 and int8-delta codecs must stay within a
+// documented tolerance of the uncompressed arm, and the detection
+// metrics — produced by the per-client autoencoder pipeline, which the
+// federation codec never touches — must be bit-identical.
+//
+// Tolerances: |ΔR²| ≤ 0.05 absolute, MAE and RMSE within 10% relative.
+// The underlying perturbation is bounded per round (float32 rounding
+// ~1e-7 relative; q8 delta error ≤ maxabs(chunk delta)/254), so the
+// trained models differ far less than run-to-run seed variation; the
+// bounds are deliberately loose to stay seed-robust.
+func TestCodecParityFilteredScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("codec parity sweep skipped with -short")
+	}
+	p := parityParams(42)
+	clients, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := make([]string, len(clients))
+	filtered := make([][]float64, len(clients))
+	clean := make([][]float64, len(clients))
+	baseDet := make([]float64, len(clients))
+	for i, c := range clients {
+		zones[i] = c.Zone
+		filtered[i] = c.Filtered
+		clean[i] = c.Clean
+		baseDet[i] = c.Detection.F1
+	}
+
+	run := func(codec fed.Codec) *ScenarioResult {
+		pc := p
+		pc.UpdateCodec = codec
+		res, err := RunFederated("filtered", filtered, clean, zones, pc)
+		if err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+		return res
+	}
+	base := run(fed.CodecNone)
+
+	// Detection is upstream of federation: re-preparing with any codec
+	// configured must reproduce identical detection metrics.
+	clients2, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients2 {
+		if c.Detection.F1 != baseDet[i] {
+			t.Fatalf("client %d: detection F1 changed between identical preparations", i)
+		}
+	}
+
+	for _, codec := range []fed.Codec{fed.CodecF32, fed.CodecQ8} {
+		res := run(codec)
+		for i := range base.PerClient {
+			b, c := base.PerClient[i], res.PerClient[i]
+			if d := math.Abs(c.R2 - b.R2); d > 0.05 {
+				t.Errorf("codec %v client %d: |ΔR²| = %v > 0.05 (%v vs %v)", codec, i, d, c.R2, b.R2)
+			}
+			if rel := math.Abs(c.MAE-b.MAE) / b.MAE; rel > 0.10 {
+				t.Errorf("codec %v client %d: MAE off by %v%% (%v vs %v)", codec, i, 100*rel, c.MAE, b.MAE)
+			}
+			if rel := math.Abs(c.RMSE-b.RMSE) / b.RMSE; rel > 0.10 {
+				t.Errorf("codec %v client %d: RMSE off by %v%% (%v vs %v)", codec, i, 100*rel, c.RMSE, b.RMSE)
+			}
+		}
+		// The compressed run must actually have moved fewer bytes.
+		var baseBytes, codecBytes uint64
+		for _, rs := range base.Rounds {
+			baseBytes += rs.BytesDown + rs.BytesUp
+		}
+		for _, rs := range res.Rounds {
+			codecBytes += rs.BytesDown + rs.BytesUp
+		}
+		if codecBytes >= baseBytes {
+			t.Errorf("codec %v: %d bytes not below uncompressed %d", codec, codecBytes, baseBytes)
+		}
+		if codec == fed.CodecQ8 {
+			// Amortized over this schedule the delta codec must clear the
+			// 5× acceptance bar against even the binary f64 baseline.
+			if ratio := float64(baseBytes) / float64(codecBytes); ratio < 5 {
+				t.Errorf("q8 reduction %.1fx < 5x (%d vs %d bytes)", ratio, codecBytes, baseBytes)
+			}
+		}
+	}
+}

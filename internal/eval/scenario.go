@@ -171,6 +171,7 @@ func RunFederated(scenario string, clientValues, cleanValues [][]float64, zones 
 		WorkersPerClient:     p.Workers,
 		ClientFraction:       p.ClientFraction,
 		MaxConcurrentClients: p.MaxConcurrentClients,
+		Codec:                p.UpdateCodec,
 	}
 	co, err := fed.NewCoordinator(spec, handles, cfg)
 	if err != nil {

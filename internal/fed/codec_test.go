@@ -1,0 +1,192 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/fed/wire"
+)
+
+func TestParseCodec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Codec
+	}{
+		{"", CodecNone}, {"none", CodecNone}, {"f64", CodecNone},
+		{"f32", CodecF32}, {"Float32", CodecF32},
+		{"q8", CodecQ8}, {"int8", CodecQ8},
+	} {
+		got, err := ParseCodec(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseCodec(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseCodec("zstd"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	for _, c := range []Codec{CodecNone, CodecF32, CodecQ8} {
+		if _, err := ParseCodec(c.String()); err != nil {
+			t.Fatalf("String/Parse round trip for %v: %v", c, err)
+		}
+	}
+}
+
+// runCodecFederation runs a small in-process federation under the codec.
+func runCodecFederation(t *testing.T, codec Codec, seed uint64) *RunResult {
+	t.Helper()
+	clients := makeClients(t, 3)
+	cfg := smallConfig(seed)
+	cfg.Codec = codec
+	co, err := NewCoordinator(smallSpec(), clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Compressed federations must stay close to the uncompressed one: the
+// codecs trade bounded precision, not learning behaviour.
+func TestCodecFederationParity(t *testing.T) {
+	base := runCodecFederation(t, CodecNone, 23)
+	for _, codec := range []Codec{CodecF32, CodecQ8} {
+		res := runCodecFederation(t, codec, 23)
+		if len(res.Global) != len(base.Global) {
+			t.Fatalf("%v: dim %d vs %d", codec, len(res.Global), len(base.Global))
+		}
+		var maxDiff, scale float64
+		for i := range base.Global {
+			maxDiff = math.Max(maxDiff, math.Abs(res.Global[i]-base.Global[i]))
+			scale = math.Max(scale, math.Abs(base.Global[i]))
+		}
+		// Loose behavioural bound: quantization perturbs each round's
+		// update by ≲0.4% of the largest per-chunk delta, compounded over
+		// two rounds of training on identical data.
+		if maxDiff > 0.1*math.Max(scale, 1) {
+			t.Fatalf("%v: global diverged, max |Δw| = %v (scale %v)", codec, maxDiff, scale)
+		}
+		// Training must still make progress under compression.
+		last := res.Rounds[len(res.Rounds)-1]
+		if last.MeanLoss >= res.Rounds[0].MeanLoss {
+			t.Fatalf("%v: loss did not decrease: %v -> %v", codec, res.Rounds[0].MeanLoss, last.MeanLoss)
+		}
+	}
+}
+
+// Codec simulation must be deterministic: identical runs, identical bits.
+func TestCodecFederationDeterministic(t *testing.T) {
+	a := runCodecFederation(t, CodecQ8, 29)
+	b := runCodecFederation(t, CodecQ8, 29)
+	for i := range a.Global {
+		if a.Global[i] != b.Global[i] {
+			t.Fatalf("q8 federation not reproducible at weight %d", i)
+		}
+	}
+}
+
+// Byte accounting: the coordinator reports the exact binary frame sizes
+// for the configured codec, with the delta codec paying the float32
+// fallback only on each client's first completed round.
+func TestRoundStatByteAccounting(t *testing.T) {
+	m, err := buildModelDim(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := m
+	idLen := 1 // makeClients uses single-rune IDs
+	for _, codec := range []Codec{CodecNone, CodecF32, CodecQ8} {
+		res := runCodecFederation(t, codec, 31)
+		if len(res.Rounds) != 2 {
+			t.Fatalf("rounds %d", len(res.Rounds))
+		}
+		upWant := uint64(3 * wireTrainOKBytes(codec, dim, idLen))
+		for r, rs := range res.Rounds {
+			first := r == 0
+			downWant := uint64(3 * wireTrainBytes(codec, dim, first))
+			if rs.BytesDown != downWant {
+				t.Fatalf("%v round %d: down %d want %d", codec, r, rs.BytesDown, downWant)
+			}
+			if rs.BytesUp != upWant {
+				t.Fatalf("%v round %d: up %d want %d", codec, r, rs.BytesUp, upWant)
+			}
+		}
+		if res.BytesDown != res.Rounds[0].BytesDown+res.Rounds[1].BytesDown {
+			t.Fatalf("%v: total down %d inconsistent", codec, res.BytesDown)
+		}
+	}
+	// Compression must actually compress, with q8 ≥ 5× under the steady
+	// state the acceptance gate measures.
+	noneRound := 3 * (wireTrainBytes(CodecNone, dim, false) + wireTrainOKBytes(CodecNone, dim, idLen))
+	f32Round := 3 * (wireTrainBytes(CodecF32, dim, false) + wireTrainOKBytes(CodecF32, dim, idLen))
+	q8Round := 3 * (wireTrainBytes(CodecQ8, dim, false) + wireTrainOKBytes(CodecQ8, dim, idLen))
+	if !(q8Round < f32Round && f32Round < noneRound) {
+		t.Fatalf("codec ordering broken: none=%d f32=%d q8=%d", noneRound, f32Round, q8Round)
+	}
+	if float64(noneRound)/float64(q8Round) < 5 {
+		t.Fatalf("steady-state q8 reduction below 5x even vs binary f64: none=%d q8=%d", noneRound, q8Round)
+	}
+}
+
+func buildModelDim(t *testing.T) (int, error) {
+	t.Helper()
+	w, err := freshWeights(t)
+	if err != nil {
+		return 0, err
+	}
+	return len(w), nil
+}
+
+// The in-process simulation must perform the identical arithmetic the
+// wire performs for the uplink leg: a client's q8 update reconstructs
+// exactly on the quantization grid of its delta against the float32
+// downlink reference.
+func TestClientCodecSimulationOnGrid(t *testing.T) {
+	c, err := NewClient("grid", smallSpec(), clientSeries(150, 0, 3), 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := freshWeights(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Train(global, LocalTrainConfig{Epochs: 1, BatchSize: 16, LearningRate: 0.005, Codec: CodecQ8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]float64(nil), global...)
+	wire.RoundTripF32(ref)
+	// Re-applying the uplink round trip must be the identity: the update
+	// is already on the quantization grid.
+	again := append([]float64(nil), u.Weights...)
+	if err := wire.RoundTripQ8(again, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != u.Weights[i] {
+			t.Fatalf("update not on the q8 grid at %d: %v vs %v", i, again[i], u.Weights[i])
+		}
+	}
+}
+
+func TestTrainRejectsInvalidCodec(t *testing.T) {
+	c, err := NewClient("bad", smallSpec(), clientSeries(150, 0, 4), 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := freshWeights(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Train(global, LocalTrainConfig{Epochs: 1, BatchSize: 8, LearningRate: 0.01, Codec: Codec(9)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	cfg := smallConfig(1)
+	cfg.Codec = Codec(9)
+	if _, err := NewCoordinator(smallSpec(), makeClients(t, 1), cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("coordinator: want ErrBadConfig, got %v", err)
+	}
+}

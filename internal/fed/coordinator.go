@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -52,9 +53,15 @@ type Config struct {
 	// ProximalMu enables FedProx local objectives (see
 	// LocalTrainConfig.ProximalMu). 0 = plain FedAvg.
 	ProximalMu float64
+	// Codec selects the wire compression for weight exchange (see Codec).
+	// The zero value ships full float64 vectors.
+	Codec Codec
 	// Aggregator combines client updates each round; nil selects
 	// sample-weighted FedAvg (the paper's rule). Robust aggregators
-	// (median, trimmed mean) defend against poisoned model updates.
+	// (median, trimmed mean) defend against poisoned model updates. The
+	// coordinator streams updates into it via NewStream as responses
+	// arrive, in client-index order, reusing one scratch accumulator
+	// across rounds.
 	Aggregator Aggregator
 	// TolerateClientErrors treats a client error (crash, unreachable
 	// station, bad update, blown deadline) as a dropout for that round
@@ -95,6 +102,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: client fraction %v", ErrBadConfig, c.ClientFraction)
 	case c.RoundDeadline < 0:
 		return fmt.Errorf("%w: round deadline %v", ErrBadConfig, c.RoundDeadline)
+	}
+	if err := c.Codec.validate(); err != nil {
+		return err
 	}
 	if err := c.Privacy.validate(); err != nil {
 		return err
@@ -148,6 +158,20 @@ type RoundStat struct {
 	MeanLoss float64
 	// WallSeconds is the round's wall-clock duration.
 	WallSeconds float64
+	// BytesDown and BytesUp are the round's modeled wire traffic under
+	// the configured Codec: the binary frame sizes (headers included) a
+	// TCP deployment exchanges for the same broadcasts and updates.
+	// Downlink is counted per dispatched training call, uplink per
+	// aggregated update; injected dropouts transfer nothing. For a
+	// fault-free run the figures equal the transport's real byte
+	// counters bit-for-bit (tested). Under failures they are a
+	// best-effort mirror: a client error or abandoned straggler resets
+	// the modeled delta reference exactly as a transport error resets
+	// the real connection's, but events the coordinator cannot observe
+	// (an idle-reaped connection transparently re-dialed, a partial
+	// dial) make the model approximate.
+	BytesDown uint64
+	BytesUp   uint64
 }
 
 // RunResult is the outcome of a federated run.
@@ -161,6 +185,9 @@ type RunResult struct {
 	// ClientSeconds sums client-reported local training time (the
 	// sequential-equivalent cost).
 	ClientSeconds float64
+	// BytesDown and BytesUp total the per-round modeled wire traffic.
+	BytesDown uint64
+	BytesUp   uint64
 }
 
 // Coordinator orchestrates FedAvg over a set of client handles.
@@ -199,8 +226,9 @@ func (co *Coordinator) sampleSize(n int) int {
 
 // preflight runs the Hello handshake against every client handle that
 // supports it, verifying model-dimension compatibility before round 1. A
-// station whose weight vector cannot be aggregated is a configuration bug
-// and always fatal; an unreachable station is fatal only without
+// station whose weight vector cannot be aggregated, or that speaks an
+// incompatible protocol revision, is a configuration bug and always
+// fatal; an unreachable station is fatal only without
 // TolerateClientErrors (with tolerance it simply drops out of rounds).
 // A station that is unreachable at preflight and later joins with an
 // incompatible model is not retro-validated: its Train calls fail every
@@ -221,6 +249,8 @@ func (co *Coordinator) preflight(wantDim int) error {
 			defer wg.Done()
 			info, err := p.Hello()
 			switch {
+			case isProtocolMismatch(err):
+				errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
 			case err != nil:
 				if !co.cfg.TolerateClientErrors {
 					errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
@@ -244,31 +274,63 @@ func (co *Coordinator) preflight(wantDim int) error {
 // shared spec, validate station compatibility, then for each round sample
 // the participating clients, broadcast the global weights, train locally
 // on every (surviving) selected client under the concurrency bound and
-// round deadline, and FedAvg the updates.
+// round deadline, and aggregate the updates.
+//
+// Aggregation streams: each finished client's update is folded into the
+// streaming aggregator as soon as every lower-indexed selected client has
+// resolved (the fixed client-index order keeps parallel scheduling
+// bit-reproducible), after which the update's weight vector is released —
+// the coordinator never holds one full-size copy per client. The
+// aggregation scratch and, once no straggler can be reading it, the
+// previous round's broadcast buffer are reused across rounds, making the
+// steady-state aggregation step allocation-free.
 func (co *Coordinator) Run() (*RunResult, error) {
 	globalModel, err := nn.Build(co.spec, co.cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("fed: build global model: %w", err)
 	}
 	global := globalModel.WeightsVector()
-	if err := co.preflight(len(global)); err != nil {
+	dim := len(global)
+	if err := co.preflight(dim); err != nil {
 		return nil, err
 	}
 	failRNG := rng.New(co.cfg.Seed ^ 0xfa11)
 	sampleRNG := rng.New(co.cfg.Seed ^ 0x5a3c7e11)
 
+	agg := co.cfg.Aggregator
+	if agg == nil {
+		agg = MeanAggregator{}
+	}
+	stream := NewStream(agg)
+
 	res := &RunResult{}
 	start := time.Now()
+	n := len(co.clients)
+	var spare []float64 // retired broadcast buffer, safe to aggregate into
+	// sentFull[i]: client i completed a training call, so (in the wire
+	// model) its connection holds a delta reference for the next
+	// broadcast.
+	sentFull := make([]bool, n)
+	resolved := make([]bool, n) // touched only by this goroutine — safe to reuse
+
 	for round := 0; round < co.cfg.Rounds; round++ {
 		roundStart := time.Now()
 		stat := RoundStat{Round: round}
 
 		// Sampling and failure-injection decisions are drawn up front, in
 		// client order, so they are deterministic regardless of client
-		// scheduling.
+		// scheduling. The slices the training goroutines touch are
+		// allocated per round: an abandoned straggler from an earlier
+		// round may still be reading/writing its round's slots, so they
+		// must never be recycled.
 		selected := co.sampleRound(sampleRNG)
-		dropped := make([]bool, len(co.clients))
-		delayed := make([]bool, len(co.clients))
+		for i := 0; i < n; i++ {
+			resolved[i] = false
+		}
+		updates := make([]*Update, n)
+		errs := make([]error, n)
+		dropped := make([]bool, n)
+		delayed := make([]bool, n)
 		if f := co.cfg.Failures; f != nil {
 			for i := range co.clients {
 				dropped[i] = failRNG.Bernoulli(f.DropoutProb)
@@ -287,12 +349,13 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			Round:        round,
 			Privacy:      co.cfg.Privacy,
 			ProximalMu:   co.cfg.ProximalMu,
+			Codec:        co.cfg.Codec,
 		}
-		updates := make([]*Update, len(co.clients))
-		errs := make([]error, len(co.clients))
 		// Stragglers abandoned at the round deadline keep running into
 		// later rounds; they must read this round's broadcast snapshot,
-		// not the coordinator's live global variable.
+		// not the coordinator's live global variable (which is why a
+		// round's broadcast buffer is only recycled once every selected
+		// client has resolved).
 		roundGlobal := global
 		trainOne := func(i int) {
 			if dropped[i] {
@@ -308,9 +371,14 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			}
 			updates[i] = &u
 		}
-		finished := co.runSelected(selected, trainOne, roundStart)
 
-		var live []Update
+		// Streaming consumption: clients are folded into the aggregator
+		// in client-index order, as far as the resolution prefix reaches,
+		// every time a completion lands. All consumption happens on this
+		// goroutine (runSelected's event loop), so no locking is needed.
+		stream.Begin(dim, len(selected))
+		cursor := 0
+		var roundErr error
 		var lossSum float64
 		var sampleSum int
 		dropWithError := func(id string, err error) {
@@ -320,51 +388,120 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			}
 			stat.Errors[id] = err.Error()
 		}
-		for _, i := range selected {
+		consume := func(i int, abandoned bool) {
 			id := co.clients[i].ID()
+			wasFull := !sentFull[i]
 			switch {
 			case dropped[i]:
+				// Injected dropout: the training call never happened, so
+				// no traffic is counted.
 				stat.Dropped = append(stat.Dropped, id)
-			case !finished[i]:
-				// The client blew the round deadline; its slot is never
-				// read (the straggler goroutine may still be writing it).
+				return
+			case abandoned:
+				stat.BytesDown += co.downBytes(dim, wasFull)
+				// The in-flight call's fate is unknown; mirror the
+				// conservative transport behaviour (reference dropped,
+				// next broadcast full).
+				sentFull[i] = false
 				if !co.cfg.TolerateClientErrors {
-					return nil, fmt.Errorf("fed: round %d: client %s: %w",
-						round, id, ErrRoundDeadline)
+					if roundErr == nil {
+						roundErr = fmt.Errorf("fed: round %d: client %s: %w", round, id, ErrRoundDeadline)
+					}
+					return
 				}
 				dropWithError(id, ErrRoundDeadline)
 			case errs[i] != nil:
+				stat.BytesDown += co.downBytes(dim, wasFull)
+				if !errors.Is(errs[i], ErrRemote) {
+					// A transport error resets the real connection and
+					// with it the delta reference; an application error
+					// (ErrRemote) leaves both intact.
+					sentFull[i] = false
+				}
 				if !co.cfg.TolerateClientErrors {
-					return nil, fmt.Errorf("fed: round %d: %w", round, errs[i])
+					if roundErr == nil {
+						roundErr = fmt.Errorf("fed: round %d: %w", round, errs[i])
+					}
+					return
 				}
 				dropWithError(id, errs[i])
 			case updates[i] != nil:
-				live = append(live, *updates[i])
+				u := updates[i]
+				stat.BytesDown += co.downBytes(dim, wasFull)
+				stat.BytesUp += co.upBytes(dim, len(u.ClientID))
+				if roundErr == nil {
+					if err := stream.Add(u); err != nil {
+						roundErr = fmt.Errorf("fed: round %d: %w", round, err)
+					}
+				}
 				stat.Participants = append(stat.Participants, id)
-				lossSum += updates[i].FinalLoss * float64(updates[i].NumSamples)
-				sampleSum += updates[i].NumSamples
-				res.ClientSeconds += updates[i].TrainSeconds
+				lossSum += u.FinalLoss * float64(u.NumSamples)
+				sampleSum += u.NumSamples
+				res.ClientSeconds += u.TrainSeconds
+				sentFull[i] = true
+				updates[i] = nil // release: mean-family rules consumed it via axpy
 			}
 		}
-		if len(live) == 0 {
+		onDone := func(i int) {
+			// The channel receive in runSelected orders the training
+			// goroutine's writes to updates[i]/errs[i] before this read.
+			resolved[i] = true
+			for cursor < len(selected) && resolved[selected[cursor]] {
+				consume(selected[cursor], false)
+				cursor++
+			}
+		}
+
+		co.runSelected(selected, trainOne, roundStart, onDone)
+
+		// Whatever the cursor has not reached is either a straggler
+		// abandoned at the deadline (unresolved; its slot is never read —
+		// the goroutine may still be writing it) or a client queued
+		// behind one.
+		abandonedAny := false
+		for ; cursor < len(selected); cursor++ {
+			i := selected[cursor]
+			if !resolved[i] && !dropped[i] {
+				abandonedAny = true
+			}
+			consume(i, !resolved[i])
+		}
+		if roundErr != nil {
+			return nil, roundErr
+		}
+
+		if len(stat.Participants) == 0 {
 			// Every selected client failed this round: keep the previous
 			// global model and move on — the distributed system degrades
 			// gracefully instead of aborting (paper §III-F).
 			stat.WallSeconds = time.Since(roundStart).Seconds()
 			res.Rounds = append(res.Rounds, stat)
+			res.BytesDown += stat.BytesDown
+			res.BytesUp += stat.BytesUp
 			continue
 		}
-		agg := co.cfg.Aggregator
-		if agg == nil {
-			agg = MeanAggregator{}
+		dst := spare
+		spare = nil
+		if cap(dst) < dim {
+			dst = make([]float64, dim)
 		}
-		global, err = agg.Aggregate(live)
+		newGlobal, err := stream.Finish(dst[:dim])
 		if err != nil {
 			return nil, fmt.Errorf("fed: round %d: %w", round, err)
 		}
+		if !abandonedAny {
+			// Every reader of this round's broadcast has returned, so its
+			// buffer becomes the next round's aggregation target. A round
+			// with abandoned stragglers leaks its buffer instead — the
+			// straggler goroutine may read it arbitrarily late.
+			spare = global
+		}
+		global = newGlobal
 		stat.MeanLoss = lossSum / float64(sampleSum)
 		stat.WallSeconds = time.Since(roundStart).Seconds()
 		res.Rounds = append(res.Rounds, stat)
+		res.BytesDown += stat.BytesDown
+		res.BytesUp += stat.BytesUp
 	}
 	anyUpdate := false
 	for _, rs := range res.Rounds {
@@ -379,6 +516,18 @@ func (co *Coordinator) Run() (*RunResult, error) {
 	res.Global = global
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// downBytes models one broadcast's wire cost under the configured codec:
+// the exact Train frame size. first selects the full-precision fallback a
+// delta codec pays before the client's connection holds a reference.
+func (co *Coordinator) downBytes(dim int, first bool) uint64 {
+	return uint64(wireTrainBytes(co.cfg.Codec, dim, first))
+}
+
+// upBytes models one update's wire cost: the exact TrainOK frame size.
+func (co *Coordinator) upBytes(dim, idLen int) uint64 {
+	return uint64(wireTrainOKBytes(co.cfg.Codec, dim, idLen))
 }
 
 // sampleRound draws the round's participant indices (sorted, so
@@ -400,20 +549,20 @@ func (co *Coordinator) sampleRound(sampleRNG *rng.Source) []int {
 }
 
 // runSelected trains the selected clients under the configured
-// concurrency bound and round deadline. It returns finished[i] == true
-// for every client whose trainOne call completed before the deadline;
-// the updates/errs slots of unfinished clients must not be read.
-func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStart time.Time) []bool {
-	finished := make([]bool, len(co.clients))
+// concurrency bound and round deadline, invoking onDone(i) on this
+// goroutine for every client whose trainOne call completed before the
+// deadline. Clients without an onDone call by return time were abandoned
+// at the deadline; their updates/errs slots must not be read.
+func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStart time.Time, onDone func(int)) {
 	deadline := co.cfg.RoundDeadline
 
 	if !co.cfg.Parallel {
 		if deadline <= 0 {
 			for _, i := range selected {
 				trainOne(i)
-				finished[i] = true
+				onDone(i)
 			}
-			return finished
+			return
 		}
 		// Sequential order is preserved, but each client runs in a
 		// goroutine so an in-flight hung call can still be abandoned
@@ -428,19 +577,19 @@ func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStar
 			}(i)
 			select {
 			case <-ch:
-				finished[i] = true
+				onDone(i)
 			case <-timer.C:
 				// If the client completed in the same instant the timer
 				// fired, keep its result instead of discarding real work.
 				select {
 				case <-ch:
-					finished[i] = true
+					onDone(i)
 				default:
 				}
-				return finished // abandon the in-flight client and the rest
+				return // abandon the in-flight client and the rest
 			}
 		}
-		return finished
+		return
 	}
 
 	workers := co.cfg.MaxConcurrentClients
@@ -486,8 +635,8 @@ func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStar
 		select {
 		case i := <-done:
 			// The channel receive orders the goroutine's writes to
-			// updates[i]/errs[i] before the coordinator's reads.
-			finished[i] = true
+			// updates[i]/errs[i] before the consumer's reads.
+			onDone(i)
 			remaining--
 		case <-timeout:
 			close(cancel)
@@ -498,14 +647,13 @@ func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStar
 			for {
 				select {
 				case i := <-done:
-					finished[i] = true
+					onDone(i)
 				default:
-					return finished // cut off the true stragglers
+					return // cut off the true stragglers
 				}
 			}
 		}
 	}
-	return finished
 }
 
 // GlobalModel materializes a model carrying the run's final global

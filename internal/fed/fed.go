@@ -2,7 +2,9 @@
 // LSTM clients that train on private data, a FedAvg coordinator that
 // aggregates weight vectors across rounds (weighted by sample count), and
 // pluggable transports — in-process handles for deterministic experiments
-// and a TCP/gob transport for genuinely distributed deployments.
+// and a binary TCP transport (internal/fed/wire) for genuinely
+// distributed deployments, with optional update compression (float32
+// downcast or int8 delta quantization) selected by Codec.
 //
 // Privacy property (paper §I): only model parameter vectors cross the
 // client boundary; raw charging data never leaves the client.
@@ -15,9 +17,11 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/evfed/evfed/internal/fed/wire"
 	"github.com/evfed/evfed/internal/nn"
 	"github.com/evfed/evfed/internal/rng"
 	"github.com/evfed/evfed/internal/series"
@@ -31,6 +35,99 @@ var (
 	ErrRoundDeadline = errors.New("fed: round deadline exceeded")
 	ErrDimMismatch   = errors.New("fed: station model dimension mismatch")
 )
+
+// Codec selects the compression applied to weight vectors crossing the
+// federation boundary. Compression trades a bounded, measured amount of
+// accuracy for a large cut in per-round traffic — the binding constraint
+// for stations on thin uplinks.
+type Codec uint8
+
+// Supported codecs, ordered by compression level.
+const (
+	// CodecNone ships full float64 vectors (8 bytes/parameter).
+	CodecNone Codec = iota
+	// CodecF32 downcasts both directions to float32 (4 bytes/parameter,
+	// ~1e-7 relative rounding error).
+	CodecF32
+	// CodecQ8 int8-quantizes weight *deltas* (1 byte/parameter): uplink
+	// deltas are taken against the round's broadcast global; downlink
+	// broadcasts are delta-coded against the previous broadcast once a
+	// connection has one (the first broadcast on a connection falls back
+	// to float32). Per-coordinate error is bounded by maxabs(delta)/254
+	// per 4096-value chunk.
+	CodecQ8
+)
+
+// ParseCodec maps a flag string to a Codec: "none" (or "f64"), "f32", "q8".
+func ParseCodec(s string) (Codec, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", "f64", "float64":
+		return CodecNone, nil
+	case "f32", "float32":
+		return CodecF32, nil
+	case "q8", "int8":
+		return CodecQ8, nil
+	}
+	return 0, fmt.Errorf("%w: unknown codec %q (want none, f32 or q8)", ErrBadConfig, s)
+}
+
+// String names the codec as ParseCodec accepts it.
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecF32:
+		return "f32"
+	case CodecQ8:
+		return "q8"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+func (c Codec) validate() error {
+	if c > CodecQ8 {
+		return fmt.Errorf("%w: codec %d", ErrBadConfig, c)
+	}
+	return nil
+}
+
+// upVec is the wire encoding of a client update under this codec.
+func (c Codec) upVec() wire.VecCodec {
+	switch c {
+	case CodecF32:
+		return wire.VecF32
+	case CodecQ8:
+		return wire.VecQ8
+	default:
+		return wire.VecF64
+	}
+}
+
+// downVec is the wire encoding of a broadcast under this codec, given
+// whether the connection already holds a delta reference.
+func (c Codec) downVec(haveRef bool) wire.VecCodec {
+	switch c {
+	case CodecF32:
+		return wire.VecF32
+	case CodecQ8:
+		if haveRef {
+			return wire.VecQ8
+		}
+		return wire.VecF32
+	default:
+		return wire.VecF64
+	}
+}
+
+// maxVecCodec returns the more compressed of two wire encodings (the
+// VecCodec constants are ordered by compression level).
+func maxVecCodec(a, b wire.VecCodec) wire.VecCodec {
+	if b > a {
+		return b
+	}
+	return a
+}
 
 // Update is one client's contribution to a round.
 type Update struct {
@@ -67,6 +164,12 @@ type LocalTrainConfig struct {
 	// drift on heterogeneous (non-IID) data — exactly the spatial
 	// heterogeneity regime of the paper's zones. 0 = plain FedAvg.
 	ProximalMu float64
+	// Codec selects the wire compression for weight exchange. The TCP
+	// transport encodes with it for real; in-process clients apply the
+	// identical value round trip (downlink float32 reference, uplink
+	// downcast or delta quantization), so accuracy parity between codecs
+	// is measurable without a network.
+	Codec Codec
 }
 
 // ClientHandle abstracts how the coordinator reaches a client: in-process
@@ -95,6 +198,9 @@ type Client struct {
 	inputs  []nn.Seq
 	targets []nn.Seq
 	seed    uint64
+	// simRef is the reusable downlink-reconstruction buffer for codec
+	// simulation (see LocalTrainConfig.Codec).
+	simRef []float64
 }
 
 var _ ClientHandle = (*Client)(nil)
@@ -137,11 +243,32 @@ func (c *Client) Hello() (HelloInfo, error) {
 	}, nil
 }
 
-// Train implements ClientHandle.
+// Train implements ClientHandle. With a compression codec configured it
+// simulates the wire's exact value transformations: the installed global
+// passes through the float32 downlink reconstruction and the returned
+// update through the uplink downcast (CodecF32) or delta quantization
+// against the reconstructed broadcast (CodecQ8) — the same arithmetic the
+// TCP transport performs, so in-process accuracy measurements transfer.
+// (A TCP deployment's steady-state downlink additionally delta-codes
+// broadcasts against the previous round's, whose error is bounded the
+// same way; see DESIGN.md §8.)
 func (c *Client) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.model.SetWeightsVector(global); err != nil {
+	if err := cfg.Codec.validate(); err != nil {
+		return Update{}, fmt.Errorf("fed: client %s: %w", c.id, err)
+	}
+	ref := global
+	if cfg.Codec != CodecNone {
+		if cap(c.simRef) < len(global) {
+			c.simRef = make([]float64, len(global))
+		}
+		c.simRef = c.simRef[:len(global)]
+		copy(c.simRef, global)
+		wire.RoundTripF32(c.simRef)
+		ref = c.simRef
+	}
+	if err := c.model.SetWeightsVector(ref); err != nil {
 		return Update{}, fmt.Errorf("fed: client %s: install global weights: %w", c.id, err)
 	}
 	tc := nn.TrainConfig{
@@ -156,9 +283,9 @@ func (c *Client) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
 	}
 	if cfg.ProximalMu > 0 {
 		tc.ProxMu = cfg.ProximalMu
-		ref := make([]float64, len(global))
-		copy(ref, global)
-		tc.ProxRef = ref
+		prox := make([]float64, len(ref))
+		copy(prox, ref)
+		tc.ProxRef = prox
 	}
 	start := time.Now()
 	hist, err := nn.Fit(c.model, c.inputs, c.targets, tc)
@@ -168,8 +295,17 @@ func (c *Client) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
 	weights := c.model.WeightsVector()
 	if cfg.Privacy.Enabled() {
 		privRNG := rng.New(c.seed ^ (uint64(cfg.Round+1) * 0x9e3779b97f4a7c15) ^ 0xd9)
-		if err := cfg.Privacy.privatize(weights, global, privRNG); err != nil {
+		if err := cfg.Privacy.privatize(weights, ref, privRNG); err != nil {
 			return Update{}, fmt.Errorf("fed: client %s: privatize: %w", c.id, err)
+		}
+	}
+	// Simulate the uplink leg of the wire codec.
+	switch cfg.Codec {
+	case CodecF32:
+		wire.RoundTripF32(weights)
+	case CodecQ8:
+		if err := wire.RoundTripQ8(weights, ref); err != nil {
+			return Update{}, fmt.Errorf("fed: client %s: quantize update: %w", c.id, err)
 		}
 	}
 	return Update{

@@ -1,55 +1,71 @@
 package fed
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/evfed/evfed/internal/fed/wire"
 )
 
 // The TCP transport turns the in-process federation into a real networked
 // deployment: each charging station runs a ClientServer; the coordinator
-// holds RemoteClient handles that speak a length-free gob protocol over a
-// persistent connection per training call.
+// holds RemoteClient handles that speak the binary frame protocol of
+// internal/fed/wire over a persistent connection.
 //
-// Wire protocol (gob streams, one request/response pair per connection):
+// Wire protocol (length-prefixed binary frames, many request/response
+// pairs per connection):
 //
-//	coordinator → client:  trainRequest{Hello | Probe | Weights+Config}
-//	client → coordinator:  trainResponse{StationID, ModelDim, NumSamples, Update, Err}
+//	coordinator → station:  Hello | Probe | Train{config, weights}
+//	station → coordinator:  HelloOK | ProbeOK | TrainOK{update} | Error
 //
-// Request kinds are selected by explicit markers: trainRequest.Hello asks
-// for the station's identity (ID, weight-vector dimension, sample count)
-// so the coordinator can validate compatibility before round 1;
-// trainRequest.Probe asks for NumSamples only; otherwise the request is a
-// full local-training call.
+// Every frame header carries the protocol version; the Hello handshake
+// negotiates it — a station receiving a frame from a different protocol
+// revision answers with a typed Error frame carrying its own revision and
+// closes, so skewed peers fail fast with ErrProtocolMismatch instead of
+// exchanging garbage. A peer that is not speaking this protocol at all
+// (e.g. a legacy gob coordinator) fails the magic check on its first
+// frame and the connection is dropped immediately; a legacy gob *station*
+// never answers the binary Hello, which surfaces as ErrHello under the
+// probe deadline.
+//
+// Connections are persistent: a RemoteClient keeps its connection across
+// rounds and transparently re-dials when a reused connection has gone
+// stale (server restart, idle reap by ServerConfig.RequestTimeout). The
+// int8 delta codec's downlink reference is connection-scoped state held
+// by BOTH ends and committed at the same message boundary (TrainOK), so
+// a reconnect — which resets the state on both sides at once — can never
+// make coordinator and station quantize against different references.
 //
 // Failure handling: RemoteClient applies a dial timeout, per-call
 // read/write deadlines, and bounded exponential-backoff retries for
 // transient dial/IO errors. Application errors reported by the station
-// (ErrRemote) are never retried. ClientServer tracks every accepted
-// connection under its mutex, so Stop cannot race a concurrent accept; on
-// Stop, the listener and all in-flight connections are closed and handler
+// (ErrRemote) are never retried and leave the connection open; transport
+// errors close it. ClientServer tracks every accepted connection under
+// its mutex, so Stop cannot race a concurrent accept; on Stop, the
+// listener and all in-flight connections are closed and handler
 // goroutines are awaited.
 
 // ErrRemote wraps an error string reported by the remote client.
 var ErrRemote = errors.New("fed: remote client error")
 
-type trainRequest struct {
-	Hello   bool // true = identity/compatibility handshake only
-	Probe   bool // true = NumSamples query only
-	Weights []float64
-	Config  LocalTrainConfig
-}
+// ErrProtocolMismatch marks an affirmative protocol incompatibility: the
+// peer answered with a different protocol revision, or with bytes that
+// are not this protocol at all. It is a configuration bug (like
+// ErrDimMismatch), so the coordinator's preflight treats it as fatal even
+// under TolerateClientErrors.
+var ErrProtocolMismatch = errors.New("fed: station speaks an incompatible federation protocol")
 
-type trainResponse struct {
-	StationID  string
-	ModelDim   int
-	Update     Update
-	NumSamples int
-	Err        string
-}
+// ErrHello marks a failed Hello handshake with a silent peer: the station
+// accepted the connection but never answered the binary Hello before the
+// probe deadline (a legacy gob station blocked mid-decode, or a hung
+// peer). Unlike ErrProtocolMismatch this is not affirmative, so tolerant
+// federations treat it like any unreachable station.
+var ErrHello = errors.New("fed: Hello handshake got no response (legacy gob station, or hung peer)")
 
 // HelloInfo is the station identity returned by the Hello handshake.
 type HelloInfo struct {
@@ -70,14 +86,25 @@ type Prober interface {
 	Hello() (HelloInfo, error)
 }
 
-// ServerConfig tunes a ClientServer's connection lifecycle.
+// ServerConfig tunes a ClientServer's connection lifecycle and codec
+// policy.
 type ServerConfig struct {
-	// RequestTimeout bounds reading one request off an accepted
-	// connection and, separately, writing its response — it guards
-	// against half-open peers pinning handler goroutines forever.
-	// 0 disables the deadlines. It does NOT bound local training time:
-	// the write deadline is armed only after training completes.
+	// RequestTimeout bounds waiting for one complete request frame on an
+	// accepted connection and, separately, writing its response — it
+	// guards against half-open peers pinning handler goroutines forever,
+	// and doubles as the idle reap for persistent connections (a
+	// coordinator whose connection was reaped between rounds transparently
+	// re-dials). 0 disables the deadlines. It does NOT bound local
+	// training time: the write deadline is armed only after training
+	// completes.
 	RequestTimeout time.Duration
+	// Codec is the station's uplink compression floor: updates are
+	// encoded with the more compressed of this and what the coordinator's
+	// request asked for (vector payloads are self-describing, so the
+	// coordinator decodes whatever arrives). The zero value defers
+	// entirely to the coordinator. A bandwidth-constrained station uses
+	// this to force compression regardless of coordinator configuration.
+	Codec Codec
 }
 
 // ClientServer exposes a Client over TCP.
@@ -86,15 +113,17 @@ type ClientServer struct {
 	ln     net.Listener
 	scfg   ServerConfig
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	accepted int // total accepted connections (tests observe reuse)
+	wg       sync.WaitGroup
 }
 
 // ServeClient starts serving client on addr (e.g. "127.0.0.1:0") with the
-// default (deadline-free) server configuration and returns the running
-// server. Stop must be called to release the listener.
+// default (deadline-free, coordinator-driven codec) server configuration
+// and returns the running server. Stop must be called to release the
+// listener.
 func ServeClient(client *Client, addr string) (*ClientServer, error) {
 	return ServeClientConfig(client, addr, ServerConfig{})
 }
@@ -104,6 +133,9 @@ func ServeClient(client *Client, addr string) (*ClientServer, error) {
 func ServeClientConfig(client *Client, addr string, scfg ServerConfig) (*ClientServer, error) {
 	if scfg.RequestTimeout < 0 {
 		return nil, fmt.Errorf("%w: request timeout %v", ErrBadConfig, scfg.RequestTimeout)
+	}
+	if err := scfg.Codec.validate(); err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -169,6 +201,7 @@ func (s *ClientServer) track(conn net.Conn) bool {
 	}
 	s.wg.Add(1)
 	s.conns[conn] = struct{}{}
+	s.accepted++
 	return true
 }
 
@@ -180,48 +213,191 @@ func (s *ClientServer) untrack(conn net.Conn) {
 	s.wg.Done()
 }
 
+// acceptedConns reports how many connections the server has accepted
+// (persistent-connection tests observe reuse through it).
+func (s *ClientServer) acceptedConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted
+}
+
+// session is one connection's protocol state: the reconstructed broadcast
+// the delta codec quantizes against, plus reusable decode scratch. It
+// dies with the connection on both ends simultaneously.
+type session struct {
+	global []float64 // last committed broadcast reconstruction (delta reference)
+	spare  []float64 // decode target, swapped with global on commit
+}
+
+// handle serves one persistent connection: many request/response pairs
+// until the peer closes, a deadline reaps it, or a protocol error makes
+// further framing meaningless.
 func (s *ClientServer) handle(conn net.Conn) {
-	if s.scfg.RequestTimeout > 0 {
-		_ = conn.SetReadDeadline(time.Now().Add(s.scfg.RequestTimeout))
-	}
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var req trainRequest
-	if err := dec.Decode(&req); err != nil {
-		return // malformed or timed-out request; drop the connection
-	}
-	resp := trainResponse{StationID: s.client.id}
-	switch {
-	case req.Hello:
-		info, err := s.client.Hello()
-		resp.ModelDim = info.ModelDim
-		resp.NumSamples = info.NumSamples
-		if err != nil {
-			resp.Err = err.Error()
+	wc := wire.NewConn(conn)
+	var sess session
+	for {
+		if s.scfg.RequestTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.scfg.RequestTimeout))
 		}
-	case req.Probe:
-		n, err := s.client.NumSamples()
-		resp.NumSamples = n
+		fr, err := wc.ReadFrame()
 		if err != nil {
-			resp.Err = err.Error()
+			// EOF (peer done), idle/half-open timeout, or not our
+			// protocol (e.g. a legacy gob coordinator fails the magic
+			// check): drop the connection.
+			return
 		}
-	default:
-		u, err := s.client.Train(req.Weights, req.Config)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Update = u
+		if fr.Version != wire.Version {
+			// Version negotiation: tell the skewed peer which revision
+			// this station speaks, then close.
+			s.respondError(wc, conn, wire.ErrorMsg{
+				Code:        wire.ErrCodeVersion,
+				PeerVersion: wire.Version,
+				Text:        fmt.Sprintf("station %s speaks protocol v%d, got v%d", s.client.id, wire.Version, fr.Version),
+			})
+			return
+		}
+		switch fr.Type {
+		case wire.MsgHello:
+			info, herr := s.client.Hello()
+			if herr != nil {
+				s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: herr.Error()})
+				continue
+			}
+			s.respond(wc, conn, wire.MsgHelloOK, func(b []byte) ([]byte, error) {
+				return wire.AppendHelloOK(b, wire.HelloOK{
+					StationID:  info.StationID,
+					ModelDim:   info.ModelDim,
+					NumSamples: info.NumSamples,
+				})
+			})
+		case wire.MsgProbe:
+			n, perr := s.client.NumSamples()
+			if perr != nil {
+				s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: perr.Error()})
+				continue
+			}
+			s.respond(wc, conn, wire.MsgProbeOK, func(b []byte) ([]byte, error) {
+				return wire.AppendProbeOK(b, wire.ProbeOK{NumSamples: n})
+			})
+		case wire.MsgTrain:
+			if !s.handleTrain(wc, conn, fr.Payload, &sess) {
+				return
+			}
+		default:
+			s.respondError(wc, conn, wire.ErrorMsg{
+				Code:        wire.ErrCodeBadRequest,
+				PeerVersion: wire.Version,
+				Text:        fmt.Sprintf("unexpected message type %d", fr.Type),
+			})
+			return
 		}
 	}
+}
+
+// handleTrain serves one training request. It reports whether the
+// connection is still healthy enough to keep serving.
+func (s *ClientServer) handleTrain(wc *wire.Conn, conn net.Conn, payload []byte, sess *session) bool {
+	tr, vecPayload, err := wire.ParseTrain(payload)
+	if err != nil {
+		s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeBadRequest, PeerVersion: wire.Version, Text: err.Error()})
+		return false
+	}
+	weights, _, err := wire.DecodeVector(vecPayload, sess.spare[:0], sess.global)
+	if err != nil {
+		code := wire.ErrCodeBadRequest
+		if errors.Is(err, wire.ErrNoRef) {
+			// The coordinator delta-coded against a reference this
+			// connection does not hold: state skew. Closing forces a
+			// fresh connection, which resets both ends to full frames.
+			code = wire.ErrCodeNoDeltaRef
+		}
+		s.respondError(wc, conn, wire.ErrorMsg{Code: code, PeerVersion: wire.Version, Text: err.Error()})
+		return false
+	}
+	sess.spare = weights // keep ownership of the (possibly regrown) buffer
+
+	cfg := LocalTrainConfig{
+		Epochs:       tr.Epochs,
+		BatchSize:    tr.BatchSize,
+		LearningRate: tr.LearningRate,
+		Workers:      tr.Workers,
+		Round:        tr.Round,
+		Privacy:      Privacy{ClipNorm: tr.PrivacyClip, NoiseStd: tr.PrivacyNoise},
+		ProximalMu:   tr.ProximalMu,
+		// The wire performs the real encoding below; the client must not
+		// additionally simulate it.
+		Codec: CodecNone,
+	}
+	u, err := s.client.Train(weights, cfg)
+	if err != nil {
+		// Application error: report it and keep serving. The delta
+		// reference is NOT committed — the coordinator only commits its
+		// side on TrainOK, and both ends must move in lockstep.
+		s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: err.Error()})
+		return true
+	}
+
+	upCodec := maxVecCodec(tr.UpdateCodec, s.scfg.Codec.upVec())
 	if s.scfg.RequestTimeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.scfg.RequestTimeout))
 	}
-	_ = enc.Encode(&resp) // best effort; coordinator detects broken pipes
+	werr := wc.WriteFrame(wire.MsgTrainOK, func(b []byte) ([]byte, error) {
+		b, err := wire.AppendTrainOK(b, wire.TrainOK{
+			StationID:    u.ClientID,
+			NumSamples:   u.NumSamples,
+			TrainSeconds: u.TrainSeconds,
+			FinalLoss:    u.FinalLoss,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Uplink delta reference is this round's broadcast as this
+		// station reconstructed it.
+		return wire.AppendVector(b, upCodec, u.Weights, weights, nil)
+	})
+	// Commit the session's delta reference at the TrainOK boundary: the
+	// decoded broadcast becomes the reference, the old reference becomes
+	// decode scratch. If the write failed the coordinator saw a transport
+	// error and will re-dial, discarding this session anyway.
+	sess.global, sess.spare = weights, sess.global
+	return werr == nil
 }
 
-// RemoteClient is a ClientHandle that reaches a ClientServer over TCP.
-// The exported fields tune failure handling and may be adjusted before
-// the handle is used; they must not be mutated concurrently with calls.
+func (s *ClientServer) respond(wc *wire.Conn, conn net.Conn, t wire.MsgType, build func([]byte) ([]byte, error)) {
+	if s.scfg.RequestTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.scfg.RequestTimeout))
+	}
+	_ = wc.WriteFrame(t, build) // best effort; coordinator detects broken pipes
+}
+
+func (s *ClientServer) respondError(wc *wire.Conn, conn net.Conn, e wire.ErrorMsg) {
+	s.respond(wc, conn, wire.MsgError, func(b []byte) ([]byte, error) {
+		return wire.AppendError(b, e)
+	})
+}
+
+// countingConn counts transferred bytes around a net.Conn.
+type countingConn struct {
+	net.Conn
+	sent, recv *atomic.Uint64
+}
+
+func (c countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.recv.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.sent.Add(uint64(n))
+	return n, err
+}
+
+// RemoteClient is a ClientHandle that reaches a ClientServer over TCP on
+// a persistent connection. The exported fields tune failure handling and
+// may be adjusted before the handle is used; they must not be mutated
+// concurrently with calls. Calls are serialized by an internal mutex.
 type RemoteClient struct {
 	id   string
 	addr string
@@ -241,11 +417,25 @@ type RemoteClient struct {
 	// even when ReadTimeout is unset. 0 = fall back to ReadTimeout.
 	ProbeTimeout time.Duration
 	// MaxRetries is the number of additional attempts after a transient
-	// dial/IO failure. Application errors (ErrRemote) are never retried.
+	// dial/IO failure. Application errors (ErrRemote) and affirmative
+	// protocol mismatches are never retried.
 	MaxRetries int
 	// RetryBackoff is the sleep before the first retry; it doubles after
 	// every failed attempt.
 	RetryBackoff time.Duration
+
+	mu       sync.Mutex
+	conn     net.Conn
+	wc       *wire.Conn
+	connSent bool // a Train completed on this connection (delta reference live)
+	// sentGlobal is the station's committed broadcast reconstruction —
+	// the delta codec's downlink reference — and reconBuf the in-flight
+	// reconstruction; they swap on TrainOK.
+	sentGlobal []float64
+	reconBuf   []float64
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
 }
 
 var _ ClientHandle = (*RemoteClient)(nil)
@@ -271,41 +461,267 @@ func NewRemoteClient(id, addr string) *RemoteClient {
 // ID implements ClientHandle.
 func (r *RemoteClient) ID() string { return r.id }
 
+// Traffic reports the total bytes this handle has sent and received,
+// including frame headers and every retry.
+func (r *RemoteClient) Traffic() (sent, recv uint64) {
+	return r.bytesSent.Load(), r.bytesRecv.Load()
+}
+
+// Close releases the persistent connection (if any). The handle remains
+// usable: the next call re-dials.
+func (r *RemoteClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetConn()
+	return nil
+}
+
+func (r *RemoteClient) ensureConn() error {
+	if r.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", r.addr, r.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("fed: dial %s: %w", r.addr, err)
+	}
+	cc := countingConn{Conn: conn, sent: &r.bytesSent, recv: &r.bytesRecv}
+	r.conn = cc
+	r.wc = wire.NewConn(cc)
+	r.connSent = false
+	return nil
+}
+
+func (r *RemoteClient) resetConn() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+		r.wc = nil
+	}
+	r.connSent = false
+}
+
 // Hello performs the identity/compatibility handshake with the station.
+// A silent peer (deadline or EOF with no Hello response) is reported as
+// ErrHello; an affirmative incompatibility as ErrProtocolMismatch.
 func (r *RemoteClient) Hello() (HelloInfo, error) {
-	resp, err := r.roundTrip(trainRequest{Hello: true})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var info HelloInfo
+	err := r.roundTrip(func() error {
+		fr, err := r.exchange(true, wire.MsgHello, nil)
+		if err != nil {
+			return err
+		}
+		ok, err := wire.ParseHelloOK(fr.Payload)
+		if err != nil {
+			return fmt.Errorf("fed: %s: %w", r.addr, err)
+		}
+		info = HelloInfo{StationID: ok.StationID, ModelDim: ok.ModelDim, NumSamples: ok.NumSamples}
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrRemote) && !errors.Is(err, ErrProtocolMismatch) {
+		var nerr net.Error
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			(errors.As(err, &nerr) && nerr.Timeout()) {
+			err = fmt.Errorf("%w: %s: %w", ErrHello, r.addr, err)
+		}
+	}
 	if err != nil {
 		return HelloInfo{}, err
 	}
-	return HelloInfo{
-		StationID:  resp.StationID,
-		ModelDim:   resp.ModelDim,
-		NumSamples: resp.NumSamples,
-	}, nil
+	return info, nil
 }
 
 // NumSamples implements ClientHandle.
 func (r *RemoteClient) NumSamples() (int, error) {
-	resp, err := r.roundTrip(trainRequest{Probe: true})
-	if err != nil {
-		return 0, err
-	}
-	return resp.NumSamples, nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int
+	err := r.roundTrip(func() error {
+		fr, err := r.exchange(true, wire.MsgProbe, nil)
+		if err != nil {
+			return err
+		}
+		ok, err := wire.ParseProbeOK(fr.Payload)
+		if err != nil {
+			return fmt.Errorf("fed: %s: %w", r.addr, err)
+		}
+		n = ok.NumSamples
+		return nil
+	})
+	return n, err
 }
 
-// Train implements ClientHandle.
+// Train implements ClientHandle. The broadcast goes down encoded per
+// cfg.Codec (delta-coded against the previous broadcast once this
+// connection has completed a round) and the update comes back encoded
+// per the station's effective codec.
 func (r *RemoteClient) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
-	resp, err := r.roundTrip(trainRequest{Weights: global, Config: cfg})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := cfg.Codec.validate(); err != nil {
+		return Update{}, fmt.Errorf("fed: %s: %w", r.id, err)
+	}
+	var u Update
+	err := r.roundTrip(func() error {
+		down := cfg.Codec.downVec(r.connSent)
+		var ref []float64
+		if down == wire.VecQ8 {
+			ref = r.sentGlobal
+		}
+		if cap(r.reconBuf) < len(global) {
+			r.reconBuf = make([]float64, len(global))
+		}
+		recon := r.reconBuf[:len(global)]
+
+		fr, err := r.exchange(false, wire.MsgTrain, func(b []byte) ([]byte, error) {
+			b = wire.AppendTrain(b, wire.Train{
+				Round:        cfg.Round,
+				Epochs:       cfg.Epochs,
+				BatchSize:    cfg.BatchSize,
+				Workers:      cfg.Workers,
+				LearningRate: cfg.LearningRate,
+				ProximalMu:   cfg.ProximalMu,
+				PrivacyClip:  cfg.Privacy.ClipNorm,
+				PrivacyNoise: cfg.Privacy.NoiseStd,
+				UpdateCodec:  cfg.Codec.upVec(),
+			})
+			return wire.AppendVector(b, down, global, ref, recon)
+		})
+		if err != nil {
+			return err
+		}
+		ok, rest, err := wire.ParseTrainOK(fr.Payload)
+		if err != nil {
+			return fmt.Errorf("fed: %s: %w", r.addr, err)
+		}
+		// The update outlives this call (the coordinator aggregates it),
+		// so it gets its own allocation; the uplink delta reference is
+		// this round's broadcast exactly as the station reconstructed it.
+		weights, _, err := wire.DecodeVector(rest, nil, recon)
+		if err != nil {
+			return fmt.Errorf("fed: %s: decode update: %w", r.addr, err)
+		}
+		u = Update{
+			ClientID:     ok.StationID,
+			Weights:      weights,
+			NumSamples:   ok.NumSamples,
+			TrainSeconds: ok.TrainSeconds,
+			FinalLoss:    ok.FinalLoss,
+		}
+		// Commit the downlink delta reference at the same boundary the
+		// station does (TrainOK).
+		r.sentGlobal, r.reconBuf = recon, r.sentGlobal
+		r.connSent = true
+		return nil
+	})
 	if err != nil {
 		return Update{}, err
 	}
-	return resp.Update, nil
+	return u, nil
+}
+
+// exchange performs one framed request/response on the live connection,
+// mapping Error frames and version skew to typed errors.
+func (r *RemoteClient) exchange(probe bool, t wire.MsgType, build func([]byte) ([]byte, error)) (wire.Frame, error) {
+	if r.WriteTimeout > 0 {
+		_ = r.conn.SetWriteDeadline(time.Now().Add(r.WriteTimeout))
+	}
+	if err := r.wc.WriteFrame(t, build); err != nil {
+		return wire.Frame{}, fmt.Errorf("fed: send to %s: %w", r.addr, err)
+	}
+	readTimeout := r.ReadTimeout
+	if probe && r.ProbeTimeout > 0 {
+		readTimeout = r.ProbeTimeout
+	}
+	if readTimeout > 0 {
+		_ = r.conn.SetReadDeadline(time.Now().Add(readTimeout))
+	}
+	fr, err := r.wc.ReadFrame()
+	if err != nil {
+		if errors.Is(err, wire.ErrBadMagic) {
+			return wire.Frame{}, fmt.Errorf("%w: %s answered with bytes that are not the binary protocol", ErrProtocolMismatch, r.addr)
+		}
+		return wire.Frame{}, fmt.Errorf("fed: receive from %s: %w", r.addr, err)
+	}
+	if fr.Version != wire.Version {
+		return wire.Frame{}, fmt.Errorf("%w: %s answered with protocol v%d, this coordinator speaks v%d",
+			ErrProtocolMismatch, r.addr, fr.Version, wire.Version)
+	}
+	if fr.Type == wire.MsgError {
+		e, perr := wire.ParseError(fr.Payload)
+		if perr != nil {
+			return wire.Frame{}, fmt.Errorf("fed: %s: unparseable error frame: %w", r.addr, perr)
+		}
+		switch e.Code {
+		case wire.ErrCodeVersion:
+			return wire.Frame{}, fmt.Errorf("%w: %s speaks protocol v%d, this coordinator speaks v%d",
+				ErrProtocolMismatch, r.addr, e.PeerVersion, wire.Version)
+		case wire.ErrCodeApp:
+			return wire.Frame{}, fmt.Errorf("%w: %s: %s", ErrRemote, r.id, e.Text)
+		default:
+			// BadRequest / NoDeltaRef: protocol state skew; the connection
+			// reset performed by the caller clears it, so the retry ladder
+			// (with a fresh connection and full frames) may succeed.
+			return wire.Frame{}, fmt.Errorf("fed: %s rejected the request (code %d): %s", r.addr, e.Code, e.Text)
+		}
+	}
+	return fr, nil
+}
+
+// once runs op over a live connection, transparently replacing a stale
+// persistent connection: if a *reused* connection fails with a transport
+// error, it re-dials once immediately (not counted against the retry
+// budget) — the normal fate of a connection the server idle-reaped
+// between rounds.
+func (r *RemoteClient) once(op func() error) error {
+	reused := r.conn != nil
+	if err := r.ensureConn(); err != nil {
+		return err
+	}
+	err := op()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrRemote) {
+		return err // application error: the connection stays healthy
+	}
+	r.resetConn()
+	if reused && !errors.Is(err, ErrProtocolMismatch) {
+		if err2 := r.ensureConn(); err2 != nil {
+			return err2
+		}
+		err = op()
+		if err != nil && !errors.Is(err, ErrRemote) {
+			r.resetConn()
+		}
+	}
+	return err
+}
+
+// isProtocolMismatch reports an affirmative protocol incompatibility
+// (always fatal at preflight, even under tolerance).
+func isProtocolMismatch(err error) bool { return errors.Is(err, ErrProtocolMismatch) }
+
+// wireTrainBytes is the exact Train frame size (header included) for one
+// broadcast under codec c; first selects the full-precision fallback a
+// delta codec pays before the connection holds a reference. The
+// coordinator uses it to report bytes-per-round for in-process
+// federations under the same policy a TCP deployment would pay.
+func wireTrainBytes(c Codec, dim int, first bool) int {
+	return wire.TrainBytes(c.downVec(!first), dim)
+}
+
+// wireTrainOKBytes is the exact TrainOK frame size for one update under
+// codec c and a station-ID length.
+func wireTrainOKBytes(c Codec, dim, idLen int) int {
+	return wire.TrainOKBytes(c.upVec(), dim, idLen)
 }
 
 // roundTrip performs one call with bounded retries. Retrying a Train call
 // is safe: the station reinstalls the broadcast weights on every call, so
 // a duplicate attempt recomputes the same deterministic update.
-func (r *RemoteClient) roundTrip(req trainRequest) (*trainResponse, error) {
+func (r *RemoteClient) roundTrip(op func() error) error {
 	attempts := 1 + r.MaxRetries
 	if attempts < 1 {
 		attempts = 1
@@ -320,49 +736,19 @@ func (r *RemoteClient) roundTrip(req trainRequest) (*trainResponse, error) {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		resp, err := r.call(req)
+		err := r.once(op)
 		if err == nil {
-			return resp, nil
+			return nil
 		}
 		lastErr = err
-		if errors.Is(err, ErrRemote) {
-			// The station answered and reported an application error;
-			// retrying would only repeat it.
-			return nil, err
+		if errors.Is(err, ErrRemote) || errors.Is(err, ErrProtocolMismatch) {
+			// The station answered: an application error would only
+			// repeat, a protocol mismatch cannot self-heal.
+			return err
 		}
 	}
 	if attempts > 1 {
-		return nil, fmt.Errorf("fed: %s: %d attempts failed: %w", r.addr, attempts, lastErr)
+		return fmt.Errorf("fed: %s: %d attempts failed: %w", r.addr, attempts, lastErr)
 	}
-	return nil, lastErr
-}
-
-// call performs a single dial/send/receive cycle with per-phase deadlines.
-func (r *RemoteClient) call(req trainRequest) (*trainResponse, error) {
-	conn, err := net.DialTimeout("tcp", r.addr, r.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("fed: dial %s: %w", r.addr, err)
-	}
-	defer conn.Close()
-	if r.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(r.WriteTimeout))
-	}
-	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
-		return nil, fmt.Errorf("fed: send to %s: %w", r.addr, err)
-	}
-	readTimeout := r.ReadTimeout
-	if (req.Hello || req.Probe) && r.ProbeTimeout > 0 {
-		readTimeout = r.ProbeTimeout
-	}
-	if readTimeout > 0 {
-		_ = conn.SetReadDeadline(time.Now().Add(readTimeout))
-	}
-	var resp trainResponse
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("fed: receive from %s: %w", r.addr, err)
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, r.id, resp.Err)
-	}
-	return &resp, nil
+	return lastErr
 }

@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// VecCodec identifies how a weight vector is encoded on the wire. Vector
+// payloads are self-describing (the codec byte leads the payload), so the
+// decoder never guesses.
+type VecCodec uint8
+
+// Vector encodings, ordered by compression level (maxVecCodec relies on
+// the ordering).
+const (
+	// VecF64 is the uncompressed encoding: raw little-endian float64 bits
+	// (8 bytes/parameter), bulk-copied with no per-element conversion.
+	VecF64 VecCodec = 0
+	// VecF32 downcasts each value to float32 (4 bytes/parameter,
+	// ~1e-7 relative rounding error).
+	VecF32 VecCodec = 1
+	// VecQ8 is int8 linear quantization of the *delta* against a
+	// reference vector both peers hold (1 byte/parameter plus one float32
+	// scale per 4096-value chunk). Per-coordinate error is bounded by
+	// half the chunk's quantization step, maxabs(delta)/254.
+	VecQ8 VecCodec = 2
+)
+
+// String names the codec as accepted by ParseCodec-style flags.
+func (c VecCodec) String() string {
+	switch c {
+	case VecF64:
+		return "f64"
+	case VecF32:
+		return "f32"
+	case VecQ8:
+		return "q8"
+	default:
+		return fmt.Sprintf("veccodec(%d)", uint8(c))
+	}
+}
+
+// q8Chunk is the quantization block: one float32 scale per chunk keeps
+// the relative error local (a few large coordinates cannot destroy the
+// resolution of the whole vector) at ~0.1% size overhead.
+const q8Chunk = 4096
+
+// hostLE reports whether this machine is little-endian, enabling the
+// bulk-memmove float64 fast path (the wire format is little-endian
+// regardless; big-endian hosts fall back to per-element conversion).
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func f64Bits(v float64) uint64     { return math.Float64bits(v) }
+func f64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// VectorBytes returns the exact encoded size of an n-dim vector under
+// codec, including the codec byte and length prefix.
+func VectorBytes(codec VecCodec, n int) int {
+	const meta = 1 + 4
+	switch codec {
+	case VecF32:
+		return meta + 4*n
+	case VecQ8:
+		chunks := (n + q8Chunk - 1) / q8Chunk
+		return meta + 4*chunks + n
+	default:
+		return meta + 8*n
+	}
+}
+
+// AppendVector encodes v onto b with the given codec. For VecQ8, ref is
+// the shared reference vector (same length as v) the receiver will decode
+// against. If recon is non-nil (same length as v) it receives the exact
+// values the receiver will reconstruct — the sender tracks it as the next
+// round's delta reference, guaranteeing both ends quantize against
+// identical bits.
+func AppendVector(b []byte, codec VecCodec, v, ref, recon []float64) ([]byte, error) {
+	if recon != nil && len(recon) != len(v) {
+		return nil, fmt.Errorf("%w: recon %d for vector %d", ErrMalformed, len(recon), len(v))
+	}
+	b = append(b, byte(codec))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	switch codec {
+	case VecF64:
+		b = appendF64s(b, v)
+		if recon != nil {
+			copy(recon, v)
+		}
+	case VecF32:
+		for i, x := range v {
+			f := float32(x)
+			b = binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
+			if recon != nil {
+				recon[i] = float64(f)
+			}
+		}
+	case VecQ8:
+		if ref == nil {
+			return nil, ErrNoRef
+		}
+		if len(ref) != len(v) {
+			return nil, fmt.Errorf("%w: reference %d for vector %d", ErrMalformed, len(ref), len(v))
+		}
+		for off := 0; off < len(v); off += q8Chunk {
+			end := off + q8Chunk
+			if end > len(v) {
+				end = len(v)
+			}
+			b = appendQ8Chunk(b, v[off:end], ref[off:end], reconSlice(recon, off, end))
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown vector codec %d", ErrMalformed, codec)
+	}
+	return b, nil
+}
+
+func reconSlice(recon []float64, off, end int) []float64 {
+	if recon == nil {
+		return nil
+	}
+	return recon[off:end]
+}
+
+// appendQ8Chunk quantizes one chunk's delta (v − ref) to int8 with a
+// shared float32 scale. The scale is stored (and used for quantizing) in
+// its float32-rounded form so encoder reconstruction and decoder output
+// are bit-identical.
+func appendQ8Chunk(b []byte, v, ref, recon []float64) []byte {
+	var maxAbs float64
+	for i := range v {
+		d := v[i] - ref[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	s32 := float32(maxAbs / 127)
+	s := float64(s32)
+	b = binary.LittleEndian.AppendUint32(b, math.Float32bits(s32))
+	if s == 0 {
+		for i := range v {
+			b = append(b, 0)
+			if recon != nil {
+				recon[i] = ref[i]
+			}
+		}
+		return b
+	}
+	for i := range v {
+		q := int(math.Round((v[i] - ref[i]) / s))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		b = append(b, byte(int8(q)))
+		if recon != nil {
+			recon[i] = ref[i] + float64(q)*s
+		}
+	}
+	return b
+}
+
+// DecodeVector parses one encoded vector from the front of p. The result
+// reuses dst's backing array when capacity allows (pass a retained
+// scratch slice for allocation-free steady state, or nil for a fresh
+// vector). ref must be the sender's reference vector for VecQ8 payloads
+// and is ignored otherwise. Returns the decoded vector and the bytes
+// remaining after it.
+func DecodeVector(p []byte, dst, ref []float64) ([]float64, []byte, error) {
+	if len(p) < 5 {
+		return nil, nil, fmt.Errorf("%w: short vector header", ErrMalformed)
+	}
+	codec := VecCodec(p[0])
+	n := int(binary.LittleEndian.Uint32(p[1:5]))
+	p = p[5:]
+	// Reject unknown codecs and short payloads BEFORE sizing dst: the
+	// length field is attacker-controlled, and only the payload-size
+	// check bounds the allocation below.
+	if codec > VecQ8 {
+		return nil, nil, fmt.Errorf("%w: unknown vector codec %d", ErrMalformed, codec)
+	}
+	if need := VectorBytes(codec, n) - 5; len(p) < need {
+		return nil, nil, fmt.Errorf("%w: vector wants %d bytes, payload has %d", ErrMalformed, need, len(p))
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	switch codec {
+	case VecF64:
+		decodeF64s(dst, p[:8*n])
+		p = p[8*n:]
+	case VecF32:
+		for i := 0; i < n; i++ {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:])))
+		}
+		p = p[4*n:]
+	case VecQ8:
+		if ref == nil {
+			return nil, nil, ErrNoRef
+		}
+		if len(ref) != n {
+			return nil, nil, fmt.Errorf("%w: reference %d for vector %d", ErrNoRef, len(ref), n)
+		}
+		for off := 0; off < n; off += q8Chunk {
+			end := off + q8Chunk
+			if end > n {
+				end = n
+			}
+			s := float64(math.Float32frombits(binary.LittleEndian.Uint32(p)))
+			p = p[4:]
+			for i := off; i < end; i++ {
+				dst[i] = ref[i] + float64(int8(p[i-off]))*s
+			}
+			p = p[end-off:]
+		}
+	}
+	return dst, p, nil
+}
+
+// appendF64s appends the raw little-endian bits of v: a single memmove on
+// little-endian hosts, a conversion loop elsewhere.
+func appendF64s(b []byte, v []float64) []byte {
+	if hostLE && len(v) > 0 {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))...)
+	}
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+// decodeF64s fills dst from raw little-endian float64 bits (len(p) must
+// be 8*len(dst)): a single memmove on little-endian hosts.
+func decodeF64s(dst []float64, p []byte) {
+	if hostLE && len(dst) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), p)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+}
+
+// RoundTripF32 applies the exact value transformation a VecF32
+// encode/decode cycle performs, in place. In-process federations use it
+// to simulate the wire codec for accuracy-parity measurement.
+func RoundTripF32(v []float64) {
+	for i, x := range v {
+		v[i] = float64(float32(x))
+	}
+}
+
+// RoundTripQ8 applies the exact value transformation a VecQ8
+// encode/decode cycle performs (quantize the delta against ref, then
+// reconstruct), in place.
+func RoundTripQ8(v, ref []float64) error {
+	if len(ref) != len(v) {
+		return fmt.Errorf("%w: reference %d for vector %d", ErrNoRef, len(ref), len(v))
+	}
+	for off := 0; off < len(v); off += q8Chunk {
+		end := off + q8Chunk
+		if end > len(v) {
+			end = len(v)
+		}
+		roundTripQ8Chunk(v[off:end], ref[off:end])
+	}
+	return nil
+}
+
+func roundTripQ8Chunk(v, ref []float64) {
+	var maxAbs float64
+	for i := range v {
+		d := v[i] - ref[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	s := float64(float32(maxAbs / 127))
+	if s == 0 {
+		copy(v, ref)
+		return
+	}
+	for i := range v {
+		q := int(math.Round((v[i] - ref[i]) / s))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		v[i] = ref[i] + float64(q)*s
+	}
+}

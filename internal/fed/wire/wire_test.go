@@ -1,0 +1,370 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// pipeConn joins a read buffer and a write buffer into an io.ReadWriter.
+type pipeConn struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (p pipeConn) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p pipeConn) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+func randomVec(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Normal(0, 1)
+	}
+	return v
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	out := NewConn(pipeConn{r: bytes.NewReader(nil), w: &buf})
+	ok := HelloOK{StationID: "station-9", ModelDim: 1234, NumSamples: 56}
+	if err := out.WriteFrame(MsgHelloOK, func(b []byte) ([]byte, error) {
+		return AppendHelloOK(b, ok)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), HelloOKBytes(len(ok.StationID)); got != want {
+		t.Fatalf("frame size %d, HelloOKBytes says %d", got, want)
+	}
+	in := NewConn(pipeConn{r: bytes.NewReader(buf.Bytes()), w: io.Discard})
+	fr, err := in.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Version != Version || fr.Type != MsgHelloOK {
+		t.Fatalf("frame %+v", fr)
+	}
+	got, err := ParseHelloOK(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ok {
+		t.Fatalf("got %+v want %+v", got, ok)
+	}
+}
+
+func TestTrainFrameRoundTripAllCodecs(t *testing.T) {
+	const dim = 5000 // spans two q8 chunks
+	global := randomVec(dim, 1)
+	ref := randomVec(dim, 2)
+	for i := range ref {
+		ref[i] = global[i] + 0.01*ref[i] // a plausible previous-round reference
+	}
+	for _, codec := range []VecCodec{VecF64, VecF32, VecQ8} {
+		var buf bytes.Buffer
+		out := NewConn(pipeConn{r: bytes.NewReader(nil), w: &buf})
+		tr := Train{
+			Round: 3, Epochs: 10, BatchSize: 32, Workers: 2,
+			LearningRate: 1e-3, ProximalMu: 0.1, PrivacyClip: 2, PrivacyNoise: 0.5,
+			UpdateCodec: codec,
+		}
+		recon := make([]float64, dim)
+		if err := out.WriteFrame(MsgTrain, func(b []byte) ([]byte, error) {
+			b = AppendTrain(b, tr)
+			return AppendVector(b, codec, global, ref, recon)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := buf.Len(), TrainBytes(codec, dim); got != want {
+			t.Fatalf("%v: frame size %d, TrainBytes says %d", codec, got, want)
+		}
+		in := NewConn(pipeConn{r: bytes.NewReader(buf.Bytes()), w: io.Discard})
+		fr, err := in.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTr, rest, err := ParseTrain(fr.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTr != tr {
+			t.Fatalf("%v: train meta %+v want %+v", codec, gotTr, tr)
+		}
+		dec, rest, err := DecodeVector(rest, nil, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", codec, len(rest))
+		}
+		// The decoder must land exactly on the sender-side reconstruction.
+		for i := range dec {
+			if dec[i] != recon[i] {
+				t.Fatalf("%v: decode[%d]=%v, sender recon %v", codec, i, dec[i], recon[i])
+			}
+		}
+	}
+}
+
+func TestQ8ErrorBound(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(9000)
+		ref := randomVec(n, uint64(trial))
+		v := make([]float64, n)
+		scale := math.Pow(10, float64(r.Intn(7))-3) // deltas from 1e-3 to 1e3
+		for i := range v {
+			v[i] = ref[i] + scale*r.Normal(0, 1)
+		}
+		enc, err := AppendVector(nil, VecQ8, v, ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := DecodeVector(enc, nil, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-chunk bound: |err| ≤ s/2 (+ a whisker for the float32 scale
+		// rounding at the clamp boundary).
+		for off := 0; off < n; off += q8Chunk {
+			end := off + q8Chunk
+			if end > n {
+				end = n
+			}
+			var maxAbs float64
+			for i := off; i < end; i++ {
+				if d := math.Abs(v[i] - ref[i]); d > maxAbs {
+					maxAbs = d
+				}
+			}
+			s := float64(float32(maxAbs / 127))
+			bound := s/2 + maxAbs*1e-7 + 1e-300
+			for i := off; i < end; i++ {
+				if e := math.Abs(dec[i] - v[i]); e > bound {
+					t.Fatalf("trial %d coord %d: error %v exceeds bound %v (scale %v)", trial, i, e, bound, s)
+				}
+			}
+		}
+	}
+}
+
+func TestQ8ZeroDelta(t *testing.T) {
+	ref := randomVec(100, 3)
+	enc, err := AppendVector(nil, VecQ8, ref, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeVector(enc, nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != ref[i] {
+			t.Fatalf("zero delta not exact at %d: %v vs %v", i, dec[i], ref[i])
+		}
+	}
+}
+
+func TestRoundTripHelpersMatchWire(t *testing.T) {
+	const n = 6000
+	v := randomVec(n, 11)
+	ref := randomVec(n, 12)
+
+	viaWire := func(codec VecCodec) []float64 {
+		enc, err := AppendVector(nil, codec, v, ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := DecodeVector(enc, nil, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec
+	}
+
+	f32 := append([]float64(nil), v...)
+	RoundTripF32(f32)
+	for i, want := range viaWire(VecF32) {
+		if f32[i] != want {
+			t.Fatalf("RoundTripF32 diverges from wire at %d", i)
+		}
+	}
+	q8 := append([]float64(nil), v...)
+	if err := RoundTripQ8(q8, ref); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range viaWire(VecQ8) {
+		if q8[i] != want {
+			t.Fatalf("RoundTripQ8 diverges from wire at %d", i)
+		}
+	}
+}
+
+func TestVectorBytesExact(t *testing.T) {
+	ref := randomVec(5000, 4)
+	v := randomVec(5000, 5)
+	for _, codec := range []VecCodec{VecF64, VecF32, VecQ8} {
+		for _, n := range []int{1, 100, 4096, 4097, 5000} {
+			enc, err := AppendVector(nil, codec, v[:n], ref[:n], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(enc) != VectorBytes(codec, n) {
+				t.Fatalf("%v n=%d: encoded %d bytes, VectorBytes says %d",
+					codec, n, len(enc), VectorBytes(codec, n))
+			}
+		}
+	}
+}
+
+func TestQ8RequiresRef(t *testing.T) {
+	v := randomVec(10, 6)
+	if _, err := AppendVector(nil, VecQ8, v, nil, nil); !errors.Is(err, ErrNoRef) {
+		t.Fatalf("encode without ref: %v", err)
+	}
+	enc, err := AppendVector(nil, VecQ8, v, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeVector(enc, nil, nil); !errors.Is(err, ErrNoRef) {
+		t.Fatalf("decode without ref: %v", err)
+	}
+	short := randomVec(5, 6)
+	if _, _, err := DecodeVector(enc, nil, short); !errors.Is(err, ErrNoRef) {
+		t.Fatalf("decode with short ref: %v", err)
+	}
+}
+
+// A malformed vector header must not size the destination from the
+// attacker-controlled length field: a 5-byte payload claiming 2^32-1
+// elements (with an unknown codec byte, which VectorBytes sizes most
+// cheaply) previously attempted a ~32 GiB allocation.
+func TestDecodeVectorRejectsLyingLength(t *testing.T) {
+	for _, codec := range []byte{0xff, byte(VecF64), byte(VecF32), byte(VecQ8)} {
+		p := []byte{codec, 0xff, 0xff, 0xff, 0xff}
+		if _, _, err := DecodeVector(p, nil, nil); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("codec %#x: want ErrMalformed, got %v", codec, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	in := NewConn(pipeConn{r: bytes.NewReader([]byte("this is not a frame")), w: io.Discard})
+	if _, err := in.ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	out := NewConn(pipeConn{r: bytes.NewReader(nil), w: &buf})
+	if err := out.WriteFrame(MsgProbeOK, func(b []byte) ([]byte, error) {
+		return AppendProbeOK(b, ProbeOK{NumSamples: 9})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		in := NewConn(pipeConn{r: bytes.NewReader(whole[:cut]), w: io.Discard})
+		_, err := in.ReadFrame()
+		if err == nil {
+			t.Fatalf("cut at %d: truncated frame decoded", cut)
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	hdr := []byte{magic0, magic1, Version, byte(MsgProbe), 0xff, 0xff, 0xff, 0xff}
+	in := NewConn(pipeConn{r: bytes.NewReader(hdr), w: io.Discard})
+	if _, err := in.ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	in := NewConn(pipeConn{r: bytes.NewReader(nil), w: io.Discard})
+	if _, err := in.ReadFrame(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	out := NewConn(pipeConn{r: bytes.NewReader(nil), w: &buf})
+	e := ErrorMsg{Code: ErrCodeVersion, PeerVersion: Version, Text: "speak v1"}
+	if err := out.WriteFrame(MsgError, func(b []byte) ([]byte, error) {
+		return AppendError(b, e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in := NewConn(pipeConn{r: bytes.NewReader(buf.Bytes()), w: io.Discard})
+	fr, err := in.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseError(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("got %+v want %+v", got, e)
+	}
+}
+
+func TestConnSteadyStateAllocFree(t *testing.T) {
+	const dim = 2048
+	v := randomVec(dim, 8)
+	ref := randomVec(dim, 9)
+	var buf bytes.Buffer
+	out := NewConn(pipeConn{r: bytes.NewReader(nil), w: &buf})
+	recon := make([]float64, dim)
+	dst := make([]float64, dim)
+	encode := func() {
+		buf.Reset()
+		if err := out.WriteFrame(MsgTrain, func(b []byte) ([]byte, error) {
+			b = AppendTrain(b, Train{Epochs: 1, BatchSize: 1, UpdateCodec: VecQ8})
+			return AppendVector(b, VecQ8, v, ref, recon)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encode() // warm the write buffer
+	allocs := testing.AllocsPerRun(50, encode)
+	if allocs > 0 {
+		t.Fatalf("steady-state encode allocates: %v allocs/op", allocs)
+	}
+	// Steady-state decode into retained scratch (the bytes.Reader is
+	// reused so only the codec path is measured).
+	raw := append([]byte(nil), buf.Bytes()...)
+	rd := bytes.NewReader(raw)
+	in := NewConn(pipeConn{r: rd, w: io.Discard})
+	decode := func() {
+		rd.Reset(raw)
+		in.br.Reset(rd)
+		fr, err := in.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rest, err := ParseTrain(fr.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		if out, _, err = DecodeVector(rest, dst, ref); err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+	}
+	decode() // warm the payload buffer
+	allocs = testing.AllocsPerRun(50, decode)
+	if allocs > 0 {
+		t.Fatalf("steady-state decode allocates: %v allocs/op", allocs)
+	}
+}

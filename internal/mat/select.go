@@ -1,0 +1,70 @@
+package mat
+
+// SelectKth partially orders v in place so that v[k] holds the k-th
+// smallest element (0-based) with v[:k] no larger and v[k+1:] no smaller
+// than it, and returns v[k]. It runs in expected O(len(v)) time via an
+// iterative Hoare quickselect with median-of-three pivoting (so sorted
+// and reverse-sorted inputs stay linear), allocating nothing — the robust
+// federated aggregators call it once or twice per coordinate in place of
+// a full per-coordinate sort.
+//
+// v must be non-empty and k in [0, len(v)); NaNs are not supported (their
+// unordered comparisons break the partition invariant).
+func SelectKth(v []float64, k int) float64 {
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		// Median-of-three pivot selection over (lo, mid, hi).
+		mid := lo + (hi-lo)/2
+		if v[mid] < v[lo] {
+			v[mid], v[lo] = v[lo], v[mid]
+		}
+		if v[hi] < v[lo] {
+			v[hi], v[lo] = v[lo], v[hi]
+		}
+		if v[hi] < v[mid] {
+			v[hi], v[mid] = v[mid], v[hi]
+		}
+		pivot := v[mid]
+
+		// Hoare partition: afterwards v[lo..j] ≤ pivot ≤ v[i..hi] with
+		// j < i, and any elements strictly between j and i equal pivot.
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < pivot {
+				i++
+			}
+			for v[j] > pivot {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			// j < k < i: v[k] equals the pivot and both sides are
+			// already correctly partitioned around it.
+			return v[k]
+		}
+	}
+	return v[k]
+}
+
+// MaxOf returns the maximum of a non-empty slice. It pairs with SelectKth
+// when the element just below a selection boundary is needed (e.g. the
+// lower middle value of an even-length median) without sorting.
+func MaxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+func TestSelectKthMatchesSort(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(64)
+		orig := make([]float64, n)
+		for i := range orig {
+			switch r.Intn(4) {
+			case 0:
+				orig[i] = float64(r.Intn(5)) // duplicates
+			default:
+				orig[i] = r.Normal(0, 10)
+			}
+		}
+		sorted := append([]float64(nil), orig...)
+		sort.Float64s(sorted)
+		for _, k := range []int{0, n / 2, n - 1, r.Intn(n)} {
+			v := append([]float64(nil), orig...)
+			got := SelectKth(v, k)
+			if got != sorted[k] {
+				t.Logf("seed %d n %d k %d: got %v want %v", seed, n, k, got, sorted[k])
+				return false
+			}
+			// Partition property: everything left is ≤ v[k], right is ≥.
+			for i := 0; i < k; i++ {
+				if v[i] > v[k] {
+					return false
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if v[i] < v[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectKthAdversarialOrders(t *testing.T) {
+	const n = 257
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	flat := make([]float64, n)
+	for i := range asc {
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+		flat[i] = 7
+	}
+	for _, tc := range [][]float64{asc, desc, flat} {
+		for _, k := range []int{0, 1, n / 2, n - 1} {
+			v := append([]float64(nil), tc...)
+			sorted := append([]float64(nil), tc...)
+			sort.Float64s(sorted)
+			if got := SelectKth(v, k); got != sorted[k] {
+				t.Fatalf("k=%d: got %v want %v", k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestSelectKthSingle(t *testing.T) {
+	if got := SelectKth([]float64{3.5}, 0); got != 3.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if got := MaxOf([]float64{-3, 2, -9, 2}); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := MaxOf([]float64{-5}); got != -5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectKthZeroAlloc(t *testing.T) {
+	v := make([]float64, 1024)
+	r := rng.New(9)
+	fill := func() {
+		for i := range v {
+			v[i] = r.Normal(0, 1)
+		}
+	}
+	fill()
+	allocs := testing.AllocsPerRun(100, func() {
+		SelectKth(v, len(v)/2)
+	})
+	if allocs != 0 {
+		t.Fatalf("SelectKth allocates: %v allocs/op", allocs)
+	}
+}
