@@ -4,11 +4,18 @@
 //
 //	evfedbench [-quick] [-seed N] [-workers N] [-codec none|f32|q8]
 //	    [-table 1|2|3] [-fig 2|3] [-summary] [-all]
+//	evfedbench -serve-bench BENCH.json [-serve-stations 32] [-serve-points 4000]
+//	    [-serve-shards N] [-serve-batch 16] [-serve-reloads 2]
 //
 // With no selection flags, everything is printed (-all). The default
 // configuration is the paper's full size (4,344 hours per client,
 // LSTM(50), 5 rounds × 10 epochs); -quick runs the scaled-down
 // configuration in seconds.
+//
+// -serve-bench switches to the online-scoring load generator: it boots
+// the sharded scoring service (internal/serve) in-process, drives a
+// station fleet against it with hot model reloads firing mid-run, and
+// records points/sec plus p50/p99 verdict latency (see BENCH_pr5.json).
 package main
 
 import (
@@ -44,8 +51,28 @@ func run() error {
 		bench   = flag.String("bench-json", "", "write a machine-readable perf record (phase wall times, epochs/sec, rounds/sec, bytes/round) to this path")
 		codec   = flag.String("codec", "none", "federated update compression: none, f32 or q8")
 		scal    = flag.String("scalability", "", "run the federation-size sweep instead (comma-separated client counts, e.g. 3,6,12)")
+
+		serveBench    = flag.String("serve-bench", "", "run the scoring-service load generator instead and write its perf record (points/sec, p50/p99 verdict latency) to this path")
+		serveShards   = flag.Int("serve-shards", 0, "scoring shards for -serve-bench (0 = GOMAXPROCS)")
+		serveStations = flag.Int("serve-stations", 32, "station fleet size for -serve-bench")
+		servePoints   = flag.Int("serve-points", 4000, "points per station for -serve-bench")
+		serveBatch    = flag.Int("serve-batch", 16, "batch threshold for -serve-bench")
+		serveDepth    = flag.Int("serve-depth", 512, "per-shard queue depth for -serve-bench")
+		serveReloads  = flag.Int("serve-reloads", 2, "hot model reloads fired mid-run during -serve-bench")
 	)
 	flag.Parse()
+
+	if *serveBench != "" {
+		return runServeBench(*serveBench, serveBenchOpts{
+			Shards:     *serveShards,
+			Stations:   *serveStations,
+			PerStation: *servePoints,
+			Batch:      *serveBatch,
+			Depth:      *serveDepth,
+			Reloads:    *serveReloads,
+			Seed:       *seed,
+		})
+	}
 
 	p := eval.PaperParams(*seed)
 	if *quick {

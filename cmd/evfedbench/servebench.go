@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/evfed/evfed/internal/autoencoder"
+	"github.com/evfed/evfed/internal/dataset"
+	"github.com/evfed/evfed/internal/scale"
+	"github.com/evfed/evfed/internal/serve"
+)
+
+// serveBenchOpts shapes the scoring-service load run (-serve-bench).
+type serveBenchOpts struct {
+	Shards     int
+	Stations   int
+	PerStation int
+	Batch      int
+	Depth      int
+	Reloads    int
+	Seed       uint64
+}
+
+// serveBenchRecord is the machine-readable record -serve-bench writes
+// (BENCH_pr5.json): scoring-service throughput and verdict latency under
+// a station fleet, with hot reloads firing mid-run.
+type serveBenchRecord struct {
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Service shape.
+	Shards         int  `json:"shards"`
+	BatchThreshold int  `json:"batchThreshold"`
+	QueueDepth     int  `json:"queueDepth"`
+	Mitigate       bool `json:"mitigate"`
+	// Load shape.
+	Stations         int `json:"stations"`
+	Producers        int `json:"producers"`
+	PointsPerStation int `json:"pointsPerStation"`
+	TotalPoints      int `json:"totalPoints"`
+	// Detector shape (the edge-profile serving model under load; train
+	// time is excluded from the measurement window).
+	DetectorSeqLen int     `json:"detectorSeqLen"`
+	DetectorUnits  int     `json:"detectorUnits"`
+	DetectorBneck  int     `json:"detectorBottleneck"`
+	TrainSeconds   float64 `json:"trainSeconds"`
+	// Results.
+	WallSeconds      float64 `json:"wallSeconds"`
+	PointsPerSec     float64 `json:"pointsPerSec"`
+	LatencyP50Micros float64 `json:"latencyP50Micros"`
+	LatencyP90Micros float64 `json:"latencyP90Micros"`
+	LatencyP99Micros float64 `json:"latencyP99Micros"`
+	// Hot-reload accounting: reloads fired during the run, and how many
+	// accepted observations failed to produce a verdict (the serving
+	// guarantee is that this is always zero).
+	Reloads             int    `json:"reloads"`
+	DroppedDuringReload int    `json:"droppedDuringReload"`
+	FinalEpoch          int    `json:"finalEpoch"`
+	Flagged             uint64 `json:"flagged"`
+	BatchCalls          uint64 `json:"batchCalls"`
+	BatchedWindows      uint64 `json:"batchedWindows"`
+	SingleWindows       uint64 `json:"singleWindows"`
+	RejectedSubmits     uint64 `json:"rejectedSubmits"`
+}
+
+// runServeBench trains an edge-profile detector, boots the sharded
+// scoring service in-process, drives a station fleet against it with hot
+// reloads mid-run, and writes the perf record to path.
+func runServeBench(path string, o serveBenchOpts) error {
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "serve bench: training edge-profile detector...\n")
+	trainStart := time.Now()
+	det, thr, err := benchDetector(o.Seed)
+	if err != nil {
+		return err
+	}
+	trainSec := time.Since(trainStart).Seconds()
+
+	svc, err := serve.New(serve.Config{
+		Detector:       det,
+		Threshold:      thr,
+		Shards:         o.Shards,
+		QueueDepth:     o.Depth,
+		BatchThreshold: o.Batch,
+		Mitigate:       true,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	producers := runtime.GOMAXPROCS(0) * 2
+	if producers > o.Stations {
+		producers = o.Stations
+	}
+	total := o.Stations * o.PerStation
+	fmt.Fprintf(os.Stderr, "serve bench: %d stations × %d points over %d shards (batch ≥%d, %d reloads)...\n",
+		o.Stations, o.PerStation, o.Shards, o.Batch, o.Reloads)
+
+	// The feed: normal scaled demand with periodic DDoS-like spikes so the
+	// flag/mitigation path is exercised under load.
+	feed := make([]float64, o.PerStation)
+	for i := range feed {
+		feed[i] = 0.4 + 0.2*float64(i%24)/24
+		if i%151 == 150 {
+			feed[i] = 3.5
+		}
+	}
+
+	// One long-lived reply closure and ≤1 in-flight observation per
+	// station: the channel round-trip orders the producer's t0 write
+	// against the shard's read, so latency capture is race-free without
+	// per-point allocations.
+	type stationState struct {
+		name  string
+		t0    time.Time
+		lats  []int64
+		done  chan struct{}
+		reply func(serve.Verdict)
+	}
+	stations := make([]*stationState, o.Stations)
+	for k := range stations {
+		st := &stationState{
+			name: fmt.Sprintf("z%03d", k),
+			lats: make([]int64, 0, o.PerStation),
+			done: make(chan struct{}, 1),
+		}
+		st.reply = func(serve.Verdict) {
+			st.lats = append(st.lats, int64(time.Since(st.t0)))
+			st.done <- struct{}{}
+		}
+		stations[k] = st
+	}
+
+	var submitted atomic.Int64
+	reloadsDone := make(chan int, 1)
+	go func() {
+		// Hot reloads fire at evenly spaced points-progress milestones.
+		n := 0
+		for r := 1; r <= o.Reloads; r++ {
+			target := int64(total) * int64(r) / int64(o.Reloads+1)
+			for submitted.Load() < target {
+				time.Sleep(200 * time.Microsecond)
+			}
+			if _, err := svc.ReloadWeights(svc.Weights(), 0); err != nil {
+				fmt.Fprintf(os.Stderr, "serve bench: reload %d: %v\n", r, err)
+				break
+			}
+			n++
+		}
+		reloadsDone <- n
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			mine := stations[p*o.Stations/producers : (p+1)*o.Stations/producers]
+			for i := 0; i < o.PerStation; i++ {
+				v := feed[i]
+				for _, st := range mine {
+					if i > 0 {
+						<-st.done // previous verdict landed; t0 is ours again
+					}
+					st.t0 = time.Now()
+					for {
+						err := svc.Submit(st.name, v, st.reply)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, serve.ErrBacklog) {
+							panic(err)
+						}
+						runtime.Gosched()
+					}
+					submitted.Add(1)
+				}
+			}
+			for _, st := range mine {
+				<-st.done
+			}
+		}(p)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	reloads := <-reloadsDone
+
+	var lats []int64
+	delivered := 0
+	for _, st := range stations {
+		delivered += len(st.lats)
+		lats = append(lats, st.lats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return float64(lats[i]) / 1e3
+	}
+
+	stats := svc.Stats()
+	cfg := det.Config()
+	rec := serveBenchRecord{
+		Config:              "serve",
+		Seed:                o.Seed,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Shards:              o.Shards,
+		BatchThreshold:      o.Batch,
+		QueueDepth:          o.Depth,
+		Mitigate:            true,
+		Stations:            o.Stations,
+		Producers:           producers,
+		PointsPerStation:    o.PerStation,
+		TotalPoints:         total,
+		DetectorSeqLen:      cfg.SeqLen,
+		DetectorUnits:       cfg.EncoderUnits,
+		DetectorBneck:       cfg.Bottleneck,
+		TrainSeconds:        trainSec,
+		WallSeconds:         wall,
+		PointsPerSec:        float64(total) / wall,
+		LatencyP50Micros:    pct(0.50),
+		LatencyP90Micros:    pct(0.90),
+		LatencyP99Micros:    pct(0.99),
+		Reloads:             reloads,
+		DroppedDuringReload: total - delivered,
+		FinalEpoch:          stats.Epoch,
+		Flagged:             stats.Flagged,
+		BatchCalls:          stats.BatchCalls,
+		BatchedWindows:      stats.BatchedWindows,
+		SingleWindows:       stats.SingleWindows,
+		RejectedSubmits:     stats.Rejected,
+	}
+	fmt.Fprintf(os.Stderr,
+		"serve bench: %.0f points/sec (p50 %.1fµs, p99 %.1fµs), %d reloads, %d dropped, epoch %d\n",
+		rec.PointsPerSec, rec.LatencyP50Micros, rec.LatencyP99Micros,
+		rec.Reloads, rec.DroppedDuringReload, rec.FinalEpoch)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchDetector trains the edge-profile serving model: small enough to
+// represent a per-station embedded detector, real enough to exercise the
+// full batched inference path. The threshold is the p98 of streaming
+// last-point scores on the training feed.
+func benchDetector(seed uint64) (*autoencoder.Detector, float64, error) {
+	res, err := dataset.Generate(dataset.Config{Profile: dataset.Profile102(), Hours: 500, Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	var sc scale.MinMaxScaler
+	values, err := sc.FitTransform(res.Series.Values)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := autoencoder.Config{
+		SeqLen:       8,
+		EncoderUnits: 6,
+		Bottleneck:   3,
+		Epochs:       2,
+		BatchSize:    32,
+		LearningRate: 0.005,
+		Patience:     2,
+		ValFrac:      0.1,
+		TrainStride:  4,
+		Seed:         seed,
+	}
+	det, _, err := autoencoder.Train(values, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	thr, err := serve.CalibrateThreshold(det, values, 0.98)
+	if err != nil {
+		return nil, 0, err
+	}
+	return det, thr, nil
+}

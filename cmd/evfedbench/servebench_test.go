@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeBenchRecord runs a miniature load and checks the record's
+// serving invariants: every point produced a verdict (zero drops across
+// the mid-run reloads), latencies are populated, and the epoch accounts
+// for every reload.
+func TestServeBenchRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := runServeBench(path, serveBenchOpts{
+		Shards:     2,
+		Stations:   8,
+		PerStation: 200,
+		Batch:      4,
+		Depth:      64,
+		Reloads:    2,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec serveBenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalPoints != 8*200 || rec.DroppedDuringReload != 0 {
+		t.Fatalf("points %d, dropped %d", rec.TotalPoints, rec.DroppedDuringReload)
+	}
+	if rec.Reloads != 2 || rec.FinalEpoch != 3 {
+		t.Fatalf("reloads %d, epoch %d", rec.Reloads, rec.FinalEpoch)
+	}
+	if rec.PointsPerSec <= 0 || rec.LatencyP50Micros <= 0 || rec.LatencyP99Micros < rec.LatencyP50Micros {
+		t.Fatalf("latency stats: %+v", rec)
+	}
+	if rec.BatchCalls == 0 {
+		t.Fatal("batched scoring path never engaged")
+	}
+}

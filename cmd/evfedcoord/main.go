@@ -18,7 +18,14 @@
 //	    [-codec none|f32|q8] [-tolerate-errors] [-client-fraction 1.0] \
 //	    [-max-concurrent 0] [-round-deadline 0] [-io-timeout 10m] \
 //	    [-dial-timeout 5s] [-retries 2] [-retry-backoff 200ms] \
-//	    [-weights-out global.gob]
+//	    [-weights-out global.gob] [-serve-reload host:9090]
+//
+// -serve-reload pushes every round's freshly aggregated global weights
+// into a running cmd/evfedserve scoring service (binary MsgReload frames)
+// — hot model reload straight off the post-round broadcast. The serving
+// detector's architecture must match the federated model (federate the
+// autoencoder spec, not the forecaster, for a matching deployment); a
+// mismatched push is reported by the service and does not abort training.
 package main
 
 import (
@@ -29,7 +36,9 @@ import (
 	"time"
 
 	"github.com/evfed/evfed/internal/fed"
+	"github.com/evfed/evfed/internal/fed/wire"
 	"github.com/evfed/evfed/internal/nn"
+	"github.com/evfed/evfed/internal/serve"
 )
 
 func main() {
@@ -63,6 +72,7 @@ func run() error {
 		dpNoise      = flag.Float64("dp-noise", 0, "differential-privacy Gaussian noise std (requires -dp-clip)")
 		seed         = flag.Uint64("seed", 1, "global model seed")
 		weightsOut   = flag.String("weights-out", "", "write the final global weights (gob) here")
+		serveReload  = flag.String("serve-reload", "", "push each round's global weights to this evfedserve binary listener (hot reload)")
 	)
 	flag.Parse()
 	if *stations == "" {
@@ -152,6 +162,17 @@ func run() error {
 		TolerateClientErrors: *tolerate,
 		ProximalMu:           *proximalMu,
 		Privacy:              fed.Privacy{ClipNorm: *dpClip, NoiseStd: *dpNoise},
+	}
+	if *serveReload != "" {
+		cfg.OnRound = func(stat fed.RoundStat, global []float64) {
+			epoch, err := serve.PushReload(*serveReload, global, 0, wire.VecF32, *dialTimeout+*ioTimeout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evfedcoord: round %d: serve reload to %s failed: %v\n",
+					stat.Round+1, *serveReload, err)
+				return
+			}
+			fmt.Printf("round %d: scoring service reloaded (epoch %d)\n", stat.Round+1, epoch)
+		}
 	}
 	co, err := fed.NewCoordinator(spec, handles, cfg)
 	if err != nil {

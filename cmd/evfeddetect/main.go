@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	evfeddetect -in data.csv [-train-frac 0.8] [-out filtered.csv] [-flags flags.csv] [-quick]
+//	evfeddetect -in data.csv [-train-frac 0.8] [-out filtered.csv] [-flags flags.csv]
+//	    [-save-model detector.bin] [-quick]
+//
+// -save-model persists the trained detector together with its calibrated
+// threshold; cmd/evfedserve loads that file to serve the same model
+// online.
 package main
 
 import (
@@ -37,6 +42,7 @@ func run() error {
 		out       = flag.String("out", "", "write the mitigated series CSV here")
 		flagsOut  = flag.String("flags", "", "write per-point anomaly flags CSV here")
 		quick     = flag.Bool("quick", false, "use a small autoencoder (fast, less sensitive)")
+		saveModel = flag.String("save-model", "", "persist the trained detector + threshold here (for evfedserve)")
 		seed      = flag.Uint64("seed", 1, "training seed")
 	)
 	flag.Parse()
@@ -112,6 +118,20 @@ func run() error {
 	fmt.Printf("flagged anomalous: %d (%.2f%%)\n", flagged, 100*float64(flagged)/float64(s.Len()))
 	fmt.Printf("mitigated segments: %d\n", len(res.Runs))
 
+	if *saveModel != "" {
+		mf, err := os.Create(*saveModel)
+		if err != nil {
+			return err
+		}
+		if err := det.SaveCalibrated(mf, res.Threshold); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "detector + threshold saved to %s\n", *saveModel)
+	}
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {

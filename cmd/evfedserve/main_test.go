@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/autoencoder"
+	"github.com/evfed/evfed/internal/fed/wire"
+	"github.com/evfed/evfed/internal/serve"
+)
+
+// TestServeSmoke is the CI serve-smoke shard: boot the binary's run
+// function with a quick synthetic detector, stream 1k points over the
+// binary protocol, hot-reload mid-stream over the HTTP control plane,
+// and assert verdicts round-trip.
+func TestServeSmoke(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan started, 1)
+	done := make(chan error, 1)
+	go func() {
+		fs := flag.NewFlagSet("evfedserve", flag.ContinueOnError)
+		done <- run(fs, []string{
+			"-train-synthetic", "-quick", "-seed", "3",
+			"-codec", "binary", "-addr", "127.0.0.1:0", "-reload-addr", "127.0.0.1:0",
+			"-shards", "2", "-batch", "4", "-mitigate",
+		}, func(st started) <-chan struct{} {
+			ready <- st
+			return stop
+		})
+	}()
+
+	var st started
+	select {
+	case st = <-ready:
+	case err := <-done:
+		t.Fatalf("service exited early: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("service did not start")
+	}
+
+	c, err := serve.DialWire(st.ScoreAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const points = 1000
+	feed := make([]float64, points)
+	for i := range feed {
+		feed[i] = 0.5
+		if i%97 == 0 {
+			feed[i] = 3.0 // DDoS-like spike
+		}
+	}
+	var ready1k, flagged int
+	for lo := 0; lo < points; lo += 100 {
+		vs, err := c.Score("smoke-z102", feed[lo:lo+100])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			if v.Flags&wire.VerdictReady != 0 {
+				ready1k++
+			}
+			if v.Flags&wire.VerdictFlagged != 0 {
+				flagged++
+			}
+		}
+		if lo == 500 {
+			// Hot reload mid-stream via the HTTP control plane (the
+			// serving weights themselves; the smoke only needs a
+			// dimension-compatible vector to push).
+			var buf bytes.Buffer
+			json.NewEncoder(&buf).Encode(map[string]any{"weights": st.Service.Weights()})
+			resp, err := http.Post("http://"+st.ReloadAddr+"/reload", "application/json", &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("reload status %d", resp.StatusCode)
+			}
+		}
+	}
+	if ready1k == 0 {
+		t.Fatal("no verdict round-tripped")
+	}
+	if flagged == 0 {
+		t.Fatal("no spike flagged")
+	}
+	if got := st.Service.Stats().Points; got != points {
+		t.Fatalf("service scored %d points, want %d", got, points)
+	}
+	if st.Service.Epoch() != 2 {
+		t.Fatalf("epoch %d after one reload", st.Service.Epoch())
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelFileRoundTrip: evfeddetect -save-model format loads with its
+// calibrated threshold.
+func TestModelFileRoundTrip(t *testing.T) {
+	det, thr, err := trainSynthetic(true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "det.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.SaveCalibrated(f, thr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, gotThr, err := autoencoder.LoadCalibrated(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotThr != thr || got.Config().SeqLen != det.Config().SeqLen {
+		t.Fatalf("round trip: thr %v/%v seqLen %d/%d", gotThr, thr, got.Config().SeqLen, det.Config().SeqLen)
+	}
+}

@@ -24,6 +24,7 @@
 //	internal/attack      DDoS traffic model and injection
 //	internal/dataset     synthetic Shenzhen-like charging data
 //	internal/fed         FedAvg runtime (in-process and TCP transports)
+//	internal/serve       sharded online scoring service with hot reload
 //	internal/central     centralized baseline trainer
 //	internal/eval        experiment harness (paper tables and figures)
 //
@@ -48,6 +49,7 @@ import (
 	"github.com/evfed/evfed/internal/nn"
 	"github.com/evfed/evfed/internal/rng"
 	"github.com/evfed/evfed/internal/series"
+	"github.com/evfed/evfed/internal/serve"
 )
 
 // Config parameterizes the full experimental pipeline (data generation,
@@ -304,5 +306,47 @@ func ServeFederatedClientConfig(c *FederatedClient, addr string, scfg FederatedS
 func NewRemoteClient(id, addr string) *fed.RemoteClient {
 	return fed.NewRemoteClient(id, addr)
 }
+
+// NewReconstructionFederatedClient builds an in-process federated client
+// whose local objective is sequence reconstruction — federated training
+// of the LSTM-autoencoder detector itself (pair with the autoencoder
+// architecture: nn dims must match the serving detector's).
+func NewReconstructionFederatedClient(id string, values []float64, seqLen, encUnits, bottleneck int, dropout float64, seed uint64) (*FederatedClient, error) {
+	return fed.NewReconstructionClient(id, nn.AutoencoderSpec(seqLen, encUnits, bottleneck, dropout), values, seqLen, seed)
+}
+
+// ScoringService is the sharded always-on anomaly scoring service:
+// per-station observation streams in (HTTP/JSON or the binary wire
+// protocol), verdicts out, with copy-on-write hot model reload. See
+// internal/serve's package documentation and cmd/evfedserve.
+type ScoringService = serve.Service
+
+// ScoringConfig parameterizes a ScoringService (detector, threshold,
+// shard count, queue depth, batch threshold, mitigation).
+type ScoringConfig = serve.Config
+
+// ScoringVerdict is the service's decision for one observation.
+type ScoringVerdict = serve.Verdict
+
+// ScoringStats is a snapshot of a ScoringService's counters.
+type ScoringStats = serve.Stats
+
+// NewScoringService validates cfg, spawns the scoring shards and returns
+// a running service; Close drains and stops it. Build the detector with
+// TrainDetector (or load one via LoadDetector) and take the threshold
+// from an AnomalyFilter calibration.
+func NewScoringService(cfg ScoringConfig) (*ScoringService, error) { return serve.New(cfg) }
+
+// TrainDetector trains the LSTM-autoencoder detector on normal (assumed
+// attack-free) values scaled to [0, 1] — the serving-oriented sibling of
+// TrainFilter for deployments that need the raw detector (e.g. to feed a
+// ScoringService).
+func TrainDetector(normalValues []float64, cfg DetectorConfig) (*autoencoder.Detector, error) {
+	det, _, err := autoencoder.Train(normalValues, cfg)
+	return det, err
+}
+
+// Detector is a trained LSTM-autoencoder anomaly scorer.
+type Detector = autoencoder.Detector
 
 func rngFor(seed uint64) *rng.Source { return rng.New(seed) }

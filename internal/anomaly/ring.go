@@ -1,0 +1,81 @@
+package anomaly
+
+import "fmt"
+
+// Ring is the double-write look-back window behind Stream, exposed on its
+// own so multi-station services can own one ring per station while
+// scoring through a shared (and hot-swappable) model: each pushed point
+// is stored at buf[k] and mirrored at buf[k+W], so the last W points are
+// always available as one contiguous, time-ordered slice with no per-push
+// shifting or copying. Push is O(1) and allocation-free regardless of
+// window length. A Ring is not safe for concurrent use.
+type Ring struct {
+	buf    []float64 // 2W double-write ring
+	winLen int       // W
+	pos    int       // next write slot in [0, W)
+	filled int       // points currently in the window, ≤ W
+	seen   int
+}
+
+// NewRing builds a look-back ring for windows of winLen points.
+func NewRing(winLen int) (*Ring, error) {
+	if winLen <= 0 {
+		return nil, fmt.Errorf("%w: window length %d", ErrBadConfig, winLen)
+	}
+	return &Ring{buf: make([]float64, 2*winLen), winLen: winLen}, nil
+}
+
+// WindowLen returns W.
+func (r *Ring) WindowLen() int { return r.winLen }
+
+// Seen returns the number of points pushed so far.
+func (r *Ring) Seen() int { return r.seen }
+
+// Push appends the next point and returns its 0-based stream index, the
+// time-ordered window ending at it, and whether the window is full yet
+// (during warm-up the window is nil).
+//
+// The returned window aliases the ring's buffer: it is valid only until
+// the next Push or AmendLast call, and callers must not retain or mutate
+// it.
+func (r *Ring) Push(v float64) (idx int, window []float64, ready bool) {
+	idx = r.seen
+	r.seen++
+	k := r.pos
+	r.buf[k] = v
+	r.buf[k+r.winLen] = v
+	r.pos = (k + 1) % r.winLen
+	if r.filled < r.winLen {
+		r.filled++
+	}
+	if r.filled < r.winLen {
+		return idx, nil, false
+	}
+	// The time-ordered window ending at the newest point is the
+	// contiguous mirror slice starting one slot past the write position.
+	return idx, r.buf[k+1 : k+1+r.winLen], true
+}
+
+// AmendLast rewrites the most recently pushed point in place (both ring
+// slots), so a mitigation stage can replace a flagged raw value with its
+// reconstruction before the point contaminates later windows. It reports
+// whether there was a point to amend.
+func (r *Ring) AmendLast(v float64) bool {
+	if r.seen == 0 {
+		return false
+	}
+	k := r.pos - 1
+	if k < 0 {
+		k = r.winLen - 1
+	}
+	r.buf[k] = v
+	r.buf[k+r.winLen] = v
+	return true
+}
+
+// Reset clears the window (e.g. after a data gap).
+func (r *Ring) Reset() {
+	r.pos = 0
+	r.filled = 0
+	r.seen = 0
+}

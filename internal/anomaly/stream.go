@@ -33,19 +33,15 @@ type StreamDecision struct {
 // using only past data, the way a deployed station monitors its own
 // stream. It is not safe for concurrent use.
 //
-// The look-back window lives in a double-write ring buffer: each point is
-// stored at buf[k] and mirrored at buf[k+W], so the last W points are
-// always available as one contiguous, time-ordered slice with no per-push
-// shifting or copying. Push is O(1) and allocation-free regardless of
-// window length.
+// The look-back window lives in a double-write Ring, so Push is O(1) and
+// allocation-free regardless of window length. Services that score many
+// stations through one shared model own a Ring per station directly and
+// score its windows externally (see internal/serve); Stream binds a ring
+// to one scorer and one threshold for the single-feed case.
 type Stream struct {
 	scorer    LastPointScorer
 	threshold float64
-	buf       []float64 // 2W double-write ring
-	winLen    int       // W
-	pos       int       // next write slot in [0, W)
-	filled    int       // points currently in the window, ≤ W
-	seen      int
+	ring      Ring
 }
 
 // NewStream builds a streaming detector around a last-point scorer and a
@@ -55,16 +51,11 @@ func NewStream(scorer LastPointScorer, threshold float64) (*Stream, error) {
 	if scorer == nil {
 		return nil, fmt.Errorf("%w: nil scorer", ErrBadConfig)
 	}
-	if scorer.WindowLen() <= 0 {
-		return nil, fmt.Errorf("%w: window length %d", ErrBadConfig, scorer.WindowLen())
+	r, err := NewRing(scorer.WindowLen())
+	if err != nil {
+		return nil, err
 	}
-	w := scorer.WindowLen()
-	return &Stream{
-		scorer:    scorer,
-		threshold: threshold,
-		buf:       make([]float64, 2*w),
-		winLen:    w,
-	}, nil
+	return &Stream{scorer: scorer, threshold: threshold, ring: *r}, nil
 }
 
 // Push feeds the next point and returns its decision.
@@ -73,21 +64,10 @@ func NewStream(scorer LastPointScorer, threshold float64) (*Stream, error) {
 // and is only valid for the duration of the ScoreLast call; scorers must
 // not retain it.
 func (s *Stream) Push(v float64) (StreamDecision, error) {
-	idx := s.seen
-	s.seen++
-	k := s.pos
-	s.buf[k] = v
-	s.buf[k+s.winLen] = v
-	s.pos = (k + 1) % s.winLen
-	if s.filled < s.winLen {
-		s.filled++
-	}
-	if s.filled < s.winLen {
+	idx, window, ready := s.ring.Push(v)
+	if !ready {
 		return StreamDecision{Index: idx}, nil
 	}
-	// The time-ordered window ending at the newest point is the
-	// contiguous mirror slice starting one slot past the write position.
-	window := s.buf[k+1 : k+1+s.winLen]
 	score, err := s.scorer.ScoreLast(window)
 	if err != nil {
 		return StreamDecision{}, fmt.Errorf("anomaly: stream score: %w", err)
@@ -101,11 +81,7 @@ func (s *Stream) Push(v float64) (StreamDecision, error) {
 }
 
 // Seen returns the number of points pushed so far.
-func (s *Stream) Seen() int { return s.seen }
+func (s *Stream) Seen() int { return s.ring.Seen() }
 
 // Reset clears the warm-up window (e.g. after a data gap).
-func (s *Stream) Reset() {
-	s.pos = 0
-	s.filled = 0
-	s.seen = 0
-}
+func (s *Stream) Reset() { s.ring.Reset() }

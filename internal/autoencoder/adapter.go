@@ -96,15 +96,25 @@ func (s *StreamScorer) WindowLen() int {
 
 // ScoreLast implements anomaly.LastPointScorer.
 func (s *StreamScorer) ScoreLast(window []float64) (float64, error) {
+	score, _, err := s.ScoreLastRecon(window)
+	return score, err
+}
+
+// ScoreLastRecon scores the window's final point and also returns that
+// point's reconstruction, the value an online mitigation stage
+// substitutes for a flagged raw reading (the streaming analogue of the
+// offline filter's interpolation).
+func (s *StreamScorer) ScoreLastRecon(window []float64) (score, recon float64, err error) {
 	if s.det == nil || s.det.model == nil {
-		return 0, ErrNotTrained
+		return 0, 0, ErrNotTrained
 	}
 	seqLen := s.det.cfg.SeqLen
 	if len(window) != seqLen {
-		return 0, fmt.Errorf("%w: window %d, need %d", ErrBadConfig, len(window), seqLen)
+		return 0, 0, fmt.Errorf("%w: window %d, need %d", ErrBadConfig, len(window), seqLen)
 	}
 	windowSeq(s.seq, window, 0, seqLen)
 	out := s.det.model.PredictWS(s.seq, s.ws)
-	d := window[seqLen-1] - out[seqLen-1][0]
-	return d * d, nil
+	recon = out[seqLen-1][0]
+	d := window[seqLen-1] - recon
+	return d * d, recon, nil
 }

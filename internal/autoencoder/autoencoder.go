@@ -210,6 +210,54 @@ func (s *BatchScorer) ScoreWindowsInto(dst []float64, windows [][]float64) error
 	return nil
 }
 
+// ScoreLastInto writes each window's last-point anomaly score — the
+// squared error between the window's final value and its reconstruction,
+// the streaming criterion of StreamScorer.ScoreLast — into scores[i]. If
+// recons is non-nil (same length) it receives the reconstruction of each
+// window's final point, which a mitigation stage can substitute for a
+// flagged raw value. Windows are reconstructed scoreBatch at a time
+// through the batched forward path; in steady state the call performs no
+// allocation. This is the sharded scoring service's batch path: scores
+// agree with the single-window streaming path to within the batched
+// kernels' summation-order tolerance (DESIGN.md §7), which is what makes
+// batch-threshold crossover invisible to callers (tested).
+func (s *BatchScorer) ScoreLastInto(scores, recons []float64, windows [][]float64) error {
+	if s.det == nil || s.det.model == nil {
+		return ErrNotTrained
+	}
+	if len(scores) != len(windows) {
+		return fmt.Errorf("%w: %d scores for %d windows", ErrBadConfig, len(scores), len(windows))
+	}
+	if recons != nil && len(recons) != len(windows) {
+		return fmt.Errorf("%w: %d recons for %d windows", ErrBadConfig, len(recons), len(windows))
+	}
+	seqLen := s.det.cfg.SeqLen
+	for i, w := range windows {
+		if len(w) != seqLen {
+			return fmt.Errorf("%w: window %d has %d values, need %d", ErrBadConfig, i, len(w), seqLen)
+		}
+	}
+	for lo := 0; lo < len(windows); lo += scoreBatch {
+		hi := lo + scoreBatch
+		if hi > len(windows) {
+			hi = len(windows)
+		}
+		for i := lo; i < hi; i++ {
+			windowSeq(s.seqs[i-lo], windows[i], 0, seqLen)
+		}
+		outs := s.det.model.PredictBatchWS(s.seqs[:hi-lo], s.ws)
+		for i, out := range outs {
+			rec := out[seqLen-1][0]
+			d := windows[lo+i][seqLen-1] - rec
+			scores[lo+i] = d * d
+			if recons != nil {
+				recons[lo+i] = rec
+			}
+		}
+	}
+	return nil
+}
+
 // ScoreWindows is ScoreWindowsInto with a freshly allocated result slice.
 func (s *BatchScorer) ScoreWindows(windows [][]float64) ([]float64, error) {
 	dst := make([]float64, len(windows))

@@ -63,6 +63,15 @@ type Config struct {
 	// arrive, in client-index order, reusing one scratch accumulator
 	// across rounds.
 	Aggregator Aggregator
+	// OnRound, if set, observes each completed round synchronously: it
+	// receives the round's diagnostics and a private copy of the global
+	// weight vector the round produced (unchanged on a fully-dropped
+	// round). This is the post-round broadcast hook a serving deployment
+	// uses for hot model reload — pushing freshly federated detector
+	// weights into a running scoring service (internal/serve) without
+	// stopping it. The callback runs on the coordinator's goroutine;
+	// a slow hook extends the round's wall clock, not its deadline.
+	OnRound func(stat RoundStat, global []float64)
 	// TolerateClientErrors treats a client error (crash, unreachable
 	// station, bad update, blown deadline) as a dropout for that round
 	// instead of aborting the federation — the behaviour a production
@@ -478,6 +487,7 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			res.Rounds = append(res.Rounds, stat)
 			res.BytesDown += stat.BytesDown
 			res.BytesUp += stat.BytesUp
+			co.notifyRound(stat, global)
 			continue
 		}
 		dst := spare
@@ -502,6 +512,7 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		res.Rounds = append(res.Rounds, stat)
 		res.BytesDown += stat.BytesDown
 		res.BytesUp += stat.BytesUp
+		co.notifyRound(stat, global)
 	}
 	anyUpdate := false
 	for _, rs := range res.Rounds {
@@ -516,6 +527,20 @@ func (co *Coordinator) Run() (*RunResult, error) {
 	res.Global = global
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// notifyRound hands the round's outcome to the OnRound hook with a
+// private copy of the global vector: the coordinator recycles broadcast
+// buffers across rounds, so the live slice must never escape to a hook
+// that may retain it (a scoring service holds reloaded weights
+// indefinitely).
+func (co *Coordinator) notifyRound(stat RoundStat, global []float64) {
+	if co.cfg.OnRound == nil {
+		return
+	}
+	snap := make([]float64, len(global))
+	copy(snap, global)
+	co.cfg.OnRound(stat, snap)
 }
 
 // downBytes models one broadcast's wire cost under the configured codec:

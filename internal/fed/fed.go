@@ -226,6 +226,30 @@ func NewClient(id string, spec nn.Spec, values []float64, seqLen int, seed uint6
 	return c, nil
 }
 
+// NewReconstructionClient builds an in-process client whose local
+// objective is sequence reconstruction (targets = inputs) — federated
+// training of the paper's LSTM-autoencoder detector rather than the
+// forecaster. Pair spec with nn.AutoencoderSpec(seqLen, ...). A
+// coordinator running over reconstruction clients plus Config.OnRound
+// gives the full serving loop: each round's aggregated detector weights
+// hot-reload into a live scoring service.
+func NewReconstructionClient(id string, spec nn.Spec, values []float64, seqLen int, seed uint64) (*Client, error) {
+	seqs, err := series.MakeSequences(values, seqLen, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fed: client %s: %w", id, err)
+	}
+	model, err := nn.Build(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fed: client %s: %w", id, err)
+	}
+	c := &Client{id: id, model: model, seed: seed}
+	for _, s := range seqs {
+		c.inputs = append(c.inputs, nn.Seq(s))
+		c.targets = append(c.targets, nn.Seq(s))
+	}
+	return c, nil
+}
+
 // ID implements ClientHandle.
 func (c *Client) ID() string { return c.id }
 

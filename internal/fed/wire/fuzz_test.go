@@ -46,6 +46,20 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(mk(MsgError, func(b []byte) ([]byte, error) {
 		return AppendError(b, ErrorMsg{Code: ErrCodeVersion, PeerVersion: 2, Text: "v2"})
 	}))
+	f.Add(mk(MsgScore, func(b []byte) ([]byte, error) {
+		return AppendScore(b, "zone-102", vec)
+	}))
+	f.Add(mk(MsgScoreOK, func(b []byte) ([]byte, error) {
+		return AppendScoreOK(b, []ScoreVerdict{
+			{Index: 41, Flags: VerdictReady | VerdictFlagged, Epoch: 2, Score: 0.5, Mitigated: 0.25},
+		})
+	}))
+	f.Add(mk(MsgReload, func(b []byte) ([]byte, error) {
+		return AppendVector(AppendReload(b, 0.03), VecF32, vec, nil, nil)
+	}))
+	f.Add(mk(MsgReloadOK, func(b []byte) ([]byte, error) {
+		return AppendReloadOK(b, 3)
+	}))
 	f.Add([]byte("this is not a frame at all"))
 	f.Add([]byte{magic0, magic1, Version, byte(MsgTrain), 0xff, 0xff, 0xff, 0x7f}) // lying length
 	f.Add(mk(MsgHello, nil)[:5])                                                   // truncated header
@@ -85,6 +99,16 @@ func FuzzWireRoundTrip(f *testing.F) {
 				}
 			case MsgError:
 				_, _ = ParseError(fr.Payload)
+			case MsgScore:
+				_, _, _ = ParseScore(fr.Payload, nil)
+			case MsgScoreOK:
+				_, _ = ParseScoreOK(fr.Payload, nil)
+			case MsgReload:
+				if _, rest, err := ParseReload(fr.Payload); err == nil {
+					_, _, _ = DecodeVector(rest, nil, nil)
+				}
+			case MsgReloadOK:
+				_, _ = ParseReloadOK(fr.Payload)
 			}
 		}
 

@@ -62,6 +62,16 @@ const (
 	MsgError   MsgType = 7
 )
 
+// Scoring-service kinds (see serve.go). MsgScore flows producer →
+// scoring service, MsgReload flows the federated coordinator's post-round
+// broadcast → scoring service; the *OK responses flow back.
+const (
+	MsgScore    MsgType = 8  // one station's batch of observations
+	MsgScoreOK  MsgType = 9  // per-observation verdicts
+	MsgReload   MsgType = 10 // hot model reload: threshold + weight vector
+	MsgReloadOK MsgType = 11
+)
+
 // Typed protocol errors.
 var (
 	// ErrBadMagic marks a stream that is not this binary protocol at all

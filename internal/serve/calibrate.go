@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/evfed/evfed/internal/anomaly"
+	"github.com/evfed/evfed/internal/autoencoder"
+)
+
+// CalibrateThreshold returns the pct-percentile (0 < pct < 1, e.g. 0.98
+// for the paper's operating point) of streaming last-point scores over
+// the assumed-normal feed — the serving analogue of the offline filter's
+// reconstruction-MSE percentile calibration, computed with the same
+// scorer the service judges live points with. Use it to derive
+// Config.Threshold when no offline calibration is available.
+func CalibrateThreshold(det *autoencoder.Detector, values []float64, pct float64) (float64, error) {
+	if !(pct > 0 && pct < 1) {
+		return 0, fmt.Errorf("%w: percentile %v", ErrBadConfig, pct)
+	}
+	if det == nil || det.Model() == nil {
+		return 0, fmt.Errorf("%w: nil or untrained detector", ErrBadConfig)
+	}
+	scorer := det.NewStreamScorer()
+	ring, err := anomaly.NewRing(det.Config().SeqLen)
+	if err != nil {
+		return 0, err
+	}
+	var scores []float64
+	for _, v := range values {
+		if _, w, ok := ring.Push(v); ok {
+			s, err := scorer.ScoreLast(w)
+			if err != nil {
+				return 0, err
+			}
+			scores = append(scores, s)
+		}
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("%w: %d values for window %d", ErrBadConfig, len(values), det.Config().SeqLen)
+	}
+	sort.Float64s(scores)
+	i := int(pct * float64(len(scores)))
+	if i >= len(scores) {
+		i = len(scores) - 1
+	}
+	return scores[i], nil
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestHTTPScoreAndControl drives the full JSON surface: single and batch
+// scoring, stats, health, and a weights reload that scores subsequent
+// points on the new epoch.
+func TestHTTPScoreAndControl(t *testing.T) {
+	s := newTestService(t, Config{Shards: 2, BatchThreshold: 4})
+	data := httptest.NewServer(s.Handler())
+	defer data.Close()
+	ctrl := httptest.NewServer(s.ControlHandler())
+	defer ctrl.Close()
+
+	// Warm the window with a batch, then score one point.
+	feed := testSeries(testSeqLen+4, 3)
+	resp, body := postJSON(t, data.URL+"/score", map[string]any{"station": "z102", "values": feed[:testSeqLen]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch score: %d %s", resp.StatusCode, body)
+	}
+	var batch struct {
+		Verdicts []verdictJSON `json:"verdicts"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Verdicts) != testSeqLen || !batch.Verdicts[testSeqLen-1].Ready {
+		t.Fatalf("batch verdicts: %+v", batch.Verdicts)
+	}
+
+	resp, body = postJSON(t, data.URL+"/score", map[string]any{"station": "z102", "value": feed[testSeqLen]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single score: %d %s", resp.StatusCode, body)
+	}
+	var single verdictJSON
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Index != testSeqLen || !single.Ready || single.Epoch != 1 {
+		t.Fatalf("single verdict: %+v", single)
+	}
+
+	// Reload via JSON weights; next verdict carries epoch 2.
+	resp, body = postJSON(t, ctrl.URL+"/reload", map[string]any{"weights": perturbedWeights(t, 8)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	var rl struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &rl); err != nil || rl.Epoch != 2 {
+		t.Fatalf("reload body %s (err %v)", body, err)
+	}
+	resp, body = postJSON(t, data.URL+"/score", map[string]any{"station": "z102", "value": feed[testSeqLen+1]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &single); err != nil || single.Epoch != 2 {
+		t.Fatalf("post-reload verdict %s (err %v)", body, err)
+	}
+
+	// Bad reloads are 409; malformed bodies are 400.
+	if resp, _ = postJSON(t, ctrl.URL+"/reload", map[string]any{"weights": []float64{1}}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("short reload: %d", resp.StatusCode)
+	}
+	if resp, _ = postJSON(t, data.URL+"/score", map[string]any{"station": "z102"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty score: %d", resp.StatusCode)
+	}
+
+	// Stats and health reflect the traffic.
+	hr, err := http.Get(ctrl.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsJSON
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if st.Points != testSeqLen+2 || st.Stations != 1 || st.Epoch != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	hr, err = http.Get(ctrl.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", hr.StatusCode, err)
+	}
+	hr.Body.Close()
+}
+
+// TestHTTPDetectorFileReload posts a persisted detector file
+// (evfeddetect -save-model format) as octet-stream.
+func TestHTTPDetectorFileReload(t *testing.T) {
+	det, thr := testDetector(t)
+	s := newTestService(t, Config{Shards: 1})
+	ctrl := httptest.NewServer(s.ControlHandler())
+	defer ctrl.Close()
+
+	var buf bytes.Buffer
+	if err := det.SaveCalibrated(&buf, thr*3); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ctrl.URL+"/reload", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("file reload: %d", resp.StatusCode)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch %d", s.Epoch())
+	}
+	if got := s.Threshold(); fmt.Sprintf("%.12g", got) != fmt.Sprintf("%.12g", thr*3) {
+		t.Fatalf("threshold %v, want %v", got, thr*3)
+	}
+}

@@ -1,0 +1,544 @@
+// Package serve is the always-on scoring layer over the batch substrate:
+// a sharded service that ingests per-station charging observations (over
+// HTTP/JSON or the federation's binary wire framing), routes every
+// station to a shard-owned streaming detector, and emits per-point
+// anomaly verdicts with optional reconstruction-based mitigation — the
+// paper's detection pipeline turned into a deployable online system.
+//
+// Architecture (DESIGN.md §9):
+//
+//   - Stations hash onto shards. Each shard is one goroutine owning a
+//     bounded task queue plus every assigned station's look-back ring
+//     (anomaly.Ring) and its private scorers; nothing on the scoring hot
+//     path takes a lock or is shared across shards.
+//   - A shard drains its queue in batches: when enough stations have full
+//     windows pending, they are scored through one batched GEMM inference
+//     pass (autoencoder.BatchScorer); below the threshold each window is
+//     scored individually. Both paths agree to within the batched
+//     kernels' summation-order tolerance, so the crossover is invisible.
+//   - Backpressure is structural: a full shard queue rejects Submit with
+//     ErrBacklog instead of growing, so a producer outrunning a shard
+//     costs bounded memory.
+//   - Hot model reload is copy-on-write: Reload publishes a fresh
+//     detector + threshold via one atomic pointer swap. Shards pick the
+//     new model up at their next drain; observations already drained
+//     finish on the weights they started with, so no in-flight window is
+//     ever dropped or torn across models.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/evfed/evfed/internal/anomaly"
+	"github.com/evfed/evfed/internal/autoencoder"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadConfig = errors.New("serve: invalid configuration")
+	ErrClosed    = errors.New("serve: service closed")
+	// ErrBacklog reports a full shard queue: the producer outran the
+	// shard and should retry after a backoff (HTTP maps it to 503).
+	ErrBacklog = errors.New("serve: shard backlog full")
+	// ErrReload reports a rejected model reload (dimension or window
+	// mismatch, untrained detector).
+	ErrReload = errors.New("serve: reload rejected")
+	// ErrStationLimit reports a submission for a new station beyond
+	// Config.MaxStations.
+	ErrStationLimit = errors.New("serve: station limit reached")
+)
+
+// Config parameterizes a scoring service.
+type Config struct {
+	// Detector is the initially served model (required, trained).
+	Detector *autoencoder.Detector
+	// Threshold is the calibrated detection threshold scores are judged
+	// against (required, > 0); Filter.Threshold after offline
+	// calibration, or the persisted value from evfeddetect -save-model.
+	Threshold float64
+	// Shards is the number of scoring shards (goroutines). 0 = GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds each shard's pending-task queue; a full queue
+	// rejects Submit with ErrBacklog. 0 = 1024.
+	QueueDepth int
+	// BatchThreshold is the pending-window count at which a shard's drain
+	// switches from per-window scoring to one batched inference pass.
+	// 0 = 8; 1 batches always.
+	BatchThreshold int
+	// Mitigate substitutes a flagged observation's reconstruction for its
+	// raw value — in the emitted verdict and in the station's look-back
+	// window, so an attack burst cannot poison the windows that judge the
+	// points after it (the streaming analogue of the paper's
+	// interpolation mitigation).
+	Mitigate bool
+	// MaxStations bounds the number of distinct stations the service
+	// will track (each costs a permanent ring + registry entry, so an
+	// unbounded registry would let a producer inventing station names
+	// defeat the bounded-memory contract). Submissions for new stations
+	// beyond the limit fail with ErrStationLimit. 0 = 65536.
+	MaxStations int
+}
+
+// Verdict is the service's decision for one observation.
+type Verdict struct {
+	// Station identifies the observation's station.
+	Station string
+	// StreamDecision carries index, score, flagged and readiness, with
+	// the same semantics as the single-feed anomaly.Stream.
+	anomaly.StreamDecision
+	// Value is the raw observation.
+	Value float64
+	// Mitigated is the value to forward downstream: the reconstruction
+	// when the point was flagged and mitigation is on, Value otherwise.
+	Mitigated float64
+	// Epoch is the model epoch that scored the observation (bumped by
+	// every hot reload; warm-up verdicts carry the epoch current at
+	// ingestion).
+	Epoch int
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	// Points is the number of verdicts delivered.
+	Points uint64
+	// Warmup counts verdicts emitted while a station's window was still
+	// filling (never flagged).
+	Warmup uint64
+	// Flagged counts verdicts over threshold.
+	Flagged uint64
+	// BatchCalls and BatchedWindows count batched scoring passes and the
+	// windows they covered; SingleWindows counts per-window scoring.
+	BatchCalls     uint64
+	BatchedWindows uint64
+	SingleWindows  uint64
+	// Rejected counts Submit calls bounced with ErrBacklog.
+	Rejected uint64
+	// Stations is the number of distinct stations seen.
+	Stations uint64
+	// Epoch is the serving model epoch (starts at 1, +1 per reload).
+	Epoch int
+	// Shards echoes the shard count.
+	Shards int
+}
+
+// modelState is the immutable unit of copy-on-write reload.
+type modelState struct {
+	det       *autoencoder.Detector
+	threshold float64
+	epoch     int
+}
+
+// task is one queued observation. index is scratch for the shard's
+// scoring pass (the ring index assigned at push time).
+type task struct {
+	st    *station
+	value float64
+	reply func(Verdict)
+	index int
+}
+
+// station is one charging station's streaming state. The ring and wave
+// marker are owned by the station's shard goroutine; name and shard are
+// immutable after creation.
+type station struct {
+	name  string
+	shard *shard
+	ring  *anomaly.Ring
+	wave  uint64
+}
+
+// Service is a sharded online scoring service. Submit may be called from
+// any number of goroutines; Close drains and stops the shards.
+type Service struct {
+	cfg      Config
+	state    atomic.Pointer[modelState]
+	shards   []*shard
+	stations sync.Map // station name → *station
+	nStation atomic.Uint64
+	rejected atomic.Uint64
+
+	reloadMu sync.Mutex // serializes Reload epoch bumps
+	mu       sync.RWMutex
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New validates cfg, spawns the shards and returns a running service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Detector == nil || cfg.Detector.Model() == nil {
+		return nil, fmt.Errorf("%w: nil or untrained detector", ErrBadConfig)
+	}
+	if !(cfg.Threshold > 0) {
+		return nil, fmt.Errorf("%w: threshold %v", ErrBadConfig, cfg.Threshold)
+	}
+	if cfg.Shards < 0 || cfg.QueueDepth < 0 || cfg.BatchThreshold < 0 || cfg.MaxStations < 0 {
+		return nil, fmt.Errorf("%w: shards %d, queue depth %d, batch threshold %d, max stations %d",
+			ErrBadConfig, cfg.Shards, cfg.QueueDepth, cfg.BatchThreshold, cfg.MaxStations)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.BatchThreshold == 0 {
+		cfg.BatchThreshold = 8
+	}
+	if cfg.BatchThreshold > cfg.QueueDepth+1 {
+		// A drain can never hold more than the blocking receive plus a
+		// full queue, so a larger threshold would silently disable the
+		// batched path the caller asked for.
+		cfg.BatchThreshold = cfg.QueueDepth + 1
+	}
+	if cfg.MaxStations == 0 {
+		cfg.MaxStations = 65536
+	}
+	s := &Service{cfg: cfg}
+	s.state.Store(&modelState{det: cfg.Detector, threshold: cfg.Threshold, epoch: 1})
+	maxDrain := cfg.QueueDepth
+	if maxDrain > 512 {
+		maxDrain = 512
+	}
+	if maxDrain < cfg.BatchThreshold {
+		maxDrain = cfg.BatchThreshold
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			svc:   s,
+			tasks: make(chan task, cfg.QueueDepth),
+			cur:   make([]task, 0, maxDrain),
+			next:  make([]task, 0, maxDrain),
+		}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s, nil
+}
+
+// SeqLen returns the serving window length (fixed for the service's
+// lifetime; reloads must match it).
+func (s *Service) SeqLen() int { return s.state.Load().det.Config().SeqLen }
+
+// Epoch returns the serving model epoch.
+func (s *Service) Epoch() int { return s.state.Load().epoch }
+
+// Threshold returns the serving detection threshold.
+func (s *Service) Threshold() float64 { return s.state.Load().threshold }
+
+// Weights returns a copy of the serving detector's weight vector (e.g.
+// to warm-start a federation from the deployed model).
+func (s *Service) Weights() []float64 { return s.state.Load().det.Model().WeightsVector() }
+
+// Submit enqueues one observation for scoring. reply is invoked exactly
+// once with the verdict, on the owning shard's goroutine — it must not
+// block for long (a stalled reply stalls that shard, which is the
+// backpressure contract working as intended). Submit never blocks: a full
+// shard queue returns ErrBacklog and drops nothing already accepted.
+func (s *Service) Submit(stationName string, value float64, reply func(Verdict)) error {
+	if reply == nil {
+		return fmt.Errorf("%w: nil reply", ErrBadConfig)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	st, err := s.station(stationName)
+	if err != nil {
+		return err
+	}
+	select {
+	case st.shard.tasks <- task{st: st, value: value, reply: reply}:
+		return nil
+	default:
+		s.rejected.Add(1)
+		return ErrBacklog
+	}
+}
+
+// station resolves (or creates) the named station.
+func (s *Service) station(name string) (*station, error) {
+	if v, ok := s.stations.Load(name); ok {
+		return v.(*station), nil
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty station name", ErrBadConfig)
+	}
+	if s.nStation.Load() >= uint64(s.cfg.MaxStations) {
+		// Concurrent creations may overshoot by at most shards-in-flight;
+		// the point is bounding a producer that invents station names.
+		return nil, fmt.Errorf("%w: %d stations", ErrStationLimit, s.cfg.MaxStations)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	ring, err := anomaly.NewRing(s.SeqLen())
+	if err != nil {
+		return nil, err
+	}
+	st := &station{name: name, shard: s.shards[h.Sum32()%uint32(len(s.shards))], ring: ring}
+	if v, loaded := s.stations.LoadOrStore(name, st); loaded {
+		return v.(*station), nil
+	}
+	s.nStation.Add(1)
+	return st, nil
+}
+
+// Reload atomically swaps the serving model and threshold (copy-on-write:
+// the current model keeps scoring until every shard's next drain).
+// threshold ≤ 0 keeps the current threshold. The detector must be trained
+// and share the serving window length; its weights may be anything —
+// typically the federated coordinator's latest post-round broadcast.
+// Returns the new model epoch.
+func (s *Service) Reload(det *autoencoder.Detector, threshold float64) (int, error) {
+	if det == nil || det.Model() == nil {
+		return 0, fmt.Errorf("%w: nil or untrained detector", ErrReload)
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.state.Load()
+	if det.Config().SeqLen != cur.det.Config().SeqLen {
+		return 0, fmt.Errorf("%w: window length %d, serving %d",
+			ErrReload, det.Config().SeqLen, cur.det.Config().SeqLen)
+	}
+	if !(threshold > 0) {
+		// Covers ≤ 0 and NaN (a NaN threshold would silently disable
+		// flagging: every score comparison is false).
+		threshold = cur.threshold
+	}
+	next := &modelState{det: det, threshold: threshold, epoch: cur.epoch + 1}
+	s.state.Store(next)
+	return next.epoch, nil
+}
+
+// ReloadWeights is Reload from a flat weight vector: a fresh detector
+// with the serving configuration is built around a private copy of
+// weights (the caller may reuse its buffer). This is the entry point the
+// federated coordinator's OnRound hook and the wire/HTTP control planes
+// use. The vector's dimension must match the serving architecture.
+func (s *Service) ReloadWeights(weights []float64, threshold float64) (int, error) {
+	det, err := autoencoder.FromWeights(s.state.Load().det.Config(), weights)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrReload, err)
+	}
+	return s.Reload(det, threshold)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	out := Stats{
+		Rejected: s.rejected.Load(),
+		Stations: s.nStation.Load(),
+		Epoch:    s.Epoch(),
+		Shards:   len(s.shards),
+	}
+	for _, sh := range s.shards {
+		out.Points += sh.points.Load()
+		out.Warmup += sh.warmup.Load()
+		out.Flagged += sh.flagged.Load()
+		out.BatchCalls += sh.batchCalls.Load()
+		out.BatchedWindows += sh.batchedWin.Load()
+		out.SingleWindows += sh.singleWin.Load()
+	}
+	return out
+}
+
+// Close stops accepting observations, drains every shard's queue (each
+// already-accepted observation still gets its verdict) and joins the
+// shard goroutines. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.tasks)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// shard is one scoring goroutine: it owns its queue, its stations' rings
+// and its scorers. All fields below tasks are touched only by the shard
+// goroutine, except the atomic counters.
+type shard struct {
+	svc   *Service
+	tasks chan task
+
+	epoch   int
+	single  *autoencoder.StreamScorer
+	batch   *autoencoder.BatchScorer
+	waveSeq uint64
+
+	// reusable scratch
+	cur, next []task
+	ready     []int // indices into the wave with full windows
+	windows   [][]float64
+	scores    []float64
+	recons    []float64
+
+	points     atomic.Uint64
+	warmup     atomic.Uint64
+	flagged    atomic.Uint64
+	batchCalls atomic.Uint64
+	batchedWin atomic.Uint64
+	singleWin  atomic.Uint64
+}
+
+// loop drains the queue until the service closes. Each drain cycle
+// gathers up to cap(cur) pending tasks, loads the serving model once
+// (the copy-on-write reload boundary: everything drained in this cycle
+// scores on this model), and processes the tasks in waves.
+func (sh *shard) loop() {
+	defer sh.svc.wg.Done()
+	for {
+		t, ok := <-sh.tasks
+		if !ok {
+			return
+		}
+		sh.cur = append(sh.cur[:0], t)
+	gather:
+		for len(sh.cur) < cap(sh.cur) {
+			select {
+			case t, ok := <-sh.tasks:
+				if !ok {
+					sh.drain()
+					return
+				}
+				sh.cur = append(sh.cur, t)
+			default:
+				break gather
+			}
+		}
+		sh.drain()
+	}
+}
+
+// drain processes sh.cur. Tasks are split into waves holding at most one
+// observation per station, so a station's look-back window is fully
+// updated (including mitigation rewrites) before its next observation is
+// judged — wave scoring is decision-for-decision identical to pushing the
+// shard's tasks through per-station anomaly.Streams one at a time.
+func (sh *shard) drain() {
+	state := sh.svc.state.Load()
+	if state.epoch != sh.epoch {
+		sh.single = state.det.NewStreamScorer()
+		sh.batch = state.det.NewBatchScorer()
+		sh.epoch = state.epoch
+	}
+	cur := sh.cur
+	for len(cur) > 0 {
+		sh.waveSeq++
+		w := 0
+		deferred := sh.next[:0]
+		for _, t := range cur {
+			if t.st.wave == sh.waveSeq {
+				deferred = append(deferred, t)
+			} else {
+				t.st.wave = sh.waveSeq
+				cur[w] = t
+				w++
+			}
+		}
+		sh.wave(cur[:w], state)
+		// Deferred same-station tasks become the next wave's input; they
+		// are copied back so cur and sh.next keep distinct backing arrays
+		// across drains.
+		cur = cur[:copy(cur[:len(deferred)], deferred)]
+		sh.next = deferred[:0]
+	}
+}
+
+// wave pushes each task's observation into its station's ring, scores
+// the full windows (batched past the threshold), and delivers verdicts.
+func (sh *shard) wave(wave []task, state *modelState) {
+	sh.ready = sh.ready[:0]
+	sh.windows = sh.windows[:0]
+	for i := range wave {
+		t := &wave[i]
+		idx, window, ok := t.st.ring.Push(t.value)
+		if !ok {
+			sh.warmup.Add(1)
+			sh.points.Add(1)
+			t.reply(Verdict{
+				Station:        t.st.name,
+				StreamDecision: anomaly.StreamDecision{Index: idx},
+				Value:          t.value,
+				Mitigated:      t.value,
+				Epoch:          state.epoch,
+			})
+			continue
+		}
+		// Stash the index in the task slot for the scoring pass below.
+		t.index = idx
+		sh.ready = append(sh.ready, i)
+		sh.windows = append(sh.windows, window)
+	}
+	n := len(sh.ready)
+	if n == 0 {
+		return
+	}
+	if cap(sh.scores) < n {
+		sh.scores = make([]float64, n)
+		sh.recons = make([]float64, n)
+	}
+	scores, recons := sh.scores[:n], sh.recons[:n]
+	var err error
+	if n >= sh.svc.cfg.BatchThreshold {
+		err = sh.batch.ScoreLastInto(scores, recons, sh.windows)
+		sh.batchCalls.Add(1)
+		sh.batchedWin.Add(uint64(n))
+	} else {
+		for i, w := range sh.windows {
+			if scores[i], recons[i], err = sh.single.ScoreLastRecon(w); err != nil {
+				break
+			}
+		}
+		sh.singleWin.Add(uint64(n))
+	}
+	for k, i := range sh.ready {
+		t := &wave[i]
+		if err != nil {
+			// Scoring failure (cannot happen with a validated model, but
+			// the verdict contract is one reply per submit): report the
+			// point unjudged.
+			sh.points.Add(1)
+			t.reply(Verdict{
+				Station:        t.st.name,
+				StreamDecision: anomaly.StreamDecision{Index: t.index},
+				Value:          t.value,
+				Mitigated:      t.value,
+				Epoch:          state.epoch,
+			})
+			continue
+		}
+		v := Verdict{
+			Station: t.st.name,
+			StreamDecision: anomaly.StreamDecision{
+				Index:   t.index,
+				Score:   scores[k],
+				Flagged: scores[k] > state.threshold,
+				Ready:   true,
+			},
+			Value:     t.value,
+			Mitigated: t.value,
+			Epoch:     state.epoch,
+		}
+		if v.Flagged {
+			sh.flagged.Add(1)
+			if sh.svc.cfg.Mitigate {
+				v.Mitigated = recons[k]
+				t.st.ring.AmendLast(recons[k])
+			}
+		}
+		sh.points.Add(1)
+		t.reply(v)
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/fed/wire"
+)
+
+// TestWireScoreRoundTrip: a producer scores a station batch over TCP and
+// gets verdicts identical to a direct in-process service over the same
+// model.
+func TestWireScoreRoundTrip(t *testing.T) {
+	s := newTestService(t, Config{Shards: 2, BatchThreshold: 4, Mitigate: true})
+	ws, err := ListenWire(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Stop()
+
+	values := attackSeries(120, 59, 19)
+	ref := collect(t, newTestService(t, Config{Shards: 1, Mitigate: true}), "z", values)
+
+	c, err := DialWire(ws.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two frames over one persistent connection: the second continues the
+	// first's stream.
+	half := len(values) / 2
+	var got []wire.ScoreVerdict
+	for _, chunk := range [][]float64{values[:half], values[half:]} {
+		vs, err := c.Score("z102", chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, append([]wire.ScoreVerdict(nil), vs...)...)
+	}
+	if len(got) != len(values) {
+		t.Fatalf("%d verdicts for %d observations", len(got), len(values))
+	}
+	flagged := 0
+	for i, v := range got {
+		if int(v.Index) != i {
+			t.Fatalf("verdict %d has index %d", i, v.Index)
+		}
+		want := ref[i]
+		if (v.Flags&wire.VerdictReady != 0) != want.Ready ||
+			(v.Flags&wire.VerdictFlagged != 0) != want.Flagged ||
+			math.Abs(v.Score-want.Score) > 1e-12 ||
+			math.Abs(v.Mitigated-want.Mitigated) > 1e-12 {
+			t.Fatalf("verdict %d: wire %+v, direct %+v", i, v, want)
+		}
+		if v.Flags&wire.VerdictFlagged != 0 {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no flagged verdicts round-tripped")
+	}
+}
+
+// TestWireReload: reload frames hot-swap the model (f64 and f32
+// encodings), bad pushes are rejected with typed remote errors, and
+// delta-coded pushes fail by design.
+func TestWireReload(t *testing.T) {
+	s := newTestService(t, Config{Shards: 1})
+	ws, err := ListenWire(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Stop()
+
+	w := perturbedWeights(t, 21)
+	epoch, err := PushReload(ws.Addr(), w, 0, wire.VecF64, 5*time.Second)
+	if err != nil || epoch != 2 {
+		t.Fatalf("push reload: epoch %d, err %v", epoch, err)
+	}
+	c, err := DialWire(ws.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if epoch, err = c.Reload(w, s.Threshold()*1.5, wire.VecF32); err != nil || epoch != 3 {
+		t.Fatalf("f32 reload: epoch %d, err %v", epoch, err)
+	}
+	// Connection survives an application-level rejection (wrong dim).
+	if _, err = c.Reload(w[:10], 0, wire.VecF64); err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("short reload: %v", err)
+	}
+	if epoch, err = c.Reload(w, 0, wire.VecF64); err != nil || epoch != 4 {
+		t.Fatalf("reload after rejection: epoch %d, err %v", epoch, err)
+	}
+	// Delta-coded reloads carry no reference and must be rejected.
+	if _, err = c.Reload(w, 0, wire.VecQ8); err == nil {
+		t.Fatal("q8 reload accepted")
+	}
+	if s.Epoch() != 4 {
+		t.Fatalf("serving epoch %d", s.Epoch())
+	}
+}
+
+// TestWireBadPeer: a non-protocol peer and a version-skewed frame both
+// get typed rejections, not hangs.
+func TestWireBadPeer(t *testing.T) {
+	s := newTestService(t, Config{Shards: 1})
+	ws, err := ListenWire(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Stop()
+
+	// Garbage magic: server just drops the connection.
+	conn, err := net.Dial("tcp", ws.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected drop for non-protocol peer")
+	}
+	conn.Close()
+
+	// Version skew: typed MsgError with the server's revision.
+	conn, err = net.Dial("tcp", ws.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := []byte{'E', 'V', wire.Version + 1, byte(wire.MsgScore), 0, 0, 0, 0}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	fr, err := wc.ReadFrame()
+	if err != nil || fr.Type != wire.MsgError {
+		t.Fatalf("frame %+v, err %v", fr, err)
+	}
+	e, err := wire.ParseError(fr.Payload)
+	if err != nil || e.Code != wire.ErrCodeVersion || e.PeerVersion != wire.Version {
+		t.Fatalf("error %+v, err %v", e, err)
+	}
+}
