@@ -26,6 +26,13 @@
 // detector's architecture must match the federated model (federate the
 // autoencoder spec, not the forecaster, for a matching deployment); a
 // mismatched push is reported by the service and does not abort training.
+//
+// -serve-canary is the safe variant: rounds are staged as canary
+// candidates (MsgCanaryPush) on an evfedserve started with -canary. The
+// service shadow-scores each candidate, serves it to a station cohort,
+// and only promotes it once its divergence budgets hold — a poisoned
+// round is rolled back instead of reaching the whole fleet. Mutually
+// exclusive with -serve-reload.
 package main
 
 import (
@@ -73,10 +80,14 @@ func run() error {
 		seed         = flag.Uint64("seed", 1, "global model seed")
 		weightsOut   = flag.String("weights-out", "", "write the final global weights (gob) here")
 		serveReload  = flag.String("serve-reload", "", "push each round's global weights to this evfedserve binary listener (hot reload)")
+		serveCanary  = flag.String("serve-canary", "", "stage each round's global weights as a canary candidate on this evfedserve binary listener (requires evfedserve -canary)")
 	)
 	flag.Parse()
 	if *stations == "" {
 		return fmt.Errorf("-stations is required")
+	}
+	if *serveReload != "" && *serveCanary != "" {
+		return fmt.Errorf("-serve-reload and -serve-canary are mutually exclusive")
 	}
 
 	codec, err := fed.ParseCodec(*codecName)
@@ -172,6 +183,17 @@ func run() error {
 				return
 			}
 			fmt.Printf("round %d: scoring service reloaded (epoch %d)\n", stat.Round+1, epoch)
+		}
+	}
+	if *serveCanary != "" {
+		cfg.OnRound = func(stat fed.RoundStat, global []float64) {
+			gen, err := serve.PushCanary(*serveCanary, global, 0, wire.VecF32, *dialTimeout+*ioTimeout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evfedcoord: round %d: canary stage to %s failed: %v\n",
+					stat.Round+1, *serveCanary, err)
+				return
+			}
+			fmt.Printf("round %d: staged as canary candidate (generation %d)\n", stat.Round+1, gen)
 		}
 	}
 	co, err := fed.NewCoordinator(spec, handles, cfg)

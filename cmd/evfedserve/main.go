@@ -8,7 +8,9 @@
 //
 //	evfedserve -model detector.bin [-threshold X] [-codec binary|http]
 //	    [-addr :9090] [-reload-addr :9091] [-shards N] [-batch N]
-//	    [-depth N] [-mitigate]
+//	    [-depth N] [-mitigate] [-idle-ttl 0] [-persist FILE]
+//	    [-canary] [-canary-fraction 0.25] [-canary-sample-every 4]
+//	    [-canary-shadow 512] [-canary-promote 1024]
 //	evfedserve -train-synthetic [-quick] ...
 //
 // The detector comes from evfeddetect -save-model (which persists the
@@ -20,7 +22,19 @@
 // MsgReload pushes from cmd/evfedcoord -serve-reload) or "http" (POST
 // /score JSON). The control plane on -reload-addr is always HTTP: POST
 // /reload (JSON weights or a raw detector file), GET /stats, GET
-// /healthz.
+// /healthz — plus, with -canary, POST /stage, POST /promote, POST
+// /rollback and GET /rollout.
+//
+// -canary turns model pushes into staged rollouts: candidates land as
+// shadow scorers (MsgCanaryPush from cmd/evfedcoord -serve-canary, or
+// POST /stage), graduate to a station cohort, and auto-promote only
+// after the divergence budgets hold; a diverging candidate is rolled
+// back and quarantined without ever serving the full fleet.
+//
+// -persist writes the serving detector (with its calibrated threshold,
+// evfeddetect -save-model format) on graceful shutdown, so a fleet of
+// hot reloads survives a restart. -idle-ttl evicts stations that have
+// gone quiet, bounding memory across station churn.
 package main
 
 import (
@@ -69,6 +83,14 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		synth     = fs.Bool("train-synthetic", false, "train a detector on synthetic zone data at startup")
 		quick     = fs.Bool("quick", false, "with -train-synthetic: smaller model, faster training")
 		seed      = fs.Uint64("seed", 1, "seed for -train-synthetic")
+		idleTTL   = fs.Duration("idle-ttl", 0, "evict stations idle longer than this (0 = never)")
+		persist   = fs.String("persist", "", "write the serving detector (calibrated format) here on graceful shutdown")
+
+		canary       = fs.Bool("canary", false, "stage pushed models as canaries instead of reloading live")
+		canaryFrac   = fs.Float64("canary-fraction", 0, "station cohort fraction served by the candidate in the canary phase (0 = default 0.25)")
+		canaryEvery  = fs.Int("canary-sample-every", 0, "shadow-score every Nth non-cohort window (0 = default 4)")
+		canaryShadow = fs.Int("canary-shadow", 0, "shadow samples before the candidate graduates to the cohort (0 = default 512)")
+		canaryBudget = fs.Int("canary-promote", 0, "canary-phase samples before auto-promotion (0 = default 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +114,14 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		QueueDepth:     *depth,
 		BatchThreshold: *batch,
 		Mitigate:       *mitigate,
+		IdleTTL:        *idleTTL,
+		Rollout: serve.RolloutConfig{
+			Enabled:        *canary,
+			CanaryFraction: *canaryFrac,
+			SampleEvery:    *canaryEvery,
+			ShadowSamples:  *canaryShadow,
+			CanarySamples:  *canaryBudget,
+		},
 	})
 	if err != nil {
 		return err
@@ -153,10 +183,47 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	}
 	<-stop
 
+	// Graceful shutdown: stop ingestion first, then drain every shard
+	// queue so accepted observations still get verdicts, then persist the
+	// serving model. A still-staged canary candidate is deliberately not
+	// persisted — only the calibrated incumbent survives a restart.
+	if wire != nil {
+		wire.Stop()
+	}
+	if httpScore != nil {
+		httpScore.Close()
+	}
+	if ctrl != nil {
+		ctrl.Close()
+	}
+	svc.Close()
+	if *persist != "" {
+		if err := persistDetector(*persist, svc); err != nil {
+			return fmt.Errorf("persist serving model: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving model persisted to %s\n", *persist)
+	}
+
 	s := svc.Stats()
 	fmt.Fprintf(os.Stderr, "served %d points (%d flagged, %d stations, epoch %d)\n",
 		s.Points, s.Flagged, s.Stations, s.Epoch)
 	return nil
+}
+
+// persistDetector writes the serving detector and threshold in the
+// evfeddetect -save-model format, so the next start resumes from the
+// last promoted epoch instead of the original -model file.
+func persistDetector(path string, svc *serve.Service) error {
+	det, thr := svc.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := det.SaveCalibrated(f, thr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -107,6 +107,116 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestCanarySmoke is the CI rollout-smoke shard: boot the binary with
+// -canary and -persist, stage a candidate over the binary protocol
+// (the coordinator's -serve-canary path), stream traffic until the
+// rollout auto-promotes, then shut down gracefully and reload the
+// persisted detector.
+func TestCanarySmoke(t *testing.T) {
+	persistPath := filepath.Join(t.TempDir(), "serving.bin")
+	stop := make(chan struct{})
+	ready := make(chan started, 1)
+	done := make(chan error, 1)
+	go func() {
+		fs := flag.NewFlagSet("evfedserve", flag.ContinueOnError)
+		done <- run(fs, []string{
+			"-train-synthetic", "-quick", "-seed", "3",
+			"-codec", "binary", "-addr", "127.0.0.1:0", "-reload-addr", "127.0.0.1:0",
+			"-shards", "2", "-batch", "4",
+			"-canary", "-canary-fraction", "0.5", "-canary-sample-every", "1",
+			"-canary-shadow", "64", "-canary-promote", "64",
+			"-idle-ttl", "30m", "-persist", persistPath,
+		}, func(st started) <-chan struct{} {
+			ready <- st
+			return stop
+		})
+	}()
+
+	var st started
+	select {
+	case st = <-ready:
+	case err := <-done:
+		t.Fatalf("service exited early: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("service did not start")
+	}
+
+	// Stage the serving weights as a candidate — identical model, so the
+	// divergence budgets hold and the rollout must auto-promote.
+	gen, err := serve.PushCanary(st.ScoreAddr, st.Service.Weights(), 0, wire.VecF32, 10*time.Second)
+	if err != nil || gen != 1 {
+		t.Fatalf("stage canary: gen %d, err %v", gen, err)
+	}
+	if st.Service.Epoch() != 1 {
+		t.Fatalf("staging swapped the live model: epoch %d", st.Service.Epoch())
+	}
+
+	c, err := serve.DialWire(st.ScoreAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed := make([]float64, 100)
+	for i := range feed {
+		feed[i] = 0.5
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	promoted := false
+	for !promoted && time.Now().Before(deadline) {
+		for _, station := range []string{"smoke-a", "smoke-b", "smoke-c", "smoke-d"} {
+			if _, err := c.Score(station, feed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ro := st.Service.Rollout()
+		promoted = ro.LastOutcome == serve.OutcomePromoted
+		if ro.LastOutcome == serve.OutcomeRolledBack {
+			t.Fatalf("identical candidate rolled back: %s", ro.LastReason)
+		}
+	}
+	if !promoted {
+		t.Fatalf("rollout did not promote: %+v", st.Service.Rollout())
+	}
+	if st.Service.Epoch() != 2 {
+		t.Fatalf("epoch %d after promotion", st.Service.Epoch())
+	}
+
+	// The HTTP control plane reports the rollout too.
+	resp, err := http.Get("http://" + st.ReloadAddr + "/rollout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ro serve.RolloutStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ro); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ro.Enabled || ro.LastOutcome != serve.OutcomePromoted || ro.Promotions != 1 {
+		t.Fatalf("rollout status %+v", ro)
+	}
+
+	wantThr := st.Service.Threshold()
+	wantSeqLen := st.Service.SeqLen()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful shutdown persisted the promoted incumbent.
+	f, err := os.Open(persistPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	det, thr, err := autoencoder.LoadCalibrated(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != wantThr || det.Config().SeqLen != wantSeqLen {
+		t.Fatalf("persisted thr %v/%v seqLen %d/%d", thr, wantThr, det.Config().SeqLen, wantSeqLen)
+	}
+}
+
 // TestModelFileRoundTrip: evfeddetect -save-model format loads with its
 // calibrated threshold.
 func TestModelFileRoundTrip(t *testing.T) {

@@ -337,6 +337,23 @@ type ScoringStats = serve.Stats
 // from an AnomalyFilter calibration.
 func NewScoringService(cfg ScoringConfig) (*ScoringService, error) { return serve.New(cfg) }
 
+// CanaryRolloutConfig enables staged model rollouts on a ScoringService
+// (ScoringConfig.Rollout): pushed models are shadow-scored against live
+// traffic, served to a station cohort, and auto-promoted or rolled back
+// by online divergence comparison. See internal/serve's §10 design notes
+// and cmd/evfedserve -canary.
+type CanaryRolloutConfig = serve.RolloutConfig
+
+// CanaryDivergenceConfig holds the rollout's divergence budgets: verdict
+// flip rate, anomaly-rate delta, mean and p99 score shift over a sliding
+// comparison window.
+type CanaryDivergenceConfig = serve.DivergenceConfig
+
+// CanaryRolloutStatus is a point-in-time snapshot of a service's rollout
+// state machine (ScoringService.Rollout): phase, generation, live
+// divergence and the promote/rollback history.
+type CanaryRolloutStatus = serve.RolloutStatus
+
 // TrainDetector trains the LSTM-autoencoder detector on normal (assumed
 // attack-free) values scaled to [0, 1] — the serving-oriented sibling of
 // TrainFilter for deployments that need the raw detector (e.g. to feed a

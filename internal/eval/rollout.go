@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/autoencoder"
+	"github.com/evfed/evfed/internal/dataset"
+	"github.com/evfed/evfed/internal/rng"
+	"github.com/evfed/evfed/internal/scale"
+	"github.com/evfed/evfed/internal/serve"
+)
+
+// CanaryRound summarizes one staged model generation of the rollout
+// scenario: what was pushed, how the state machine resolved it, and how
+// much live traffic the candidate actually served on the way.
+type CanaryRound struct {
+	// Round is the 1-based round number.
+	Round int
+	// Poisoned marks the adversarial round.
+	Poisoned bool
+	// Gen is the candidate generation assigned at staging.
+	Gen uint64
+	// Outcome is serve.OutcomePromoted or serve.OutcomeRolledBack.
+	Outcome string
+	// Reason explains the resolution: the blown divergence budget on a
+	// rollback, "within budget" on an auto-promotion.
+	Reason string
+	// EpochAfter is the serving epoch once the round resolved.
+	EpochAfter int
+	// Points is the number of verdicts delivered during the round.
+	Points uint64
+	// CanaryServed counts verdicts the candidate produced (cohort
+	// traffic in the canary phase; shadow scoring is never emitted).
+	CanaryServed uint64
+	// CanaryFraction is CanaryServed / Points — the candidate's actual
+	// share of live traffic. A safe rollout keeps this well below 1
+	// even for promoted rounds, and a rolled-back round's share is
+	// bounded by the cohort fraction.
+	CanaryFraction float64
+}
+
+// CanaryRolloutResult is the poisoned-round rollout scenario outcome:
+// a clean federated round auto-promotes through shadow and canary
+// phases, then a poisoned round is auto-rolled-back before the
+// candidate ever serves the full fleet.
+type CanaryRolloutResult struct {
+	// Threshold is the calibrated serving threshold.
+	Threshold float64
+	// Stations is the simulated fleet size.
+	Stations int
+	// CohortFraction is the configured canary cohort share.
+	CohortFraction float64
+	// Clean and Poisoned are the two staged rounds.
+	Clean, Poisoned CanaryRound
+}
+
+// rolloutBudgets is the scenario's state-machine schedule: small enough
+// to resolve in seconds of synthetic traffic, large enough that every
+// phase transition (shadow → canary → promoted, and rollback) is
+// exercised by real sample counts rather than edge effects.
+func rolloutBudgets() serve.RolloutConfig {
+	return serve.RolloutConfig{
+		Enabled:        true,
+		SampleEvery:    1,
+		CanaryFraction: 0.3,
+		ShadowSamples:  96,
+		CanarySamples:  96,
+		EvalEvery:      32,
+		// Budgets sized for the quick synthetic detector: a benign
+		// 0.01-noise aggregation drift stays inside them, a sign-flipped
+		// model blows through every one.
+		Divergence: serve.DivergenceConfig{
+			Window:           256,
+			MinSamples:       64,
+			MaxFlipRate:      0.25,
+			MaxAnomalyDelta:  0.25,
+			MaxMeanShift:     5,
+			MaxQuantileShift: 50,
+		},
+	}
+}
+
+// RunCanaryRollout reproduces the federated poisoning threat end to end
+// on the serving side: a scoring service with canary rollouts enabled
+// receives one clean aggregation result and one poisoned one (a
+// sign-flipped, scaled weight vector — the classic model-replacement
+// shape). The clean candidate must survive shadow comparison, graduate
+// to its station cohort and auto-promote; the poisoned candidate must
+// diverge and be quarantined without ever serving the whole fleet.
+func RunCanaryRollout(p Params) (*CanaryRolloutResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+
+	// One zone's clean demand, scaled like the serving pipeline scales it.
+	gen, err := dataset.Generate(dataset.Config{Profile: dataset.Profile102(), Hours: p.Hours, Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("eval: generate rollout zone: %w", err)
+	}
+	var sc scale.MinMaxScaler
+	values, err := sc.FitTransform(gen.Series.Values)
+	if err != nil {
+		return nil, fmt.Errorf("eval: scale rollout zone: %w", err)
+	}
+	aeCfg := p.AE
+	aeCfg.SeqLen = p.SeqLen
+	aeCfg.Seed = p.Seed
+	aeCfg.Workers = p.Workers
+	det, _, err := autoencoder.Train(values, aeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: train rollout detector: %w", err)
+	}
+	thr, err := serve.CalibrateThreshold(det, values, 0.98)
+	if err != nil {
+		return nil, fmt.Errorf("eval: calibrate rollout threshold: %w", err)
+	}
+
+	budgets := rolloutBudgets()
+	svc, err := serve.New(serve.Config{
+		Detector:  det,
+		Threshold: thr,
+		Shards:    2,
+		Rollout:   budgets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	const stations = 12
+	names := make([]string, stations)
+	for i := range names {
+		names[i] = fmt.Sprintf("zone-%03d", i)
+	}
+
+	res := &CanaryRolloutResult{
+		Threshold:      thr,
+		Stations:       stations,
+		CohortFraction: budgets.CanaryFraction,
+	}
+
+	// Round 1 — clean aggregation: the serving weights plus small
+	// deterministic drift, the shape of a benign federated update.
+	clean := det.Model().WeightsVector()
+	r := rng.New(p.Seed ^ 0xca9a)
+	for i := range clean {
+		clean[i] += 0.01 * r.NormFloat64()
+	}
+	res.Clean, err = stageAndDrain(svc, 1, false, clean, names, values)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2 — poisoned aggregation: sign-flipped and scaled weights.
+	poisoned := det.Model().WeightsVector()
+	for i := range poisoned {
+		poisoned[i] *= -6
+	}
+	res.Poisoned, err = stageAndDrain(svc, 2, true, poisoned, names, values)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// stageAndDrain stages one candidate and streams station traffic until
+// the rollout resolves, measuring the candidate's live-traffic share
+// over exactly the round's verdicts.
+func stageAndDrain(svc *serve.Service, round int, poisoned bool, weights []float64, names []string, values []float64) (CanaryRound, error) {
+	before := svc.Stats()
+	gen, err := svc.StageWeights(weights, 0)
+	if err != nil {
+		return CanaryRound{}, fmt.Errorf("eval: stage round %d: %w", round, err)
+	}
+
+	// Synchronous round-robin traffic: every accepted observation is
+	// scored (and shadow-compared) before the next submit, so the
+	// sample budgets translate directly into iteration counts.
+	done := make(chan serve.Verdict, 1)
+	reply := func(v serve.Verdict) { done <- v }
+	maxIter := 200_000
+	for i := 0; ; i++ {
+		if i >= maxIter {
+			return CanaryRound{}, fmt.Errorf("eval: round %d did not resolve after %d points (status %+v)",
+				round, maxIter, svc.Rollout())
+		}
+		if err := svc.Submit(names[i%len(names)], values[i%len(values)], reply); err != nil {
+			return CanaryRound{}, fmt.Errorf("eval: submit round %d: %w", round, err)
+		}
+		<-done
+		if st := svc.Rollout(); st.LastGen == gen && st.LastOutcome != "" {
+			after := svc.Stats()
+			cr := CanaryRound{
+				Round:        round,
+				Poisoned:     poisoned,
+				Gen:          gen,
+				Outcome:      st.LastOutcome,
+				Reason:       st.LastReason,
+				EpochAfter:   st.ServingEpoch,
+				Points:       after.Points - before.Points,
+				CanaryServed: after.CanaryServed - before.CanaryServed,
+			}
+			if cr.Points > 0 {
+				cr.CanaryFraction = float64(cr.CanaryServed) / float64(cr.Points)
+			}
+			return cr, nil
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/evfed/evfed/internal/serve"
+)
+
+// TestRunCanaryRollout: the clean aggregation round auto-promotes, the
+// poisoned round is auto-rolled-back with a quarantine reason, and the
+// poisoned candidate never serves the full fleet.
+func TestRunCanaryRollout(t *testing.T) {
+	p := QuickParams(7)
+	res, err := RunCanaryRollout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := res.Clean
+	if c.Outcome != serve.OutcomePromoted || c.EpochAfter != 2 {
+		t.Fatalf("clean round: %+v", c)
+	}
+	// Promotion happens straight out of the canary phase, so even the
+	// winning candidate never served the whole fleet on the way.
+	if c.CanaryFraction <= 0 || c.CanaryFraction >= 1 {
+		t.Fatalf("clean canary share %v, want within (0, 1)", c.CanaryFraction)
+	}
+
+	pr := res.Poisoned
+	if pr.Outcome != serve.OutcomeRolledBack || pr.Reason == "" {
+		t.Fatalf("poisoned round: %+v", pr)
+	}
+	if pr.EpochAfter != 2 {
+		t.Fatalf("poisoned round moved the serving epoch: %+v", pr)
+	}
+	// The quarantined candidate's live-traffic share is bounded by the
+	// cohort fraction — it must never reach 100% of traffic. (Divergence
+	// usually resolves in shadow, where the share is exactly zero.)
+	if pr.CanaryFraction >= res.CohortFraction {
+		t.Fatalf("poisoned candidate served %.3f of traffic (cohort cap %.3f)",
+			pr.CanaryFraction, res.CohortFraction)
+	}
+}

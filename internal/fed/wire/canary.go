@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Canary-rollout payloads. A MsgCanaryPush frame stages a candidate
+// model generation on the scoring service — identical layout to
+// MsgReload (threshold + AppendVector-encoded weights; delta codecs are
+// rejected, canary pushes are connectionless) — and is answered by
+// MsgCanaryPushOK carrying the staging generation. MsgCanaryStatus
+// (empty payload) is answered by MsgCanaryStatusOK, a fixed-width
+// snapshot of the rollout state machine plus the last outcome's reason
+// string. MsgCanaryCtl carries an operator override and is answered by
+// MsgCanaryCtlOK with the serving epoch after the override.
+
+// CanaryOp selects a MsgCanaryCtl override.
+type CanaryOp uint8
+
+// Operator overrides.
+const (
+	// CanaryPromote immediately promotes the staged candidate to the
+	// serving model, skipping the remaining divergence budget.
+	CanaryPromote CanaryOp = 1
+	// CanaryRollback immediately discards the staged candidate,
+	// quarantining it with the carried reason.
+	CanaryRollback CanaryOp = 2
+)
+
+// Canary rollout phases on the wire (CanaryStatus.Phase).
+const (
+	CanaryPhaseNone   uint8 = 0 // no candidate staged
+	CanaryPhaseShadow uint8 = 1
+	CanaryPhaseCanary uint8 = 2
+)
+
+// Last-outcome codes on the wire (CanaryStatus.LastOutcome).
+const (
+	CanaryOutcomeNone       uint8 = 0
+	CanaryOutcomePromoted   uint8 = 1
+	CanaryOutcomeRolledBack uint8 = 2
+)
+
+// CanaryStatus is the rollout state machine snapshot on the wire.
+type CanaryStatus struct {
+	// Phase is the CanaryPhase* code of the in-flight candidate.
+	Phase uint8
+	// Gen is the staging generation of the in-flight candidate (the
+	// latest staged generation when none is in flight).
+	Gen uint64
+	// ServingEpoch is the incumbent model epoch.
+	ServingEpoch uint32
+	// Samples counts divergence observations for the current candidate.
+	Samples uint64
+	// Promotions and Rollbacks count state-machine outcomes since boot.
+	Promotions uint64
+	Rollbacks  uint64
+	// CohortBasisPoints is the canary cohort size in basis points
+	// (stations per 10,000 served by the candidate during canary).
+	CohortBasisPoints uint16
+	// FlipRate, AnomalyDelta, MeanShift and QuantileShift are the
+	// windowed divergence metrics (see serve.DivergenceStats).
+	FlipRate      float64
+	AnomalyDelta  float64
+	MeanShift     float64
+	QuantileShift float64
+	// LastOutcome is the CanaryOutcome* code of the most recently
+	// resolved candidate; LastReason carries its human-readable cause.
+	LastOutcome uint8
+	LastReason  string
+}
+
+// canaryStatusFixedBytes is the fixed-width prefix of a CanaryStatus
+// payload (everything but the reason string).
+const canaryStatusFixedBytes = 1 + 8 + 4 + 8 + 8 + 8 + 2 + 4*8 + 1
+
+// AppendCanaryPush encodes the staging header onto b; the caller appends
+// the weight vector with AppendVector (VecF64 or VecF32) immediately
+// after. A threshold ≤ 0 means "inherit the serving threshold".
+func AppendCanaryPush(b []byte, threshold float64) []byte {
+	return AppendReload(b, threshold)
+}
+
+// ParseCanaryPush decodes a MsgCanaryPush payload, returning the
+// threshold and the remaining bytes (the encoded weight vector).
+func ParseCanaryPush(p []byte) (threshold float64, rest []byte, err error) {
+	return ParseReload(p)
+}
+
+// AppendCanaryPushOK encodes the staging generation onto b.
+func AppendCanaryPushOK(b []byte, gen uint64) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(b, gen), nil
+}
+
+// ParseCanaryPushOK decodes a MsgCanaryPushOK payload.
+func ParseCanaryPushOK(p []byte) (gen uint64, err error) {
+	if len(p) < 8 {
+		return 0, fmt.Errorf("%w: short generation", ErrMalformed)
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AppendCanaryStatusOK encodes st onto b.
+func AppendCanaryStatusOK(b []byte, st CanaryStatus) ([]byte, error) {
+	b = append(b, st.Phase)
+	b = binary.LittleEndian.AppendUint64(b, st.Gen)
+	b = binary.LittleEndian.AppendUint32(b, st.ServingEpoch)
+	b = binary.LittleEndian.AppendUint64(b, st.Samples)
+	b = binary.LittleEndian.AppendUint64(b, st.Promotions)
+	b = binary.LittleEndian.AppendUint64(b, st.Rollbacks)
+	b = binary.LittleEndian.AppendUint16(b, st.CohortBasisPoints)
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(st.FlipRate))
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(st.AnomalyDelta))
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(st.MeanShift))
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(st.QuantileShift))
+	b = append(b, st.LastOutcome)
+	return appendString(b, st.LastReason)
+}
+
+// ParseCanaryStatusOK decodes a MsgCanaryStatusOK payload.
+func ParseCanaryStatusOK(p []byte) (CanaryStatus, error) {
+	var st CanaryStatus
+	if len(p) < canaryStatusFixedBytes {
+		return st, fmt.Errorf("%w: %d canary status bytes", ErrMalformed, len(p))
+	}
+	st.Phase = p[0]
+	st.Gen = binary.LittleEndian.Uint64(p[1:])
+	st.ServingEpoch = binary.LittleEndian.Uint32(p[9:])
+	st.Samples = binary.LittleEndian.Uint64(p[13:])
+	st.Promotions = binary.LittleEndian.Uint64(p[21:])
+	st.Rollbacks = binary.LittleEndian.Uint64(p[29:])
+	st.CohortBasisPoints = binary.LittleEndian.Uint16(p[37:])
+	st.FlipRate = f64FromBits(binary.LittleEndian.Uint64(p[39:]))
+	st.AnomalyDelta = f64FromBits(binary.LittleEndian.Uint64(p[47:]))
+	st.MeanShift = f64FromBits(binary.LittleEndian.Uint64(p[55:]))
+	st.QuantileShift = f64FromBits(binary.LittleEndian.Uint64(p[63:]))
+	st.LastOutcome = p[71]
+	var err error
+	st.LastReason, _, err = parseString(p[canaryStatusFixedBytes:])
+	return st, err
+}
+
+// AppendCanaryCtl encodes an operator override onto b. reason is carried
+// verbatim into the quarantine record on rollback (ignored on promote).
+func AppendCanaryCtl(b []byte, op CanaryOp, reason string) ([]byte, error) {
+	return appendString(append(b, byte(op)), reason)
+}
+
+// ParseCanaryCtl decodes a MsgCanaryCtl payload.
+func ParseCanaryCtl(p []byte) (op CanaryOp, reason string, err error) {
+	if len(p) < 1 {
+		return 0, "", fmt.Errorf("%w: empty canary ctl", ErrMalformed)
+	}
+	op = CanaryOp(p[0])
+	if op != CanaryPromote && op != CanaryRollback {
+		return 0, "", fmt.Errorf("%w: unknown canary op %d", ErrMalformed, op)
+	}
+	reason, _, err = parseString(p[1:])
+	return op, reason, err
+}
+
+// AppendCanaryCtlOK encodes the serving epoch after the override onto b
+// (the promoted candidate's epoch, or the unchanged incumbent epoch on
+// rollback).
+func AppendCanaryCtlOK(b []byte, epoch int) ([]byte, error) {
+	return binary.LittleEndian.AppendUint32(b, uint32(epoch)), nil
+}
+
+// ParseCanaryCtlOK decodes a MsgCanaryCtlOK payload.
+func ParseCanaryCtlOK(p []byte) (epoch int, err error) {
+	epoch, _, err = parseU32(p)
+	return epoch, err
+}
+
+// CanaryPushBytes is the size of a MsgCanaryPush frame whose n-dim
+// weight vector is encoded with codec.
+func CanaryPushBytes(codec VecCodec, n int) int { return ReloadBytes(codec, n) }
+
+// CanaryPushOKBytes is the size of a MsgCanaryPushOK frame.
+func CanaryPushOKBytes() int { return HeaderBytes + 8 }
+
+// CanaryStatusBytes is the size of a MsgCanaryStatus request frame.
+func CanaryStatusBytes() int { return HeaderBytes }
+
+// CanaryStatusOKBytes is the size of a MsgCanaryStatusOK frame for a
+// reason-string length.
+func CanaryStatusOKBytes(reasonLen int) int {
+	return HeaderBytes + canaryStatusFixedBytes + 2 + reasonLen
+}
+
+// CanaryCtlBytes is the size of a MsgCanaryCtl frame for a reason-string
+// length.
+func CanaryCtlBytes(reasonLen int) int { return HeaderBytes + 1 + 2 + reasonLen }
+
+// CanaryCtlOKBytes is the size of a MsgCanaryCtlOK frame.
+func CanaryCtlOKBytes() int { return HeaderBytes + 4 }

@@ -60,6 +60,27 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(mk(MsgReloadOK, func(b []byte) ([]byte, error) {
 		return AppendReloadOK(b, 3)
 	}))
+	f.Add(mk(MsgCanaryPush, func(b []byte) ([]byte, error) {
+		return AppendVector(AppendCanaryPush(b, 0.04), VecF64, vec, nil, nil)
+	}))
+	f.Add(mk(MsgCanaryPushOK, func(b []byte) ([]byte, error) {
+		return AppendCanaryPushOK(b, 7)
+	}))
+	f.Add(mk(MsgCanaryStatus, nil))
+	f.Add(mk(MsgCanaryStatusOK, func(b []byte) ([]byte, error) {
+		return AppendCanaryStatusOK(b, CanaryStatus{
+			Phase: CanaryPhaseCanary, Gen: 5, ServingEpoch: 3, Samples: 640,
+			Promotions: 2, Rollbacks: 1, CohortBasisPoints: 2500,
+			FlipRate: 0.01, AnomalyDelta: 0.005, MeanShift: 0.2, QuantileShift: 1.1,
+			LastOutcome: CanaryOutcomeRolledBack, LastReason: "flip rate 0.4 > 0.05",
+		})
+	}))
+	f.Add(mk(MsgCanaryCtl, func(b []byte) ([]byte, error) {
+		return AppendCanaryCtl(b, CanaryRollback, "operator override")
+	}))
+	f.Add(mk(MsgCanaryCtlOK, func(b []byte) ([]byte, error) {
+		return AppendCanaryCtlOK(b, 4)
+	}))
 	f.Add([]byte("this is not a frame at all"))
 	f.Add([]byte{magic0, magic1, Version, byte(MsgTrain), 0xff, 0xff, 0xff, 0x7f}) // lying length
 	f.Add(mk(MsgHello, nil)[:5])                                                   // truncated header
@@ -109,6 +130,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 				}
 			case MsgReloadOK:
 				_, _ = ParseReloadOK(fr.Payload)
+			case MsgCanaryPush:
+				if _, rest, err := ParseCanaryPush(fr.Payload); err == nil {
+					_, _, _ = DecodeVector(rest, nil, nil)
+				}
+			case MsgCanaryPushOK:
+				_, _ = ParseCanaryPushOK(fr.Payload)
+			case MsgCanaryStatusOK:
+				_, _ = ParseCanaryStatusOK(fr.Payload)
+			case MsgCanaryCtl:
+				_, _, _ = ParseCanaryCtl(fr.Payload)
+			case MsgCanaryCtlOK:
+				_, _ = ParseCanaryCtlOK(fr.Payload)
 			}
 		}
 

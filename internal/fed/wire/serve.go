@@ -21,6 +21,9 @@ const (
 	VerdictReady = 1 << 0
 	// VerdictFlagged is set when the score exceeded the serving threshold.
 	VerdictFlagged = 1 << 1
+	// VerdictCanary is set when the verdict was served live by the canary
+	// candidate generation (the station is in the rollout cohort).
+	VerdictCanary = 1 << 2
 )
 
 // ScoreVerdict is one observation's verdict on the wire.

@@ -72,6 +72,20 @@ const (
 	MsgReloadOK MsgType = 11
 )
 
+// Canary rollout kinds (see serve.go). MsgCanaryPush stages a candidate
+// model generation for shadow scoring instead of swapping it live (the
+// coordinator's -serve-canary post-round push); MsgCanaryStatus queries
+// the rollout state machine; MsgCanaryCtl carries operator overrides
+// (force-promote / force-rollback). The *OK responses flow back.
+const (
+	MsgCanaryPush     MsgType = 12 // stage candidate: threshold + weight vector
+	MsgCanaryPushOK   MsgType = 13 // staging generation
+	MsgCanaryStatus   MsgType = 14 // rollout status query (empty payload)
+	MsgCanaryStatusOK MsgType = 15
+	MsgCanaryCtl      MsgType = 16 // operator override: op + reason
+	MsgCanaryCtlOK    MsgType = 17
+)
+
 // Typed protocol errors.
 var (
 	// ErrBadMagic marks a stream that is not this binary protocol at all

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/evfed/evfed/internal/mat"
+)
+
+// Online candidate/incumbent divergence detection. Every window scored by
+// both generations contributes one paired observation to its shard's
+// sliding divWindow; the rollout controller periodically merges the shard
+// windows and judges the candidate against DivergenceConfig's budgets.
+// Observation is lock-light (one uncontended per-shard mutex) and
+// alloc-free; merging reuses controller-owned scratch and computes the
+// p99 quantiles with mat.SelectKth, so steady-state evaluation allocates
+// nothing either.
+
+// DivergenceConfig bounds how far a candidate may drift from the
+// incumbent before it is rolled back.
+type DivergenceConfig struct {
+	// Window is the per-shard sliding window of paired observations.
+	// 0 = 512.
+	Window int
+	// MinSamples is the minimum number of merged paired observations
+	// before any verdict (promote or rollback) is reached; below it the
+	// candidate simply keeps shadowing. 0 = 128.
+	MinSamples int
+	// MaxFlipRate bounds the fraction of windows where the two
+	// generations disagree on flagging. 0 = 0.05.
+	MaxFlipRate float64
+	// MaxAnomalyDelta bounds |candidate flag rate − incumbent flag rate|.
+	// 0 = 0.05.
+	MaxAnomalyDelta float64
+	// MaxMeanShift bounds |candidate mean score − incumbent mean score|
+	// relative to the incumbent mean. 0 = 2.0.
+	MaxMeanShift float64
+	// MaxQuantileShift bounds the symmetric ratio between the two
+	// generations' p99 scores. 0 = 10.
+	MaxQuantileShift float64
+}
+
+func (c DivergenceConfig) withDefaults() DivergenceConfig {
+	if c.Window == 0 {
+		c.Window = 512
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 128
+	}
+	if c.MaxFlipRate == 0 {
+		c.MaxFlipRate = 0.05
+	}
+	if c.MaxAnomalyDelta == 0 {
+		c.MaxAnomalyDelta = 0.05
+	}
+	if c.MaxMeanShift == 0 {
+		c.MaxMeanShift = 2.0
+	}
+	if c.MaxQuantileShift == 0 {
+		c.MaxQuantileShift = 10
+	}
+	return c
+}
+
+func (c DivergenceConfig) validate() error {
+	if c.Window < 0 || c.MinSamples < 0 {
+		return fmt.Errorf("%w: divergence window %d, min samples %d", ErrBadConfig, c.Window, c.MinSamples)
+	}
+	if c.MaxFlipRate < 0 || c.MaxAnomalyDelta < 0 || c.MaxMeanShift < 0 || c.MaxQuantileShift < 0 {
+		return fmt.Errorf("%w: negative divergence budget", ErrBadConfig)
+	}
+	return nil
+}
+
+// DivergenceStats is one merged snapshot of candidate-vs-incumbent
+// behaviour over the sliding windows.
+type DivergenceStats struct {
+	// Samples is the number of paired observations merged.
+	Samples int `json:"samples"`
+	// FlipRate is the fraction of windows where the generations disagree
+	// on flagging.
+	FlipRate float64 `json:"flipRate"`
+	// AnomalyDelta is |candidate flag rate − incumbent flag rate|.
+	AnomalyDelta float64 `json:"anomalyDelta"`
+	// MeanShift is |candidate mean − incumbent mean| / incumbent mean.
+	MeanShift float64 `json:"meanShift"`
+	// QuantileShift is the symmetric p99 ratio (always ≥ 1 once sampled).
+	QuantileShift float64 `json:"quantileShift"`
+	// NonFinite reports that the candidate produced a NaN/Inf score —
+	// instant divergence regardless of budgets.
+	NonFinite bool `json:"nonFinite"`
+}
+
+// check judges stats against the budgets: (diverged, reason). The reason
+// string is built only on divergence, keeping the clean path alloc-free.
+func (c DivergenceConfig) check(st DivergenceStats) (bool, string) {
+	if st.NonFinite {
+		return true, "candidate produced a non-finite score"
+	}
+	if st.Samples < c.MinSamples {
+		return false, ""
+	}
+	switch {
+	case st.FlipRate > c.MaxFlipRate:
+		return true, fmt.Sprintf("flip rate %.4f > %.4f over %d windows", st.FlipRate, c.MaxFlipRate, st.Samples)
+	case st.AnomalyDelta > c.MaxAnomalyDelta:
+		return true, fmt.Sprintf("anomaly-rate delta %.4f > %.4f over %d windows", st.AnomalyDelta, c.MaxAnomalyDelta, st.Samples)
+	case st.MeanShift > c.MaxMeanShift:
+		return true, fmt.Sprintf("mean score shift %.3f > %.3f over %d windows", st.MeanShift, c.MaxMeanShift, st.Samples)
+	case st.QuantileShift > c.MaxQuantileShift:
+		return true, fmt.Sprintf("p99 score shift %.3f× > %.3f× over %d windows", st.QuantileShift, c.MaxQuantileShift, st.Samples)
+	}
+	return false, ""
+}
+
+// divWindow is one shard's sliding window of paired observations. The
+// shard goroutine appends under mu; the rollout controller drains under
+// the same mu. Slots carry generation-tagged data: arm() retags and
+// empties the window, and observations for a stale generation are
+// dropped, so a replaced candidate cannot leak samples into its
+// successor's verdict.
+type divWindow struct {
+	mu        sync.Mutex
+	gen       uint64
+	inc       []float64 // incumbent scores, ring-ordered
+	cand      []float64 // candidate scores
+	incFlag   []bool
+	candFlag  []bool
+	n, head   int
+	nonFinite bool
+}
+
+// arm empties the window and tags it with the staged generation.
+func (d *divWindow) arm(gen uint64, window int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.inc) != window {
+		d.inc = make([]float64, window)
+		d.cand = make([]float64, window)
+		d.incFlag = make([]bool, window)
+		d.candFlag = make([]bool, window)
+	}
+	d.gen = gen
+	d.n, d.head = 0, 0
+	d.nonFinite = false
+}
+
+// observe records one paired observation for generation gen (dropped if
+// the window has been re-armed for a different generation). Non-finite
+// candidate scores are recorded as zero with the sticky NonFinite flag
+// set, so they cannot poison the quantile selection.
+func (d *divWindow) observe(gen uint64, incScore, candScore float64, incFlag, candFlag bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gen != gen || len(d.inc) == 0 {
+		return
+	}
+	if math.IsNaN(candScore) || math.IsInf(candScore, 0) {
+		d.nonFinite = true
+		candScore = 0
+	}
+	if math.IsNaN(incScore) || math.IsInf(incScore, 0) {
+		incScore = 0
+	}
+	d.inc[d.head] = incScore
+	d.cand[d.head] = candScore
+	d.incFlag[d.head] = incFlag
+	d.candFlag[d.head] = candFlag
+	d.head++
+	if d.head == len(d.inc) {
+		d.head = 0
+	}
+	if d.n < len(d.inc) {
+		d.n++
+	}
+}
+
+// collect appends the window's contents for generation gen onto the
+// controller's merge scratch.
+func (d *divWindow) collect(gen uint64, inc, cand *[]float64, flips, incFlags, candFlags *int, nonFinite *bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gen != gen {
+		return
+	}
+	*inc = append(*inc, d.inc[:d.n]...)
+	*cand = append(*cand, d.cand[:d.n]...)
+	for i := 0; i < d.n; i++ {
+		if d.incFlag[i] != d.candFlag[i] {
+			*flips++
+		}
+		if d.incFlag[i] {
+			*incFlags++
+		}
+		if d.candFlag[i] {
+			*candFlags++
+		}
+	}
+	*nonFinite = *nonFinite || d.nonFinite
+}
+
+// mergeDivergence drains every shard's window for generation gen into the
+// provided scratch slices (returned grown for reuse) and computes the
+// snapshot metrics.
+func mergeDivergence(shards []*shard, gen uint64, scratchInc, scratchCand []float64) (DivergenceStats, []float64, []float64) {
+	inc, cand := scratchInc[:0], scratchCand[:0]
+	var flips, incFlags, candFlags int
+	var nonFinite bool
+	for _, sh := range shards {
+		sh.div.collect(gen, &inc, &cand, &flips, &incFlags, &candFlags, &nonFinite)
+	}
+	st := DivergenceStats{Samples: len(inc), NonFinite: nonFinite}
+	n := len(inc)
+	if n == 0 {
+		return st, inc, cand
+	}
+	fn := float64(n)
+	st.FlipRate = float64(flips) / fn
+	st.AnomalyDelta = math.Abs(float64(candFlags)-float64(incFlags)) / fn
+	var incSum, candSum float64
+	for i := 0; i < n; i++ {
+		incSum += inc[i]
+		candSum += cand[i]
+	}
+	im, cm := incSum/fn, candSum/fn
+	st.MeanShift = math.Abs(cm-im) / math.Max(im, 1e-12)
+	// Symmetric p99 ratio; SelectKth partially reorders the scratch in
+	// place, which is fine — it is drained fresh on every merge.
+	k := 99 * (n - 1) / 100
+	iq := mat.SelectKth(inc, k)
+	cq := mat.SelectKth(cand, k)
+	const eps = 1e-12
+	if iq < eps && cq < eps {
+		st.QuantileShift = 1
+	} else {
+		r := math.Max(cq, eps) / math.Max(iq, eps)
+		st.QuantileShift = math.Max(r, 1/r)
+	}
+	return st, inc, cand
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// synthDiv pushes n synthetic paired observations through one divWindow
+// and merges it, returning the snapshot.
+func synthDiv(t *testing.T, cfg DivergenceConfig, n int, f func(i int) (inc, cand float64, incFlag, candFlag bool)) DivergenceStats {
+	t.Helper()
+	d := &divWindow{}
+	d.arm(1, cfg.Window)
+	for i := 0; i < n; i++ {
+		inc, cand, incF, candF := f(i)
+		d.observe(1, inc, cand, incF, candF)
+	}
+	st, _, _ := mergeDivergence([]*shard{{div: d}}, 1, nil, nil)
+	return st
+}
+
+// base is a well-behaved incumbent score stream.
+func base(i int) float64 { return 0.01 + 0.002*math.Sin(float64(i)) }
+
+// TestDivergenceNoShiftPromotable: an identical candidate stays within
+// every budget.
+func TestDivergenceNoShiftPromotable(t *testing.T) {
+	cfg := DivergenceConfig{}.withDefaults()
+	st := synthDiv(t, cfg, 400, func(i int) (float64, float64, bool, bool) {
+		return base(i), base(i), false, false
+	})
+	if st.Samples != 400 || st.NonFinite {
+		t.Fatalf("stats %+v", st)
+	}
+	if diverged, reason := cfg.check(st); diverged {
+		t.Fatalf("identical candidate diverged: %s", reason)
+	}
+	if st.FlipRate != 0 || st.AnomalyDelta != 0 || st.MeanShift != 0 || st.QuantileShift != 1 {
+		t.Fatalf("nonzero divergence for identical streams: %+v", st)
+	}
+}
+
+// TestDivergenceMeanShift: a candidate scoring 5× the incumbent blows the
+// mean-shift budget.
+func TestDivergenceMeanShift(t *testing.T) {
+	cfg := DivergenceConfig{}.withDefaults()
+	st := synthDiv(t, cfg, 400, func(i int) (float64, float64, bool, bool) {
+		return base(i), 5 * base(i), false, false
+	})
+	diverged, reason := cfg.check(st)
+	if !diverged || !strings.Contains(reason, "mean score shift") {
+		t.Fatalf("diverged %v, reason %q, stats %+v", diverged, reason, st)
+	}
+}
+
+// TestDivergenceVarianceBlowup: rare huge candidate scores slip past the
+// mean budget but blow the p99 quantile budget.
+func TestDivergenceVarianceBlowup(t *testing.T) {
+	cfg := DivergenceConfig{}.withDefaults()
+	st := synthDiv(t, cfg, 400, func(i int) (float64, float64, bool, bool) {
+		if i%25 == 0 { // 4% of windows score 40× — tail-only damage
+			return base(i), 40 * base(i), false, true
+		}
+		return base(i), base(i), false, false
+	})
+	if st.MeanShift > cfg.MaxMeanShift {
+		t.Fatalf("mean budget caught the tail first: %+v", st)
+	}
+	diverged, reason := cfg.check(st)
+	if !diverged || !strings.Contains(reason, "p99 score shift") {
+		t.Fatalf("diverged %v, reason %q, stats %+v", diverged, reason, st)
+	}
+}
+
+// TestDivergenceFlipRateSpike: verdict disagreement triggers rollback
+// even when raw scores look close.
+func TestDivergenceFlipRateSpike(t *testing.T) {
+	cfg := DivergenceConfig{}.withDefaults()
+	st := synthDiv(t, cfg, 400, func(i int) (float64, float64, bool, bool) {
+		return base(i), base(i), false, i%5 == 0 // candidate flags 20%
+	})
+	diverged, reason := cfg.check(st)
+	if !diverged || !strings.Contains(reason, "flip rate") {
+		t.Fatalf("diverged %v, reason %q, stats %+v", diverged, reason, st)
+	}
+}
+
+// TestDivergenceNonFinite: one NaN candidate score is instant divergence,
+// MinSamples notwithstanding, and must not poison the quantile math.
+func TestDivergenceNonFinite(t *testing.T) {
+	cfg := DivergenceConfig{}.withDefaults()
+	st := synthDiv(t, cfg, 3, func(i int) (float64, float64, bool, bool) {
+		if i == 1 {
+			return base(i), math.NaN(), false, false
+		}
+		return base(i), base(i), false, false
+	})
+	if !st.NonFinite {
+		t.Fatalf("NaN not recorded: %+v", st)
+	}
+	diverged, reason := cfg.check(st)
+	if !diverged || !strings.Contains(reason, "non-finite") {
+		t.Fatalf("diverged %v, reason %q", diverged, reason)
+	}
+}
+
+// TestDivergenceMinSamples: below MinSamples no finite-score verdict is
+// reached, however divergent the early windows look.
+func TestDivergenceMinSamples(t *testing.T) {
+	cfg := DivergenceConfig{MinSamples: 64}.withDefaults()
+	st := synthDiv(t, cfg, 32, func(i int) (float64, float64, bool, bool) {
+		return base(i), 100 * base(i), false, true
+	})
+	if diverged, reason := cfg.check(st); diverged {
+		t.Fatalf("verdict below MinSamples: %s", reason)
+	}
+}
+
+// TestDivergenceGenerationIsolation: observations tagged with a stale
+// generation are dropped, and re-arming empties the window.
+func TestDivergenceGenerationIsolation(t *testing.T) {
+	d := &divWindow{}
+	d.arm(1, 16)
+	d.observe(1, 1, 1, false, false)
+	d.observe(7, 9, 9, true, true) // stale gen: dropped
+	st, _, _ := mergeDivergence([]*shard{{div: d}}, 1, nil, nil)
+	if st.Samples != 1 {
+		t.Fatalf("stale-gen observation recorded: %+v", st)
+	}
+	d.arm(2, 16)
+	st, _, _ = mergeDivergence([]*shard{{div: d}}, 2, nil, nil)
+	if st.Samples != 0 {
+		t.Fatalf("re-arm did not empty the window: %+v", st)
+	}
+	// Collecting for a generation the window is not armed for yields nothing.
+	st, _, _ = mergeDivergence([]*shard{{div: d}}, 1, nil, nil)
+	if st.Samples != 0 {
+		t.Fatalf("collect for stale generation: %+v", st)
+	}
+}
+
+// TestDivergenceWindowSlides: the window keeps only the newest Window
+// observations, so an early bad patch ages out.
+func TestDivergenceWindowSlides(t *testing.T) {
+	cfg := DivergenceConfig{Window: 64, MinSamples: 32}.withDefaults()
+	d := &divWindow{}
+	d.arm(1, cfg.Window)
+	// 64 divergent observations followed by 64 clean ones: the clean
+	// tail fully displaces the bad head.
+	for i := 0; i < 64; i++ {
+		d.observe(1, base(i), 50*base(i), false, true)
+	}
+	for i := 0; i < 64; i++ {
+		d.observe(1, base(i), base(i), false, false)
+	}
+	st, _, _ := mergeDivergence([]*shard{{div: d}}, 1, nil, nil)
+	if st.Samples != 64 {
+		t.Fatalf("window holds %d samples, want 64", st.Samples)
+	}
+	if diverged, reason := cfg.check(st); diverged {
+		t.Fatalf("aged-out divergence still flagged: %s (%+v)", reason, st)
+	}
+}

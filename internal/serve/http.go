@@ -42,6 +42,7 @@ type verdictJSON struct {
 	Value     float64 `json:"value"`
 	Mitigated float64 `json:"mitigated"`
 	Epoch     int     `json:"epoch"`
+	Canary    bool    `json:"canary,omitempty"`
 }
 
 func toJSON(v Verdict) verdictJSON {
@@ -54,6 +55,7 @@ func toJSON(v Verdict) verdictJSON {
 		Value:     v.Value,
 		Mitigated: v.Mitigated,
 		Epoch:     v.Epoch,
+		Canary:    v.Canary,
 	}
 }
 
@@ -74,6 +76,9 @@ type statsJSON struct {
 	SingleWindows  uint64 `json:"singleWindows"`
 	Rejected       uint64 `json:"rejected"`
 	Stations       uint64 `json:"stations"`
+	Evicted        uint64 `json:"evicted"`
+	ShadowWindows  uint64 `json:"shadowWindows"`
+	CanaryServed   uint64 `json:"canaryServed"`
 	Epoch          int    `json:"epoch"`
 	Shards         int    `json:"shards"`
 }
@@ -85,11 +90,15 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// ControlHandler returns the control plane: POST /reload, GET /stats,
-// GET /healthz.
+// ControlHandler returns the control plane: POST /reload, POST /stage,
+// POST /promote, POST /rollback, GET /rollout, GET /stats, GET /healthz.
 func (s *Service) ControlHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/stage", s.handleStage)
+	mux.HandleFunc("/promote", s.handlePromote)
+	mux.HandleFunc("/rollback", s.handleRollback)
+	mux.HandleFunc("/rollout", s.handleRollout)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -184,10 +193,86 @@ func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
 		epoch, err = s.Reload(det, thr)
 	}
 	if err != nil {
-		httpError(w, http.StatusConflict, err.Error())
+		httpError(w, controlStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+}
+
+// controlStatus maps control-plane errors: malformed payloads are the
+// caller's fault (400), everything else is a state conflict (409).
+func controlStatus(err error) int {
+	if errors.Is(err, ErrBadWeights) {
+		return http.StatusBadRequest
+	}
+	return http.StatusConflict
+}
+
+// handleStage accepts the same bodies as /reload (JSON weights+threshold
+// or a raw evfeddetect -save-model file) but stages the model as a canary
+// candidate instead of swapping it live.
+func (s *Service) handleStage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var gen uint64
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req reloadRequest
+		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+			httpError(w, http.StatusBadRequest, "bad stage request: "+derr.Error())
+			return
+		}
+		gen, err = s.StageWeights(req.Weights, req.Threshold)
+	} else {
+		det, thr, lerr := autoencoder.LoadCalibrated(r.Body)
+		if lerr != nil {
+			httpError(w, http.StatusBadRequest, lerr.Error())
+			return
+		}
+		gen, err = s.Stage(det, thr)
+	}
+	if err != nil {
+		httpError(w, controlStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"generation": gen})
+}
+
+func (s *Service) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	epoch, err := s.Promote()
+	if err != nil {
+		httpError(w, controlStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+}
+
+func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Reason string `json:"reason"`
+	}
+	if r.Body != nil {
+		_ = json.NewDecoder(r.Body).Decode(&req) // reason is optional
+	}
+	if err := s.Rollback(req.Reason); err != nil {
+		httpError(w, controlStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"epoch": s.Epoch()})
+}
+
+func (s *Service) handleRollout(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Rollout())
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +286,9 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		SingleWindows:  st.SingleWindows,
 		Rejected:       st.Rejected,
 		Stations:       st.Stations,
+		Evicted:        st.Evicted,
+		ShadowWindows:  st.ShadowWindows,
+		CanaryServed:   st.CanaryServed,
 		Epoch:          st.Epoch,
 		Shards:         st.Shards,
 	})

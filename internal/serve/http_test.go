@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"github.com/evfed/evfed/internal/autoencoder"
 )
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -135,5 +138,106 @@ func TestHTTPDetectorFileReload(t *testing.T) {
 	}
 	if got := s.Threshold(); fmt.Sprintf("%.12g", got) != fmt.Sprintf("%.12g", thr*3) {
 		t.Fatalf("threshold %v, want %v", got, thr*3)
+	}
+}
+
+// TestHTTPRollout drives the canary control plane over HTTP: stage a
+// candidate, inspect /rollout, promote it, and exercise the rejection
+// paths (NaN weights → 400, no candidate → 409).
+func TestHTTPRollout(t *testing.T) {
+	s := newTestService(t, Config{Shards: 1, Rollout: testRollout()})
+	ctrl := httptest.NewServer(s.ControlHandler())
+	defer ctrl.Close()
+
+	// Stage via JSON weights; the serving epoch must not move.
+	resp, body := postJSON(t, ctrl.URL+"/stage", map[string]any{"weights": perturbedWeights(t, 41)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage: %d %s", resp.StatusCode, body)
+	}
+	var staged struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &staged); err != nil || staged.Generation != 1 {
+		t.Fatalf("stage body %s (err %v)", body, err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("staging swapped the live model: epoch %d", s.Epoch())
+	}
+
+	hr, err := http.Get(ctrl.URL + "/rollout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RolloutStatus
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if !st.Enabled || st.Phase != "shadow" || st.Gen != 1 || st.ServingEpoch != 1 {
+		t.Fatalf("rollout status %+v", st)
+	}
+
+	// NaN weights (via a detector file — JSON cannot carry NaN) are the
+	// caller's fault: 400. Dimension mismatches are state conflicts: 409.
+	bad := perturbedWeights(t, 42)
+	bad[0] = math.NaN()
+	badDet, err := autoencoder.FromWeights(s.state.Load().det.Config(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := badDet.SaveCalibrated(&file, s.Threshold()); err != nil {
+		t.Fatal(err)
+	}
+	nresp, err := http.Post(ctrl.URL+"/stage", "application/octet-stream", &file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN stage: %d", nresp.StatusCode)
+	}
+	if resp, body = postJSON(t, ctrl.URL+"/stage", map[string]any{"weights": bad[1:5]}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("short stage: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ctrl.URL+"/promote", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %d %s", resp.StatusCode, body)
+	}
+	var pr struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil || pr.Epoch != 2 || s.Epoch() != 2 {
+		t.Fatalf("promote body %s (err %v), epoch %d", body, err, s.Epoch())
+	}
+
+	// Nothing staged now: promote and rollback are state conflicts.
+	if resp, _ = postJSON(t, ctrl.URL+"/promote", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote without candidate: %d", resp.StatusCode)
+	}
+
+	// Restage and roll back with a reason; the epoch stays promoted.
+	if resp, body = postJSON(t, ctrl.URL+"/stage", map[string]any{"weights": perturbedWeights(t, 43)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restage: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ctrl.URL+"/rollback", map[string]any{"reason": "operator drill"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollback: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil || pr.Epoch != 2 {
+		t.Fatalf("rollback body %s (err %v)", body, err)
+	}
+	hr, err = http.Get(ctrl.URL + "/rollout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if st.Phase != "none" || st.LastOutcome != OutcomeRolledBack || st.LastReason != "operator drill" ||
+		st.Promotions != 1 || st.Rollbacks != 1 {
+		t.Fatalf("final rollout status %+v", st)
 	}
 }

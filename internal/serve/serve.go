@@ -30,9 +30,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/evfed/evfed/internal/anomaly"
 	"github.com/evfed/evfed/internal/autoencoder"
@@ -48,6 +50,14 @@ var (
 	// ErrReload reports a rejected model reload (dimension or window
 	// mismatch, untrained detector).
 	ErrReload = errors.New("serve: reload rejected")
+	// ErrBadWeights reports a weight payload containing NaN/Inf entries —
+	// installing it would serve non-finite scores (every threshold
+	// comparison false), so it is rejected at reload and staging alike
+	// (HTTP maps it to 400).
+	ErrBadWeights = errors.New("serve: non-finite weights")
+	// ErrRollout reports a rejected canary-rollout operation (subsystem
+	// disabled, no candidate staged, invalid candidate).
+	ErrRollout = errors.New("serve: rollout rejected")
 	// ErrStationLimit reports a submission for a new station beyond
 	// Config.MaxStations.
 	ErrStationLimit = errors.New("serve: station limit reached")
@@ -82,6 +92,16 @@ type Config struct {
 	// defeat the bounded-memory contract). Submissions for new stations
 	// beyond the limit fail with ErrStationLimit. 0 = 65536.
 	MaxStations int
+	// IdleTTL evicts stations with no submission for this long (0
+	// disables eviction), so the registry stops growing without bound
+	// under churning station populations. Eviction is advisory, not a
+	// barrier: a station evicted with observations still queued gets
+	// every verdict it was promised, and a station re-created after
+	// eviction starts a fresh window with indices from 0.
+	IdleTTL time.Duration
+	// Rollout parameterizes staged canary rollout of candidate models
+	// (see RolloutConfig); zero-valued = disabled.
+	Rollout RolloutConfig
 }
 
 // Verdict is the service's decision for one observation.
@@ -100,6 +120,11 @@ type Verdict struct {
 	// every hot reload; warm-up verdicts carry the epoch current at
 	// ingestion).
 	Epoch int
+	// Canary marks a verdict served live by the canary candidate (the
+	// station is in the rollout cohort); Epoch still reports the
+	// incumbent epoch, keeping per-station epochs monotone across
+	// promotion and rollback alike.
+	Canary bool
 }
 
 // Stats is a point-in-time snapshot of service counters.
@@ -118,8 +143,15 @@ type Stats struct {
 	SingleWindows  uint64
 	// Rejected counts Submit calls bounced with ErrBacklog.
 	Rejected uint64
-	// Stations is the number of distinct stations seen.
+	// Stations is the number of distinct stations currently tracked.
 	Stations uint64
+	// Evicted counts stations removed by idle eviction (Config.IdleTTL).
+	Evicted uint64
+	// ShadowWindows counts windows candidate-scored in shadow (recorded,
+	// not emitted); CanaryServed counts verdicts the candidate served
+	// live to its cohort.
+	ShadowWindows uint64
+	CanaryServed  uint64
 	// Epoch is the serving model epoch (starts at 1, +1 per reload).
 	Epoch int
 	// Shards echoes the shard count.
@@ -143,13 +175,16 @@ type task struct {
 }
 
 // station is one charging station's streaming state. The ring and wave
-// marker are owned by the station's shard goroutine; name and shard are
-// immutable after creation.
+// marker are owned by the station's shard goroutine; name, hash and
+// shard are immutable after creation. lastSeen (idle eviction) is the
+// only cross-goroutine mutable field.
 type station struct {
-	name  string
-	shard *shard
-	ring  *anomaly.Ring
-	wave  uint64
+	name     string
+	hash     uint32 // FNV-32a of name: shard assignment + canary cohort
+	shard    *shard
+	ring     *anomaly.Ring
+	wave     uint64
+	lastSeen atomic.Int64 // UnixNano of the last Submit (IdleTTL > 0 only)
 }
 
 // Service is a sharded online scoring service. Submit may be called from
@@ -157,15 +192,19 @@ type station struct {
 type Service struct {
 	cfg      Config
 	state    atomic.Pointer[modelState]
+	cand     atomic.Pointer[candidateState] // staged canary candidate (nil = none)
+	roll     *rollout                       // nil when Rollout.Enabled is false
 	shards   []*shard
 	stations sync.Map // station name → *station
 	nStation atomic.Uint64
 	rejected atomic.Uint64
+	evicted  atomic.Uint64
 
-	reloadMu sync.Mutex // serializes Reload epoch bumps
-	mu       sync.RWMutex
-	closed   bool
-	wg       sync.WaitGroup
+	reloadMu  sync.Mutex // serializes Reload epoch bumps
+	mu        sync.RWMutex
+	closed    bool
+	stopSweep chan struct{} // idle-eviction sweeper shutdown (nil if disabled)
+	wg        sync.WaitGroup
 }
 
 // New validates cfg, spawns the shards and returns a running service.
@@ -198,6 +237,15 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxStations == 0 {
 		cfg.MaxStations = 65536
 	}
+	if cfg.IdleTTL < 0 {
+		return nil, fmt.Errorf("%w: idle TTL %v", ErrBadConfig, cfg.IdleTTL)
+	}
+	if cfg.Rollout.Enabled {
+		cfg.Rollout = cfg.Rollout.withDefaults()
+		if err := cfg.Rollout.validate(); err != nil {
+			return nil, err
+		}
+	}
 	s := &Service{cfg: cfg}
 	s.state.Store(&modelState{det: cfg.Detector, threshold: cfg.Threshold, epoch: 1})
 	maxDrain := cfg.QueueDepth
@@ -213,10 +261,19 @@ func New(cfg Config) (*Service, error) {
 			tasks: make(chan task, cfg.QueueDepth),
 			cur:   make([]task, 0, maxDrain),
 			next:  make([]task, 0, maxDrain),
+			div:   &divWindow{},
 		}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go sh.loop()
+	}
+	if cfg.Rollout.Enabled {
+		s.roll = newRollout(s, cfg.Rollout)
+	}
+	if cfg.IdleTTL > 0 {
+		s.stopSweep = make(chan struct{})
+		s.wg.Add(1)
+		go s.sweepLoop()
 	}
 	return s, nil
 }
@@ -253,6 +310,9 @@ func (s *Service) Submit(stationName string, value float64, reply func(Verdict))
 	if err != nil {
 		return err
 	}
+	if s.cfg.IdleTTL > 0 {
+		st.lastSeen.Store(time.Now().UnixNano())
+	}
 	select {
 	case st.shard.tasks <- task{st: st, value: value, reply: reply}:
 		return nil
@@ -281,12 +341,44 @@ func (s *Service) station(name string) (*station, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &station{name: name, shard: s.shards[h.Sum32()%uint32(len(s.shards))], ring: ring}
+	hash := h.Sum32()
+	st := &station{name: name, hash: hash, shard: s.shards[hash%uint32(len(s.shards))], ring: ring}
+	st.lastSeen.Store(time.Now().UnixNano())
 	if v, loaded := s.stations.LoadOrStore(name, st); loaded {
 		return v.(*station), nil
 	}
 	s.nStation.Add(1)
 	return st, nil
+}
+
+// sweepLoop evicts stations idle past Config.IdleTTL. Eviction races
+// benignly with submission: a losing Submit re-creates the station (fresh
+// ring, indices from 0) and an evicted station's queued observations
+// still get their verdicts (the shard holds the pointer).
+func (s *Service) sweepLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			s.stations.Range(func(key, v any) bool {
+				if now-v.(*station).lastSeen.Load() > int64(s.cfg.IdleTTL) {
+					s.stations.Delete(key)
+					s.nStation.Add(^uint64(0))
+					s.evicted.Add(1)
+				}
+				return true
+			})
+		}
+	}
 }
 
 // Reload atomically swaps the serving model and threshold (copy-on-write:
@@ -298,6 +390,11 @@ func (s *Service) station(name string) (*station, error) {
 func (s *Service) Reload(det *autoencoder.Detector, threshold float64) (int, error) {
 	if det == nil || det.Model() == nil {
 		return 0, fmt.Errorf("%w: nil or untrained detector", ErrReload)
+	}
+	if i := nonFiniteAt(det.Model().WeightsVector()); i >= 0 {
+		// A NaN weight propagates into every score it touches and a NaN
+		// score defeats flagging (all comparisons false) — never install it.
+		return 0, fmt.Errorf("%w: non-finite weight at index %d", ErrBadWeights, i)
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -322,6 +419,9 @@ func (s *Service) Reload(det *autoencoder.Detector, threshold float64) (int, err
 // federated coordinator's OnRound hook and the wire/HTTP control planes
 // use. The vector's dimension must match the serving architecture.
 func (s *Service) ReloadWeights(weights []float64, threshold float64) (int, error) {
+	if i := nonFiniteAt(weights); i >= 0 {
+		return 0, fmt.Errorf("%w: non-finite weight at index %d", ErrBadWeights, i)
+	}
 	det, err := autoencoder.FromWeights(s.state.Load().det.Config(), weights)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrReload, err)
@@ -329,11 +429,19 @@ func (s *Service) ReloadWeights(weights []float64, threshold float64) (int, erro
 	return s.Reload(det, threshold)
 }
 
+// Snapshot returns the serving detector and threshold — e.g. to persist
+// the last-promoted model across a restart (autoencoder.SaveCalibrated).
+func (s *Service) Snapshot() (*autoencoder.Detector, float64) {
+	st := s.state.Load()
+	return st.det, st.threshold
+}
+
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	out := Stats{
 		Rejected: s.rejected.Load(),
 		Stations: s.nStation.Load(),
+		Evicted:  s.evicted.Load(),
 		Epoch:    s.Epoch(),
 		Shards:   len(s.shards),
 	}
@@ -344,6 +452,8 @@ func (s *Service) Stats() Stats {
 		out.BatchCalls += sh.batchCalls.Load()
 		out.BatchedWindows += sh.batchedWin.Load()
 		out.SingleWindows += sh.singleWin.Load()
+		out.ShadowWindows += sh.shadowWin.Load()
+		out.CanaryServed += sh.canaryServed.Load()
 	}
 	return out
 }
@@ -361,6 +471,9 @@ func (s *Service) Close() {
 	for _, sh := range s.shards {
 		close(sh.tasks)
 	}
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
@@ -377,19 +490,37 @@ type shard struct {
 	batch   *autoencoder.BatchScorer
 	waveSeq uint64
 
+	// candidate generation scorers + divergence window (canary rollout)
+	div        *divWindow
+	candGen    uint64
+	candSingle *autoencoder.StreamScorer
+	candBatch  *autoencoder.BatchScorer
+	candThr    float64
+	shadowTick uint64
+	nEmit      int
+
 	// reusable scratch
 	cur, next []task
 	ready     []int // indices into the wave with full windows
 	windows   [][]float64
 	scores    []float64
 	recons    []float64
+	// candidate-side scratch: candIdx indexes into ready, emitCanary is
+	// per-ready-window (cohort verdicts served by the candidate)
+	candIdx     []int
+	candWindows [][]float64
+	candScores  []float64
+	candRecons  []float64
+	emitCanary  []bool
 
-	points     atomic.Uint64
-	warmup     atomic.Uint64
-	flagged    atomic.Uint64
-	batchCalls atomic.Uint64
-	batchedWin atomic.Uint64
-	singleWin  atomic.Uint64
+	points       atomic.Uint64
+	warmup       atomic.Uint64
+	flagged      atomic.Uint64
+	batchCalls   atomic.Uint64
+	batchedWin   atomic.Uint64
+	singleWin    atomic.Uint64
+	shadowWin    atomic.Uint64
+	canaryServed atomic.Uint64
 }
 
 // loop drains the queue until the service closes. Each drain cycle
@@ -503,6 +634,15 @@ func (sh *shard) wave(wave []task, state *modelState) {
 		}
 		sh.singleWin.Add(uint64(n))
 	}
+	sh.nEmit = 0
+	cand := sh.svc.cand.Load()
+	if cand != nil && err == nil {
+		// Candidate pass: shadow-score sampled windows and, in the canary
+		// phase, overwrite the cohort's scores/recons so they are served
+		// by the candidate below. Runs before delivery, while the ring
+		// window aliases are still valid.
+		sh.shadow(wave, state, cand, scores, recons)
+	}
 	for k, i := range sh.ready {
 		t := &wave[i]
 		if err != nil {
@@ -519,17 +659,27 @@ func (sh *shard) wave(wave []task, state *modelState) {
 			})
 			continue
 		}
+		threshold := state.threshold
+		canary := false
+		if sh.nEmit > 0 && sh.emitCanary[k] {
+			// Candidate-served cohort verdict: the candidate's score and
+			// threshold, the incumbent's epoch (per-station epochs stay
+			// monotone whether the candidate is promoted or rolled back).
+			threshold = sh.candThr
+			canary = true
+		}
 		v := Verdict{
 			Station: t.st.name,
 			StreamDecision: anomaly.StreamDecision{
 				Index:   t.index,
 				Score:   scores[k],
-				Flagged: scores[k] > state.threshold,
+				Flagged: scores[k] > threshold,
 				Ready:   true,
 			},
 			Value:     t.value,
 			Mitigated: t.value,
 			Epoch:     state.epoch,
+			Canary:    canary,
 		}
 		if v.Flagged {
 			sh.flagged.Add(1)
@@ -541,4 +691,87 @@ func (sh *shard) wave(wave []task, state *modelState) {
 		sh.points.Add(1)
 		t.reply(v)
 	}
+}
+
+// shadow is the candidate generation's scoring pass over one wave: it
+// selects the windows the candidate judges (the whole cohort during
+// canary, every SampleEvery-th other window), scores them on the
+// candidate's scorers, records every incumbent/candidate pair into the
+// shard's divergence window, and marks cohort entries for candidate
+// delivery (their scores/recons are overwritten in place).
+func (sh *shard) shadow(wave []task, state *modelState, cand *candidateState, scores, recons []float64) {
+	if sh.candGen != cand.gen {
+		sh.candSingle = cand.det.NewStreamScorer()
+		sh.candBatch = cand.det.NewBatchScorer()
+		sh.candGen = cand.gen
+	}
+	n := len(sh.ready)
+	if cap(sh.emitCanary) < n {
+		sh.emitCanary = make([]bool, n)
+	}
+	// Re-slice the field itself: the delivery loop indexes it up to n.
+	sh.emitCanary = sh.emitCanary[:n]
+	emit := sh.emitCanary
+	for i := range emit {
+		emit[i] = false
+	}
+	sh.candIdx = sh.candIdx[:0]
+	sh.candWindows = sh.candWindows[:0]
+	every := uint64(sh.svc.cfg.Rollout.SampleEvery)
+	for k, i := range sh.ready {
+		if cand.phase == PhaseCanary && wave[i].st.hash%cohortModulus < cand.cohortLimit {
+			sh.candIdx = append(sh.candIdx, k)
+			sh.candWindows = append(sh.candWindows, sh.windows[k])
+			emit[k] = true
+			continue
+		}
+		sh.shadowTick++
+		if sh.shadowTick%every == 0 {
+			sh.candIdx = append(sh.candIdx, k)
+			sh.candWindows = append(sh.candWindows, sh.windows[k])
+		}
+	}
+	m := len(sh.candIdx)
+	if m == 0 {
+		return
+	}
+	if cap(sh.candScores) < m {
+		sh.candScores = make([]float64, m)
+		sh.candRecons = make([]float64, m)
+	}
+	cs, cr := sh.candScores[:m], sh.candRecons[:m]
+	var err error
+	if m >= sh.svc.cfg.BatchThreshold {
+		err = sh.candBatch.ScoreLastInto(cs, cr, sh.candWindows)
+	} else {
+		for j, w := range sh.candWindows {
+			if cs[j], cr[j], err = sh.candSingle.ScoreLastRecon(w); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		// A candidate that cannot score is a divergent candidate: emit
+		// nothing from it and record the failure as a non-finite sample.
+		for i := range emit {
+			emit[i] = false
+		}
+		sh.div.observe(cand.gen, 0, math.NaN(), false, false)
+		sh.svc.roll.noteSamples(1)
+		return
+	}
+	emitted := 0
+	for j, k := range sh.candIdx {
+		sh.div.observe(cand.gen, scores[k], cs[j],
+			scores[k] > state.threshold, cs[j] > cand.threshold)
+		if emit[k] {
+			scores[k], recons[k] = cs[j], cr[j]
+			emitted++
+		}
+	}
+	sh.candThr = cand.threshold
+	sh.nEmit = emitted
+	sh.shadowWin.Add(uint64(m - emitted))
+	sh.canaryServed.Add(uint64(emitted))
+	sh.svc.roll.noteSamples(m)
 }

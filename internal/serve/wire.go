@@ -150,6 +150,55 @@ func (ws *WireServer) handle(conn net.Conn) {
 			}); werr != nil {
 				return
 			}
+		case wire.MsgCanaryPush:
+			threshold, vecPayload, perr := wire.ParseCanaryPush(fr.Payload)
+			if perr != nil {
+				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeBadRequest, PeerVersion: wire.Version, Text: perr.Error()})
+				return
+			}
+			weights, _, derr := wire.DecodeVector(vecPayload, nil, nil)
+			if derr != nil {
+				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeBadRequest, PeerVersion: wire.Version, Text: derr.Error()})
+				return
+			}
+			gen, serr := ws.svc.StageWeights(weights, threshold)
+			if serr != nil {
+				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: serr.Error()})
+				continue
+			}
+			if werr := wc.WriteFrame(wire.MsgCanaryPushOK, func(b []byte) ([]byte, error) {
+				return wire.AppendCanaryPushOK(b, gen)
+			}); werr != nil {
+				return
+			}
+		case wire.MsgCanaryStatus:
+			st := toWireStatus(ws.svc.Rollout())
+			if werr := wc.WriteFrame(wire.MsgCanaryStatusOK, func(b []byte) ([]byte, error) {
+				return wire.AppendCanaryStatusOK(b, st)
+			}); werr != nil {
+				return
+			}
+		case wire.MsgCanaryCtl:
+			op, reason, perr := wire.ParseCanaryCtl(fr.Payload)
+			if perr != nil {
+				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeBadRequest, PeerVersion: wire.Version, Text: perr.Error()})
+				return
+			}
+			var cerr error
+			if op == wire.CanaryPromote {
+				_, cerr = ws.svc.Promote()
+			} else {
+				cerr = ws.svc.Rollback(reason)
+			}
+			if cerr != nil {
+				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: cerr.Error()})
+				continue
+			}
+			if werr := wc.WriteFrame(wire.MsgCanaryCtlOK, func(b []byte) ([]byte, error) {
+				return wire.AppendCanaryCtlOK(b, ws.svc.Epoch())
+			}); werr != nil {
+				return
+			}
 		default:
 			ws.respondError(wc, wire.ErrorMsg{
 				Code:        wire.ErrCodeBadRequest,
@@ -204,6 +253,9 @@ func toWire(v Verdict) wire.ScoreVerdict {
 	if v.Flagged {
 		flags |= wire.VerdictFlagged
 	}
+	if v.Canary {
+		flags |= wire.VerdictCanary
+	}
 	return wire.ScoreVerdict{
 		Index:     uint64(v.Index),
 		Flags:     flags,
@@ -211,6 +263,36 @@ func toWire(v Verdict) wire.ScoreVerdict {
 		Score:     v.Score,
 		Mitigated: v.Mitigated,
 	}
+}
+
+// toWireStatus flattens a RolloutStatus onto the fixed wire snapshot.
+func toWireStatus(st RolloutStatus) wire.CanaryStatus {
+	out := wire.CanaryStatus{
+		Gen:               st.Gen,
+		ServingEpoch:      uint32(st.ServingEpoch),
+		Samples:           st.Samples,
+		Promotions:        st.Promotions,
+		Rollbacks:         st.Rollbacks,
+		CohortBasisPoints: uint16(st.CohortFraction * 10000),
+		FlipRate:          st.Divergence.FlipRate,
+		AnomalyDelta:      st.Divergence.AnomalyDelta,
+		MeanShift:         st.Divergence.MeanShift,
+		QuantileShift:     st.Divergence.QuantileShift,
+		LastReason:        st.LastReason,
+	}
+	switch st.Phase {
+	case PhaseShadow.String():
+		out.Phase = wire.CanaryPhaseShadow
+	case PhaseCanary.String():
+		out.Phase = wire.CanaryPhaseCanary
+	}
+	switch st.LastOutcome {
+	case OutcomePromoted:
+		out.LastOutcome = wire.CanaryOutcomePromoted
+	case OutcomeRolledBack:
+		out.LastOutcome = wire.CanaryOutcomeRolledBack
+	}
+	return out
 }
 
 func (ws *WireServer) respondError(wc *wire.Conn, e wire.ErrorMsg) {
@@ -302,6 +384,56 @@ func (c *WireClient) exchange(t wire.MsgType, build func([]byte) ([]byte, error)
 	return fr, nil
 }
 
+// StageCanary pushes new detector weights as a canary candidate
+// (threshold ≤ 0 inherits the serving one) and returns the staging
+// generation.
+func (c *WireClient) StageCanary(weights []float64, threshold float64, codec wire.VecCodec) (uint64, error) {
+	fr, err := c.exchange(wire.MsgCanaryPush, func(b []byte) ([]byte, error) {
+		return wire.AppendVector(wire.AppendCanaryPush(b, threshold), codec, weights, nil, nil)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if fr.Type != wire.MsgCanaryPushOK {
+		return 0, fmt.Errorf("serve: unexpected response type %d", fr.Type)
+	}
+	return wire.ParseCanaryPushOK(fr.Payload)
+}
+
+// CanaryStatus queries the rollout state machine.
+func (c *WireClient) CanaryStatus() (wire.CanaryStatus, error) {
+	fr, err := c.exchange(wire.MsgCanaryStatus, nil)
+	if err != nil {
+		return wire.CanaryStatus{}, err
+	}
+	if fr.Type != wire.MsgCanaryStatusOK {
+		return wire.CanaryStatus{}, fmt.Errorf("serve: unexpected response type %d", fr.Type)
+	}
+	return wire.ParseCanaryStatusOK(fr.Payload)
+}
+
+// Promote force-promotes the staged candidate; Rollback force-quarantines
+// it with reason. Both return the serving epoch after the override.
+func (c *WireClient) Promote() (int, error) { return c.canaryCtl(wire.CanaryPromote, "") }
+
+// Rollback force-quarantines the staged candidate with reason.
+func (c *WireClient) Rollback(reason string) (int, error) {
+	return c.canaryCtl(wire.CanaryRollback, reason)
+}
+
+func (c *WireClient) canaryCtl(op wire.CanaryOp, reason string) (int, error) {
+	fr, err := c.exchange(wire.MsgCanaryCtl, func(b []byte) ([]byte, error) {
+		return wire.AppendCanaryCtl(b, op, reason)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if fr.Type != wire.MsgCanaryCtlOK {
+		return 0, fmt.Errorf("serve: unexpected response type %d", fr.Type)
+	}
+	return wire.ParseCanaryCtlOK(fr.Payload)
+}
+
 // PushReload dials addr, pushes weights (+ threshold, ≤ 0 to keep) with
 // codec and returns the model epoch now serving — the one-shot form the
 // federated coordinator's OnRound hook uses (cmd/evfedcoord
@@ -313,4 +445,16 @@ func PushReload(addr string, weights []float64, threshold float64, codec wire.Ve
 	}
 	defer c.Close()
 	return c.Reload(weights, threshold, codec)
+}
+
+// PushCanary dials addr and stages weights as a canary candidate — the
+// one-shot form cmd/evfedcoord -serve-canary uses after each federated
+// round. Returns the staging generation.
+func PushCanary(addr string, weights []float64, threshold float64, codec wire.VecCodec, timeout time.Duration) (uint64, error) {
+	c, err := DialWire(addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return c.StageCanary(weights, threshold, codec)
 }

@@ -105,6 +105,69 @@ func TestWireReload(t *testing.T) {
 	}
 }
 
+// TestWireCanaryControl: the MsgCanary* control plane over one
+// persistent connection — stage, status, operator promote, restage,
+// operator rollback — plus app-level rejections that keep the connection
+// alive.
+func TestWireCanaryControl(t *testing.T) {
+	s := newTestService(t, Config{Shards: 1, Rollout: testRollout()})
+	ws, err := ListenWire(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Stop()
+
+	w := perturbedWeights(t, 31)
+	gen, err := PushCanary(ws.Addr(), w, 0, wire.VecF64, 5*time.Second)
+	if err != nil || gen != 1 {
+		t.Fatalf("push canary: gen %d, err %v", gen, err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("staging swapped the live model: epoch %d", s.Epoch())
+	}
+
+	c, err := DialWire(ws.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.CanaryStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != wire.CanaryPhaseShadow || st.Gen != 1 || st.ServingEpoch != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	epoch, err := c.Promote()
+	if err != nil || epoch != 2 || s.Epoch() != 2 {
+		t.Fatalf("promote: epoch %d, err %v", epoch, err)
+	}
+
+	// Connection survives an application-level rejection (no candidate).
+	if _, err = c.Rollback("nothing staged"); err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("rollback without candidate: %v", err)
+	}
+	if gen, err = c.StageCanary(w, 0, wire.VecF32); err != nil || gen != 2 {
+		t.Fatalf("restage: gen %d, err %v", gen, err)
+	}
+	// NaN weights are rejected at staging without killing the connection.
+	bad := append([]float64(nil), w...)
+	bad[1] = math.NaN()
+	if _, err = c.StageCanary(bad, 0, wire.VecF64); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("NaN stage: %v", err)
+	}
+	if epoch, err = c.Rollback("operator says no"); err != nil || epoch != 2 {
+		t.Fatalf("rollback: epoch %d, err %v", epoch, err)
+	}
+	if st, err = c.CanaryStatus(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != wire.CanaryPhaseNone || st.LastOutcome != wire.CanaryOutcomeRolledBack ||
+		st.LastReason != "operator says no" || st.Promotions != 1 || st.Rollbacks != 1 {
+		t.Fatalf("final status %+v", st)
+	}
+}
+
 // TestWireBadPeer: a non-protocol peer and a version-skewed frame both
 // get typed rejections, not hangs.
 func TestWireBadPeer(t *testing.T) {
