@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 
@@ -97,11 +98,17 @@ func writeBenchJSON(path string, rec benchRecord) error {
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
+	if err := encodeBenchJSON(f, rec); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// encodeBenchJSON is the shared pretty-printing policy for every
+// BENCH_*.json record shape.
+func encodeBenchJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// hierBenchRecord is the machine-readable perf record for the -hier
+// topology sweep: flat vs 2-tier federation cost at each station count,
+// plus the parity check the hierarchy must keep at zero.
+type hierBenchRecord struct {
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Rounds     int    `json:"rounds"`
+	// TotalSeconds is the whole sweep's wall time (all topologies, all
+	// station counts).
+	TotalSeconds float64          `json:"totalSeconds"`
+	Points       []hierBenchPoint `json:"points"`
+}
+
+type hierBenchPoint struct {
+	Stations                 int     `json:"stations"`
+	Edges                    int     `json:"edges"`
+	FlatWallSeconds          float64 `json:"flatWallSeconds"`
+	HierWallSeconds          float64 `json:"hierWallSeconds"`
+	FlatRootBytesPerRound    uint64  `json:"flatRootBytesPerRound"`
+	HierRootBytesPerRound    uint64  `json:"hierRootBytesPerRound"`
+	HierSubtreeBytesPerRound uint64  `json:"hierSubtreeBytesPerRound"`
+	MaxAbsDiff               float64 `json:"maxAbsDiff"`
+}
+
+// runHierBench executes the topology sweep, prints the comparison table,
+// and optionally writes the perf record.
+func runHierBench(counts []int, edges int, rounds int, seed uint64, quick bool, benchPath string) error {
+	params := eval.HierSweepParams{Rounds: rounds, Edges: edges, Seed: seed}
+	fmt.Fprintf(os.Stderr, "running %s hierarchical topology sweep (seed %d, %d rounds, %v stations)...\n",
+		configName(quick), seed, rounds, counts)
+	start := time.Now()
+	points, err := eval.RunScalabilityHier(counts, params)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "sweep completed in %.1fs\n\n", total)
+	fmt.Print(eval.FormatScalabilityHier(points))
+
+	if benchPath == "" {
+		return nil
+	}
+	rec := hierBenchRecord{
+		Config:       configName(quick) + "-hier",
+		Seed:         seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Rounds:       rounds,
+		TotalSeconds: total,
+	}
+	for _, pt := range points {
+		rec.Points = append(rec.Points, hierBenchPoint{
+			Stations:                 pt.Stations,
+			Edges:                    pt.Edges,
+			FlatWallSeconds:          pt.FlatWallSeconds,
+			HierWallSeconds:          pt.HierWallSeconds,
+			FlatRootBytesPerRound:    pt.FlatRootBytesPerRound,
+			HierRootBytesPerRound:    pt.HierRootBytesPerRound,
+			HierSubtreeBytesPerRound: pt.HierSubtreeBytesPerRound,
+			MaxAbsDiff:               pt.MaxAbsDiff,
+		})
+	}
+	return writeHierBenchJSON(benchPath, rec)
+}
+
+func writeHierBenchJSON(path string, rec hierBenchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encodeBenchJSON(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -6,6 +6,12 @@
 //	    [-table 1|2|3] [-fig 2|3] [-summary] [-all]
 //	evfedbench -serve-bench BENCH.json [-serve-stations 32] [-serve-points 4000]
 //	    [-serve-shards N] [-serve-batch 16] [-serve-reloads 2]
+//	evfedbench -hier 1000,10000 [-hier-edges 100] [-quick] [-bench-json BENCH.json]
+//
+// -hier switches to the hierarchical topology sweep: each station count
+// is federated twice over simulated stations — flat, and behind a 2-tier
+// edge hierarchy — comparing wall clock and per-round root traffic, and
+// verifying the two topologies aggregate to identical global models.
 //
 // With no selection flags, everything is printed (-all). The default
 // configuration is the paper's full size (4,344 hours per client,
@@ -52,6 +58,9 @@ func run() error {
 		codec   = flag.String("codec", "none", "federated update compression: none, f32 or q8")
 		scal    = flag.String("scalability", "", "run the federation-size sweep instead (comma-separated client counts, e.g. 3,6,12)")
 
+		hier      = flag.String("hier", "", "run the flat-vs-hierarchical topology sweep instead (comma-separated simulated station counts, e.g. 1000,10000)")
+		hierEdges = flag.Int("hier-edges", 0, "edge aggregators for -hier (0 = sqrt of stations)")
+
 		serveBench    = flag.String("serve-bench", "", "run the scoring-service load generator instead and write its perf record (points/sec, p50/p99 verdict latency) to this path")
 		serveShards   = flag.Int("serve-shards", 0, "scoring shards for -serve-bench (0 = GOMAXPROCS)")
 		serveStations = flag.Int("serve-stations", 32, "station fleet size for -serve-bench")
@@ -72,6 +81,18 @@ func run() error {
 			Reloads:    *serveReloads,
 			Seed:       *seed,
 		})
+	}
+
+	if *hier != "" {
+		counts, err := parseCounts(*hier)
+		if err != nil {
+			return err
+		}
+		rounds := 5
+		if *quick {
+			rounds = 2
+		}
+		return runHierBench(counts, *hierEdges, rounds, *seed, *quick, *bench)
 	}
 
 	p := eval.PaperParams(*seed)

@@ -11,6 +11,13 @@
 // validates that the station's model dimension matches the coordinator's
 // architecture flags.
 //
+// The -stations list may mix leaf stations with regional edge
+// aggregators (cmd/evfededge): a peer answering Hello with the aggregate
+// role is driven through the partial-aggregate protocol — the edge runs
+// the round over its own stations and ships one pre-folded partial back,
+// so the coordinator's per-round traffic scales with the number of edges
+// rather than the number of stations, with identical aggregation results.
+//
 // Usage:
 //
 //	evfedcoord -stations host1:7102,host2:7105,host3:7108 \
@@ -96,14 +103,21 @@ func run() error {
 	}
 
 	var remotes []*fed.RemoteClient
-	newRemote := func(id, addr string) *fed.RemoteClient {
-		rc := fed.NewRemoteClient(id, addr)
+	tune := func(rc *fed.RemoteClient) *fed.RemoteClient {
 		rc.DialTimeout = *dialTimeout
 		rc.ReadTimeout = *ioTimeout
 		rc.MaxRetries = *retries
 		rc.RetryBackoff = *retryBackoff
 		remotes = append(remotes, rc)
 		return rc
+	}
+	newRemote := func(id, addr string) *fed.RemoteClient {
+		return tune(fed.NewRemoteClient(id, addr))
+	}
+	newRemoteEdge := func(id, addr string) *fed.RemoteEdge {
+		re := fed.NewRemoteEdge(id, addr)
+		tune(re.RemoteClient)
+		return re
 	}
 	// Connections are persistent across rounds; release them on exit.
 	defer func() {
@@ -142,9 +156,19 @@ func run() error {
 			continue
 		case err != nil:
 			return fmt.Errorf("probe %s: %w", addr, err)
-		case info.ModelDim != wantDim:
-			return fmt.Errorf("%w: station %s (%s) serves a %d-parameter model, coordinator expects %d — check -lstm-units/-dense-hidden",
+		case info.ModelDim != 0 && info.ModelDim != wantDim:
+			return fmt.Errorf("%w: peer %s (%s) serves a %d-parameter model, coordinator expects %d — check -lstm-units/-dense-hidden",
 				fed.ErrDimMismatch, info.StationID, addr, info.ModelDim, wantDim)
+		}
+		// Role discovery: an edge aggregator (cmd/evfededge) answers Hello
+		// with RoleAggregate, so the same -stations list can mix leaf
+		// stations and regional edges — the coordinator wraps edges in
+		// partial-aggregate handles and the round engine does the rest.
+		if info.Role == fed.RoleAggregate {
+			fmt.Printf("edge %s at %s: %d subtree samples, %d-dim model\n",
+				info.StationID, addr, info.NumSamples, info.ModelDim)
+			handles = append(handles, newRemoteEdge(info.StationID, addr))
+			continue
 		}
 		fmt.Printf("station %s at %s: %d private samples, %d-dim model\n",
 			info.StationID, addr, info.NumSamples, info.ModelDim)
@@ -216,6 +240,10 @@ func run() error {
 		}
 		fmt.Printf(", weighted loss %.6f, %.2fs, %s down / %s up",
 			rs.MeanLoss, rs.WallSeconds, fmtBytes(rs.BytesDown), fmtBytes(rs.BytesUp))
+		if rs.SubtreeBytesDown+rs.SubtreeBytesUp > 0 {
+			fmt.Printf(" (+ %s / %s in subtrees, %d stations)",
+				fmtBytes(rs.SubtreeBytesDown), fmtBytes(rs.SubtreeBytesUp), rs.LeafParticipants)
+		}
 		fmt.Println()
 		for _, id := range rs.Dropped {
 			if reason, ok := rs.Errors[id]; ok {
@@ -231,6 +259,13 @@ func run() error {
 	}
 	fmt.Printf("done: %.1fs wall clock, %.1fs total client compute, wire traffic %s sent / %s received (%s codec)\n",
 		res.WallSeconds, res.ClientSeconds, fmtBytes(sent), fmtBytes(recv), codec)
+	fmt.Printf("cumulative modeled bytes: %s down / %s up on this coordinator's links",
+		fmtBytes(res.BytesDown), fmtBytes(res.BytesUp))
+	if res.SubtreeBytesDown+res.SubtreeBytesUp > 0 {
+		fmt.Printf(", %s down / %s up inside edge subtrees",
+			fmtBytes(res.SubtreeBytesDown), fmtBytes(res.SubtreeBytesUp))
+	}
+	fmt.Println()
 
 	if *weightsOut != "" {
 		global, err := co.GlobalModel(res)

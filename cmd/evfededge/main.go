@@ -1,0 +1,142 @@
+// Command evfededge runs a regional edge aggregator: the middle tier of a
+// hierarchical federation. It faces its downstream evfedstation instances
+// as a coordinator — broadcasting the round's global weights, training
+// them concurrently under its own per-edge deadline, and folding their
+// updates into a compensated partial aggregate — and faces its parent
+// (cmd/evfedcoord, which discovers the edge role via the Hello handshake)
+// as a single client that answers one Train call per round with that
+// partial. The parent's traffic therefore scales with the number of
+// edges, not stations, while the aggregated global model stays exactly
+// what a flat federation over the same stations would produce.
+//
+// Failure-domain isolation: -round-deadline bounds this edge's downstream
+// round, so a straggling or dead station costs only this region its
+// contribution — the parent still receives the partial folded from the
+// region's survivors (or drops just this subtree when the whole region is
+// out), never a poisoned or stalled root round.
+//
+// At startup the edge preflights its stations with the same Hello
+// handshake the root uses: protocol-version skew aborts (a typed
+// mismatch, not a hang), and the stations' model dimensions must agree.
+//
+// Usage:
+//
+//	evfededge -id edge-west -listen 0.0.0.0:7200 \
+//	    -stations host1:7102,host2:7105,host3:7108 \
+//	    [-codec none|f32|q8] [-max-concurrent 0] [-round-deadline 0] \
+//	    [-tolerate-errors] [-request-timeout 5m] \
+//	    [-dial-timeout 5s] [-io-timeout 10m] [-retries 2]
+//
+// -codec compresses the edge ↔ station tier independently of whatever
+// codec the parent uses on the root ↔ edge link; partial aggregates
+// always travel as raw float64 so the root's fold stays lossless.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/evfed/evfed/internal/fed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evfededge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id           = flag.String("id", "edge", "edge identifier (appears in the root's round stats)")
+		listen       = flag.String("listen", "127.0.0.1:0", "listen address for the parent coordinator")
+		stations     = flag.String("stations", "", "comma-separated downstream station addresses (required)")
+		codecName    = flag.String("codec", "none", "edge-to-station compression: none, f32 or q8")
+		maxConc      = flag.Int("max-concurrent", 0, "max stations training concurrently (0 = all)")
+		roundDL      = flag.Duration("round-deadline", 0, "this edge's downstream round budget; stragglers are dropped (0 = none)")
+		tolerate     = flag.Bool("tolerate-errors", false, "treat station errors as round dropouts instead of failing the partial")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "deadline for reading a parent request / writing its response (0 = none)")
+		dialTimeout  = flag.Duration("dial-timeout", 5*time.Second, "per-attempt station dial timeout")
+		ioTimeout    = flag.Duration("io-timeout", 10*time.Minute, "per-call station response deadline, including training time (0 = none)")
+		retries      = flag.Int("retries", 2, "retries after transient station dial/IO failures")
+		retryBackoff = flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		seed         = flag.Uint64("seed", 1, "failure-injection seed (testing aids)")
+	)
+	flag.Parse()
+	if *stations == "" {
+		return fmt.Errorf("-stations is required")
+	}
+	codec, err := fed.ParseCodec(*codecName)
+	if err != nil {
+		return err
+	}
+
+	var handles []fed.ClientHandle
+	var remotes []*fed.RemoteClient
+	for _, addr := range strings.Split(*stations, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		rc := fed.NewRemoteClient(addr, addr)
+		rc.DialTimeout = *dialTimeout
+		rc.ReadTimeout = *ioTimeout
+		rc.MaxRetries = *retries
+		rc.RetryBackoff = *retryBackoff
+		remotes = append(remotes, rc)
+		handles = append(handles, rc)
+	}
+	if len(handles) == 0 {
+		return fmt.Errorf("no station addresses parsed from %q", *stations)
+	}
+	defer func() {
+		for _, rc := range remotes {
+			rc.Close()
+		}
+	}()
+
+	edge, err := fed.NewEdge(*id, handles, fed.EdgeConfig{
+		Codec:                codec,
+		Parallel:             true,
+		MaxConcurrentClients: *maxConc,
+		RoundDeadline:        *roundDL,
+		TolerateClientErrors: *tolerate,
+		Seed:                 *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Startup preflight: surface protocol skew and dimension disagreement
+	// now, with a typed error, rather than as a failed first round. An
+	// unreachable station is fatal only without -tolerate-errors.
+	info, err := edge.Hello()
+	switch {
+	case errors.Is(err, fed.ErrProtocolMismatch):
+		return fmt.Errorf("preflight: %w", err)
+	case err != nil:
+		return fmt.Errorf("preflight: %w", err)
+	}
+	fmt.Printf("edge %s fronting %d stations (%d subtree samples, %d-dim model)\n",
+		*id, len(handles), info.NumSamples, info.ModelDim)
+
+	srv, err := fed.ServeEdge(edge, *listen, fed.ServerConfig{RequestTimeout: *reqTimeout})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	fmt.Printf("edge %s serving partial aggregates on %s\n", *id, srv.Addr())
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -19,10 +19,17 @@
 //
 //	evfedstation -id station-102 -data z102.csv -listen 0.0.0.0:7102 \
 //	    [-seq-len 24] [-lstm-units 50] [-dense-hidden 10] [-train-frac 0.8] \
-//	    [-request-timeout 1m] [-codec none|f32|q8]
+//	    [-request-timeout 1m] [-codec none|f32|q8] [-parent edge-host:7200]
+//
+// -parent names the aggregator expected to dial this station — the root
+// coordinator directly, or a regional evfededge in a hierarchical
+// deployment. It is probed once at startup as a wiring check: protocol
+// skew aborts, an unreachable parent only warns (parents dial stations,
+// so serving proceeds either way).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +63,7 @@ func run() error {
 		seed        = flag.Uint64("seed", 1, "local model seed")
 		reqTimeout  = flag.Duration("request-timeout", time.Minute, "deadline for reading a request / writing a response (0 = none)")
 		codecName   = flag.String("codec", "none", "uplink compression floor: none (follow coordinator), f32 or q8")
+		parent      = flag.String("parent", "", "optional parent aggregator (evfedcoord or evfededge) to probe at startup")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -102,6 +110,29 @@ func run() error {
 	}
 	fmt.Printf("station %s serving on %s (%d private training windows, %d-dim model)\n",
 		*id, srv.Addr(), n, mustDim(spec, *seed))
+
+	// Optional tier wiring check: probe the parent aggregator once so a
+	// version-skewed or misconfigured deployment fails loudly at startup
+	// instead of silently never being federated. Parents dial stations —
+	// this probe is diagnostics, not registration, so a parent that is
+	// merely not up yet only warns.
+	if *parent != "" {
+		probe := fed.NewRemoteClient(*parent, *parent)
+		probe.MaxRetries = 0
+		probe.ProbeTimeout = 5 * time.Second
+		info, err := probe.Hello()
+		probe.Close()
+		switch {
+		case errors.Is(err, fed.ErrProtocolMismatch):
+			return fmt.Errorf("parent %s speaks an incompatible protocol revision: %w", *parent, err)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "evfedstation: parent %s not reachable yet (%v); serving anyway\n", *parent, err)
+		case info.Role == fed.RoleAggregate:
+			fmt.Printf("parent edge %s reachable at %s (%d-dim model)\n", info.StationID, *parent, info.ModelDim)
+		default:
+			fmt.Printf("parent %s reachable at %s\n", info.StationID, *parent)
+		}
+	}
 	fmt.Println("press Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)

@@ -307,6 +307,63 @@ func NewRemoteClient(id, addr string) *fed.RemoteClient {
 	return fed.NewRemoteClient(id, addr)
 }
 
+// Edge is a regional aggregation node: the middle tier of a hierarchical
+// federation. It fronts a group of stations as their coordinator and
+// answers its parent as a single client whose Train response is a
+// compensated partial aggregate, so root traffic scales with the number
+// of edges rather than stations while the aggregated global model stays
+// exactly what a flat federation over the same stations would produce.
+type Edge = fed.Edge
+
+// EdgeConfig parameterizes an Edge: downstream codec, concurrency bound,
+// per-edge round deadline (failure-domain isolation) and error tolerance.
+type EdgeConfig = fed.EdgeConfig
+
+// DefaultEdgeConfig returns production-leaning edge defaults.
+func DefaultEdgeConfig() EdgeConfig { return fed.DefaultEdgeConfig() }
+
+// NewEdge builds an edge aggregator over the given downstream clients
+// (in-process clients, remote stations, or further edges).
+func NewEdge(id string, clients []ClientHandle, cfg EdgeConfig) (*Edge, error) {
+	return fed.NewEdge(id, clients, cfg)
+}
+
+// ServeEdge exposes an edge over TCP so a parent coordinator (or a
+// higher edge) can drive it through the binary federation protocol.
+func ServeEdge(e *Edge, addr string, scfg FederatedServerConfig) (*fed.ClientServer, error) {
+	return fed.ServeEdge(e, addr, scfg)
+}
+
+// RemoteEdge is a TCP handle for a served Edge: a RemoteClient that asks
+// for partial aggregates instead of leaf updates. Coordinators accept it
+// anywhere a ClientHandle goes; fed.NewCoordinator folds its partials
+// bit-identically to a flat federation.
+type RemoteEdge = fed.RemoteEdge
+
+// NewRemoteEdge builds a TCP handle for a served edge aggregator.
+func NewRemoteEdge(id, addr string) *RemoteEdge { return fed.NewRemoteEdge(id, addr) }
+
+// PartialAggregate is one subtree's per-round contribution: either a
+// compensated weighted sum (FedAvg mean/uniform) or the held per-client
+// update vectors (rank-based aggregators), plus subtree diagnostics.
+type PartialAggregate = fed.Partial
+
+// PartialKind discriminates the two partial-aggregate payload shapes.
+type PartialKind = fed.PartialKind
+
+// Partial-aggregate payload shapes.
+const (
+	PartialWeighted = fed.PartialWeighted
+	PartialHeld     = fed.PartialHeld
+)
+
+// Node roles reported by the Hello handshake (StationHello.Role): leaf
+// charging stations versus aggregation nodes fronting their own subtree.
+const (
+	RoleStation   = fed.RoleStation
+	RoleAggregate = fed.RoleAggregate
+)
+
 // NewReconstructionFederatedClient builds an in-process federated client
 // whose local objective is sequence reconstruction — federated training
 // of the LSTM-autoencoder detector itself (pair with the autoencoder

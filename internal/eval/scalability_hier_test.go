@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScalabilityHierParityAndTraffic(t *testing.T) {
+	points, err := RunScalabilityHier([]int{60, 240}, HierSweepParams{
+		Rounds: 2,
+		Edges:  4,
+		Seed:   17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("want 2 points, got %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Edges != 4 {
+			t.Fatalf("%d stations: want 4 edges, got %d", pt.Stations, pt.Edges)
+		}
+		// The compensated partial fold keeps the hierarchy's global model
+		// exactly on the flat federation's.
+		if pt.MaxAbsDiff != 0 {
+			t.Fatalf("%d stations: hierarchy diverged from flat by %g", pt.Stations, pt.MaxAbsDiff)
+		}
+		// The root's own links shrink from O(stations) to O(edges)...
+		if pt.HierRootBytesPerRound >= pt.FlatRootBytesPerRound/8 {
+			t.Fatalf("%d stations: root traffic barely shrank: flat %d B/r, hier %d B/r",
+				pt.Stations, pt.FlatRootBytesPerRound, pt.HierRootBytesPerRound)
+		}
+		// ...while the station traffic moves into the subtrees rather than
+		// disappearing.
+		if pt.HierSubtreeBytesPerRound == 0 {
+			t.Fatalf("%d stations: subtree traffic not accounted", pt.Stations)
+		}
+	}
+	// Root traffic must scale with edge count, not station count: 4x the
+	// stations over the same 4 edges leaves root bytes unchanged.
+	if points[0].HierRootBytesPerRound != points[1].HierRootBytesPerRound {
+		t.Fatalf("root traffic grew with station count: %d vs %d",
+			points[0].HierRootBytesPerRound, points[1].HierRootBytesPerRound)
+	}
+
+	table := FormatScalabilityHier(points)
+	for _, want := range []string{"Stations", "Edges", "Max |dw|", "240"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestScalabilityHierDefaultsAndValidation(t *testing.T) {
+	if _, err := RunScalabilityHier([]int{0}, HierSweepParams{}); err == nil {
+		t.Fatal("zero station count must fail")
+	}
+	points, err := RunScalabilityHier([]int{16}, HierSweepParams{Rounds: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Edges != 4 { // default fan-out: ceil(sqrt(16))
+		t.Fatalf("default edge count = %d, want 4", points[0].Edges)
+	}
+}
+
+// TestScalabilityHier10kStations is the tentpole's O(10k) acceptance
+// sweep: a 10,000-station 2-tier federation must complete, match the flat
+// run exactly, and keep the root's per-round traffic at edge scale. The
+// CI smoke job runs this under a tight timeout.
+func TestScalabilityHier10kStations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-station sweep skipped in -short; covered by the scalability CI smoke")
+	}
+	start := time.Now()
+	points, err := RunScalabilityHier([]int{10000}, HierSweepParams{
+		Rounds: 2,
+		Edges:  100,
+		Seed:   23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.Stations != 10000 || pt.Edges != 100 {
+		t.Fatalf("unexpected topology: %+v", pt)
+	}
+	if pt.MaxAbsDiff != 0 {
+		t.Fatalf("10k-station hierarchy diverged from flat by %g", pt.MaxAbsDiff)
+	}
+	if pt.HierRootBytesPerRound >= pt.FlatRootBytesPerRound/50 {
+		t.Fatalf("root traffic: flat %d B/r vs hier %d B/r — want ~100x collapse",
+			pt.FlatRootBytesPerRound, pt.HierRootBytesPerRound)
+	}
+	t.Logf("10k stations over 100 edges in %.2fs:\n%s", time.Since(start).Seconds(),
+		FormatScalabilityHier(points))
+}

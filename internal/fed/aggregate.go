@@ -75,13 +75,17 @@ func checkUpdateDim(u *Update, dim int) error {
 }
 
 // meanStream streams FedAvg (weighted) or the uniform mean: updates fold
-// into one reusable accumulator via axpy, so no per-client copy survives
-// the Add call.
+// into one reusable accumulator via compensated axpy, so no per-client
+// copy survives the Add call. The Neumaier compensation (acc + comp
+// carries the running sum to ~2× working precision) is what makes
+// hierarchical rounds exact: an edge ships (acc, comp) losslessly and the
+// root's merged fold reproduces the flat single-coordinator fold.
 type meanStream struct {
 	name     string
 	weighted bool
 	dim      int
 	acc      []float64
+	comp     []float64
 	total    float64
 	count    int
 }
@@ -91,9 +95,12 @@ func (s *meanStream) Name() string { return s.name }
 func (s *meanStream) Begin(dim, clients int) {
 	if cap(s.acc) < dim {
 		s.acc = make([]float64, dim)
+		s.comp = make([]float64, dim)
 	}
 	s.acc = s.acc[:dim]
+	s.comp = s.comp[:dim]
 	mat.Fill(s.acc, 0)
+	mat.Fill(s.comp, 0)
 	s.dim = dim
 	s.total = 0
 	s.count = 0
@@ -111,7 +118,7 @@ func (s *meanStream) Add(u *Update) error {
 		}
 		w = float64(u.NumSamples)
 	}
-	mat.Axpy(w, s.acc, u.Weights)
+	mat.AxpyComp(w, s.acc, s.comp, u.Weights)
 	s.total += w
 	s.count++
 	return nil
@@ -127,7 +134,7 @@ func (s *meanStream) Finish(dst []float64) ([]float64, error) {
 	dst = dst[:s.dim]
 	inv := 1 / s.total
 	for i, v := range s.acc {
-		dst[i] = v * inv
+		dst[i] = (v + s.comp[i]) * inv
 	}
 	return dst, nil
 }

@@ -1,11 +1,9 @@
 package fed
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/evfed/evfed/internal/nn"
@@ -181,6 +179,19 @@ type RoundStat struct {
 	// dial) make the model approximate.
 	BytesDown uint64
 	BytesUp   uint64
+	// SubtreeBytesDown and SubtreeBytesUp total the traffic that
+	// downstream aggregation nodes reported for their own subtrees
+	// (stations ↔ edges), so a hierarchical round's whole-tree wire cost
+	// is BytesDown+SubtreeBytesDown / BytesUp+SubtreeBytesUp. Zero for
+	// flat rounds.
+	SubtreeBytesDown uint64
+	SubtreeBytesUp   uint64
+	// LeafParticipants and LeafDropped count leaf stations across the
+	// whole tree (an edge peer contributes its subtree's counts; a flat
+	// round's figures match Participants/Dropped). A peer that drops
+	// before reporting counts once regardless of its subtree size.
+	LeafParticipants int
+	LeafDropped      int
 }
 
 // RunResult is the outcome of a federated run.
@@ -194,9 +205,13 @@ type RunResult struct {
 	// ClientSeconds sums client-reported local training time (the
 	// sequential-equivalent cost).
 	ClientSeconds float64
-	// BytesDown and BytesUp total the per-round modeled wire traffic.
-	BytesDown uint64
-	BytesUp   uint64
+	// BytesDown and BytesUp total the per-round modeled wire traffic;
+	// SubtreeBytesDown and SubtreeBytesUp total what downstream
+	// aggregation nodes reported for their own subtrees.
+	BytesDown        uint64
+	BytesUp          uint64
+	SubtreeBytesDown uint64
+	SubtreeBytesUp   uint64
 }
 
 // Coordinator orchestrates FedAvg over a set of client handles.
@@ -233,50 +248,10 @@ func (co *Coordinator) sampleSize(n int) int {
 	return k
 }
 
-// preflight runs the Hello handshake against every client handle that
-// supports it, verifying model-dimension compatibility before round 1. A
-// station whose weight vector cannot be aggregated, or that speaks an
-// incompatible protocol revision, is a configuration bug and always
-// fatal; an unreachable station is fatal only without
-// TolerateClientErrors (with tolerance it simply drops out of rounds).
-// A station that is unreachable at preflight and later joins with an
-// incompatible model is not retro-validated: its Train calls fail every
-// round and the reason is recorded in RoundStat.Errors.
+// preflight verifies model-dimension and protocol compatibility for every
+// probe-capable client handle before round 1 (see preflightClients).
 func (co *Coordinator) preflight(wantDim int) error {
-	// Handshakes run concurrently: a sequential sweep would pay each
-	// unreachable station's full dial/retry ladder back to back, turning
-	// a few dead stations into minutes of startup delay.
-	errs := make([]error, len(co.clients))
-	var wg sync.WaitGroup
-	for idx, c := range co.clients {
-		p, ok := c.(Prober)
-		if !ok {
-			continue
-		}
-		wg.Add(1)
-		go func(idx int, id string, p Prober) {
-			defer wg.Done()
-			info, err := p.Hello()
-			switch {
-			case isProtocolMismatch(err):
-				errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
-			case err != nil:
-				if !co.cfg.TolerateClientErrors {
-					errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
-				}
-			case info.ModelDim != wantDim:
-				errs[idx] = fmt.Errorf("%w: station %s has %d parameters, coordinator expects %d",
-					ErrDimMismatch, info.StationID, info.ModelDim, wantDim)
-			}
-		}(idx, c.ID(), p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return preflightClients(co.clients, wantDim, co.cfg.TolerateClientErrors)
 }
 
 // Run executes the federated protocol: initialize a global model from the
@@ -314,38 +289,25 @@ func (co *Coordinator) Run() (*RunResult, error) {
 
 	res := &RunResult{}
 	start := time.Now()
-	n := len(co.clients)
+	// The round engine — client pool, deadline machinery, streaming fold,
+	// delta-reference bookkeeping — is the role-agnostic node; the
+	// coordinator's own role is the global model, sampling, and turning
+	// each round's fold into the next broadcast.
+	nd := newNode(co.clients, nodeConfig{
+		Parallel:             co.cfg.Parallel,
+		MaxConcurrentClients: co.cfg.MaxConcurrentClients,
+		RoundDeadline:        co.cfg.RoundDeadline,
+		TolerateClientErrors: co.cfg.TolerateClientErrors,
+		Codec:                co.cfg.Codec,
+		Failures:             co.cfg.Failures,
+	})
 	var spare []float64 // retired broadcast buffer, safe to aggregate into
-	// sentFull[i]: client i completed a training call, so (in the wire
-	// model) its connection holds a delta reference for the next
-	// broadcast.
-	sentFull := make([]bool, n)
-	resolved := make([]bool, n) // touched only by this goroutine — safe to reuse
 
 	for round := 0; round < co.cfg.Rounds; round++ {
 		roundStart := time.Now()
 		stat := RoundStat{Round: round}
 
-		// Sampling and failure-injection decisions are drawn up front, in
-		// client order, so they are deterministic regardless of client
-		// scheduling. The slices the training goroutines touch are
-		// allocated per round: an abandoned straggler from an earlier
-		// round may still be reading/writing its round's slots, so they
-		// must never be recycled.
 		selected := co.sampleRound(sampleRNG)
-		for i := 0; i < n; i++ {
-			resolved[i] = false
-		}
-		updates := make([]*Update, n)
-		errs := make([]error, n)
-		dropped := make([]bool, n)
-		delayed := make([]bool, n)
-		if f := co.cfg.Failures; f != nil {
-			for i := range co.clients {
-				dropped[i] = failRNG.Bernoulli(f.DropoutProb)
-				delayed[i] = failRNG.Bernoulli(f.StragglerProb)
-			}
-		}
 		for _, i := range selected {
 			stat.Selected = append(stat.Selected, co.clients[i].ID())
 		}
@@ -359,125 +321,24 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			Privacy:      co.cfg.Privacy,
 			ProximalMu:   co.cfg.ProximalMu,
 			Codec:        co.cfg.Codec,
-		}
-		// Stragglers abandoned at the round deadline keep running into
-		// later rounds; they must read this round's broadcast snapshot,
-		// not the coordinator's live global variable (which is why a
-		// round's broadcast buffer is only recycled once every selected
-		// client has resolved).
-		roundGlobal := global
-		trainOne := func(i int) {
-			if dropped[i] {
-				return
-			}
-			if delayed[i] && co.cfg.Failures != nil {
-				time.Sleep(co.cfg.Failures.StragglerDelay)
-			}
-			u, err := co.clients[i].Train(roundGlobal, ltc)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			updates[i] = &u
+			PartialKind:  partialKindFor(agg),
 		}
 
-		// Streaming consumption: clients are folded into the aggregator
-		// in client-index order, as far as the resolution prefix reaches,
-		// every time a completion lands. All consumption happens on this
-		// goroutine (runSelected's event loop), so no locking is needed.
 		stream.Begin(dim, len(selected))
-		cursor := 0
-		var roundErr error
-		var lossSum float64
-		var sampleSum int
-		dropWithError := func(id string, err error) {
-			stat.Dropped = append(stat.Dropped, id)
-			if stat.Errors == nil {
-				stat.Errors = make(map[string]string)
-			}
-			stat.Errors[id] = err.Error()
+		rep, err := nd.runRound(round, selected, global, ltc, stream, failRNG, roundStart)
+		if err != nil {
+			return nil, err
 		}
-		consume := func(i int, abandoned bool) {
-			id := co.clients[i].ID()
-			wasFull := !sentFull[i]
-			switch {
-			case dropped[i]:
-				// Injected dropout: the training call never happened, so
-				// no traffic is counted.
-				stat.Dropped = append(stat.Dropped, id)
-				return
-			case abandoned:
-				stat.BytesDown += co.downBytes(dim, wasFull)
-				// The in-flight call's fate is unknown; mirror the
-				// conservative transport behaviour (reference dropped,
-				// next broadcast full).
-				sentFull[i] = false
-				if !co.cfg.TolerateClientErrors {
-					if roundErr == nil {
-						roundErr = fmt.Errorf("fed: round %d: client %s: %w", round, id, ErrRoundDeadline)
-					}
-					return
-				}
-				dropWithError(id, ErrRoundDeadline)
-			case errs[i] != nil:
-				stat.BytesDown += co.downBytes(dim, wasFull)
-				if !errors.Is(errs[i], ErrRemote) {
-					// A transport error resets the real connection and
-					// with it the delta reference; an application error
-					// (ErrRemote) leaves both intact.
-					sentFull[i] = false
-				}
-				if !co.cfg.TolerateClientErrors {
-					if roundErr == nil {
-						roundErr = fmt.Errorf("fed: round %d: %w", round, errs[i])
-					}
-					return
-				}
-				dropWithError(id, errs[i])
-			case updates[i] != nil:
-				u := updates[i]
-				stat.BytesDown += co.downBytes(dim, wasFull)
-				stat.BytesUp += co.upBytes(dim, len(u.ClientID))
-				if roundErr == nil {
-					if err := stream.Add(u); err != nil {
-						roundErr = fmt.Errorf("fed: round %d: %w", round, err)
-					}
-				}
-				stat.Participants = append(stat.Participants, id)
-				lossSum += u.FinalLoss * float64(u.NumSamples)
-				sampleSum += u.NumSamples
-				res.ClientSeconds += u.TrainSeconds
-				sentFull[i] = true
-				updates[i] = nil // release: mean-family rules consumed it via axpy
-			}
-		}
-		onDone := func(i int) {
-			// The channel receive in runSelected orders the training
-			// goroutine's writes to updates[i]/errs[i] before this read.
-			resolved[i] = true
-			for cursor < len(selected) && resolved[selected[cursor]] {
-				consume(selected[cursor], false)
-				cursor++
-			}
-		}
-
-		co.runSelected(selected, trainOne, roundStart, onDone)
-
-		// Whatever the cursor has not reached is either a straggler
-		// abandoned at the deadline (unresolved; its slot is never read —
-		// the goroutine may still be writing it) or a client queued
-		// behind one.
-		abandonedAny := false
-		for ; cursor < len(selected); cursor++ {
-			i := selected[cursor]
-			if !resolved[i] && !dropped[i] {
-				abandonedAny = true
-			}
-			consume(i, !resolved[i])
-		}
-		if roundErr != nil {
-			return nil, roundErr
-		}
+		stat.Participants = rep.Participants
+		stat.Dropped = rep.Dropped
+		stat.Errors = rep.Errs
+		stat.LeafParticipants = rep.LeafParticipants
+		stat.LeafDropped = rep.LeafDropped
+		stat.BytesDown = rep.BytesDown
+		stat.BytesUp = rep.BytesUp
+		stat.SubtreeBytesDown = rep.SubDown
+		stat.SubtreeBytesUp = rep.SubUp
+		res.ClientSeconds += rep.ClientSeconds
 
 		if len(stat.Participants) == 0 {
 			// Every selected client failed this round: keep the previous
@@ -487,6 +348,8 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			res.Rounds = append(res.Rounds, stat)
 			res.BytesDown += stat.BytesDown
 			res.BytesUp += stat.BytesUp
+			res.SubtreeBytesDown += stat.SubtreeBytesDown
+			res.SubtreeBytesUp += stat.SubtreeBytesUp
 			co.notifyRound(stat, global)
 			continue
 		}
@@ -499,7 +362,7 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fed: round %d: %w", round, err)
 		}
-		if !abandonedAny {
+		if !rep.AbandonedAny {
 			// Every reader of this round's broadcast has returned, so its
 			// buffer becomes the next round's aggregation target. A round
 			// with abandoned stragglers leaks its buffer instead — the
@@ -507,11 +370,13 @@ func (co *Coordinator) Run() (*RunResult, error) {
 			spare = global
 		}
 		global = newGlobal
-		stat.MeanLoss = lossSum / float64(sampleSum)
+		stat.MeanLoss = rep.LossSum / float64(rep.SampleSum)
 		stat.WallSeconds = time.Since(roundStart).Seconds()
 		res.Rounds = append(res.Rounds, stat)
 		res.BytesDown += stat.BytesDown
 		res.BytesUp += stat.BytesUp
+		res.SubtreeBytesDown += stat.SubtreeBytesDown
+		res.SubtreeBytesUp += stat.SubtreeBytesUp
 		co.notifyRound(stat, global)
 	}
 	anyUpdate := false
@@ -543,18 +408,6 @@ func (co *Coordinator) notifyRound(stat RoundStat, global []float64) {
 	co.cfg.OnRound(stat, snap)
 }
 
-// downBytes models one broadcast's wire cost under the configured codec:
-// the exact Train frame size. first selects the full-precision fallback a
-// delta codec pays before the client's connection holds a reference.
-func (co *Coordinator) downBytes(dim int, first bool) uint64 {
-	return uint64(wireTrainBytes(co.cfg.Codec, dim, first))
-}
-
-// upBytes models one update's wire cost: the exact TrainOK frame size.
-func (co *Coordinator) upBytes(dim, idLen int) uint64 {
-	return uint64(wireTrainOKBytes(co.cfg.Codec, dim, idLen))
-}
-
 // sampleRound draws the round's participant indices (sorted, so
 // aggregation order stays fixed by client index). With ClientFraction
 // unset no RNG state is consumed and every client is selected.
@@ -571,114 +424,6 @@ func (co *Coordinator) sampleRound(sampleRNG *rng.Source) []int {
 	sel := sampleRNG.Perm(n)[:k]
 	sort.Ints(sel)
 	return sel
-}
-
-// runSelected trains the selected clients under the configured
-// concurrency bound and round deadline, invoking onDone(i) on this
-// goroutine for every client whose trainOne call completed before the
-// deadline. Clients without an onDone call by return time were abandoned
-// at the deadline; their updates/errs slots must not be read.
-func (co *Coordinator) runSelected(selected []int, trainOne func(int), roundStart time.Time, onDone func(int)) {
-	deadline := co.cfg.RoundDeadline
-
-	if !co.cfg.Parallel {
-		if deadline <= 0 {
-			for _, i := range selected {
-				trainOne(i)
-				onDone(i)
-			}
-			return
-		}
-		// Sequential order is preserved, but each client runs in a
-		// goroutine so an in-flight hung call can still be abandoned
-		// when the round deadline fires.
-		timer := time.NewTimer(deadline - time.Since(roundStart))
-		defer timer.Stop()
-		for _, i := range selected {
-			ch := make(chan struct{})
-			go func(i int) {
-				trainOne(i)
-				close(ch)
-			}(i)
-			select {
-			case <-ch:
-				onDone(i)
-			case <-timer.C:
-				// If the client completed in the same instant the timer
-				// fired, keep its result instead of discarding real work.
-				select {
-				case <-ch:
-					onDone(i)
-				default:
-				}
-				return // abandon the in-flight client and the rest
-			}
-		}
-		return
-	}
-
-	workers := co.cfg.MaxConcurrentClients
-	if workers <= 0 || workers > len(selected) {
-		workers = len(selected)
-	}
-	sem := make(chan struct{}, workers)
-	// done is buffered so abandoned stragglers can report and exit
-	// instead of leaking on a blocked send after the deadline fires.
-	done := make(chan int, len(selected))
-	// cancel keeps queued workers from starting stale Train calls after
-	// the deadline has already cut the round off: a hung station pinning
-	// every pool slot would otherwise cascade — the queued calls would
-	// run to completion into later rounds, serialize behind the next
-	// round's call to the same client, and blow its deadline too.
-	// Workers parked on the semaphore exit immediately on cancel rather
-	// than leaking until a slot frees.
-	cancel := make(chan struct{})
-	for _, i := range selected {
-		go func(i int) {
-			select {
-			case sem <- struct{}{}:
-			case <-cancel:
-				return
-			}
-			defer func() { <-sem }()
-			select {
-			case <-cancel:
-				return
-			default:
-			}
-			trainOne(i)
-			done <- i
-		}(i)
-	}
-	var timeout <-chan time.Time
-	if deadline > 0 {
-		timer := time.NewTimer(deadline - time.Since(roundStart))
-		defer timer.Stop()
-		timeout = timer.C
-	}
-	for remaining := len(selected); remaining > 0; {
-		select {
-		case i := <-done:
-			// The channel receive orders the goroutine's writes to
-			// updates[i]/errs[i] before the consumer's reads.
-			onDone(i)
-			remaining--
-		case <-timeout:
-			close(cancel)
-			// Keep completions that raced the timer: clients already in
-			// the buffered channel finished before the deadline and must
-			// not be discarded (fatal under strict mode, a wrongful drop
-			// under tolerance).
-			for {
-				select {
-				case i := <-done:
-					onDone(i)
-				default:
-					return // cut off the true stragglers
-				}
-			}
-		}
-	}
 }
 
 // GlobalModel materializes a model carrying the run's final global

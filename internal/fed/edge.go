@@ -1,0 +1,293 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Peer roles reported by the Hello handshake (mirrored onto the wire's
+// HelloOK trailing byte). A parent that discovers RoleAggregate at
+// preflight wraps the peer as a partial-aggregate source instead of a
+// leaf station.
+const (
+	RoleStation   uint8 = 0
+	RoleAggregate uint8 = 1
+)
+
+// EdgeConfig tunes one regional edge aggregator's downstream round.
+type EdgeConfig struct {
+	// Codec selects the wire compression for the edge ↔ station exchange.
+	// The edge → root uplink always ships partial aggregates as raw
+	// float64 (see Partial), so the tiers may compress independently.
+	Codec Codec
+	// Parallel trains downstream stations concurrently (the default from
+	// DefaultEdgeConfig; an edge exists to absorb fan-out).
+	Parallel bool
+	// MaxConcurrentClients bounds the edge's training fan-out per round.
+	// 0 = one goroutine per station.
+	MaxConcurrentClients int
+	// RoundDeadline bounds the edge's downstream round. This is the
+	// failure-domain isolation knob: a straggling station is abandoned by
+	// its edge and the edge still reports its partial upstream, instead
+	// of the straggler stalling the root's whole round. 0 = no deadline
+	// (the root's own deadline then bounds the edge as a unit).
+	RoundDeadline time.Duration
+	// TolerateClientErrors treats a station failure as a dropout for the
+	// round instead of failing the edge's partial.
+	TolerateClientErrors bool
+	// Seed drives the edge's failure injection.
+	Seed uint64
+	// Failures optionally injects downstream failures (see FailurePlan).
+	Failures *FailurePlan
+}
+
+// DefaultEdgeConfig returns the production-leaning edge defaults:
+// parallel downstream training with tolerated station errors.
+func DefaultEdgeConfig() EdgeConfig {
+	return EdgeConfig{Parallel: true, TolerateClientErrors: true}
+}
+
+func (c EdgeConfig) validate() error {
+	switch {
+	case c.MaxConcurrentClients < 0:
+		return fmt.Errorf("%w: max concurrent clients %d", ErrBadConfig, c.MaxConcurrentClients)
+	case c.RoundDeadline < 0:
+		return fmt.Errorf("%w: round deadline %v", ErrBadConfig, c.RoundDeadline)
+	}
+	return c.Codec.validate()
+}
+
+// Edge is a regional aggregation node: it faces its stations as a
+// coordinator (broadcast, concurrent local training, streaming fold,
+// per-edge deadline) and its parent as a client (TrainPartial returns the
+// folded subtree instead of a single update). Edges hold no model of
+// their own — the round engine underneath is the same role-agnostic node
+// the root Coordinator runs on.
+//
+// An Edge is a ClientHandle and a PartialTrainer, so it can sit directly
+// in a parent's client pool (in-process tiers), or be served over TCP
+// with ServeEdge and reached via NewRemoteEdge.
+type Edge struct {
+	id      string
+	clients []ClientHandle
+	cfg     EdgeConfig
+
+	// mu serializes rounds: one parent call at a time, like a Client's
+	// training mutex.
+	mu       sync.Mutex
+	nd       *node
+	failRNG  *rng.Source
+	selected []int
+	// streams holds one lazily-built streaming aggregator per partial
+	// kind; the parent's PartialKind picks per round, so a root changing
+	// aggregation rules mid-deployment still folds correctly.
+	streams map[PartialKind]StreamAggregator
+	// spare is the retired broadcast buffer, recycled only when no
+	// abandoned straggler may still be reading it (same discipline as the
+	// root's broadcast recycling). The edge always copies the parent's
+	// global into an edge-owned buffer: the parent's slice is session
+	// scratch on the TCP path and the parent's live model in-process —
+	// either way it must not leak to the edge's training goroutines.
+	spare []float64
+}
+
+var (
+	_ ClientHandle   = (*Edge)(nil)
+	_ PartialTrainer = (*Edge)(nil)
+	_ Prober         = (*Edge)(nil)
+)
+
+// NewEdge validates the configuration and builds an edge aggregator over
+// the downstream client handles.
+func NewEdge(id string, clients []ClientHandle, cfg EdgeConfig) (*Edge, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoClients
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	selected := make([]int, len(clients))
+	for i := range selected {
+		selected[i] = i
+	}
+	return &Edge{
+		id:      id,
+		clients: clients,
+		cfg:     cfg,
+		nd: newNode(clients, nodeConfig{
+			Parallel:             cfg.Parallel,
+			MaxConcurrentClients: cfg.MaxConcurrentClients,
+			RoundDeadline:        cfg.RoundDeadline,
+			TolerateClientErrors: cfg.TolerateClientErrors,
+			Codec:                cfg.Codec,
+			Failures:             cfg.Failures,
+		}),
+		failRNG:  rng.New(cfg.Seed ^ 0xed6e),
+		selected: selected,
+		streams:  make(map[PartialKind]StreamAggregator),
+	}, nil
+}
+
+// ID implements ClientHandle.
+func (e *Edge) ID() string { return e.id }
+
+// NumSamples implements ClientHandle: the subtree's training-set total.
+// Unreachable stations are skipped under TolerateClientErrors.
+func (e *Edge) NumSamples() (int, error) {
+	total := 0
+	for _, c := range e.clients {
+		n, err := c.NumSamples()
+		if err != nil {
+			if e.cfg.TolerateClientErrors {
+				continue
+			}
+			return 0, fmt.Errorf("fed: edge %s: %s: %w", e.id, c.ID(), err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Train implements ClientHandle. An edge cannot produce a single client
+// update — parents dispatch on PartialTrainer, so reaching this means a
+// pre-hierarchy parent is driving an edge.
+func (e *Edge) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	return Update{}, fmt.Errorf("%w: edge %s aggregates partials; its parent must speak TrainPartial",
+		ErrBadConfig, e.id)
+}
+
+// Hello implements Prober: the edge preflights its own stations (the same
+// dimension/protocol checks the root applies to direct clients) and
+// reports the subtree's consensus model dimension under RoleAggregate. A
+// version-skewed station surfaces here, at the edge, as a typed
+// ErrProtocolMismatch — the root sees the edge fail preflight rather than
+// a poisoned round.
+func (e *Edge) Hello() (HelloInfo, error) {
+	dim := -1
+	samples := 0
+	var mu sync.Mutex
+	errs := make([]error, len(e.clients))
+	var wg sync.WaitGroup
+	for idx, c := range e.clients {
+		p, ok := c.(Prober)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, id string, p Prober) {
+			defer wg.Done()
+			info, err := p.Hello()
+			switch {
+			case isProtocolMismatch(err):
+				errs[idx] = fmt.Errorf("fed: edge %s preflight %s: %w", e.id, id, err)
+			case err != nil:
+				if !e.cfg.TolerateClientErrors {
+					errs[idx] = fmt.Errorf("fed: edge %s preflight %s: %w", e.id, id, err)
+				}
+			default:
+				mu.Lock()
+				if dim == -1 {
+					dim = info.ModelDim
+				} else if info.ModelDim != dim {
+					errs[idx] = fmt.Errorf("%w: edge %s: station %s has %d parameters, siblings have %d",
+						ErrDimMismatch, e.id, info.StationID, info.ModelDim, dim)
+				}
+				samples += info.NumSamples
+				mu.Unlock()
+			}
+		}(idx, c.ID(), p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return HelloInfo{}, err
+		}
+	}
+	if dim == -1 {
+		dim = 0 // no probe-capable station answered; the parent's round surfaces any mismatch
+	}
+	return HelloInfo{StationID: e.id, ModelDim: dim, NumSamples: samples, Role: RoleAggregate}, nil
+}
+
+// TrainPartial implements PartialTrainer: one downstream round under the
+// edge's own deadline and concurrency bounds, folded into the partial
+// form cfg.PartialKind asks for.
+func (e *Edge) TrainPartial(global []float64, cfg LocalTrainConfig) (Partial, error) {
+	if err := cfg.PartialKind.validate(); err != nil {
+		return Partial{}, fmt.Errorf("fed: edge %s: %w", e.id, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := time.Now()
+
+	// Edge-owned broadcast snapshot: training goroutines (including
+	// stragglers abandoned at the edge deadline, which may read
+	// arbitrarily late) must never touch the parent's slice.
+	dim := len(global)
+	bcast := e.spare
+	e.spare = nil
+	if cap(bcast) < dim {
+		bcast = make([]float64, dim)
+	}
+	bcast = bcast[:dim]
+	copy(bcast, global)
+
+	stream := e.stream(cfg.PartialKind)
+	ltc := cfg
+	ltc.Codec = e.cfg.Codec // the edge ↔ station tier compresses independently
+
+	stream.Begin(dim, len(e.selected))
+	rep, err := e.nd.runRound(cfg.Round, e.selected, bcast, ltc, stream, e.failRNG, start)
+	if err != nil {
+		return Partial{}, err
+	}
+	if !rep.AbandonedAny {
+		e.spare = bcast
+	}
+	if len(rep.Participants) == 0 {
+		return Partial{}, fmt.Errorf("fed: edge %s round %d: %w", e.id, cfg.Round, ErrAllDropped)
+	}
+
+	// The exported buffers are freshly allocated per call (ExportPartial
+	// appends into zero-value slices): the parent folds the partial on
+	// its own goroutine, possibly after this edge has started its next
+	// round, so the partial must not alias edge-owned scratch.
+	var p Partial
+	if err := stream.(partialStream).ExportPartial(&p); err != nil {
+		return Partial{}, fmt.Errorf("fed: edge %s round %d: %w", e.id, cfg.Round, err)
+	}
+	p.NodeID = e.id
+	p.LeafParticipants = rep.LeafParticipants
+	p.LeafDropped = rep.LeafDropped
+	p.SampleSum = rep.SampleSum
+	p.LossSum = rep.LossSum
+	p.ClientSeconds = rep.ClientSeconds
+	p.BytesDown = rep.BytesDown + rep.SubDown
+	p.BytesUp = rep.BytesUp + rep.SubUp
+	return p, nil
+}
+
+// stream returns the edge's streaming aggregator for a partial kind,
+// building it on first use.
+func (e *Edge) stream(kind PartialKind) StreamAggregator {
+	if s, ok := e.streams[kind]; ok {
+		return s
+	}
+	var s StreamAggregator
+	switch kind {
+	case PartialWeighted:
+		s = &meanStream{name: "fedavg", weighted: true}
+	case PartialUniform:
+		s = &meanStream{name: "uniform"}
+	default:
+		// Held partials are a gather relay: the rank reduction happens at
+		// the root, the edge only retains and forwards the update vectors
+		// (trim is irrelevant before ExportPartial).
+		s = &rankStream{name: "held", trim: -1}
+	}
+	e.streams[kind] = s
+	return s
+}

@@ -170,6 +170,9 @@ type LocalTrainConfig struct {
 	// downcast or delta quantization), so accuracy parity between codecs
 	// is measurable without a network.
 	Codec Codec
+	// PartialKind tells aggregation-node clients (edges) which partial
+	// form the parent's aggregation rule folds. Leaf stations ignore it.
+	PartialKind PartialKind
 }
 
 // ClientHandle abstracts how the coordinator reaches a client: in-process

@@ -1,0 +1,455 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/nn"
+)
+
+// groupPartial folds ups through an edge-side stream and exports the
+// partial an edge would ship upstream.
+func groupPartial(t *testing.T, agg Aggregator, ups []Update, dim int, nodeID string) *Partial {
+	t.Helper()
+	st := NewStream(agg)
+	ps, ok := st.(partialStream)
+	if !ok {
+		t.Fatalf("%s stream does not support partials", agg.Name())
+	}
+	st.Begin(dim, len(ups))
+	for i := range ups {
+		if err := st.Add(&ups[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var p Partial
+	if err := ps.ExportPartial(&p); err != nil {
+		t.Fatal(err)
+	}
+	p.NodeID = nodeID
+	return &p
+}
+
+// The tentpole's core numerical claim: folding a round through edge
+// partial aggregates and merging at the root reproduces the flat
+// single-coordinator fold — bit-identical for the compensated mean family,
+// exactly for the median (order statistics of the same column set), and to
+// 1e-9 for the trimmed mean (its kept-middle summation order is
+// permutation-dependent in the last bits).
+func TestHierarchyAggregationParity(t *testing.T) {
+	const dim = 777
+	const clients = 24
+	for _, tc := range []struct {
+		agg     Aggregator
+		bitwise bool
+		tol     float64
+	}{
+		{MeanAggregator{}, true, 0},
+		{UniformAggregator{}, true, 0},
+		{MedianAggregator{}, true, 0},
+		{TrimmedMeanAggregator{TrimPerSide: 2}, false, 1e-9},
+	} {
+		for _, edges := range []int{2, 3, 5} {
+			ups := randomUpdates(t, 0xbeef^uint64(edges), clients, dim)
+			flat := streamRound(t, NewStream(tc.agg), ups, dim)
+
+			// Contiguous station → edge assignment, like a regional
+			// deployment: edge e holds clients [e·per, (e+1)·per).
+			root := NewStream(tc.agg)
+			root.Begin(dim, clients)
+			per := (clients + edges - 1) / edges
+			for e := 0; e < edges; e++ {
+				lo, hi := e*per, (e+1)*per
+				if hi > clients {
+					hi = clients
+				}
+				p := groupPartial(t, tc.agg, ups[lo:hi], dim, "edge")
+				if err := root.(partialStream).AddPartial(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			hier, err := root.Finish(make([]float64, dim))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := range flat {
+				if tc.bitwise {
+					if math.Float64bits(hier[i]) != math.Float64bits(flat[i]) {
+						t.Fatalf("%s, %d edges: coordinate %d differs: hier %v != flat %v",
+							tc.agg.Name(), edges, i, hier[i], flat[i])
+					}
+					continue
+				}
+				if d := math.Abs(hier[i] - flat[i]); d > tc.tol*math.Max(1, math.Abs(flat[i])) {
+					t.Fatalf("%s, %d edges: coordinate %d off by %g", tc.agg.Name(), edges, i, d)
+				}
+			}
+		}
+	}
+}
+
+// Mixing direct leaf updates and edge partials under one parent (an edge
+// tier rolled out region by region) must also match the flat fold.
+func TestHierarchyMixedLeafAndPartialParity(t *testing.T) {
+	const dim = 123
+	const clients = 10
+	ups := randomUpdates(t, 0x51ab, clients, dim)
+	flat := streamRound(t, NewStream(MeanAggregator{}), ups, dim)
+
+	root := NewStream(MeanAggregator{})
+	root.Begin(dim, clients)
+	p := groupPartial(t, MeanAggregator{}, ups[:4], dim, "edge-0")
+	if err := root.(partialStream).AddPartial(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < clients; i++ {
+		if err := root.Add(&ups[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hier, err := root.Finish(make([]float64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if math.Float64bits(hier[i]) != math.Float64bits(flat[i]) {
+			t.Fatalf("coordinate %d differs: mixed %v != flat %v", i, hier[i], flat[i])
+		}
+	}
+}
+
+// End to end: a federation over two in-process edges must produce the
+// bit-identical global model a flat coordinator over the same six
+// stations does, round statistics included.
+func TestHierarchyEndToEndParity(t *testing.T) {
+	runFlat := func() *RunResult {
+		cfg := smallConfig(7)
+		co, err := NewCoordinator(smallSpec(), makeClients(t, 6), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	runHier := func() *RunResult {
+		clients := makeClients(t, 6)
+		ecfg := DefaultEdgeConfig()
+		ecfg.TolerateClientErrors = false
+		e0, err := NewEdge("edge-0", clients[:3], ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, err := NewEdge("edge-1", clients[3:], ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig(7)
+		co, err := NewCoordinator(smallSpec(), []ClientHandle{e0, e1}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	flat, hier := runFlat(), runHier()
+	if len(flat.Global) != len(hier.Global) {
+		t.Fatalf("dim mismatch: %d vs %d", len(flat.Global), len(hier.Global))
+	}
+	for i := range flat.Global {
+		if math.Float64bits(flat.Global[i]) != math.Float64bits(hier.Global[i]) {
+			t.Fatalf("global coordinate %d differs: flat %v != hier %v",
+				i, flat.Global[i], hier.Global[i])
+		}
+	}
+	for r := range hier.Rounds {
+		hs, fs := hier.Rounds[r], flat.Rounds[r]
+		if len(hs.Participants) != 2 {
+			t.Fatalf("round %d: want 2 edge participants, got %v", r, hs.Participants)
+		}
+		if hs.LeafParticipants != 6 || fs.LeafParticipants != 6 {
+			t.Fatalf("round %d: leaf participants hier %d flat %d, want 6",
+				r, hs.LeafParticipants, fs.LeafParticipants)
+		}
+		// Loss bookkeeping folds in tier order (edge sums first), so it may
+		// differ from the flat fold in the last bits — unlike the model
+		// weights, whose compensated fold is exact.
+		if d := math.Abs(hs.MeanLoss - fs.MeanLoss); d > 1e-12*math.Max(1, math.Abs(fs.MeanLoss)) {
+			t.Fatalf("round %d: mean loss differs: %v != %v", r, hs.MeanLoss, fs.MeanLoss)
+		}
+		if hs.SubtreeBytesDown == 0 || hs.SubtreeBytesUp == 0 {
+			t.Fatalf("round %d: subtree byte accounting missing: %+v", r, hs)
+		}
+	}
+}
+
+// The same federation over TCP — stations behind ServeClient, edges
+// behind ServeEdge, the root holding RemoteEdge handles — must match the
+// in-process hierarchy bit for bit (the wire is lossless under CodecNone).
+func TestHierarchyTCPMatchesInProcess(t *testing.T) {
+	skipIfShort(t)
+
+	inproc := func() *RunResult {
+		clients := makeClients(t, 4)
+		ecfg := DefaultEdgeConfig()
+		ecfg.TolerateClientErrors = false
+		e0, err := NewEdge("edge-0", clients[:2], ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, err := NewEdge("edge-1", clients[2:], ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co, err := NewCoordinator(smallSpec(), []ClientHandle{e0, e1}, smallConfig(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	tcp := func() *RunResult {
+		clients := makeClients(t, 4)
+		var handles []ClientHandle
+		for gi, group := range [][]ClientHandle{clients[:2], clients[2:]} {
+			var remotes []ClientHandle
+			for _, c := range group {
+				srv, err := ServeClient(c.(*Client), "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(srv.Stop)
+				remotes = append(remotes, NewRemoteClient(c.ID(), srv.Addr()))
+			}
+			ecfg := DefaultEdgeConfig()
+			ecfg.TolerateClientErrors = false
+			edge, err := NewEdge([]string{"edge-0", "edge-1"}[gi], remotes, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			esrv, err := ServeEdge(edge, "127.0.0.1:0", ServerConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(esrv.Stop)
+			re := NewRemoteEdge(edge.ID(), esrv.Addr())
+			t.Cleanup(func() { re.Close() })
+			handles = append(handles, re)
+		}
+		co, err := NewCoordinator(smallSpec(), handles, smallConfig(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	for i := range inproc.Global {
+		if math.Float64bits(inproc.Global[i]) != math.Float64bits(tcp.Global[i]) {
+			t.Fatalf("global coordinate %d differs: in-proc %v != tcp %v",
+				i, inproc.Global[i], tcp.Global[i])
+		}
+	}
+}
+
+// blockingHandle is a downstream station that hangs mid-training until
+// released — the body of a "dead region" failure.
+type blockingHandle struct {
+	id      string
+	dim     int
+	release chan struct{}
+}
+
+func (b *blockingHandle) ID() string               { return b.id }
+func (b *blockingHandle) NumSamples() (int, error) { return 100, nil }
+func (b *blockingHandle) Hello() (HelloInfo, error) {
+	return HelloInfo{StationID: b.id, ModelDim: b.dim, NumSamples: 100}, nil
+}
+func (b *blockingHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	<-b.release
+	return Update{}, errors.New("released after abandonment")
+}
+
+// Failure-domain isolation: an edge whose region dies mid-round is
+// abandoned at the root's deadline, dropping only its subtree — the round
+// completes on the surviving edge and the global model still advances.
+func TestHierarchyEdgeFailureIsolation(t *testing.T) {
+	skipIfShort(t)
+
+	clients := makeClients(t, 2)
+	ecfg := DefaultEdgeConfig()
+	good, err := NewEdge("edge-good", clients, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrv, err := ServeEdge(good, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gsrv.Stop)
+
+	model, err := nn.Build(smallSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	hung := &blockingHandle{id: "hung", dim: model.NumParams(), release: release}
+	dead, err := NewEdge("edge-dead", []ClientHandle{hung}, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrv, err := ServeEdge(dead, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dsrv.Stop)
+
+	rg := NewRemoteEdge("edge-good", gsrv.Addr())
+	rd := NewRemoteEdge("edge-dead", dsrv.Addr())
+	// Close holds the handle mutex, which the abandoned TrainPartial
+	// goroutine owns until the release below unwedges the dead edge —
+	// cleanups run LIFO, so register the release last.
+	t.Cleanup(func() { rg.Close(); rd.Close() })
+	t.Cleanup(func() { close(release) })
+
+	cfg := smallConfig(3)
+	cfg.Rounds = 1
+	cfg.RoundDeadline = 3 * time.Second
+	cfg.TolerateClientErrors = true
+	co, err := NewCoordinator(smallSpec(), []ClientHandle{rg, rd}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatalf("round must survive a dead edge: %v", err)
+	}
+	rs := res.Rounds[0]
+	if len(rs.Participants) != 1 || rs.Participants[0] != "edge-good" {
+		t.Fatalf("want the surviving edge to participate alone, got %v", rs.Participants)
+	}
+	if len(rs.Dropped) != 1 || rs.Dropped[0] != "edge-dead" {
+		t.Fatalf("want only the dead edge dropped, got %v", rs.Dropped)
+	}
+	if !strings.Contains(rs.Errors["edge-dead"], ErrRoundDeadline.Error()) {
+		t.Fatalf("dead edge's error must name the deadline, got %q", rs.Errors["edge-dead"])
+	}
+	if rs.LeafParticipants != 2 {
+		t.Fatalf("surviving subtree has 2 stations, got %d leaf participants", rs.LeafParticipants)
+	}
+	if res.Global == nil {
+		t.Fatal("global model must still advance")
+	}
+}
+
+// Two-hop version negotiation: a version-skewed station behind an edge
+// fails the EDGE's preflight with a typed ErrProtocolMismatch (skew is a
+// configuration bug and must not hide behind tolerance), while the root's
+// round over [healthy edge, poisoned edge] completes on the healthy
+// subtree — the skew never poisons the root round.
+func TestHierarchyTwoHopVersionSkew(t *testing.T) {
+	skipIfShort(t)
+
+	ln := versionSkewStation(t, true)
+	skewed := NewRemoteClient("skewed", ln.Addr().String())
+	skewed.MaxRetries = 0
+	t.Cleanup(func() { skewed.Close() })
+
+	ecfg := DefaultEdgeConfig() // tolerant — mismatch must still be fatal at preflight
+	poisoned, err := NewEdge("edge-poisoned", []ClientHandle{skewed}, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hop 1: the edge's own preflight surfaces the skew, typed.
+	if _, herr := poisoned.Hello(); !errors.Is(herr, ErrProtocolMismatch) {
+		t.Fatalf("edge preflight must fail with ErrProtocolMismatch, got %v", herr)
+	}
+
+	// Hop 2: the root federates over the poisoned edge anyway (as if the
+	// station skewed after preflight). The poisoned subtree drops; the
+	// healthy one carries the round.
+	healthy, err := NewEdge("edge-healthy", makeClients(t, 2), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv, err := ServeEdge(healthy, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hsrv.Stop)
+	psrv, err := ServeEdge(poisoned, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(psrv.Stop)
+
+	rh := NewRemoteEdge("edge-healthy", hsrv.Addr())
+	rp := NewRemoteEdge("edge-poisoned", psrv.Addr())
+	t.Cleanup(func() { rh.Close(); rp.Close() })
+
+	cfg := smallConfig(5)
+	cfg.Rounds = 1
+	cfg.TolerateClientErrors = true
+	co, err := NewCoordinator(smallSpec(), []ClientHandle{rh, rp}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run()
+	if err != nil {
+		t.Fatalf("root round must survive the poisoned subtree: %v", err)
+	}
+	rs := res.Rounds[0]
+	if len(rs.Participants) != 1 || rs.Participants[0] != "edge-healthy" {
+		t.Fatalf("want only the healthy edge to participate, got %v", rs.Participants)
+	}
+	if len(rs.Dropped) != 1 || rs.Dropped[0] != "edge-poisoned" {
+		t.Fatalf("want the poisoned edge dropped, got %v", rs.Dropped)
+	}
+	// At round time the poisoned edge reports its whole subtree dropped
+	// (the typed mismatch diagnosis belongs to preflight, asserted above);
+	// the tolerated app error carries that across the wire.
+	if msg := rs.Errors["edge-poisoned"]; !strings.Contains(msg, "dropped") {
+		t.Fatalf("dropped edge's error must report its subtree dropout, got %q", msg)
+	}
+}
+
+// An edge must reject hierarchical rounds under an external aggregator:
+// the buffered fallback cannot merge pre-folded partials, and silently
+// approximating would break the parity contract.
+func TestHierarchyRejectsCustomAggregator(t *testing.T) {
+	clients := makeClients(t, 4)
+	ecfg := DefaultEdgeConfig()
+	ecfg.TolerateClientErrors = false
+	edge, err := NewEdge("edge-0", clients[:2], ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(9)
+	cfg.Rounds = 1
+	cfg.Aggregator = customAgg{}
+	co, err := NewCoordinator(smallSpec(), []ClientHandle{edge}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("custom aggregator over an edge must fail with ErrBadConfig, got %v", err)
+	}
+}

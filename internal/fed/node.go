@@ -1,0 +1,437 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/evfed/evfed/internal/fed/wire"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// node is the role-agnostic aggregation engine shared by the root
+// Coordinator and the regional Edge: one round of broadcast → local train
+// → streaming fold over a pool of downstream peers, under a concurrency
+// bound, a round deadline, deterministic failure injection, and the
+// delta-reference bookkeeping of the wire codec. The node does not care
+// whether a peer is a leaf station (Train → Update) or another
+// aggregation node (TrainPartial → Partial) — it dispatches per peer, so
+// tiers compose freely.
+//
+// What the node deliberately does not own: the global model, the round
+// loop, client sampling, and what happens to the fold (Finish into a new
+// global at the root, ExportPartial upward at an edge). Those stay with
+// the role built on top.
+type node struct {
+	clients []ClientHandle
+	cfg     nodeConfig
+
+	// sentFull[i]: peer i completed a training call, so (in the wire
+	// model) its connection holds a delta reference for the next
+	// broadcast. Persists across rounds, like the connections it mirrors.
+	sentFull []bool
+	// resolved is per-round scratch, touched only by the node's own
+	// goroutine — safe to reuse.
+	resolved []bool
+}
+
+// nodeConfig is the subset of round-engine knobs a node needs; both
+// Config (root) and EdgeConfig (edge tier) lower into it.
+type nodeConfig struct {
+	Parallel             bool
+	MaxConcurrentClients int
+	RoundDeadline        time.Duration
+	TolerateClientErrors bool
+	Codec                Codec
+	Failures             *FailurePlan
+}
+
+func newNode(clients []ClientHandle, cfg nodeConfig) *node {
+	n := len(clients)
+	return &node{
+		clients:  clients,
+		cfg:      cfg,
+		sentFull: make([]bool, n),
+		resolved: make([]bool, n),
+	}
+}
+
+// roundReport is one runRound's outcome: everything the role on top needs
+// to build a RoundStat (root) or a Partial (edge).
+type roundReport struct {
+	// Participants and Dropped list direct downstream peer IDs; Errs maps
+	// a dropped peer to the tolerated error that dropped it.
+	Participants []string
+	Dropped      []string
+	Errs         map[string]string
+	// LeafParticipants and LeafDropped count leaf stations across the
+	// whole subtree: a direct station counts once, an edge peer
+	// contributes its own subtree's counts. A peer that drops before
+	// reporting counts once regardless of its subtree size (the node
+	// cannot see behind a dead edge).
+	LeafParticipants int
+	LeafDropped      int
+	// LossSum is the sample-weighted final-loss sum and SampleSum the
+	// participant sample total, spanning the subtree.
+	LossSum   float64
+	SampleSum int
+	// ClientSeconds sums client-reported local training time.
+	ClientSeconds float64
+	// BytesDown and BytesUp are this node's own modeled downstream round
+	// traffic; SubDown and SubUp total the traffic reported by downstream
+	// aggregation nodes for their subtrees.
+	BytesDown, BytesUp uint64
+	SubDown, SubUp     uint64
+	// AbandonedAny reports that a selected peer was abandoned at the
+	// round deadline: the round's broadcast buffer must not be recycled
+	// (the straggler goroutine may read it arbitrarily late).
+	AbandonedAny bool
+}
+
+// runRound executes one round over the selected peers: broadcast global,
+// train each under the concurrency bound and deadline, and fold the
+// responses into stream in client-index order. Failure-injection
+// decisions are drawn from failRNG up front for every peer in client
+// order, so they are deterministic regardless of scheduling. The caller
+// owns stream.Begin-before / Finish-or-Export-after; global must remain
+// stable until a future round whose report had AbandonedAny == false.
+func (nd *node) runRound(round int, selected []int, global []float64, ltc LocalTrainConfig,
+	stream StreamAggregator, failRNG *rng.Source, roundStart time.Time) (*roundReport, error) {
+
+	n := len(nd.clients)
+	dim := len(global)
+	rep := &roundReport{}
+
+	// The slices the training goroutines touch are allocated per round:
+	// an abandoned straggler from an earlier round may still be
+	// reading/writing its round's slots, so they must never be recycled.
+	for i := 0; i < n; i++ {
+		nd.resolved[i] = false
+	}
+	updates := make([]*Update, n)
+	partials := make([]*Partial, n)
+	errs := make([]error, n)
+	dropped := make([]bool, n)
+	delayed := make([]bool, n)
+	if f := nd.cfg.Failures; f != nil {
+		for i := range nd.clients {
+			dropped[i] = failRNG.Bernoulli(f.DropoutProb)
+			delayed[i] = failRNG.Bernoulli(f.StragglerProb)
+		}
+	}
+
+	// Stragglers abandoned at the round deadline keep running into later
+	// rounds; they must read this round's broadcast snapshot, not the
+	// caller's live global variable.
+	roundGlobal := global
+	trainOne := func(i int) {
+		if dropped[i] {
+			return
+		}
+		if delayed[i] && nd.cfg.Failures != nil {
+			time.Sleep(nd.cfg.Failures.StragglerDelay)
+		}
+		if pt, ok := nd.clients[i].(PartialTrainer); ok {
+			p, err := pt.TrainPartial(roundGlobal, ltc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			partials[i] = &p
+			return
+		}
+		u, err := nd.clients[i].Train(roundGlobal, ltc)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		updates[i] = &u
+	}
+
+	// Streaming consumption: peers are folded into the aggregator in
+	// client-index order, as far as the resolution prefix reaches, every
+	// time a completion lands. All consumption happens on this goroutine
+	// (runSelected's event loop), so no locking is needed.
+	cursor := 0
+	var roundErr error
+	dropWithError := func(id string, err error) {
+		rep.Dropped = append(rep.Dropped, id)
+		rep.LeafDropped++
+		if rep.Errs == nil {
+			rep.Errs = make(map[string]string)
+		}
+		rep.Errs[id] = err.Error()
+	}
+	consume := func(i int, abandoned bool) {
+		id := nd.clients[i].ID()
+		wasFull := !nd.sentFull[i]
+		switch {
+		case dropped[i]:
+			// Injected dropout: the training call never happened, so no
+			// traffic is counted.
+			rep.Dropped = append(rep.Dropped, id)
+			rep.LeafDropped++
+			return
+		case abandoned:
+			rep.BytesDown += nd.downBytes(dim, wasFull)
+			// The in-flight call's fate is unknown; mirror the
+			// conservative transport behaviour (reference dropped, next
+			// broadcast full).
+			nd.sentFull[i] = false
+			if !nd.cfg.TolerateClientErrors {
+				if roundErr == nil {
+					roundErr = fmt.Errorf("fed: round %d: client %s: %w", round, id, ErrRoundDeadline)
+				}
+				return
+			}
+			dropWithError(id, ErrRoundDeadline)
+		case errs[i] != nil:
+			rep.BytesDown += nd.downBytes(dim, wasFull)
+			if !errors.Is(errs[i], ErrRemote) {
+				// A transport error resets the real connection and with it
+				// the delta reference; an application error (ErrRemote)
+				// leaves both intact.
+				nd.sentFull[i] = false
+			}
+			if !nd.cfg.TolerateClientErrors {
+				if roundErr == nil {
+					roundErr = fmt.Errorf("fed: round %d: %w", round, errs[i])
+				}
+				return
+			}
+			dropWithError(id, errs[i])
+		case partials[i] != nil:
+			p := partials[i]
+			rep.BytesDown += nd.downBytes(dim, wasFull)
+			rep.BytesUp += uint64(wire.TrainPartialBytes(uint8(p.Kind), p.Dim, p.Count, len(p.NodeID)))
+			if roundErr == nil {
+				ps, ok := stream.(partialStream)
+				if !ok {
+					roundErr = fmt.Errorf("fed: round %d: %w: aggregator %s cannot merge partial aggregates",
+						round, ErrBadConfig, stream.Name())
+				} else if err := ps.AddPartial(p); err != nil {
+					roundErr = fmt.Errorf("fed: round %d: %w", round, err)
+				}
+			}
+			rep.Participants = append(rep.Participants, id)
+			rep.LeafParticipants += p.LeafParticipants
+			rep.LeafDropped += p.LeafDropped
+			rep.LossSum += p.LossSum
+			rep.SampleSum += p.SampleSum
+			rep.ClientSeconds += p.ClientSeconds
+			rep.SubDown += p.BytesDown
+			rep.SubUp += p.BytesUp
+			nd.sentFull[i] = true
+			partials[i] = nil
+		case updates[i] != nil:
+			u := updates[i]
+			rep.BytesDown += nd.downBytes(dim, wasFull)
+			rep.BytesUp += nd.upBytes(dim, len(u.ClientID))
+			if roundErr == nil {
+				if err := stream.Add(u); err != nil {
+					roundErr = fmt.Errorf("fed: round %d: %w", round, err)
+				}
+			}
+			rep.Participants = append(rep.Participants, id)
+			rep.LeafParticipants++
+			rep.LossSum += u.FinalLoss * float64(u.NumSamples)
+			rep.SampleSum += u.NumSamples
+			rep.ClientSeconds += u.TrainSeconds
+			nd.sentFull[i] = true
+			updates[i] = nil // release: mean-family rules consumed it via axpy
+		}
+	}
+	onDone := func(i int) {
+		// The channel receive in runSelected orders the training
+		// goroutine's writes to updates/partials/errs before this read.
+		nd.resolved[i] = true
+		for cursor < len(selected) && nd.resolved[selected[cursor]] {
+			consume(selected[cursor], false)
+			cursor++
+		}
+	}
+
+	nd.runSelected(selected, trainOne, roundStart, onDone)
+
+	// Whatever the cursor has not reached is either a straggler abandoned
+	// at the deadline (unresolved; its slot is never read — the goroutine
+	// may still be writing it) or a peer queued behind one.
+	for ; cursor < len(selected); cursor++ {
+		i := selected[cursor]
+		if !nd.resolved[i] && !dropped[i] {
+			rep.AbandonedAny = true
+		}
+		consume(i, !nd.resolved[i])
+	}
+	if roundErr != nil {
+		return nil, roundErr
+	}
+	return rep, nil
+}
+
+// downBytes models one broadcast's wire cost under the configured codec:
+// the exact Train frame size. first selects the full-precision fallback a
+// delta codec pays before the peer's connection holds a reference.
+func (nd *node) downBytes(dim int, first bool) uint64 {
+	return uint64(wireTrainBytes(nd.cfg.Codec, dim, first))
+}
+
+// upBytes models one update's wire cost: the exact TrainOK frame size.
+func (nd *node) upBytes(dim, idLen int) uint64 {
+	return uint64(wireTrainOKBytes(nd.cfg.Codec, dim, idLen))
+}
+
+// runSelected trains the selected peers under the configured concurrency
+// bound and round deadline, invoking onDone(i) on this goroutine for
+// every peer whose trainOne call completed before the deadline. Peers
+// without an onDone call by return time were abandoned at the deadline;
+// their updates/errs slots must not be read.
+func (nd *node) runSelected(selected []int, trainOne func(int), roundStart time.Time, onDone func(int)) {
+	deadline := nd.cfg.RoundDeadline
+
+	if !nd.cfg.Parallel {
+		if deadline <= 0 {
+			for _, i := range selected {
+				trainOne(i)
+				onDone(i)
+			}
+			return
+		}
+		// Sequential order is preserved, but each peer runs in a
+		// goroutine so an in-flight hung call can still be abandoned when
+		// the round deadline fires.
+		timer := time.NewTimer(deadline - time.Since(roundStart))
+		defer timer.Stop()
+		for _, i := range selected {
+			ch := make(chan struct{})
+			go func(i int) {
+				trainOne(i)
+				close(ch)
+			}(i)
+			select {
+			case <-ch:
+				onDone(i)
+			case <-timer.C:
+				// If the peer completed in the same instant the timer
+				// fired, keep its result instead of discarding real work.
+				select {
+				case <-ch:
+					onDone(i)
+				default:
+				}
+				return // abandon the in-flight peer and the rest
+			}
+		}
+		return
+	}
+
+	workers := nd.cfg.MaxConcurrentClients
+	if workers <= 0 || workers > len(selected) {
+		workers = len(selected)
+	}
+	sem := make(chan struct{}, workers)
+	// done is buffered so abandoned stragglers can report and exit
+	// instead of leaking on a blocked send after the deadline fires.
+	done := make(chan int, len(selected))
+	// cancel keeps queued workers from starting stale Train calls after
+	// the deadline has already cut the round off: a hung station pinning
+	// every pool slot would otherwise cascade — the queued calls would
+	// run to completion into later rounds, serialize behind the next
+	// round's call to the same peer, and blow its deadline too. Workers
+	// parked on the semaphore exit immediately on cancel rather than
+	// leaking until a slot frees.
+	cancel := make(chan struct{})
+	for _, i := range selected {
+		go func(i int) {
+			select {
+			case sem <- struct{}{}:
+			case <-cancel:
+				return
+			}
+			defer func() { <-sem }()
+			select {
+			case <-cancel:
+				return
+			default:
+			}
+			trainOne(i)
+			done <- i
+		}(i)
+	}
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline - time.Since(roundStart))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for remaining := len(selected); remaining > 0; {
+		select {
+		case i := <-done:
+			// The channel receive orders the goroutine's writes to
+			// updates/partials/errs before the consumer's reads.
+			onDone(i)
+			remaining--
+		case <-timeout:
+			close(cancel)
+			// Keep completions that raced the timer: peers already in the
+			// buffered channel finished before the deadline and must not
+			// be discarded (fatal under strict mode, a wrongful drop under
+			// tolerance).
+			for {
+				select {
+				case i := <-done:
+					onDone(i)
+				default:
+					return // cut off the true stragglers
+				}
+			}
+		}
+	}
+}
+
+// preflightClients runs the Hello handshake against every client handle
+// that supports it, verifying model-dimension compatibility before round
+// 1. A peer whose weight vector cannot be aggregated, or that speaks an
+// incompatible protocol revision, is a configuration bug and always
+// fatal; an unreachable peer is fatal only without tolerance (with
+// tolerance it simply drops out of rounds). A peer that is unreachable at
+// preflight and later joins with an incompatible model is not
+// retro-validated: its Train calls fail every round and the reason is
+// recorded in the round's Errors.
+func preflightClients(clients []ClientHandle, wantDim int, tolerate bool) error {
+	// Handshakes run concurrently: a sequential sweep would pay each
+	// unreachable peer's full dial/retry ladder back to back, turning a
+	// few dead peers into minutes of startup delay.
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for idx, c := range clients {
+		p, ok := c.(Prober)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, id string, p Prober) {
+			defer wg.Done()
+			info, err := p.Hello()
+			switch {
+			case isProtocolMismatch(err):
+				errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
+			case err != nil:
+				if !tolerate {
+					errs[idx] = fmt.Errorf("fed: preflight %s: %w", id, err)
+				}
+			case info.ModelDim != wantDim:
+				errs[idx] = fmt.Errorf("%w: station %s has %d parameters, coordinator expects %d",
+					ErrDimMismatch, info.StationID, info.ModelDim, wantDim)
+			}
+		}(idx, c.ID(), p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

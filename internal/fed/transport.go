@@ -67,15 +67,20 @@ var ErrProtocolMismatch = errors.New("fed: station speaks an incompatible federa
 // federations treat it like any unreachable station.
 var ErrHello = errors.New("fed: Hello handshake got no response (legacy gob station, or hung peer)")
 
-// HelloInfo is the station identity returned by the Hello handshake.
+// HelloInfo is the peer identity returned by the Hello handshake.
 type HelloInfo struct {
-	// StationID is the station's self-reported identifier.
+	// StationID is the peer's self-reported identifier.
 	StationID string
-	// ModelDim is the station's weight-vector dimension; the coordinator
-	// rejects stations whose dimension differs from the global model's.
+	// ModelDim is the peer's weight-vector dimension; the coordinator
+	// rejects peers whose dimension differs from the global model's.
 	ModelDim int
-	// NumSamples is the station's private training-set size.
+	// NumSamples is the peer's private training-set size (an edge reports
+	// its subtree total).
 	NumSamples int
+	// Role reports whether the peer is a leaf station (RoleStation) or an
+	// aggregation node fronting its own subtree (RoleAggregate). Peers
+	// predating the hierarchy omit the byte and parse as RoleStation.
+	Role uint8
 }
 
 // Prober is implemented by client handles that support the Hello
@@ -107,11 +112,119 @@ type ServerConfig struct {
 	Codec Codec
 }
 
-// ClientServer exposes a Client over TCP.
+// servedNode is what the TCP server needs from the peer it fronts: the
+// Hello/Probe identity calls plus one respondTrain that answers a Train
+// request with a response frame builder. A leaf Client answers MsgTrainOK
+// with its update; an Edge answers MsgTrainPartial with its subtree's
+// partial aggregate — the server's framing, session and delta-reference
+// machinery is identical for both roles.
+type servedNode interface {
+	nodeID() string
+	hello() (HelloInfo, error)
+	numSamples() (int, error)
+	// respondTrain runs the peer's training for one parsed Train request
+	// (weights is the decoded broadcast, owned by the session) and
+	// returns the response type and payload builder. An error is an
+	// application error: reported as ErrCodeApp, connection kept.
+	respondTrain(tr wire.Train, weights []float64, scfg ServerConfig) (wire.MsgType, func([]byte) ([]byte, error), error)
+}
+
+// clientPeer adapts a leaf Client to the server.
+type clientPeer struct{ c *Client }
+
+func (p clientPeer) nodeID() string            { return p.c.id }
+func (p clientPeer) hello() (HelloInfo, error) { return p.c.Hello() }
+func (p clientPeer) numSamples() (int, error)  { return p.c.NumSamples() }
+
+func (p clientPeer) respondTrain(tr wire.Train, weights []float64, scfg ServerConfig) (wire.MsgType, func([]byte) ([]byte, error), error) {
+	cfg := LocalTrainConfig{
+		Epochs:       tr.Epochs,
+		BatchSize:    tr.BatchSize,
+		LearningRate: tr.LearningRate,
+		Workers:      tr.Workers,
+		Round:        tr.Round,
+		Privacy:      Privacy{ClipNorm: tr.PrivacyClip, NoiseStd: tr.PrivacyNoise},
+		ProximalMu:   tr.ProximalMu,
+		// The wire performs the real encoding below; the client must not
+		// additionally simulate it.
+		Codec: CodecNone,
+	}
+	u, err := p.c.Train(weights, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	upCodec := maxVecCodec(tr.UpdateCodec, scfg.Codec.upVec())
+	return wire.MsgTrainOK, func(b []byte) ([]byte, error) {
+		b, err := wire.AppendTrainOK(b, wire.TrainOK{
+			StationID:    u.ClientID,
+			NumSamples:   u.NumSamples,
+			TrainSeconds: u.TrainSeconds,
+			FinalLoss:    u.FinalLoss,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Uplink delta reference is this round's broadcast as this
+		// station reconstructed it.
+		return wire.AppendVector(b, upCodec, u.Weights, weights, nil)
+	}, nil
+}
+
+// edgePeer adapts an Edge aggregator to the server.
+type edgePeer struct{ e *Edge }
+
+func (p edgePeer) nodeID() string            { return p.e.id }
+func (p edgePeer) hello() (HelloInfo, error) { return p.e.Hello() }
+func (p edgePeer) numSamples() (int, error)  { return p.e.NumSamples() }
+
+func (p edgePeer) respondTrain(tr wire.Train, weights []float64, scfg ServerConfig) (wire.MsgType, func([]byte) ([]byte, error), error) {
+	cfg := LocalTrainConfig{
+		Epochs:       tr.Epochs,
+		BatchSize:    tr.BatchSize,
+		LearningRate: tr.LearningRate,
+		Workers:      tr.Workers,
+		Round:        tr.Round,
+		Privacy:      Privacy{ClipNorm: tr.PrivacyClip, NoiseStd: tr.PrivacyNoise},
+		ProximalMu:   tr.ProximalMu,
+		// The edge applies its own downstream codec; partial uplinks are
+		// always raw float64 regardless of tr.UpdateCodec.
+		Codec:       CodecNone,
+		PartialKind: PartialKind(tr.PartialKind),
+	}
+	part, err := p.e.TrainPartial(weights, cfg)
+	if err != nil {
+		// Any edge failure — including a fully-dropped subtree — is an
+		// application error: a tolerant root drops just this subtree and
+		// the round completes on the surviving edges.
+		return 0, nil, err
+	}
+	return wire.MsgTrainPartial, func(b []byte) ([]byte, error) {
+		return wire.AppendTrainPartial(b, wire.TrainPartial{
+			NodeID:           part.NodeID,
+			Kind:             uint8(part.Kind),
+			LeafParticipants: part.LeafParticipants,
+			LeafDropped:      part.LeafDropped,
+			SampleSum:        uint64(part.SampleSum),
+			Count:            part.Count,
+			LossSum:          part.LossSum,
+			ClientSeconds:    part.ClientSeconds,
+			BytesDown:        part.BytesDown,
+			BytesUp:          part.BytesUp,
+			Dim:              part.Dim,
+			WeightTotal:      part.WeightTotal,
+			Hi:               part.AccHi,
+			Lo:               part.AccLo,
+			Held:             part.Held,
+		})
+	}, nil
+}
+
+// ClientServer exposes an aggregation peer — a leaf Client (ServeClient)
+// or an Edge (ServeEdge) — over TCP.
 type ClientServer struct {
-	client *Client
-	ln     net.Listener
-	scfg   ServerConfig
+	peer servedNode
+	ln   net.Listener
+	scfg ServerConfig
 
 	mu       sync.Mutex
 	closed   bool
@@ -131,6 +244,17 @@ func ServeClient(client *Client, addr string) (*ClientServer, error) {
 // ServeClientConfig starts serving client on addr with explicit lifecycle
 // configuration. Stop must be called to release the listener.
 func ServeClientConfig(client *Client, addr string, scfg ServerConfig) (*ClientServer, error) {
+	return servePeer(clientPeer{c: client}, addr, scfg)
+}
+
+// ServeEdge starts serving an edge aggregator on addr: the same binary
+// protocol as a station, answering Train requests with MsgTrainPartial
+// frames. Stop must be called to release the listener.
+func ServeEdge(e *Edge, addr string, scfg ServerConfig) (*ClientServer, error) {
+	return servePeer(edgePeer{e: e}, addr, scfg)
+}
+
+func servePeer(peer servedNode, addr string, scfg ServerConfig) (*ClientServer, error) {
 	if scfg.RequestTimeout < 0 {
 		return nil, fmt.Errorf("%w: request timeout %v", ErrBadConfig, scfg.RequestTimeout)
 	}
@@ -141,7 +265,7 @@ func ServeClientConfig(client *Client, addr string, scfg ServerConfig) (*ClientS
 	if err != nil {
 		return nil, fmt.Errorf("fed: listen %s: %w", addr, err)
 	}
-	s := &ClientServer{client: client, ln: ln, scfg: scfg, conns: make(map[net.Conn]struct{})}
+	s := &ClientServer{peer: peer, ln: ln, scfg: scfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -252,13 +376,13 @@ func (s *ClientServer) handle(conn net.Conn) {
 			s.respondError(wc, conn, wire.ErrorMsg{
 				Code:        wire.ErrCodeVersion,
 				PeerVersion: wire.Version,
-				Text:        fmt.Sprintf("station %s speaks protocol v%d, got v%d", s.client.id, wire.Version, fr.Version),
+				Text:        fmt.Sprintf("station %s speaks protocol v%d, got v%d", s.peer.nodeID(), wire.Version, fr.Version),
 			})
 			return
 		}
 		switch fr.Type {
 		case wire.MsgHello:
-			info, herr := s.client.Hello()
+			info, herr := s.peer.hello()
 			if herr != nil {
 				s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: herr.Error()})
 				continue
@@ -268,10 +392,11 @@ func (s *ClientServer) handle(conn net.Conn) {
 					StationID:  info.StationID,
 					ModelDim:   info.ModelDim,
 					NumSamples: info.NumSamples,
+					Role:       info.Role,
 				})
 			})
 		case wire.MsgProbe:
-			n, perr := s.client.NumSamples()
+			n, perr := s.peer.numSamples()
 			if perr != nil {
 				s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: perr.Error()})
 				continue
@@ -316,49 +441,25 @@ func (s *ClientServer) handleTrain(wc *wire.Conn, conn net.Conn, payload []byte,
 	}
 	sess.spare = weights // keep ownership of the (possibly regrown) buffer
 
-	cfg := LocalTrainConfig{
-		Epochs:       tr.Epochs,
-		BatchSize:    tr.BatchSize,
-		LearningRate: tr.LearningRate,
-		Workers:      tr.Workers,
-		Round:        tr.Round,
-		Privacy:      Privacy{ClipNorm: tr.PrivacyClip, NoiseStd: tr.PrivacyNoise},
-		ProximalMu:   tr.ProximalMu,
-		// The wire performs the real encoding below; the client must not
-		// additionally simulate it.
-		Codec: CodecNone,
-	}
-	u, err := s.client.Train(weights, cfg)
+	respType, build, err := s.peer.respondTrain(tr, weights, s.scfg)
 	if err != nil {
 		// Application error: report it and keep serving. The delta
 		// reference is NOT committed — the coordinator only commits its
-		// side on TrainOK, and both ends must move in lockstep.
+		// side on the success response, and both ends must move in
+		// lockstep.
 		s.respondError(wc, conn, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: err.Error()})
 		return true
 	}
 
-	upCodec := maxVecCodec(tr.UpdateCodec, s.scfg.Codec.upVec())
 	if s.scfg.RequestTimeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.scfg.RequestTimeout))
 	}
-	werr := wc.WriteFrame(wire.MsgTrainOK, func(b []byte) ([]byte, error) {
-		b, err := wire.AppendTrainOK(b, wire.TrainOK{
-			StationID:    u.ClientID,
-			NumSamples:   u.NumSamples,
-			TrainSeconds: u.TrainSeconds,
-			FinalLoss:    u.FinalLoss,
-		})
-		if err != nil {
-			return nil, err
-		}
-		// Uplink delta reference is this round's broadcast as this
-		// station reconstructed it.
-		return wire.AppendVector(b, upCodec, u.Weights, weights, nil)
-	})
-	// Commit the session's delta reference at the TrainOK boundary: the
-	// decoded broadcast becomes the reference, the old reference becomes
-	// decode scratch. If the write failed the coordinator saw a transport
-	// error and will re-dial, discarding this session anyway.
+	werr := wc.WriteFrame(respType, build)
+	// Commit the session's delta reference at the success-response
+	// boundary: the decoded broadcast becomes the reference, the old
+	// reference becomes decode scratch. If the write failed the
+	// coordinator saw a transport error and will re-dial, discarding this
+	// session anyway.
 	sess.global, sess.spare = weights, sess.global
 	return werr == nil
 }
@@ -516,7 +617,7 @@ func (r *RemoteClient) Hello() (HelloInfo, error) {
 		if err != nil {
 			return fmt.Errorf("fed: %s: %w", r.addr, err)
 		}
-		info = HelloInfo{StationID: ok.StationID, ModelDim: ok.ModelDim, NumSamples: ok.NumSamples}
+		info = HelloInfo{StationID: ok.StationID, ModelDim: ok.ModelDim, NumSamples: ok.NumSamples, Role: ok.Role}
 		return nil
 	})
 	if err != nil && !errors.Is(err, ErrRemote) && !errors.Is(err, ErrProtocolMismatch) {
@@ -585,6 +686,7 @@ func (r *RemoteClient) Train(global []float64, cfg LocalTrainConfig) (Update, er
 				PrivacyClip:  cfg.Privacy.ClipNorm,
 				PrivacyNoise: cfg.Privacy.NoiseStd,
 				UpdateCodec:  cfg.Codec.upVec(),
+				PartialKind:  uint8(cfg.PartialKind),
 			})
 			return wire.AppendVector(b, down, global, ref, recon)
 		})

@@ -1,0 +1,108 @@
+package fed
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/fed/wire"
+)
+
+// RemoteEdge is a PartialTrainer that reaches an edge aggregator served
+// by ServeEdge over TCP. It shares RemoteClient's persistent-connection,
+// retry, delta-reference and traffic-counter machinery — the downlink
+// broadcast is the same (possibly delta-coded) Train frame a station
+// receives; only the response differs (MsgTrainPartial instead of
+// MsgTrainOK). A parent that Hello-discovers RoleAggregate wraps the
+// address in a RemoteEdge so the round engine dispatches TrainPartial.
+type RemoteEdge struct {
+	*RemoteClient
+}
+
+var (
+	_ ClientHandle   = (*RemoteEdge)(nil)
+	_ PartialTrainer = (*RemoteEdge)(nil)
+	_ Prober         = (*RemoteEdge)(nil)
+)
+
+// NewRemoteEdge builds a handle for the edge served at addr with the same
+// production-leaning defaults as NewRemoteClient.
+func NewRemoteEdge(id, addr string) *RemoteEdge {
+	return &RemoteEdge{RemoteClient: NewRemoteClient(id, addr)}
+}
+
+// TrainPartial implements PartialTrainer over the wire: broadcast the
+// global weights down (delta-coded once the connection holds a
+// reference) and decode the edge's partial-aggregate response.
+func (r *RemoteEdge) TrainPartial(global []float64, cfg LocalTrainConfig) (Partial, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := cfg.Codec.validate(); err != nil {
+		return Partial{}, fmt.Errorf("fed: %s: %w", r.id, err)
+	}
+	var p Partial
+	err := r.roundTrip(func() error {
+		down := cfg.Codec.downVec(r.connSent)
+		var ref []float64
+		if down == wire.VecQ8 {
+			ref = r.sentGlobal
+		}
+		if cap(r.reconBuf) < len(global) {
+			r.reconBuf = make([]float64, len(global))
+		}
+		recon := r.reconBuf[:len(global)]
+
+		fr, err := r.exchange(false, wire.MsgTrain, func(b []byte) ([]byte, error) {
+			b = wire.AppendTrain(b, wire.Train{
+				Round:        cfg.Round,
+				Epochs:       cfg.Epochs,
+				BatchSize:    cfg.BatchSize,
+				Workers:      cfg.Workers,
+				LearningRate: cfg.LearningRate,
+				ProximalMu:   cfg.ProximalMu,
+				PrivacyClip:  cfg.Privacy.ClipNorm,
+				PrivacyNoise: cfg.Privacy.NoiseStd,
+				UpdateCodec:  cfg.Codec.upVec(),
+				PartialKind:  uint8(cfg.PartialKind),
+			})
+			return wire.AppendVector(b, down, global, ref, recon)
+		})
+		if err != nil {
+			return err
+		}
+		if fr.Type != wire.MsgTrainPartial {
+			return fmt.Errorf("%w: %s answered Train with message type %d, expected a partial aggregate",
+				ErrProtocolMismatch, r.addr, fr.Type)
+		}
+		tp, err := wire.ParseTrainPartial(fr.Payload)
+		if err != nil {
+			return fmt.Errorf("fed: %s: decode partial: %w", r.addr, err)
+		}
+		// ParseTrainPartial allocates fresh vectors, so the partial
+		// safely outlives the connection's read buffer.
+		p = Partial{
+			NodeID:           tp.NodeID,
+			Kind:             PartialKind(tp.Kind),
+			Dim:              tp.Dim,
+			WeightTotal:      tp.WeightTotal,
+			Count:            tp.Count,
+			AccHi:            tp.Hi,
+			AccLo:            tp.Lo,
+			Held:             tp.Held,
+			LeafParticipants: tp.LeafParticipants,
+			LeafDropped:      tp.LeafDropped,
+			SampleSum:        int(tp.SampleSum),
+			LossSum:          tp.LossSum,
+			ClientSeconds:    tp.ClientSeconds,
+			BytesDown:        tp.BytesDown,
+			BytesUp:          tp.BytesUp,
+		}
+		// Commit the downlink delta reference at the same boundary the
+		// edge does (its success response).
+		r.sentGlobal, r.reconBuf = recon, r.sentGlobal
+		r.connSent = true
+		return nil
+	})
+	if err != nil {
+		return Partial{}, err
+	}
+	return p, nil
+}

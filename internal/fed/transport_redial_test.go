@@ -1,0 +1,117 @@
+package fed
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTransportRedialResetsQ8DeltaReference is the mid-federation restart
+// regression for the delta codec: the serving peer dies between rounds
+// and comes back on the same address with empty session state. The
+// transparent re-dial must reset the connection-scoped delta reference on
+// BOTH ends — the next broadcast falls back to a full frame (asserted via
+// the measured per-round downlink bytes), delta coding resumes the round
+// after, and the federation lands bit-identical to a run that explicitly
+// closed the handle between rounds (the known-good reset path).
+func TestTransportRedialResetsQ8DeltaReference(t *testing.T) {
+	skipIfShort(t)
+
+	// run drives a 3-round q8 federation over one TCP station, invoking
+	// between after round 0 completes; it returns the final global model
+	// and the bytes rc actually put on the wire per round.
+	run := func(between func(c *Client, srv *ClientServer, rc *RemoteClient) *ClientServer) ([]float64, []uint64) {
+		c, err := NewClient("sta", smallSpec(), clientSeries(150, 0.3, 9), 12, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Stop() }) // srv is rebound on restart; stop the live one
+
+		rc := NewRemoteClient("sta", srv.Addr())
+		t.Cleanup(func() { rc.Close() })
+
+		cfg := smallConfig(21)
+		cfg.Rounds = 3
+		cfg.EpochsPerRound = 1
+		cfg.Codec = CodecQ8
+		var sentAt []uint64 // cumulative wire bytes at each round boundary
+		cfg.OnRound = func(stat RoundStat, _ []float64) {
+			sent, _ := rc.Traffic()
+			sentAt = append(sentAt, sent)
+			if stat.Round == 0 {
+				srv = between(c, srv, rc)
+			}
+		}
+		co, err := NewCoordinator(smallSpec(), []ClientHandle{rc}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatalf("federation across the restart failed: %v", err)
+		}
+		for _, rs := range res.Rounds {
+			if len(rs.Participants) != 1 || len(rs.Errors) != 0 {
+				t.Fatalf("round %d: participants %v, errors %v — restart must be transparent",
+					rs.Round, rs.Participants, rs.Errors)
+			}
+		}
+		perRound := make([]uint64, len(sentAt))
+		for i, s := range sentAt {
+			perRound[i] = s
+			if i > 0 {
+				perRound[i] -= sentAt[i-1]
+			}
+		}
+		return res.Global, perRound
+	}
+
+	restarted, restartBytes := run(func(c *Client, srv *ClientServer, rc *RemoteClient) *ClientServer {
+		addr := srv.Addr()
+		srv.Stop()
+		again, err := ServeClient(c, addr)
+		if err != nil {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		return again
+	})
+
+	control, controlBytes := run(func(c *Client, srv *ClientServer, rc *RemoteClient) *ClientServer {
+		rc.Close() // explicit reset: the documented reconnect semantics
+		return srv
+	})
+
+	if len(restarted) != len(control) {
+		t.Fatalf("dim mismatch: %d vs %d", len(restarted), len(control))
+	}
+	for i := range restarted {
+		if math.Float64bits(restarted[i]) != math.Float64bits(control[i]) {
+			t.Fatalf("coordinate %d differs after restart: %v != control %v",
+				i, restarted[i], control[i])
+		}
+	}
+
+	// The measured downlink pins the codec schedule: round 1 ships a
+	// full-frame fallback (the stale delta reference was discarded) and
+	// round 2 shrinks back to delta coding on both variants.
+	if len(restartBytes) != 3 || len(controlBytes) != 3 {
+		t.Fatalf("want 3 per-round byte counts, got %v and %v", restartBytes, controlBytes)
+	}
+	// The restart variant may additionally count a doomed partial write on
+	// the dead connection before the re-dial, so it is a lower bound, not
+	// an equality.
+	if restartBytes[1] < controlBytes[1] {
+		t.Fatalf("restart round 1 sent %d bytes, below the explicit-reset fallback frame of %d — no full-frame fallback happened",
+			restartBytes[1], controlBytes[1])
+	}
+	if restartBytes[2] >= restartBytes[1] {
+		t.Fatalf("round 2 (%d B) should resume delta coding below the round-1 fallback (%d B)",
+			restartBytes[2], restartBytes[1])
+	}
+	if controlBytes[2] != restartBytes[2] {
+		t.Fatalf("delta rounds diverge: restart %d B vs control %d B", restartBytes[2], controlBytes[2])
+	}
+}

@@ -43,6 +43,19 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 		return AppendVector(b, VecF32, vec, nil, nil)
 	}))
+	f.Add(mk(MsgTrainPartial, func(b []byte) ([]byte, error) {
+		return AppendTrainPartial(b, TrainPartial{
+			NodeID: "edge-1", Kind: partialWeighted, LeafParticipants: 2, SampleSum: 60,
+			Count: 2, LossSum: 0.5, Dim: 4, WeightTotal: 60,
+			Hi: vec, Lo: []float64{0, 0, 0, 0},
+		})
+	}))
+	f.Add(mk(MsgTrainPartial, func(b []byte) ([]byte, error) {
+		return AppendTrainPartial(b, TrainPartial{
+			NodeID: "edge-2", Kind: partialHeld, LeafParticipants: 1, SampleSum: 9,
+			Count: 1, Dim: 4, Held: [][]float64{vec},
+		})
+	}))
 	f.Add(mk(MsgError, func(b []byte) ([]byte, error) {
 		return AppendError(b, ErrorMsg{Code: ErrCodeVersion, PeerVersion: 2, Text: "v2"})
 	}))
@@ -118,6 +131,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 				if _, rest, err := ParseTrainOK(fr.Payload); err == nil {
 					_, _, _ = DecodeVector(rest, nil, nil)
 				}
+			case MsgTrainPartial:
+				_, _ = ParseTrainPartial(fr.Payload)
 			case MsgError:
 				_, _ = ParseError(fr.Payload)
 			case MsgScore:

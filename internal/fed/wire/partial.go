@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Partial kinds mirrored from the fed package (wire must not import it).
+// Weighted/uniform partials ship a pre-folded compensated sum; held
+// partials relay the downstream update vectors unfolded (order statistics
+// cannot be pre-folded).
+const (
+	partialWeighted uint8 = 0
+	partialUniform  uint8 = 1
+	partialHeld     uint8 = 2
+
+	partialKindMax = partialHeld
+)
+
+// TrainPartial is an aggregation node's answer to MsgTrain: its subtree's
+// partial aggregate plus the bookkeeping the parent folds into its round
+// statistics. Vector payloads are raw little-endian float64 regardless of
+// the tree's update codec — partial sums must merge losslessly for the
+// root's fold to stay bit-identical to a flat round, and quantizing the
+// compensation terms would defeat them entirely.
+//
+// Payload layout:
+//
+//	nodeID            string (u16 len + bytes)
+//	kind              u8
+//	leafParticipants  u32
+//	leafDropped       u32
+//	sampleSum         u64
+//	count             u32    folded (or held) downstream updates
+//	lossSum           f64
+//	clientSeconds     f64
+//	bytesDown         u64    the node's own downstream round traffic
+//	bytesUp           u64
+//	dim               u32
+//	-- kind weighted/uniform --
+//	weightTotal       f64
+//	accHi             dim × f64
+//	accLo             dim × f64
+//	-- kind held --
+//	vectors           count × dim × f64
+type TrainPartial struct {
+	NodeID           string
+	Kind             uint8
+	LeafParticipants int
+	LeafDropped      int
+	SampleSum        uint64
+	Count            int
+	LossSum          float64
+	ClientSeconds    float64
+	BytesDown        uint64
+	BytesUp          uint64
+	Dim              int
+	WeightTotal      float64
+	Hi, Lo           []float64
+	Held             [][]float64
+}
+
+// partialMetaBytes is the fixed-field size after the node-ID string.
+const partialMetaBytes = 1 + 4 + 4 + 8 + 4 + 8 + 8 + 8 + 8 + 4
+
+// AppendTrainPartial encodes t onto b.
+func AppendTrainPartial(b []byte, t TrainPartial) ([]byte, error) {
+	if t.Kind > partialKindMax {
+		return nil, fmt.Errorf("%w: partial kind %d", ErrMalformed, t.Kind)
+	}
+	b, err := appendString(b, t.NodeID)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, t.Kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.LeafParticipants))
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.LeafDropped))
+	b = binary.LittleEndian.AppendUint64(b, t.SampleSum)
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Count))
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.LossSum))
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.ClientSeconds))
+	b = binary.LittleEndian.AppendUint64(b, t.BytesDown)
+	b = binary.LittleEndian.AppendUint64(b, t.BytesUp)
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.Dim))
+	if t.Kind == partialHeld {
+		if len(t.Held) != t.Count {
+			return nil, fmt.Errorf("%w: held partial carries %d vectors, count says %d",
+				ErrMalformed, len(t.Held), t.Count)
+		}
+		for _, w := range t.Held {
+			if len(w) != t.Dim {
+				return nil, fmt.Errorf("%w: held vector dim %d != %d", ErrMalformed, len(w), t.Dim)
+			}
+			b = appendF64s(b, w)
+		}
+		return b, nil
+	}
+	if len(t.Hi) != t.Dim || len(t.Lo) != t.Dim {
+		return nil, fmt.Errorf("%w: folded partial hi/lo dims %d/%d != %d",
+			ErrMalformed, len(t.Hi), len(t.Lo), t.Dim)
+	}
+	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.WeightTotal))
+	b = appendF64s(b, t.Hi)
+	b = appendF64s(b, t.Lo)
+	return b, nil
+}
+
+func parseU64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("%w: short uint64", ErrMalformed)
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// ParseTrainPartial decodes a MsgTrainPartial payload. The returned
+// vectors are fresh allocations (the payload buffer is connection-owned
+// and reused by the next read).
+func ParseTrainPartial(p []byte) (TrainPartial, error) {
+	var t TrainPartial
+	var err error
+	if t.NodeID, p, err = parseString(p); err != nil {
+		return t, err
+	}
+	if len(p) < partialMetaBytes {
+		return t, fmt.Errorf("%w: short partial meta", ErrMalformed)
+	}
+	t.Kind = p[0]
+	p = p[1:]
+	if t.Kind > partialKindMax {
+		return t, fmt.Errorf("%w: unknown partial kind %d", ErrMalformed, t.Kind)
+	}
+	if t.LeafParticipants, p, err = parseU32(p); err != nil {
+		return t, err
+	}
+	if t.LeafDropped, p, err = parseU32(p); err != nil {
+		return t, err
+	}
+	if t.SampleSum, p, err = parseU64(p); err != nil {
+		return t, err
+	}
+	if t.Count, p, err = parseU32(p); err != nil {
+		return t, err
+	}
+	if t.LossSum, p, err = parseF64(p); err != nil {
+		return t, err
+	}
+	if t.ClientSeconds, p, err = parseF64(p); err != nil {
+		return t, err
+	}
+	if t.BytesDown, p, err = parseU64(p); err != nil {
+		return t, err
+	}
+	if t.BytesUp, p, err = parseU64(p); err != nil {
+		return t, err
+	}
+	if t.Dim, p, err = parseU32(p); err != nil {
+		return t, err
+	}
+	if t.Dim <= 0 || t.Count <= 0 {
+		return t, fmt.Errorf("%w: partial dim %d count %d", ErrMalformed, t.Dim, t.Count)
+	}
+	if t.Kind == partialHeld {
+		// Size check before any allocation: a lying count/dim must fail on
+		// the bytes actually present, not force the allocation first.
+		need := t.Count * t.Dim * 8
+		if t.Count > MaxFrameBytes/8/t.Dim || len(p) != need {
+			return t, fmt.Errorf("%w: held partial wants %d×%d vectors, payload has %d bytes",
+				ErrMalformed, t.Count, t.Dim, len(p))
+		}
+		t.Held = make([][]float64, t.Count)
+		flat := make([]float64, t.Count*t.Dim)
+		for i := range t.Held {
+			t.Held[i] = flat[i*t.Dim : (i+1)*t.Dim]
+			decodeF64s(t.Held[i], p[:t.Dim*8])
+			p = p[t.Dim*8:]
+		}
+		return t, nil
+	}
+	if t.WeightTotal, p, err = parseF64(p); err != nil {
+		return t, err
+	}
+	if t.Dim > MaxFrameBytes/16 || len(p) != 2*t.Dim*8 {
+		return t, fmt.Errorf("%w: folded partial wants 2×%d floats, payload has %d bytes",
+			ErrMalformed, t.Dim, len(p))
+	}
+	t.Hi = make([]float64, t.Dim)
+	t.Lo = make([]float64, t.Dim)
+	decodeF64s(t.Hi, p[:t.Dim*8])
+	decodeF64s(t.Lo, p[t.Dim*8:])
+	return t, nil
+}
+
+// TrainPartialBytes is the exact size of a TrainPartial frame: kind
+// partialHeld carries count unfolded vectors, the folded kinds carry the
+// weight total plus two dim-length float64 arrays.
+func TrainPartialBytes(kind uint8, dim, count, idLen int) int {
+	n := HeaderBytes + 2 + idLen + partialMetaBytes
+	if kind == partialHeld {
+		return n + count*dim*8
+	}
+	return n + 8 + 2*dim*8
+}

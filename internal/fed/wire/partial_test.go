@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTrainPartialRoundTripFolded(t *testing.T) {
+	for _, kind := range []uint8{partialWeighted, partialUniform} {
+		in := TrainPartial{
+			NodeID:           "edge-west",
+			Kind:             kind,
+			LeafParticipants: 37,
+			LeafDropped:      3,
+			SampleSum:        123456789,
+			Count:            40,
+			LossSum:          12.75,
+			ClientSeconds:    981.5,
+			BytesDown:        1 << 33,
+			BytesUp:          1 << 21,
+			Dim:              5,
+			WeightTotal:      4020,
+			Hi:               []float64{1.5, -2.25, math.Pi, 0, 1e300},
+			Lo:               []float64{1e-17, -3e-18, 0, 2e-20, -5e284},
+		}
+		enc, err := AppendTrainPartial(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := TrainPartialBytes(kind, in.Dim, in.Count, len(in.NodeID)) - HeaderBytes; len(enc) != want {
+			t.Fatalf("kind %d: encoded %d bytes, TrainPartialBytes says %d (payload)", kind, len(enc), want)
+		}
+		out, err := ParseTrainPartial(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NodeID != in.NodeID || out.Kind != in.Kind ||
+			out.LeafParticipants != in.LeafParticipants || out.LeafDropped != in.LeafDropped ||
+			out.SampleSum != in.SampleSum || out.Count != in.Count ||
+			out.LossSum != in.LossSum || out.ClientSeconds != in.ClientSeconds ||
+			out.BytesDown != in.BytesDown || out.BytesUp != in.BytesUp ||
+			out.Dim != in.Dim || out.WeightTotal != in.WeightTotal {
+			t.Fatalf("kind %d: meta mismatch:\n in: %+v\nout: %+v", kind, in, out)
+		}
+		for i := range in.Hi {
+			// Bit-exact transport is the whole point of the raw f64 layout:
+			// the compensation terms are meaningless after any rounding.
+			if math.Float64bits(out.Hi[i]) != math.Float64bits(in.Hi[i]) ||
+				math.Float64bits(out.Lo[i]) != math.Float64bits(in.Lo[i]) {
+				t.Fatalf("kind %d: vector slot %d not bit-exact", kind, i)
+			}
+		}
+		if out.Held != nil {
+			t.Fatalf("kind %d: folded partial decoded held vectors", kind)
+		}
+	}
+}
+
+func TestTrainPartialRoundTripHeld(t *testing.T) {
+	in := TrainPartial{
+		NodeID: "edge-held",
+		Kind:   partialHeld,
+		Count:  3,
+		Dim:    4,
+		Held: [][]float64{
+			{1, 2, 3, 4},
+			{-1, -2, -3, -4},
+			{0.5, math.Inf(1), math.SmallestNonzeroFloat64, -0},
+		},
+		LeafParticipants: 3,
+		SampleSum:        90,
+	}
+	enc, err := AppendTrainPartial(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TrainPartialBytes(partialHeld, in.Dim, in.Count, len(in.NodeID)) - HeaderBytes; len(enc) != want {
+		t.Fatalf("encoded %d bytes, TrainPartialBytes says %d (payload)", len(enc), want)
+	}
+	out, err := ParseTrainPartial(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Held) != in.Count {
+		t.Fatalf("decoded %d held vectors, want %d", len(out.Held), in.Count)
+	}
+	for i := range in.Held {
+		for j := range in.Held[i] {
+			if math.Float64bits(out.Held[i][j]) != math.Float64bits(in.Held[i][j]) {
+				t.Fatalf("held[%d][%d] not bit-exact: %v vs %v", i, j, out.Held[i][j], in.Held[i][j])
+			}
+		}
+	}
+	if out.Hi != nil || out.Lo != nil {
+		t.Fatal("held partial decoded folded accumulators")
+	}
+}
+
+func TestTrainPartialEncodeRejectsInconsistent(t *testing.T) {
+	base := TrainPartial{NodeID: "e", Count: 2, Dim: 3,
+		Hi: []float64{1, 2, 3}, Lo: []float64{0, 0, 0}}
+	for name, mut := range map[string]func(*TrainPartial){
+		"unknown kind":    func(p *TrainPartial) { p.Kind = partialKindMax + 1 },
+		"short hi":        func(p *TrainPartial) { p.Hi = p.Hi[:2] },
+		"short lo":        func(p *TrainPartial) { p.Lo = p.Lo[:1] },
+		"held count lies": func(p *TrainPartial) { p.Kind = partialHeld; p.Held = [][]float64{{1, 2, 3}} },
+		"held dim lies": func(p *TrainPartial) {
+			p.Kind = partialHeld
+			p.Held = [][]float64{{1, 2, 3}, {4, 5}}
+		},
+	} {
+		p := base
+		mut(&p)
+		if _, err := AppendTrainPartial(nil, p); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%s: want ErrMalformed, got %v", name, err)
+		}
+	}
+}
+
+func TestTrainPartialParseRejectsMalformed(t *testing.T) {
+	valid := func(kind uint8) []byte {
+		tp := TrainPartial{NodeID: "edge", Kind: kind, Count: 2, Dim: 3, WeightTotal: 2}
+		if kind == partialHeld {
+			tp.Held = [][]float64{{1, 2, 3}, {4, 5, 6}}
+		} else {
+			tp.Hi = []float64{1, 2, 3}
+			tp.Lo = []float64{0, 0, 0}
+		}
+		enc, err := AppendTrainPartial(nil, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+
+	folded := valid(partialWeighted)
+	held := valid(partialHeld)
+
+	// Every truncation of both layouts must fail typed, never panic.
+	for _, enc := range [][]byte{folded, held} {
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := ParseTrainPartial(enc[:cut]); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("truncated at %d/%d: want ErrMalformed, got %v", cut, len(enc), err)
+			}
+		}
+		if extra := append(append([]byte(nil), enc...), 0); true {
+			if _, err := ParseTrainPartial(extra); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("trailing byte: want ErrMalformed, got %v", err)
+			}
+		}
+	}
+
+	// A held partial lying about its count must be rejected on the bytes
+	// present, before the decoder sizes any allocation from it.
+	lying := append([]byte(nil), held...)
+	// count is at offset: 2 + len("edge") + kind(1) + leaf(4) + drop(4) + samples(8)
+	off := 2 + 4 + 1 + 4 + 4 + 8
+	lying[off] = 0xff
+	lying[off+1] = 0xff
+	lying[off+2] = 0xff
+	lying[off+3] = 0x7f
+	if _, err := ParseTrainPartial(lying); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("lying count: want ErrMalformed, got %v", err)
+	}
+
+	// Zero dim/count are invalid in either layout.
+	zero := append([]byte(nil), folded...)
+	zoff := off // count offset; dim sits after loss/seconds/bytes (8*4) fields
+	zero[zoff], zero[zoff+1], zero[zoff+2], zero[zoff+3] = 0, 0, 0, 0
+	if _, err := ParseTrainPartial(zero); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero count: want ErrMalformed, got %v", err)
+	}
+}
+
+// The HelloOK role byte rides at the payload tail so v1 peers that never
+// send it still parse — absent means station.
+func TestHelloOKRoleRoundTripAndBackcompat(t *testing.T) {
+	withRole, err := AppendHelloOK(nil, HelloOK{StationID: "edge-7", ModelDim: 361, NumSamples: 4000, Role: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ParseHelloOK(withRole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Role != 1 || ok.StationID != "edge-7" || ok.ModelDim != 361 || ok.NumSamples != 4000 {
+		t.Fatalf("role round trip mangled the frame: %+v", ok)
+	}
+	if want := HelloOKBytes(len("edge-7")) - HeaderBytes; len(withRole) != want {
+		t.Fatalf("payload %d bytes, HelloOKBytes says %d", len(withRole), want)
+	}
+
+	// A legacy payload ends at NumSamples; the missing byte defaults to
+	// the station role.
+	legacy := withRole[:len(withRole)-1]
+	ok, err = ParseHelloOK(legacy)
+	if err != nil {
+		t.Fatalf("legacy HelloOK without role byte must parse: %v", err)
+	}
+	if ok.Role != 0 {
+		t.Fatalf("legacy HelloOK decoded role %d, want station (0)", ok.Role)
+	}
+}
+
+// The Train frame's partial-kind byte must round-trip and reject unknown
+// kinds at parse time — a root must not silently fold a kind it does not
+// understand.
+func TestTrainPartialKindRoundTrip(t *testing.T) {
+	b := AppendTrain(nil, Train{Round: 3, Epochs: 1, BatchSize: 8, LearningRate: 0.01,
+		UpdateCodec: VecF64, PartialKind: partialHeld})
+	tr, rest, err := ParseTrain(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || tr.PartialKind != partialHeld || tr.Round != 3 {
+		t.Fatalf("train round trip mangled: %+v rest=%d", tr, len(rest))
+	}
+
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-1] = partialKindMax + 1
+	if _, _, err := ParseTrain(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown partial kind: want ErrMalformed, got %v", err)
+	}
+}

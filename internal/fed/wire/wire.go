@@ -86,6 +86,24 @@ const (
 	MsgCanaryCtlOK    MsgType = 17
 )
 
+// Hierarchical-federation kinds. MsgTrainPartial is an aggregation node's
+// answer to MsgTrain: instead of one station's update it carries the
+// node's partial aggregate over its own downstream round (see
+// AppendTrainPartial for the layout). Requests still use MsgTrain — the
+// parent does not need to know in advance whether a peer is a station or
+// an edge.
+const (
+	MsgTrainPartial MsgType = 18
+)
+
+// Peer roles carried in HelloOK, so a parent discovers at handshake time
+// whether a peer answers MsgTrain with MsgTrainOK (a leaf station) or
+// MsgTrainPartial (an aggregation node fronting its own subtree).
+const (
+	RoleStation   uint8 = 0
+	RoleAggregate uint8 = 1
+)
+
 // Typed protocol errors.
 var (
 	// ErrBadMagic marks a stream that is not this binary protocol at all
@@ -215,11 +233,16 @@ func (c *Conn) WriteFrame(t MsgType, build func(b []byte) ([]byte, error)) error
 
 // ---- message payloads ----
 
-// HelloOK is the station's answer to the identity handshake.
+// HelloOK is the peer's answer to the identity handshake.
 type HelloOK struct {
 	StationID  string
 	ModelDim   int
 	NumSamples int
+	// Role distinguishes leaf stations (RoleStation) from aggregation
+	// nodes (RoleAggregate). The byte is a trailing addition to the v1
+	// payload: v1 peers that omit it parse as RoleStation, so flat
+	// deployments interoperate unchanged.
+	Role uint8
 }
 
 // ProbeOK answers a sample-count probe.
@@ -242,6 +265,10 @@ type Train struct {
 	// station to apply to its update (the station may answer with a more
 	// compressed codec; vector payloads are self-describing).
 	UpdateCodec VecCodec
+	// PartialKind tells aggregation nodes which partial form the root's
+	// aggregation rule folds (see the fed package's PartialKind). Leaf
+	// stations ignore it.
+	PartialKind uint8
 }
 
 // TrainOK carries the station's update metadata; the encoded update
@@ -306,7 +333,7 @@ func AppendHelloOK(b []byte, h HelloOK) ([]byte, error) {
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.ModelDim))
 	b = binary.LittleEndian.AppendUint32(b, uint32(h.NumSamples))
-	return b, nil
+	return append(b, h.Role), nil
 }
 
 // ParseHelloOK decodes a MsgHelloOK payload.
@@ -319,8 +346,13 @@ func ParseHelloOK(p []byte) (HelloOK, error) {
 	if h.ModelDim, p, err = parseU32(p); err != nil {
 		return h, err
 	}
-	if h.NumSamples, _, err = parseU32(p); err != nil {
+	if h.NumSamples, p, err = parseU32(p); err != nil {
 		return h, err
+	}
+	// Trailing role byte: absent from pre-hierarchy payloads, which makes
+	// those peers leaf stations.
+	if len(p) > 0 {
+		h.Role = p[0]
 	}
 	return h, nil
 }
@@ -347,7 +379,7 @@ func AppendTrain(b []byte, t Train) []byte {
 	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.ProximalMu))
 	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.PrivacyClip))
 	b = binary.LittleEndian.AppendUint64(b, f64Bits(t.PrivacyNoise))
-	return append(b, byte(t.UpdateCodec))
+	return append(b, byte(t.UpdateCodec), t.PartialKind)
 }
 
 // ParseTrain decodes a MsgTrain payload, returning the fixed fields and
@@ -379,18 +411,22 @@ func ParseTrain(p []byte) (Train, []byte, error) {
 	if t.PrivacyNoise, p, err = parseF64(p); err != nil {
 		return t, nil, err
 	}
-	if len(p) < 1 {
-		return t, nil, fmt.Errorf("%w: missing update codec", ErrMalformed)
+	if len(p) < 2 {
+		return t, nil, fmt.Errorf("%w: missing update codec / partial kind", ErrMalformed)
 	}
 	t.UpdateCodec = VecCodec(p[0])
 	if t.UpdateCodec > VecQ8 {
 		return t, nil, fmt.Errorf("%w: unknown update codec %d", ErrMalformed, t.UpdateCodec)
 	}
-	return t, p[1:], nil
+	t.PartialKind = p[1]
+	if t.PartialKind > partialKindMax {
+		return t, nil, fmt.Errorf("%w: unknown partial kind %d", ErrMalformed, t.PartialKind)
+	}
+	return t, p[2:], nil
 }
 
 // trainMetaBytes is the fixed-field size of a Train payload.
-const trainMetaBytes = 4*4 + 4*8 + 1
+const trainMetaBytes = 4*4 + 4*8 + 2
 
 // AppendTrainOK encodes t's fixed fields onto b; the caller appends the
 // update vector with AppendVector immediately after.
@@ -454,7 +490,7 @@ func ParseError(p []byte) (ErrorMsg, error) {
 func HelloBytes() int { return HeaderBytes }
 
 // HelloOKBytes is the size of a HelloOK frame for a station-ID length.
-func HelloOKBytes(idLen int) int { return HeaderBytes + 2 + idLen + 8 }
+func HelloOKBytes(idLen int) int { return HeaderBytes + 2 + idLen + 8 + 1 }
 
 // ProbeBytes is the size of a Probe request frame.
 func ProbeBytes() int { return HeaderBytes }

@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// TestAxpyCompExactVsBigFloat checks the Neumaier invariant the federated
+// fold relies on: dst+comp tracks the exact running sum far more tightly
+// than a naive fold, even through catastrophic cancellation.
+func TestAxpyCompExactVsBigFloat(t *testing.T) {
+	terms := []float64{1e16, 1.5, -1e16, 2.25, 1e100, 3.0, -1e100, -4.5, 1e-30}
+	dst := []float64{0}
+	comp := []float64{0}
+	naive := 0.0
+	exact := new(big.Float).SetPrec(400)
+	for _, v := range terms {
+		AxpyComp(1, dst, comp, []float64{v})
+		naive += v
+		exact.Add(exact, new(big.Float).SetPrec(400).SetFloat64(v))
+	}
+	want, _ := exact.Float64()
+	got := dst[0] + comp[0]
+	if got != want {
+		t.Fatalf("compensated sum %v, exact %v", got, want)
+	}
+	if naive == want {
+		t.Fatal("test terms do not provoke cancellation — naive sum already exact")
+	}
+}
+
+// TestAxpyCompGroupedMatchesFlat is the unit-level statement of the
+// hierarchy parity theorem: folding terms per group and merging the
+// (sum, compensation) pairs — merge the sums compensated, add the
+// compensations raw — represents the same value as one flat fold.
+func TestAxpyCompGroupedMatchesFlat(t *testing.T) {
+	const dim = 64
+	const n = 48
+	r := rng.New(42)
+	terms := make([][]float64, n)
+	weights := make([]float64, n)
+	for i := range terms {
+		terms[i] = make([]float64, dim)
+		for j := range terms[i] {
+			terms[i][j] = r.Normal(0, 1) * math.Pow(10, float64(j%9-4))
+		}
+		weights[i] = float64(1 + r.Intn(50))
+	}
+
+	flatAcc, flatComp := make([]float64, dim), make([]float64, dim)
+	for i := range terms {
+		AxpyComp(weights[i], flatAcc, flatComp, terms[i])
+	}
+
+	for _, groups := range []int{2, 3, 6} {
+		rootAcc, rootComp := make([]float64, dim), make([]float64, dim)
+		per := n / groups
+		for g := 0; g < groups; g++ {
+			acc, comp := make([]float64, dim), make([]float64, dim)
+			for i := g * per; i < (g+1)*per; i++ {
+				AxpyComp(weights[i], acc, comp, terms[i])
+			}
+			AxpyComp(1, rootAcc, rootComp, acc)
+			AddVec(rootComp, comp)
+		}
+		for j := 0; j < dim; j++ {
+			flat := flatAcc[j] + flatComp[j]
+			grouped := rootAcc[j] + rootComp[j]
+			if math.Float64bits(flat) != math.Float64bits(grouped) {
+				t.Fatalf("%d groups, coordinate %d: grouped %v != flat %v",
+					groups, j, grouped, flat)
+			}
+		}
+	}
+}
+
+func TestAxpyCompPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched lengths")
+		}
+	}()
+	AxpyComp(1, make([]float64, 2), make([]float64, 3), make([]float64, 2))
+}

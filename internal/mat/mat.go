@@ -425,6 +425,30 @@ func Axpy(alpha float64, dst, src []float64) {
 	}
 }
 
+// AxpyComp computes dst[i] += alpha * src[i] with Neumaier-compensated
+// summation: the exact rounding error of every addition into dst[i] is
+// accumulated in comp[i], so dst[i] + comp[i] carries the running sum to
+// roughly twice working precision. Accumulating through AxpyComp makes
+// grouped folds (partial sums combined later, as a hierarchical
+// aggregation tree produces) agree with the flat sequential fold at full
+// float64 precision — the foundation of the federation's flat-vs-edge
+// aggregation parity.
+func AxpyComp(alpha float64, dst, comp, src []float64) {
+	if len(dst) != len(src) || len(comp) != len(src) {
+		panic("mat: AxpyComp length mismatch")
+	}
+	for i, v := range src {
+		t := alpha * v
+		s := dst[i] + t
+		if math.Abs(dst[i]) >= math.Abs(t) {
+			comp[i] += (dst[i] - s) + t
+		} else {
+			comp[i] += (t - s) + dst[i]
+		}
+		dst[i] = s
+	}
+}
+
 // Scale multiplies every element of v by alpha.
 func Scale(alpha float64, v []float64) {
 	for i := range v {
