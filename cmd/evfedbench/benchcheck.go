@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// -bench-compare: the CI regression gate. Matches arms between a
+// committed baseline matrix and a fresh run by load shape, and fails on
+// throughput drops or p99 tail growth beyond the tolerance band (defaults
+// 15% / 25%; CI passes looser bands to absorb cross-host variance). A
+// non-zero droppedDuringReload in the new run always fails: that is a
+// correctness invariant, not a performance band.
+
+// benchArmKey identifies an arm by its load shape (everything that makes
+// two measurements comparable).
+func benchArmKey(r serveBenchRecord) string {
+	return fmt.Sprintf("procs%d/shards%d/batch%d/depth%d/prod%d/st%d/pts%d/win%d/skew%.2f/steal%v",
+		r.GOMAXPROCS, r.Shards, r.BatchThreshold, r.QueueDepth, r.Producers,
+		r.Stations, r.PointsPerStation, r.InflightWindow, r.SkewFraction, r.Steal)
+}
+
+// loadBenchArms reads either a -serve-matrix file or a single
+// -serve-bench record.
+func loadBenchArms(path string) ([]serveBenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mat serveMatrixFile
+	if err := json.Unmarshal(raw, &mat); err == nil && len(mat.Arms) > 0 {
+		return mat.Arms, nil
+	}
+	var rec serveBenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: neither a serve-matrix nor a serve-bench record: %w", path, err)
+	}
+	if rec.TotalPoints == 0 {
+		return nil, fmt.Errorf("%s: no arms and no single-record shape", path)
+	}
+	return []serveBenchRecord{rec}, nil
+}
+
+// runBenchCompare gates newPath against basePath. maxTputDrop and
+// maxP99Growth are fractions (0.15 = fail when throughput drops more than
+// 15%; 0.25 = fail when p99 grows more than 25%).
+func runBenchCompare(basePath, newPath string, maxTputDrop, maxP99Growth float64) error {
+	base, err := loadBenchArms(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadBenchArms(newPath)
+	if err != nil {
+		return err
+	}
+	baseByKey := make(map[string]serveBenchRecord, len(base))
+	for _, r := range base {
+		baseByKey[benchArmKey(r)] = r
+	}
+	var violations []string
+	matched := 0
+	for _, nr := range fresh {
+		key := benchArmKey(nr)
+		if nr.DroppedDuringReload != 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: dropped %d verdicts during reload (must be 0)", key, nr.DroppedDuringReload))
+		}
+		br, ok := baseByKey[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench-compare: %s: no baseline arm, skipping\n", key)
+			continue
+		}
+		matched++
+		tput := "ok"
+		if br.PointsPerSec > 0 {
+			drop := 1 - nr.PointsPerSec/br.PointsPerSec
+			if drop > maxTputDrop {
+				tput = "FAIL"
+				violations = append(violations,
+					fmt.Sprintf("%s: throughput dropped %.1f%% (%.0f → %.0f points/sec, tolerance %.0f%%)",
+						key, 100*drop, br.PointsPerSec, nr.PointsPerSec, 100*maxTputDrop))
+			}
+		}
+		tail := "ok"
+		if br.LatencyP99Micros > 0 {
+			growth := nr.LatencyP99Micros/br.LatencyP99Micros - 1
+			if growth > maxP99Growth {
+				tail = "FAIL"
+				violations = append(violations,
+					fmt.Sprintf("%s: p99 grew %.1f%% (%.1fµs → %.1fµs, tolerance %.0f%%)",
+						key, 100*growth, br.LatencyP99Micros, nr.LatencyP99Micros, 100*maxP99Growth))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench-compare: %s: %.0f → %.0f pts/sec [%s], p99 %.1f → %.1fµs [%s]\n",
+			key, br.PointsPerSec, nr.PointsPerSec, tput,
+			br.LatencyP99Micros, nr.LatencyP99Micros, tail)
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench-compare: no arm of %s matches any baseline arm in %s", newPath, basePath)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench-compare: %d regression(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "bench-compare: %d arm(s) within tolerance (≤%.0f%% throughput drop, ≤%.0f%% p99 growth)\n",
+		matched, 100*maxTputDrop, 100*maxP99Growth)
+	return nil
+}

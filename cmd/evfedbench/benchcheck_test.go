@@ -1,0 +1,132 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRec(pps, p99 float64, dropped int) serveBenchRecord {
+	return serveBenchRecord{
+		Config:              "serve-matrix-arm",
+		GOMAXPROCS:          8,
+		Shards:              8,
+		BatchThreshold:      16,
+		QueueDepth:          1024,
+		Producers:           8,
+		Stations:            64,
+		InflightWindow:      64,
+		PointsPerStation:    3000,
+		TotalPoints:         192000,
+		PointsPerSec:        pps,
+		LatencyP99Micros:    p99,
+		DroppedDuringReload: dropped,
+		Steal:               true,
+	}
+}
+
+func writeMatrix(t *testing.T, path string, arms ...serveBenchRecord) {
+	t.Helper()
+	if err := writeIndentedJSON(path, serveMatrixFile{
+		Config: "serve-matrix", HostCPUs: 8, Arms: arms,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchCompare covers the regression gate: in-band passes, throughput
+// drops, p99 growth and dropped verdicts fail, unmatched shapes are
+// skipped (but all-unmatched is an error).
+func TestBenchCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeMatrix(t, base, benchRec(500000, 200, 0))
+
+	cases := []struct {
+		name    string
+		arm     serveBenchRecord
+		wantErr string
+	}{
+		{"in-band", benchRec(460000, 230, 0), ""},
+		{"tput-drop", benchRec(300000, 200, 0), "throughput dropped"},
+		{"p99-growth", benchRec(500000, 400, 0), "p99 grew"},
+		{"dropped-verdicts", benchRec(500000, 200, 3), "dropped 3 verdicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := filepath.Join(dir, tc.name+".json")
+			writeMatrix(t, fresh, tc.arm)
+			err := runBenchCompare(base, fresh, 0.15, 0.25)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("no-matching-arms", func(t *testing.T) {
+		other := benchRec(500000, 200, 0)
+		other.Shards = 2 // different shape key
+		fresh := filepath.Join(dir, "unmatched.json")
+		writeMatrix(t, fresh, other)
+		if err := runBenchCompare(base, fresh, 0.15, 0.25); err == nil {
+			t.Fatal("all-unmatched comparison must fail")
+		}
+	})
+
+	t.Run("single-record-files", func(t *testing.T) {
+		b := filepath.Join(dir, "single-base.json")
+		n := filepath.Join(dir, "single-new.json")
+		if err := writeIndentedJSON(b, benchRec(500000, 200, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeIndentedJSON(n, benchRec(480000, 210, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := runBenchCompare(b, n, 0.15, 0.25); err != nil {
+			t.Fatalf("single-record comparison: %v", err)
+		}
+	})
+}
+
+// TestServeMatrixQuick runs the CI-smoke sweep end to end and re-gates it
+// against itself (a self-comparison is regression-free by construction).
+func TestServeMatrixQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := runServeMatrix(path, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	arms, err := loadBenchArms(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != len(serveMatrixArms(7, true)) {
+		t.Fatalf("matrix has %d arms, want %d", len(arms), len(serveMatrixArms(7, true)))
+	}
+	multi := false
+	for _, a := range arms {
+		if a.DroppedDuringReload != 0 {
+			t.Fatalf("arm %s dropped %d verdicts", benchArmKey(a), a.DroppedDuringReload)
+		}
+		if a.LatencyP999Micros < a.LatencyP99Micros || a.LatencyP50Micros <= 0 {
+			t.Fatalf("arm %s has inconsistent percentiles: %+v", benchArmKey(a), a)
+		}
+		if a.GOMAXPROCS > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("quick matrix has no GOMAXPROCS>1 arm")
+	}
+	if err := runBenchCompare(path, path, 0.15, 0.25); err != nil {
+		t.Fatalf("self-comparison: %v", err)
+	}
+}

@@ -6,6 +6,10 @@
 //	    [-table 1|2|3] [-fig 2|3] [-summary] [-all]
 //	evfedbench -serve-bench BENCH.json [-serve-stations 32] [-serve-points 4000]
 //	    [-serve-shards N] [-serve-batch 16] [-serve-reloads 2]
+//	    [-serve-producers N] [-serve-inflight 64] [-serve-skew 0.75] [-serve-no-steal]
+//	evfedbench -serve-matrix BENCH_pr8.json [-quick]
+//	evfedbench -bench-compare BASE.json,NEW.json
+//	    [-compare-tput-drop 0.15] [-compare-p99-growth 0.25]
 //	evfedbench -hier 1000,10000 [-hier-edges 100] [-quick] [-bench-json BENCH.json]
 //
 // -hier switches to the hierarchical topology sweep: each station count
@@ -21,7 +25,14 @@
 // -serve-bench switches to the online-scoring load generator: it boots
 // the sharded scoring service (internal/serve) in-process, drives a
 // station fleet against it with hot model reloads firing mid-run, and
-// records points/sec plus p50/p99 verdict latency (see BENCH_pr5.json).
+// records points/sec plus p50/p90/p99/p999 verdict latency from the
+// service's fixed-bin histogram (see BENCH_pr5.json).
+//
+// -serve-matrix sweeps the multi-core scaling surface — {GOMAXPROCS ×
+// shards × batch threshold × queue depth × producers × skew/steal} — and
+// writes one record per arm (see BENCH_pr8.json). -bench-compare gates a
+// fresh run against a committed baseline, failing on throughput or p99
+// regressions beyond the tolerance band.
 package main
 
 import (
@@ -68,8 +79,30 @@ func run() error {
 		serveBatch    = flag.Int("serve-batch", 16, "batch threshold for -serve-bench")
 		serveDepth    = flag.Int("serve-depth", 512, "per-shard queue depth for -serve-bench")
 		serveReloads  = flag.Int("serve-reloads", 2, "hot model reloads fired mid-run during -serve-bench")
+		serveProds    = flag.Int("serve-producers", 0, "producer goroutines for -serve-bench (0 = min(2×GOMAXPROCS, stations))")
+		serveInflight = flag.Int("serve-inflight", 0, "per-producer in-flight window for -serve-bench (0 = 64, 1 = closed loop)")
+		serveSkew     = flag.Float64("serve-skew", 0, "fraction of -serve-bench stations mined onto shard 0 (hot-shard scenario)")
+		serveNoSteal  = flag.Bool("serve-no-steal", false, "disable wave rebalancing between shards for -serve-bench")
+
+		serveMatrix = flag.String("serve-matrix", "", "run the multi-core scaling sweep (GOMAXPROCS × shards × batch × depth × producers × skew) and write the per-arm records to this path")
+
+		benchCompare = flag.String("bench-compare", "", "compare two serve bench/matrix files, BASE.json,NEW.json, and fail on regressions beyond the tolerance band")
+		cmpTputDrop  = flag.Float64("compare-tput-drop", 0.15, "max tolerated fractional throughput drop for -bench-compare")
+		cmpP99Growth = flag.Float64("compare-p99-growth", 0.25, "max tolerated fractional p99 latency growth for -bench-compare")
 	)
 	flag.Parse()
+
+	if *benchCompare != "" {
+		parts := strings.Split(*benchCompare, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-bench-compare wants BASE.json,NEW.json, got %q", *benchCompare)
+		}
+		return runBenchCompare(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), *cmpTputDrop, *cmpP99Growth)
+	}
+
+	if *serveMatrix != "" {
+		return runServeMatrix(*serveMatrix, *seed, *quick)
+	}
 
 	if *serveBench != "" {
 		return runServeBench(*serveBench, serveBenchOpts{
@@ -78,7 +111,11 @@ func run() error {
 			PerStation: *servePoints,
 			Batch:      *serveBatch,
 			Depth:      *serveDepth,
+			Producers:  *serveProds,
+			Inflight:   *serveInflight,
 			Reloads:    *serveReloads,
+			Skew:       *serveSkew,
+			NoSteal:    *serveNoSteal,
 			Seed:       *seed,
 		})
 	}

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,34 +17,55 @@ import (
 	"github.com/evfed/evfed/internal/serve"
 )
 
-// serveBenchOpts shapes the scoring-service load run (-serve-bench).
+// serveBenchOpts shapes one scoring-service load arm (-serve-bench runs
+// exactly one; -serve-matrix sweeps many).
 type serveBenchOpts struct {
+	Procs      int // GOMAXPROCS for the arm (0 = leave the process value)
 	Shards     int
 	Stations   int
 	PerStation int
 	Batch      int
 	Depth      int
-	Reloads    int
-	Seed       uint64
+	Producers  int // 0 = min(2×GOMAXPROCS, stations)
+	// Inflight bounds each producer's outstanding (accepted, verdict not
+	// yet delivered) observations — the open-loop window that lets the
+	// pipeline fill without letting queue delay swamp tail latency.
+	// 0 = 64; 1 degenerates to a closed loop (≤1 in flight per producer).
+	Inflight int
+	Reloads  int
+	// Skew mines this fraction of station names onto shard 0, making it
+	// hot (the wave-rebalancing scenario). 0 = natural hash spread.
+	Skew    float64
+	NoSteal bool
+	Seed    uint64
 }
 
-// serveBenchRecord is the machine-readable record -serve-bench writes
-// (BENCH_pr5.json): scoring-service throughput and verdict latency under
-// a station fleet, with hot reloads firing mid-run.
+// serveBenchRecord is the machine-readable record -serve-bench writes and
+// -serve-matrix emits per arm: scoring-service throughput and verdict
+// latency under a station fleet, with hot reloads firing mid-run.
+// Latency percentiles come from the service's O(1) fixed-bin histogram
+// (serve.Stats), not from collecting and sorting samples.
 type serveBenchRecord struct {
 	Config     string `json:"config"`
 	Seed       uint64 `json:"seed"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// HostCPUs records the physical parallelism actually available, so a
+	// GOMAXPROCS=8 arm measured on a smaller host is honest about what it
+	// demonstrates.
+	HostCPUs int `json:"hostCPUs"`
 	// Service shape.
 	Shards         int  `json:"shards"`
 	BatchThreshold int  `json:"batchThreshold"`
 	QueueDepth     int  `json:"queueDepth"`
 	Mitigate       bool `json:"mitigate"`
+	Steal          bool `json:"steal"`
 	// Load shape.
-	Stations         int `json:"stations"`
-	Producers        int `json:"producers"`
-	PointsPerStation int `json:"pointsPerStation"`
-	TotalPoints      int `json:"totalPoints"`
+	Stations         int     `json:"stations"`
+	Producers        int     `json:"producers"`
+	InflightWindow   int     `json:"inflightWindow"`
+	SkewFraction     float64 `json:"skewFraction"`
+	PointsPerStation int     `json:"pointsPerStation"`
+	TotalPoints      int     `json:"totalPoints"`
 	// Detector shape (the edge-profile serving model under load; train
 	// time is excluded from the measurement window).
 	DetectorSeqLen int     `json:"detectorSeqLen"`
@@ -52,11 +73,12 @@ type serveBenchRecord struct {
 	DetectorBneck  int     `json:"detectorBottleneck"`
 	TrainSeconds   float64 `json:"trainSeconds"`
 	// Results.
-	WallSeconds      float64 `json:"wallSeconds"`
-	PointsPerSec     float64 `json:"pointsPerSec"`
-	LatencyP50Micros float64 `json:"latencyP50Micros"`
-	LatencyP90Micros float64 `json:"latencyP90Micros"`
-	LatencyP99Micros float64 `json:"latencyP99Micros"`
+	WallSeconds       float64 `json:"wallSeconds"`
+	PointsPerSec      float64 `json:"pointsPerSec"`
+	LatencyP50Micros  float64 `json:"latencyP50Micros"`
+	LatencyP90Micros  float64 `json:"latencyP90Micros"`
+	LatencyP99Micros  float64 `json:"latencyP99Micros"`
+	LatencyP999Micros float64 `json:"latencyP999Micros"`
 	// Hot-reload accounting: reloads fired during the run, and how many
 	// accepted observations failed to produce a verdict (the serving
 	// guarantee is that this is always zero).
@@ -68,15 +90,14 @@ type serveBenchRecord struct {
 	BatchedWindows      uint64 `json:"batchedWindows"`
 	SingleWindows       uint64 `json:"singleWindows"`
 	RejectedSubmits     uint64 `json:"rejectedSubmits"`
+	StealOffered        uint64 `json:"stealOffered"`
+	StealStolen         uint64 `json:"stealStolen"`
 }
 
-// runServeBench trains an edge-profile detector, boots the sharded
-// scoring service in-process, drives a station fleet against it with hot
-// reloads mid-run, and writes the perf record to path.
+// runServeBench trains an edge-profile detector, runs one load arm
+// against the in-process scoring service, and writes the perf record to
+// path.
 func runServeBench(path string, o serveBenchOpts) error {
-	if o.Shards == 0 {
-		o.Shards = runtime.GOMAXPROCS(0)
-	}
 	fmt.Fprintf(os.Stderr, "serve bench: training edge-profile detector...\n")
 	trainStart := time.Now()
 	det, thr, err := benchDetector(o.Seed)
@@ -84,6 +105,58 @@ func runServeBench(path string, o serveBenchOpts) error {
 		return err
 	}
 	trainSec := time.Since(trainStart).Seconds()
+	rec, err := runServeArm(det, thr, trainSec, o)
+	if err != nil {
+		return err
+	}
+	rec.Config = "serve"
+	return writeIndentedJSON(path, rec)
+}
+
+// benchStationNames builds the arm's station fleet: the first
+// skew-fraction of names is mined (by FNV-32a, the service's hash) onto
+// shard 0, the rest keep their natural spread.
+func benchStationNames(n, shards int, skew float64) []string {
+	names := make([]string, n)
+	hot := int(skew * float64(n))
+	for k, try := 0, 0; k < hot; try++ {
+		name := fmt.Sprintf("hot%03d-%d", k, try)
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		if shards == 1 || int(h.Sum32())%shards == 0 {
+			names[k] = name
+			k++
+		}
+	}
+	for k := hot; k < n; k++ {
+		names[k] = fmt.Sprintf("z%03d", k)
+	}
+	return names
+}
+
+// runServeArm boots the sharded scoring service with the arm's shape,
+// drives the producer fleet against it (open-loop, per-producer in-flight
+// window, batched handle submits) with hot reloads firing mid-run, and
+// returns the measured record.
+func runServeArm(det *autoencoder.Detector, thr, trainSec float64, o serveBenchOpts) (serveBenchRecord, error) {
+	var rec serveBenchRecord
+	if o.Procs > 0 {
+		old := runtime.GOMAXPROCS(o.Procs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Inflight == 0 {
+		o.Inflight = 64
+	}
+	producers := o.Producers
+	if producers == 0 {
+		producers = runtime.GOMAXPROCS(0) * 2
+	}
+	if producers > o.Stations {
+		producers = o.Stations
+	}
 
 	svc, err := serve.New(serve.Config{
 		Detector:       det,
@@ -92,19 +165,16 @@ func runServeBench(path string, o serveBenchOpts) error {
 		QueueDepth:     o.Depth,
 		BatchThreshold: o.Batch,
 		Mitigate:       true,
+		DisableSteal:   o.NoSteal,
 	})
 	if err != nil {
-		return err
+		return rec, err
 	}
 	defer svc.Close()
 
-	producers := runtime.GOMAXPROCS(0) * 2
-	if producers > o.Stations {
-		producers = o.Stations
-	}
 	total := o.Stations * o.PerStation
-	fmt.Fprintf(os.Stderr, "serve bench: %d stations × %d points over %d shards (batch ≥%d, %d reloads)...\n",
-		o.Stations, o.PerStation, o.Shards, o.Batch, o.Reloads)
+	fmt.Fprintf(os.Stderr, "serve arm: procs %d, %d stations × %d points over %d shards (batch ≥%d, %d producers, window %d, skew %.2f, steal %v)...\n",
+		runtime.GOMAXPROCS(0), o.Stations, o.PerStation, o.Shards, o.Batch, producers, o.Inflight, o.Skew, !o.NoSteal)
 
 	// The feed: normal scaled demand with periodic DDoS-like spikes so the
 	// flag/mitigation path is exercised under load.
@@ -116,29 +186,12 @@ func runServeBench(path string, o serveBenchOpts) error {
 		}
 	}
 
-	// One long-lived reply closure and ≤1 in-flight observation per
-	// station: the channel round-trip orders the producer's t0 write
-	// against the shard's read, so latency capture is race-free without
-	// per-point allocations.
-	type stationState struct {
-		name  string
-		t0    time.Time
-		lats  []int64
-		done  chan struct{}
-		reply func(serve.Verdict)
-	}
-	stations := make([]*stationState, o.Stations)
-	for k := range stations {
-		st := &stationState{
-			name: fmt.Sprintf("z%03d", k),
-			lats: make([]int64, 0, o.PerStation),
-			done: make(chan struct{}, 1),
+	names := benchStationNames(o.Stations, o.Shards, o.Skew)
+	handles := make([]*serve.Station, o.Stations)
+	for k, name := range names {
+		if handles[k], err = svc.Station(name); err != nil {
+			return rec, err
 		}
-		st.reply = func(serve.Verdict) {
-			st.lats = append(st.lats, int64(time.Since(st.t0)))
-			st.done <- struct{}{}
-		}
-		stations[k] = st
 	}
 
 	var submitted atomic.Int64
@@ -152,7 +205,7 @@ func runServeBench(path string, o serveBenchOpts) error {
 				time.Sleep(200 * time.Microsecond)
 			}
 			if _, err := svc.ReloadWeights(svc.Weights(), 0); err != nil {
-				fmt.Fprintf(os.Stderr, "serve bench: reload %d: %v\n", r, err)
+				fmt.Fprintf(os.Stderr, "serve arm: reload %d: %v\n", r, err)
 				break
 			}
 			n++
@@ -160,72 +213,85 @@ func runServeBench(path string, o serveBenchOpts) error {
 		reloadsDone <- n
 	}()
 
+	// Submission chunk: one ring reservation per chunk, capped at the
+	// in-flight window so a narrow window (Inflight 1 = closed loop) still
+	// fits a whole chunk under its budget.
+	chunkLen := 16
+	if o.Inflight < chunkLen {
+		chunkLen = o.Inflight
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			mine := stations[p*o.Stations/producers : (p+1)*o.Stations/producers]
-			for i := 0; i < o.PerStation; i++ {
-				v := feed[i]
-				for _, st := range mine {
-					if i > 0 {
-						<-st.done // previous verdict landed; t0 is ours again
-					}
-					st.t0 = time.Now()
-					for {
-						err := svc.Submit(st.name, v, st.reply)
-						if err == nil {
-							break
-						}
-						if !errors.Is(err, serve.ErrBacklog) {
-							panic(err)
-						}
+			mine := handles[p*o.Stations/producers : (p+1)*o.Stations/producers]
+			var inflight atomic.Int64
+			reply := func(serve.Verdict) { inflight.Add(-1) }
+			window := int64(o.Inflight)
+			for lo := 0; lo < o.PerStation; lo += chunkLen {
+				hi := lo + chunkLen
+				if hi > o.PerStation {
+					hi = o.PerStation
+				}
+				for _, h := range mine {
+					chunk := feed[lo:hi]
+					// Open-loop window: wait until this chunk fits under the
+					// producer's in-flight budget before reserving slots.
+					for inflight.Load() > window-int64(len(chunk)) {
 						runtime.Gosched()
 					}
-					submitted.Add(1)
+					for len(chunk) > 0 {
+						inflight.Add(int64(len(chunk)))
+						n, err := h.SubmitN(chunk, reply)
+						if n < len(chunk) {
+							inflight.Add(int64(n - len(chunk))) // unaccepted tail
+						}
+						submitted.Add(int64(n))
+						chunk = chunk[n:]
+						if err != nil {
+							if !errors.Is(err, serve.ErrBacklog) {
+								panic(err)
+							}
+							// Shard saturated: drain our own window a little
+							// before retrying the tail — and always yield
+							// at least once, so a window wider than the
+							// queue cannot busy-retry against a full ring.
+							runtime.Gosched()
+							for inflight.Load() > window/2 {
+								runtime.Gosched()
+							}
+						}
+					}
 				}
 			}
-			for _, st := range mine {
-				<-st.done
+			for inflight.Load() > 0 {
+				runtime.Gosched()
 			}
 		}(p)
 	}
 	wg.Wait()
+	// Producers saw all their verdicts; the wall clock closes here.
 	wall := time.Since(start).Seconds()
 	reloads := <-reloadsDone
 
-	var lats []int64
-	delivered := 0
-	for _, st := range stations {
-		delivered += len(st.lats)
-		lats = append(lats, st.lats...)
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)))
-		if i >= len(lats) {
-			i = len(lats) - 1
-		}
-		return float64(lats[i]) / 1e3
-	}
-
 	stats := svc.Stats()
 	cfg := det.Config()
-	rec := serveBenchRecord{
+	rec = serveBenchRecord{
 		Config:              "serve",
 		Seed:                o.Seed,
 		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		HostCPUs:            runtime.NumCPU(),
 		Shards:              o.Shards,
 		BatchThreshold:      o.Batch,
 		QueueDepth:          o.Depth,
 		Mitigate:            true,
+		Steal:               !o.NoSteal,
 		Stations:            o.Stations,
 		Producers:           producers,
+		InflightWindow:      o.Inflight,
+		SkewFraction:        o.Skew,
 		PointsPerStation:    o.PerStation,
 		TotalPoints:         total,
 		DetectorSeqLen:      cfg.SeqLen,
@@ -234,30 +300,36 @@ func runServeBench(path string, o serveBenchOpts) error {
 		TrainSeconds:        trainSec,
 		WallSeconds:         wall,
 		PointsPerSec:        float64(total) / wall,
-		LatencyP50Micros:    pct(0.50),
-		LatencyP90Micros:    pct(0.90),
-		LatencyP99Micros:    pct(0.99),
+		LatencyP50Micros:    stats.LatencyP50Micros,
+		LatencyP90Micros:    stats.LatencyP90Micros,
+		LatencyP99Micros:    stats.LatencyP99Micros,
+		LatencyP999Micros:   stats.LatencyP999Micros,
 		Reloads:             reloads,
-		DroppedDuringReload: total - delivered,
+		DroppedDuringReload: total - int(stats.Points),
 		FinalEpoch:          stats.Epoch,
 		Flagged:             stats.Flagged,
 		BatchCalls:          stats.BatchCalls,
 		BatchedWindows:      stats.BatchedWindows,
 		SingleWindows:       stats.SingleWindows,
 		RejectedSubmits:     stats.Rejected,
+		StealOffered:        stats.StealOffered,
+		StealStolen:         stats.StealStolen,
 	}
 	fmt.Fprintf(os.Stderr,
-		"serve bench: %.0f points/sec (p50 %.1fµs, p99 %.1fµs), %d reloads, %d dropped, epoch %d\n",
-		rec.PointsPerSec, rec.LatencyP50Micros, rec.LatencyP99Micros,
+		"serve arm: %.0f points/sec (p50 %.1fµs, p99 %.1fµs, p999 %.1fµs), %d reloads, %d dropped, epoch %d\n",
+		rec.PointsPerSec, rec.LatencyP50Micros, rec.LatencyP99Micros, rec.LatencyP999Micros,
 		rec.Reloads, rec.DroppedDuringReload, rec.FinalEpoch)
+	return rec, nil
+}
 
+func writeIndentedJSON(path string, v any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}

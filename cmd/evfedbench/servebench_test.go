@@ -42,7 +42,61 @@ func TestServeBenchRecord(t *testing.T) {
 	if rec.PointsPerSec <= 0 || rec.LatencyP50Micros <= 0 || rec.LatencyP99Micros < rec.LatencyP50Micros {
 		t.Fatalf("latency stats: %+v", rec)
 	}
+	if rec.LatencyP999Micros < rec.LatencyP99Micros {
+		t.Fatalf("p999 %.1f below p99 %.1f", rec.LatencyP999Micros, rec.LatencyP99Micros)
+	}
+	if rec.HostCPUs <= 0 {
+		t.Fatalf("hostCPUs = %d, want > 0", rec.HostCPUs)
+	}
 	if rec.BatchCalls == 0 {
 		t.Fatal("batched scoring path never engaged")
+	}
+}
+
+// TestServeBenchSkewSteal runs a skewed arm and checks that the hot shard
+// offered rebalancing chunks (and that -serve-no-steal suppresses them).
+func TestServeBenchSkewSteal(t *testing.T) {
+	det, thr, err := benchDetector(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noSteal bool) serveBenchRecord {
+		rec, err := runServeArm(det, thr, 0, serveBenchOpts{
+			Procs:      2,
+			Shards:     2,
+			Stations:   8,
+			PerStation: 300,
+			Batch:      2,
+			Depth:      256,
+			Producers:  1,
+			// One producer with a window spanning all 8 stations' chunks, so
+			// drained waves hold 8 distinct stations — past the 2×batch steal
+			// trigger regardless of how producer and consumer interleave.
+			Inflight: 128,
+			Skew:     1.0, // every station on shard 0
+			NoSteal:  noSteal,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	on := run(false)
+	for tries := 0; on.StealOffered == 0 && tries < 2; tries++ {
+		on = run(false) // scheduling slack: waves can stay small on a busy host
+	}
+	off := run(true)
+	if on.DroppedDuringReload != 0 || off.DroppedDuringReload != 0 {
+		t.Fatalf("dropped verdicts: steal-on %d, steal-off %d", on.DroppedDuringReload, off.DroppedDuringReload)
+	}
+	if on.StealOffered == 0 {
+		t.Fatal("hot shard never offered a chunk with stealing enabled")
+	}
+	if !on.Steal || off.Steal {
+		t.Fatalf("steal flags not recorded: on=%v off=%v", on.Steal, off.Steal)
+	}
+	if off.StealOffered != 0 {
+		t.Fatalf("steal-off arm offered %d chunks", off.StealOffered)
 	}
 }

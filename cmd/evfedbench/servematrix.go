@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// serveMatrixFile is the machine-readable output of -serve-matrix
+// (BENCH_pr8.json): one detector trained once, then one serveBenchRecord
+// per arm of the {GOMAXPROCS × shards × batch threshold × queue depth ×
+// producers × skew/steal} sweep.
+type serveMatrixFile struct {
+	Config       string             `json:"config"`
+	Seed         uint64             `json:"seed"`
+	HostCPUs     int                `json:"hostCPUs"`
+	TrainSeconds float64            `json:"trainSeconds"`
+	Arms         []serveBenchRecord `json:"arms"`
+}
+
+// serveMatrixArms is the sweep definition. The first arm reproduces the
+// BENCH_pr5 shape (GOMAXPROCS=1, 1 shard, 32 stations × 4000 points) so
+// the trajectory against the previous baseline is directly comparable;
+// the frontier arms scale GOMAXPROCS with shards; the remaining arms vary
+// one axis at a time around the 8-proc center; the skew pair measures
+// wave rebalancing on a hot shard with stealing on and off.
+func serveMatrixArms(seed uint64, quick bool) []serveBenchOpts {
+	arm := func(procs, shards, batch, depth, producers, stations, per int, skew float64, noSteal bool) serveBenchOpts {
+		return serveBenchOpts{
+			Procs:      procs,
+			Shards:     shards,
+			Batch:      batch,
+			Depth:      depth,
+			Producers:  producers,
+			Stations:   stations,
+			PerStation: per,
+			Inflight:   64,
+			Reloads:    2,
+			Skew:       skew,
+			NoSteal:    noSteal,
+			Seed:       seed,
+		}
+	}
+	if quick {
+		return []serveBenchOpts{
+			arm(1, 1, 8, 256, 2, 8, 800, 0, false),    // mini single-core reference
+			arm(2, 2, 8, 256, 4, 8, 800, 0, false),    // GOMAXPROCS>1 smoke
+			arm(2, 2, 8, 256, 4, 8, 800, 0.75, false), // hot shard, stealing on
+			arm(2, 2, 8, 256, 4, 8, 800, 0.75, true),  // hot shard, stealing off
+		}
+	}
+	arms := []serveBenchOpts{
+		// BENCH_pr5-comparable single-core arm: same shape (32×4000, 1
+		// shard, batch 16, depth 512), flood-style producers (window far
+		// beyond the queue) so waves fill and batched scoring dominates —
+		// the throughput operating point PR5 measured.
+		{Procs: 1, Shards: 1, Batch: 16, Depth: 512, Producers: 2,
+			Stations: 32, PerStation: 4000, Inflight: 8192, Reloads: 2, Seed: seed},
+		// Same shape, strict closed loop: the latency floor (each producer
+		// waits out its verdict, waves stay tiny, queueing delay ~zero).
+		{Procs: 1, Shards: 1, Batch: 16, Depth: 512, Producers: 2,
+			Stations: 32, PerStation: 4000, Inflight: 1, Reloads: 2, Seed: seed},
+	}
+	for _, p := range []int{1, 2, 4, 8} { // scaling frontier
+		arms = append(arms, arm(p, p, 16, 1024, 2*p, 64, 3000, 0, false))
+	}
+	for _, sh := range []int{1, 2, 4, 16} { // shards at 8 procs
+		arms = append(arms, arm(8, sh, 16, 1024, 8, 64, 3000, 0, false))
+	}
+	for _, b := range []int{4, 64} { // batch threshold
+		arms = append(arms, arm(8, 8, b, 1024, 8, 64, 3000, 0, false))
+	}
+	for _, d := range []int{256, 4096} { // queue depth
+		arms = append(arms, arm(8, 8, 16, d, 8, 64, 3000, 0, false))
+	}
+	for _, pr := range []int{2, 16} { // producer fan-in
+		arms = append(arms, arm(8, 8, 16, 1024, pr, 64, 3000, 0, false))
+	}
+	// Hot shard (75% of stations on shard 0): rebalancing on vs off.
+	arms = append(arms,
+		arm(8, 8, 16, 1024, 8, 64, 3000, 0.75, false),
+		arm(8, 8, 16, 1024, 8, 64, 3000, 0.75, true),
+	)
+	return arms
+}
+
+// runServeMatrix trains the detector once, runs every arm of the sweep
+// and writes the matrix file to path. quick shrinks the sweep to a
+// CI-smoke size.
+func runServeMatrix(path string, seed uint64, quick bool) error {
+	arms := serveMatrixArms(seed, quick)
+	fmt.Fprintf(os.Stderr, "serve matrix: training edge-profile detector (then %d arms)...\n", len(arms))
+	trainStart := time.Now()
+	det, thr, err := benchDetector(seed)
+	if err != nil {
+		return err
+	}
+	out := serveMatrixFile{
+		Config:       "serve-matrix",
+		Seed:         seed,
+		HostCPUs:     runtime.NumCPU(),
+		TrainSeconds: time.Since(trainStart).Seconds(),
+	}
+	for i, o := range arms {
+		fmt.Fprintf(os.Stderr, "serve matrix: arm %d/%d\n", i+1, len(arms))
+		rec, err := runServeArm(det, thr, out.TrainSeconds, o)
+		if err != nil {
+			return fmt.Errorf("arm %d: %w", i+1, err)
+		}
+		rec.Config = "serve-matrix-arm"
+		out.Arms = append(out.Arms, rec)
+	}
+	return writeIndentedJSON(path, out)
+}

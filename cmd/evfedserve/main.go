@@ -8,7 +8,7 @@
 //
 //	evfedserve -model detector.bin [-threshold X] [-codec binary|http]
 //	    [-addr :9090] [-reload-addr :9091] [-shards N] [-batch N]
-//	    [-depth N] [-mitigate] [-idle-ttl 0] [-persist FILE]
+//	    [-depth N] [-mitigate] [-idle-ttl 0] [-no-steal] [-persist FILE]
 //	    [-canary] [-canary-fraction 0.25] [-canary-sample-every 4]
 //	    [-canary-shadow 512] [-canary-promote 1024]
 //	evfedserve -train-synthetic [-quick] ...
@@ -84,6 +84,7 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		quick     = fs.Bool("quick", false, "with -train-synthetic: smaller model, faster training")
 		seed      = fs.Uint64("seed", 1, "seed for -train-synthetic")
 		idleTTL   = fs.Duration("idle-ttl", 0, "evict stations idle longer than this (0 = never)")
+		noSteal   = fs.Bool("no-steal", false, "disable wave rebalancing between shards (hot-shard overflow stays on its owner)")
 		persist   = fs.String("persist", "", "write the serving detector (calibrated format) here on graceful shutdown")
 
 		canary       = fs.Bool("canary", false, "stage pushed models as canaries instead of reloading live")
@@ -115,6 +116,7 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		BatchThreshold: *batch,
 		Mitigate:       *mitigate,
 		IdleTTL:        *idleTTL,
+		DisableSteal:   *noSteal,
 		Rollout: serve.RolloutConfig{
 			Enabled:        *canary,
 			CanaryFraction: *canaryFrac,
@@ -207,6 +209,9 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	s := svc.Stats()
 	fmt.Fprintf(os.Stderr, "served %d points (%d flagged, %d stations, epoch %d)\n",
 		s.Points, s.Flagged, s.Stations, s.Epoch)
+	fmt.Fprintf(os.Stderr, "verdict latency p50 %.1fµs, p90 %.1fµs, p99 %.1fµs, p999 %.1fµs (waves rebalanced: %d offered, %d stolen)\n",
+		s.LatencyP50Micros, s.LatencyP90Micros, s.LatencyP99Micros, s.LatencyP999Micros,
+		s.StealOffered, s.StealStolen)
 	return nil
 }
 

@@ -330,34 +330,39 @@ func (nd *node) runSelected(selected []int, trainOne func(int), roundStart time.
 	if workers <= 0 || workers > len(selected) {
 		workers = len(selected)
 	}
-	sem := make(chan struct{}, workers)
+	// A fixed pool of workers pulls from a pre-filled, closed work channel
+	// — workers goroutines total instead of one per selected peer, and
+	// peers start in selection order.
+	work := make(chan int, len(selected))
+	for _, i := range selected {
+		work <- i
+	}
+	close(work)
 	// done is buffered so abandoned stragglers can report and exit
 	// instead of leaking on a blocked send after the deadline fires.
 	done := make(chan int, len(selected))
-	// cancel keeps queued workers from starting stale Train calls after
-	// the deadline has already cut the round off: a hung station pinning
-	// every pool slot would otherwise cascade — the queued calls would
-	// run to completion into later rounds, serialize behind the next
-	// round's call to the same peer, and blow its deadline too. Workers
-	// parked on the semaphore exit immediately on cancel rather than
-	// leaking until a slot frees.
+	// cancel keeps workers from starting stale Train calls after the
+	// deadline has already cut the round off: a hung station pinning every
+	// pool slot would otherwise cascade — the queued calls would run to
+	// completion into later rounds, serialize behind the next round's call
+	// to the same peer, and blow its deadline too. The re-check sits
+	// between taking a work item and calling trainOne, so a worker whose
+	// current call straggled past the deadline finishes that one call
+	// (reporting into the buffered channel) and exits without starting
+	// another.
 	cancel := make(chan struct{})
-	for _, i := range selected {
-		go func(i int) {
-			select {
-			case sem <- struct{}{}:
-			case <-cancel:
-				return
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				select {
+				case <-cancel:
+					return
+				default:
+				}
+				trainOne(i)
+				done <- i
 			}
-			defer func() { <-sem }()
-			select {
-			case <-cancel:
-				return
-			default:
-			}
-			trainOne(i)
-			done <- i
-		}(i)
+		}()
 	}
 	var timeout <-chan time.Time
 	if deadline > 0 {

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Fixed-bin latency histogram: O(1) record, O(bins) quantile, zero
+// allocation, bounded error. The layout is HDR-style — log2 octaves with
+// 8 linear sub-buckets each — so a recorded duration lands in a bucket
+// whose width is at most 1/8 of its value: quantiles read back from
+// bucket midpoints carry ≤ ~6.25% relative error at any magnitude, which
+// is far inside the noise floor of a latency percentile while costing
+// 4 KB per shard instead of an unbounded sample slice (the pre-PR-8
+// servebench collected and sorted every sample).
+//
+// Bucket layout (durations in nanoseconds):
+//
+//	ns < 8:            bucket ns                  (exact)
+//	2^e ≤ ns < 2^e+1:  bucket 8(e-2) + ((ns >> (e-3)) & 7)
+//
+// which is contiguous across octave boundaries; e caps at 63, so the top
+// bucket absorbs everything ≥ ~4.6 s.
+
+// histBuckets covers e = 3..63 at 8 sub-buckets per octave, plus the 8
+// exact small-value buckets.
+const histBuckets = 8 + 8*61
+
+// latHist is one shard's histogram. Written by the shard goroutine only;
+// read concurrently by Stats, hence the atomic counters (uncontended
+// atomic adds on the owner's core).
+type latHist struct {
+	bucket [histBuckets]atomic.Uint64
+}
+
+// observe records one duration in nanoseconds.
+func (h *latHist) observe(ns int64) {
+	h.bucket[histIdx(ns)].Add(1)
+}
+
+// histIdx maps a duration to its bucket.
+func histIdx(ns int64) int {
+	if ns < 8 {
+		if ns < 0 {
+			ns = 0
+		}
+		return int(ns)
+	}
+	e := bits.Len64(uint64(ns)) - 1
+	idx := 8*(e-2) + int((uint64(ns)>>(uint(e)-3))&7)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histMid returns the bucket's midpoint in nanoseconds — the value a
+// quantile that lands in this bucket reports.
+func histMid(idx int) float64 {
+	if idx < 8 {
+		return float64(idx)
+	}
+	e := idx/8 + 2
+	sub := idx % 8
+	width := uint64(1) << uint(e-3)
+	lo := uint64(8+sub) << uint(e-3)
+	return float64(lo) + float64(width)/2
+}
+
+// histMerge accumulates h into dst (Stats folds every shard's histogram
+// into one service-wide distribution).
+func (h *latHist) mergeInto(dst *[histBuckets]uint64) {
+	for i := range h.bucket {
+		dst[i] += h.bucket[i].Load()
+	}
+}
+
+// histQuantile returns the p-quantile (0 ≤ p ≤ 1) of a merged histogram
+// in microseconds, or 0 for an empty one.
+func histQuantile(m *[histBuckets]uint64, total uint64, p float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total-1))
+	var cum uint64
+	for i := range m {
+		cum += m[i]
+		if cum > rank {
+			return histMid(i) / 1e3
+		}
+	}
+	return histMid(histBuckets-1) / 1e3
+}

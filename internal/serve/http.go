@@ -79,8 +79,16 @@ type statsJSON struct {
 	Evicted        uint64 `json:"evicted"`
 	ShadowWindows  uint64 `json:"shadowWindows"`
 	CanaryServed   uint64 `json:"canaryServed"`
-	Epoch          int    `json:"epoch"`
-	Shards         int    `json:"shards"`
+	StealOffered   uint64 `json:"stealOffered"`
+	StealStolen    uint64 `json:"stealStolen"`
+	// Submit→verdict latency percentiles in microseconds, from the
+	// per-shard fixed-bin histograms.
+	LatencyP50Micros  float64 `json:"latencyP50Micros"`
+	LatencyP90Micros  float64 `json:"latencyP90Micros"`
+	LatencyP99Micros  float64 `json:"latencyP99Micros"`
+	LatencyP999Micros float64 `json:"latencyP999Micros"`
+	Epoch             int     `json:"epoch"`
+	Shards            int     `json:"shards"`
 }
 
 // Handler returns the scoring data plane: POST /score.
@@ -126,10 +134,19 @@ func (s *Service) handleScore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no observations")
 		return
 	}
+	h, err := s.Station(req.Station)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrStationLimit) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
 	ch := make(chan Verdict, len(values))
 	reply := func(v Verdict) { ch <- v }
 	for i, v := range values {
-		if err := s.Submit(req.Station, v, reply); err != nil {
+		if err := h.Submit(v, reply); err != nil {
 			// Collect what was accepted so their indices are not lost,
 			// then report the failure; the producer resubmits the rest.
 			verdicts := gather(ch, i)
@@ -289,8 +306,16 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		Evicted:        st.Evicted,
 		ShadowWindows:  st.ShadowWindows,
 		CanaryServed:   st.CanaryServed,
-		Epoch:          st.Epoch,
-		Shards:         st.Shards,
+		StealOffered:   st.StealOffered,
+		StealStolen:    st.StealStolen,
+
+		LatencyP50Micros:  st.LatencyP50Micros,
+		LatencyP90Micros:  st.LatencyP90Micros,
+		LatencyP99Micros:  st.LatencyP99Micros,
+		LatencyP999Micros: st.LatencyP999Micros,
+
+		Epoch:  st.Epoch,
+		Shards: st.Shards,
 	})
 }
 

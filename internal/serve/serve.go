@@ -5,18 +5,29 @@
 // anomaly verdicts with optional reconstruction-based mitigation — the
 // paper's detection pipeline turned into a deployable online system.
 //
-// Architecture (DESIGN.md §9):
+// Architecture (DESIGN.md §9, multi-core ingress and rebalancing §12):
 //
 //   - Stations hash onto shards. Each shard is one goroutine owning a
-//     bounded task queue plus every assigned station's look-back ring
-//     (anomaly.Ring) and its private scorers; nothing on the scoring hot
-//     path takes a lock or is shared across shards.
-//   - A shard drains its queue in batches: when enough stations have full
+//     bounded MPSC ingress ring plus every assigned station's look-back
+//     ring (anomaly.Ring) and its private scorers; nothing on the scoring
+//     hot path takes a lock or is shared across shards.
+//   - Submission is contention-hardened: producers publish into the
+//     shard's ingress ring with one tail CAS (a batch of observations
+//     reserves its slots with a single CAS), repeat submitters hold a
+//     Station handle that skips the registry lookup entirely, and the
+//     parked-consumer wake protocol makes the ring lock- and
+//     channel-free in steady state.
+//   - A shard drains its ring in batches: when enough stations have full
 //     windows pending, they are scored through one batched GEMM inference
 //     pass (autoencoder.BatchScorer); below the threshold each window is
 //     scored individually. Both paths agree to within the batched
 //     kernels' summation-order tolerance, so the crossover is invisible.
-//   - Backpressure is structural: a full shard queue rejects Submit with
+//   - A hot shard (skewed station hash) offers the scoring half of an
+//     oversized wave to idle shards (steal.go): only the pure inference
+//     pass moves — rings, mitigation rewrites and verdict delivery stay
+//     with the owner, so per-station order and index contiguity are
+//     preserved by construction.
+//   - Backpressure is structural: a full ingress ring rejects Submit with
 //     ErrBacklog instead of growing, so a producer outrunning a shard
 //     costs bounded memory.
 //   - Hot model reload is copy-on-write: Reload publishes a fresh
@@ -24,6 +35,9 @@
 //     new model up at their next drain; observations already drained
 //     finish on the weights they started with, so no in-flight window is
 //     ever dropped or torn across models.
+//   - Every verdict's submit→delivery latency lands in an O(1) fixed-bin
+//     histogram (hist.go); Stats and GET /stats report p50/p90/p99/p999
+//     from it at any time without sampling or sorting.
 package serve
 
 import (
@@ -73,8 +87,9 @@ type Config struct {
 	Threshold float64
 	// Shards is the number of scoring shards (goroutines). 0 = GOMAXPROCS.
 	Shards int
-	// QueueDepth bounds each shard's pending-task queue; a full queue
-	// rejects Submit with ErrBacklog. 0 = 1024.
+	// QueueDepth bounds each shard's pending-task ingress ring; a full
+	// ring rejects Submit with ErrBacklog. Rounded up to a power of two
+	// (the ring's index math requires it). 0 = 1024.
 	QueueDepth int
 	// BatchThreshold is the pending-window count at which a shard's drain
 	// switches from per-window scoring to one batched inference pass.
@@ -99,6 +114,11 @@ type Config struct {
 	// every verdict it was promised, and a station re-created after
 	// eviction starts a fresh window with indices from 0.
 	IdleTTL time.Duration
+	// DisableSteal turns off wave rebalancing between shards (steal.go).
+	// With it off (the default), a hot shard offers the inference half of
+	// oversized waves to idle shards; rings and verdict delivery never
+	// migrate either way.
+	DisableSteal bool
 	// Rollout parameterizes staged canary rollout of candidate models
 	// (see RolloutConfig); zero-valued = disabled.
 	Rollout RolloutConfig
@@ -152,6 +172,18 @@ type Stats struct {
 	// live to its cohort.
 	ShadowWindows uint64
 	CanaryServed  uint64
+	// StealOffered counts wave chunks hot shards offered for
+	// rebalancing; StealStolen counts the offers idle shards actually
+	// scored (the difference was reclaimed and scored by the owner).
+	StealOffered uint64
+	StealStolen  uint64
+	// Latency percentiles of the submit→verdict path in microseconds,
+	// read from the O(1) fixed-bin histogram (≤ ~6.25% relative bin
+	// error; see hist.go). Zero until the first verdict.
+	LatencyP50Micros  float64
+	LatencyP90Micros  float64
+	LatencyP99Micros  float64
+	LatencyP999Micros float64
 	// Epoch is the serving model epoch (starts at 1, +1 per reload).
 	Epoch int
 	// Shards echoes the shard count.
@@ -166,18 +198,22 @@ type modelState struct {
 }
 
 // task is one queued observation. index is scratch for the shard's
-// scoring pass (the ring index assigned at push time).
+// scoring pass (the ring index assigned at push time); t0 is the submit
+// timestamp (nanoseconds since the service's base) feeding the latency
+// histogram.
 type task struct {
 	st    *station
 	value float64
 	reply func(Verdict)
 	index int
+	t0    int64
 }
 
 // station is one charging station's streaming state. The ring and wave
 // marker are owned by the station's shard goroutine; name, hash and
-// shard are immutable after creation. lastSeen (idle eviction) is the
-// only cross-goroutine mutable field.
+// shard are immutable after creation. lastSeen (idle eviction) and dead
+// (set at eviction so cached Station handles re-resolve) are the only
+// cross-goroutine mutable fields.
 type station struct {
 	name     string
 	hash     uint32 // FNV-32a of name: shard assignment + canary cohort
@@ -185,23 +221,29 @@ type station struct {
 	ring     *anomaly.Ring
 	wave     uint64
 	lastSeen atomic.Int64 // UnixNano of the last Submit (IdleTTL > 0 only)
+	dead     atomic.Bool  // evicted; handles must re-resolve
 }
 
 // Service is a sharded online scoring service. Submit may be called from
 // any number of goroutines; Close drains and stops the shards.
 type Service struct {
 	cfg      Config
+	base     time.Time // monotonic origin for latency stamps
 	state    atomic.Pointer[modelState]
 	cand     atomic.Pointer[candidateState] // staged canary candidate (nil = none)
 	roll     *rollout                       // nil when Rollout.Enabled is false
 	shards   []*shard
 	stations sync.Map // station name → *station
 	nStation atomic.Uint64
-	rejected atomic.Uint64
 	evicted  atomic.Uint64
+	// stealWake nudges parked shards when a hot shard posts offers; cap
+	// Shards bounds stale tokens (a spurious wake is one empty scan).
+	stealWake chan struct{}
+
+	closedFlag atomic.Bool // submit-path fast check; authoritative per-shard
 
 	reloadMu  sync.Mutex // serializes Reload epoch bumps
-	mu        sync.RWMutex
+	mu        sync.Mutex // Close idempotency
 	closed    bool
 	stopSweep chan struct{} // idle-eviction sweeper shutdown (nil if disabled)
 	wg        sync.WaitGroup
@@ -229,9 +271,9 @@ func New(cfg Config) (*Service, error) {
 		cfg.BatchThreshold = 8
 	}
 	if cfg.BatchThreshold > cfg.QueueDepth+1 {
-		// A drain can never hold more than the blocking receive plus a
-		// full queue, so a larger threshold would silently disable the
-		// batched path the caller asked for.
+		// A drain can never hold more than the ring's capacity, so a
+		// larger threshold would silently disable the batched path the
+		// caller asked for.
 		cfg.BatchThreshold = cfg.QueueDepth + 1
 	}
 	if cfg.MaxStations == 0 {
@@ -246,7 +288,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
-	s := &Service{cfg: cfg}
+	s := &Service{cfg: cfg, base: time.Now(), stealWake: make(chan struct{}, cfg.Shards)}
 	s.state.Store(&modelState{det: cfg.Detector, threshold: cfg.Threshold, epoch: 1})
 	maxDrain := cfg.QueueDepth
 	if maxDrain > 512 {
@@ -257,13 +299,20 @@ func New(cfg Config) (*Service, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			svc:   s,
-			tasks: make(chan task, cfg.QueueDepth),
-			cur:   make([]task, 0, maxDrain),
-			next:  make([]task, 0, maxDrain),
-			div:   &divWindow{},
+			svc:  s,
+			q:    newMPSC(cfg.QueueDepth),
+			cur:  make([]task, 0, maxDrain),
+			next: make([]task, 0, maxDrain),
+			div:  &divWindow{},
+		}
+		for j := range sh.chunks {
+			sh.chunks[j] = &stealChunk{done: make(chan struct{}, 1)}
 		}
 		s.shards = append(s.shards, sh)
+	}
+	// Start the goroutines only once the shard slice is complete: idle
+	// shards scan s.shards for steal offers.
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go sh.loop()
 	}
@@ -292,38 +341,157 @@ func (s *Service) Threshold() float64 { return s.state.Load().threshold }
 // to warm-start a federation from the deployed model).
 func (s *Service) Weights() []float64 { return s.state.Load().det.Model().WeightsVector() }
 
+// sinceBase is the monotonic nanosecond stamp behind latency accounting.
+func (s *Service) sinceBase() int64 { return int64(time.Since(s.base)) }
+
 // Submit enqueues one observation for scoring. reply is invoked exactly
 // once with the verdict, on the owning shard's goroutine — it must not
 // block for long (a stalled reply stalls that shard, which is the
 // backpressure contract working as intended). Submit never blocks: a full
 // shard queue returns ErrBacklog and drops nothing already accepted.
+//
+// Submit resolves stationName in the registry on every call; a
+// steady-state producer should hold a Station handle instead, which
+// skips the lookup entirely.
 func (s *Service) Submit(stationName string, value float64, reply func(Verdict)) error {
 	if reply == nil {
 		return fmt.Errorf("%w: nil reply", ErrBadConfig)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closedFlag.Load() {
 		return ErrClosed
 	}
-	st, err := s.station(stationName)
+	st, err := s.lookupStation(stationName)
 	if err != nil {
 		return err
+	}
+	return s.submitTo(st, value, reply)
+}
+
+// submitTo is the shared lookup-free submit path. The per-shard inflight
+// count brackets the enqueue so Close can wait out in-flight producers
+// before telling the shard goroutine to exit — no lock on the hot path.
+func (s *Service) submitTo(st *station, value float64, reply func(Verdict)) error {
+	sh := st.shard
+	sh.inflight.Add(1)
+	if s.closedFlag.Load() {
+		sh.inflight.Add(-1)
+		return ErrClosed
 	}
 	if s.cfg.IdleTTL > 0 {
 		st.lastSeen.Store(time.Now().UnixNano())
 	}
-	select {
-	case st.shard.tasks <- task{st: st, value: value, reply: reply}:
-		return nil
-	default:
-		s.rejected.Add(1)
+	ok := sh.q.enqueue(task{st: st, value: value, reply: reply, t0: s.sinceBase()})
+	if !ok {
+		sh.inflight.Add(-1)
+		sh.rejected.Add(1)
 		return ErrBacklog
 	}
+	sh.q.wakeProducerSide()
+	sh.inflight.Add(-1)
+	return nil
 }
 
-// station resolves (or creates) the named station.
-func (s *Service) station(name string) (*station, error) {
+// Station resolves (or creates) the named station and returns a reusable
+// submission handle. Steady-state submits through the handle are
+// registry-lookup-free and allocation-free; after idle eviction the
+// handle transparently re-resolves (re-creating the station, fresh
+// window, indices from 0 — the documented eviction semantics). A handle
+// is safe for concurrent use.
+func (s *Service) Station(name string) (*Station, error) {
+	st, err := s.lookupStation(name)
+	if err != nil {
+		return nil, err
+	}
+	h := &Station{svc: s, name: name}
+	h.st.Store(st)
+	return h, nil
+}
+
+// Station is a cached per-station submission handle (see
+// Service.Station).
+type Station struct {
+	svc  *Service
+	name string
+	st   atomic.Pointer[station]
+}
+
+// Name returns the station name the handle resolves.
+func (h *Station) Name() string { return h.name }
+
+// resolve returns the live station, re-resolving after eviction.
+func (h *Station) resolve() (*station, error) {
+	st := h.st.Load()
+	if st.dead.Load() {
+		fresh, err := h.svc.lookupStation(h.name)
+		if err != nil {
+			return nil, err
+		}
+		h.st.Store(fresh)
+		st = fresh
+	}
+	return st, nil
+}
+
+// Submit enqueues one observation for the handle's station — the
+// lookup-free fast path of Service.Submit, with identical semantics.
+func (h *Station) Submit(value float64, reply func(Verdict)) error {
+	if reply == nil {
+		return fmt.Errorf("%w: nil reply", ErrBadConfig)
+	}
+	if h.svc.closedFlag.Load() {
+		return ErrClosed
+	}
+	st, err := h.resolve()
+	if err != nil {
+		return err
+	}
+	return h.svc.submitTo(st, value, reply)
+}
+
+// SubmitN enqueues a batch of consecutive observations for the handle's
+// station with a single ingress-ring reservation (one tail CAS for the
+// whole batch). reply is invoked once per accepted observation, in
+// submission order. It returns how many observations were accepted:
+// n == len(values) on success; 0 ≤ n < len(values) with ErrBacklog when
+// the shard's ring filled part-way (the accepted prefix is in flight and
+// will get its verdicts; resubmit the rest after a backoff).
+func (h *Station) SubmitN(values []float64, reply func(Verdict)) (int, error) {
+	if reply == nil {
+		return 0, fmt.Errorf("%w: nil reply", ErrBadConfig)
+	}
+	if len(values) == 0 {
+		return 0, nil
+	}
+	if h.svc.closedFlag.Load() {
+		return 0, ErrClosed
+	}
+	st, err := h.resolve()
+	if err != nil {
+		return 0, err
+	}
+	sh := st.shard
+	sh.inflight.Add(1)
+	if h.svc.closedFlag.Load() {
+		sh.inflight.Add(-1)
+		return 0, ErrClosed
+	}
+	if h.svc.cfg.IdleTTL > 0 {
+		st.lastSeen.Store(time.Now().UnixNano())
+	}
+	n := sh.q.enqueueBatch(st, values, reply, h.svc.sinceBase())
+	if n > 0 {
+		sh.q.wakeProducerSide()
+	}
+	sh.inflight.Add(-1)
+	if n < len(values) {
+		sh.rejected.Add(1)
+		return n, ErrBacklog
+	}
+	return n, nil
+}
+
+// lookupStation resolves (or creates) the named station.
+func (s *Service) lookupStation(name string) (*station, error) {
 	if v, ok := s.stations.Load(name); ok {
 		return v.(*station), nil
 	}
@@ -354,7 +522,9 @@ func (s *Service) station(name string) (*station, error) {
 // sweepLoop evicts stations idle past Config.IdleTTL. Eviction races
 // benignly with submission: a losing Submit re-creates the station (fresh
 // ring, indices from 0) and an evicted station's queued observations
-// still get their verdicts (the shard holds the pointer).
+// still get their verdicts (the shard holds the pointer). The dead flag
+// is set before the registry delete so cached handles re-resolve instead
+// of submitting into an unregistered station forever.
 func (s *Service) sweepLoop() {
 	defer s.wg.Done()
 	interval := s.cfg.IdleTTL / 4
@@ -370,7 +540,9 @@ func (s *Service) sweepLoop() {
 		case <-tick.C:
 			now := time.Now().UnixNano()
 			s.stations.Range(func(key, v any) bool {
-				if now-v.(*station).lastSeen.Load() > int64(s.cfg.IdleTTL) {
+				st := v.(*station)
+				if now-st.lastSeen.Load() > int64(s.cfg.IdleTTL) {
+					st.dead.Store(true)
 					s.stations.Delete(key)
 					s.nStation.Add(^uint64(0))
 					s.evicted.Add(1)
@@ -436,15 +608,16 @@ func (s *Service) Snapshot() (*autoencoder.Detector, float64) {
 	return st.det, st.threshold
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters, including the
+// latency percentiles folded from every shard's fixed-bin histogram.
 func (s *Service) Stats() Stats {
 	out := Stats{
-		Rejected: s.rejected.Load(),
 		Stations: s.nStation.Load(),
 		Evicted:  s.evicted.Load(),
 		Epoch:    s.Epoch(),
 		Shards:   len(s.shards),
 	}
+	var merged [histBuckets]uint64
 	for _, sh := range s.shards {
 		out.Points += sh.points.Load()
 		out.Warmup += sh.warmup.Load()
@@ -454,13 +627,25 @@ func (s *Service) Stats() Stats {
 		out.SingleWindows += sh.singleWin.Load()
 		out.ShadowWindows += sh.shadowWin.Load()
 		out.CanaryServed += sh.canaryServed.Load()
+		out.Rejected += sh.rejected.Load()
+		out.StealOffered += sh.stealOffered.Load()
+		out.StealStolen += sh.stealStolen.Load()
+		sh.hist.mergeInto(&merged)
 	}
+	var total uint64
+	for _, c := range merged {
+		total += c
+	}
+	out.LatencyP50Micros = histQuantile(&merged, total, 0.50)
+	out.LatencyP90Micros = histQuantile(&merged, total, 0.90)
+	out.LatencyP99Micros = histQuantile(&merged, total, 0.99)
+	out.LatencyP999Micros = histQuantile(&merged, total, 0.999)
 	return out
 }
 
-// Close stops accepting observations, drains every shard's queue (each
-// already-accepted observation still gets its verdict) and joins the
-// shard goroutines. Close is idempotent.
+// Close stops accepting observations, drains every shard's ingress ring
+// (each already-accepted observation still gets its verdict) and joins
+// the shard goroutines. Close is idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -468,22 +653,41 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	s.mu.Unlock()
+	s.closedFlag.Store(true)
+	// Wait out producers already past the closed check; their enqueues
+	// are bracketed by the per-shard inflight count and complete in
+	// nanoseconds, after which no new task can appear.
 	for _, sh := range s.shards {
-		close(sh.tasks)
+		for sh.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	for _, sh := range s.shards {
+		sh.closed.Store(true)
+		sh.q.forceWake()
 	}
 	if s.stopSweep != nil {
 		close(s.stopSweep)
 	}
-	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-// shard is one scoring goroutine: it owns its queue, its stations' rings
-// and its scorers. All fields below tasks are touched only by the shard
-// goroutine, except the atomic counters.
+// shard is one scoring goroutine: it owns its ingress ring, its stations'
+// look-back rings and its scorers. Producer-written fields (inflight,
+// rejected) are padded away from the consumer's state so multi-producer
+// submission does not false-share with the drain loop; everything below
+// the padding is touched only by the shard goroutine, except the atomic
+// counters (read by Stats) and the steal mailboxes.
 type shard struct {
-	svc   *Service
-	tasks chan task
+	svc *Service
+	q   *mpsc
+
+	inflight atomic.Int64  // producers inside submit (Close waits these out)
+	rejected atomic.Uint64 // producer-side ErrBacklog count
+	_        [cacheLine - 24]byte
+
+	closed atomic.Bool // set by Close after inflight drains
 
 	epoch   int
 	single  *autoencoder.StreamScorer
@@ -498,6 +702,14 @@ type shard struct {
 	candThr    float64
 	shadowTick uint64
 	nEmit      int
+
+	// steal-side scorers: rebuilt per chunk epoch, separate from the
+	// serving pair so helping a hot shard never thrashes our own scratch
+	stealSingle *autoencoder.StreamScorer
+	stealBatch  *autoencoder.BatchScorer
+	stealEpoch  int
+	offers      [maxOffers]offerBox
+	chunks      [maxOffers]*stealChunk
 
 	// reusable scratch
 	cur, next []task
@@ -521,34 +733,72 @@ type shard struct {
 	singleWin    atomic.Uint64
 	shadowWin    atomic.Uint64
 	canaryServed atomic.Uint64
+	stealOffered atomic.Uint64
+	stealStolen  atomic.Uint64
+	stealRuns    atomic.Uint64
+
+	hist latHist
 }
 
-// loop drains the queue until the service closes. Each drain cycle
+// loop drains the ingress ring until the service closes. Each drain cycle
 // gathers up to cap(cur) pending tasks, loads the serving model once
 // (the copy-on-write reload boundary: everything drained in this cycle
-// scores on this model), and processes the tasks in waves.
+// scores on this model), and processes the tasks in waves. An empty ring
+// parks the goroutine (idle), where it also volunteers for other shards'
+// offered wave chunks.
 func (sh *shard) loop() {
 	defer sh.svc.wg.Done()
 	for {
-		t, ok := <-sh.tasks
-		if !ok {
-			return
-		}
-		sh.cur = append(sh.cur[:0], t)
-	gather:
+		sh.cur = sh.cur[:0]
 		for len(sh.cur) < cap(sh.cur) {
-			select {
-			case t, ok := <-sh.tasks:
-				if !ok {
-					sh.drain()
-					return
-				}
-				sh.cur = append(sh.cur, t)
-			default:
-				break gather
+			t, ok := sh.q.dequeue()
+			if !ok {
+				break
 			}
+			sh.cur = append(sh.cur, t)
+		}
+		sh.q.publishHead()
+		if len(sh.cur) == 0 {
+			if sh.idle() {
+				return
+			}
+			continue
 		}
 		sh.drain()
+	}
+}
+
+// idle parks the shard until new work arrives, stealing offered wave
+// chunks while it waits. It returns true when the service has closed and
+// the ring is fully drained (the goroutine should exit). The
+// parked-flag/recheck ordering pairs with mpsc.wakeProducerSide: either
+// the producer sees parked and sends the token, or the pre-sleep recheck
+// sees the task.
+func (sh *shard) idle() (done bool) {
+	for {
+		if sh.tryStealOnce() {
+			if !sh.q.empty() {
+				return false
+			}
+			continue
+		}
+		sh.q.parked.Store(true)
+		if !sh.q.empty() {
+			sh.q.parked.Store(false)
+			return false
+		}
+		if sh.closed.Load() {
+			sh.q.parked.Store(false)
+			return sh.q.empty()
+		}
+		select {
+		case <-sh.q.wake:
+			sh.q.parked.Store(false)
+			return false
+		case <-sh.svc.stealWake:
+			sh.q.parked.Store(false)
+			// Loop: scan the mailboxes, then re-park if nothing stuck.
+		}
 	}
 }
 
@@ -588,16 +838,19 @@ func (sh *shard) drain() {
 }
 
 // wave pushes each task's observation into its station's ring, scores
-// the full windows (batched past the threshold), and delivers verdicts.
+// the full windows (batched past the threshold, rebalanced across idle
+// shards past twice the threshold), and delivers verdicts.
 func (sh *shard) wave(wave []task, state *modelState) {
 	sh.ready = sh.ready[:0]
 	sh.windows = sh.windows[:0]
+	now := sh.svc.sinceBase()
 	for i := range wave {
 		t := &wave[i]
 		idx, window, ok := t.st.ring.Push(t.value)
 		if !ok {
 			sh.warmup.Add(1)
 			sh.points.Add(1)
+			sh.hist.observe(now - t.t0)
 			t.reply(Verdict{
 				Station:        t.st.name,
 				StreamDecision: anomaly.StreamDecision{Index: idx},
@@ -622,11 +875,17 @@ func (sh *shard) wave(wave []task, state *modelState) {
 	}
 	scores, recons := sh.scores[:n], sh.recons[:n]
 	var err error
-	if n >= sh.svc.cfg.BatchThreshold {
+	bt := sh.svc.cfg.BatchThreshold
+	switch {
+	case n >= 2*bt && sh.svc.stealEnabled():
+		err = sh.scoreWindowsStealing(state, scores, recons)
+		sh.batchCalls.Add(1)
+		sh.batchedWin.Add(uint64(n))
+	case n >= bt:
 		err = sh.batch.ScoreLastInto(scores, recons, sh.windows)
 		sh.batchCalls.Add(1)
 		sh.batchedWin.Add(uint64(n))
-	} else {
+	default:
 		for i, w := range sh.windows {
 			if scores[i], recons[i], err = sh.single.ScoreLastRecon(w); err != nil {
 				break
@@ -643,6 +902,7 @@ func (sh *shard) wave(wave []task, state *modelState) {
 		// window aliases are still valid.
 		sh.shadow(wave, state, cand, scores, recons)
 	}
+	done := sh.svc.sinceBase()
 	for k, i := range sh.ready {
 		t := &wave[i]
 		if err != nil {
@@ -650,6 +910,7 @@ func (sh *shard) wave(wave []task, state *modelState) {
 			// the verdict contract is one reply per submit): report the
 			// point unjudged.
 			sh.points.Add(1)
+			sh.hist.observe(done - t.t0)
 			t.reply(Verdict{
 				Station:        t.st.name,
 				StreamDecision: anomaly.StreamDecision{Index: t.index},
@@ -689,6 +950,7 @@ func (sh *shard) wave(wave []task, state *modelState) {
 			}
 		}
 		sh.points.Add(1)
+		sh.hist.observe(done - t.t0)
 		t.reply(v)
 	}
 }
@@ -740,16 +1002,7 @@ func (sh *shard) shadow(wave []task, state *modelState, cand *candidateState, sc
 		sh.candRecons = make([]float64, m)
 	}
 	cs, cr := sh.candScores[:m], sh.candRecons[:m]
-	var err error
-	if m >= sh.svc.cfg.BatchThreshold {
-		err = sh.candBatch.ScoreLastInto(cs, cr, sh.candWindows)
-	} else {
-		for j, w := range sh.candWindows {
-			if cs[j], cr[j], err = sh.candSingle.ScoreLastRecon(w); err != nil {
-				break
-			}
-		}
-	}
+	err := scoreInto(sh.candSingle, sh.candBatch, sh.svc.cfg.BatchThreshold, sh.candWindows, cs, cr)
 	if err != nil {
 		// A candidate that cannot score is a divergent candidate: emit
 		// nothing from it and record the failure as a non-finite sample.

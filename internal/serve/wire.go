@@ -94,6 +94,10 @@ func (ws *WireServer) handle(conn net.Conn) {
 	var (
 		values   []float64
 		verdicts []wire.ScoreVerdict
+		// Per-connection station handle cache: a persistent producer
+		// streams for a stable station set, so steady-state frames skip
+		// the registry entirely (handles self-heal across idle eviction).
+		handles = make(map[string]*Station)
 	)
 	for {
 		fr, err := wc.ReadFrame()
@@ -116,8 +120,17 @@ func (ws *WireServer) handle(conn net.Conn) {
 				return
 			}
 			values = vals
+			h := handles[station]
+			if h == nil {
+				var herr error
+				if h, herr = ws.svc.Station(station); herr != nil {
+					ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: herr.Error()})
+					return
+				}
+				handles[station] = h
+			}
 			var serr error
-			if verdicts, serr = ws.score(station, vals, verdicts[:0]); serr != nil {
+			if verdicts, serr = ws.score(h, vals, verdicts[:0]); serr != nil {
 				ws.respondError(wc, wire.ErrorMsg{Code: wire.ErrCodeApp, PeerVersion: wire.Version, Text: serr.Error()})
 				return
 			}
@@ -210,34 +223,37 @@ func (ws *WireServer) handle(conn net.Conn) {
 	}
 }
 
-// score submits one station's observation batch and gathers the verdicts
-// in submission order. A full shard queue is waited out rather than
-// surfaced: the unread TCP stream is itself the backpressure signal to
-// the producer.
-func (ws *WireServer) score(station string, vals []float64, out []wire.ScoreVerdict) ([]wire.ScoreVerdict, error) {
+// score submits one station's observation batch (one ingress-ring
+// reservation per SubmitN call) and gathers the verdicts in submission
+// order. A full shard queue is waited out rather than surfaced: the
+// unread TCP stream is itself the backpressure signal to the producer.
+func (ws *WireServer) score(h *Station, vals []float64, out []wire.ScoreVerdict) ([]wire.ScoreVerdict, error) {
 	if cap(out) < len(vals) {
 		out = make([]wire.ScoreVerdict, 0, len(vals))
 	}
 	out = out[:len(vals)]
 	var wg sync.WaitGroup
-	for i, v := range vals {
-		slot := &out[i]
-		wg.Add(1)
-		reply := func(verdict Verdict) {
-			*slot = toWire(verdict)
-			wg.Done()
-		}
-		for {
-			err := ws.svc.Submit(station, v, reply)
-			if err == nil {
-				break
-			}
+	wg.Add(len(vals))
+	// k is written only by the owning shard goroutine (a single station
+	// maps to one shard, which delivers in submission order); wg.Wait
+	// publishes the filled slice back to this goroutine.
+	k := 0
+	reply := func(verdict Verdict) {
+		out[k] = toWire(verdict)
+		k++
+		wg.Done()
+	}
+	off := 0
+	for off < len(vals) {
+		n, err := h.SubmitN(vals[off:], reply)
+		off += n
+		if err != nil {
 			if errors.Is(err, ErrBacklog) {
 				time.Sleep(100 * time.Microsecond)
 				continue
 			}
-			wg.Done()
-			wg.Wait() // collect verdicts already accepted before failing
+			wg.Add(off - len(vals)) // cancel the never-submitted tail
+			wg.Wait()               // collect verdicts already accepted before failing
 			return nil, err
 		}
 	}
