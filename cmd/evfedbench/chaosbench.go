@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// chaosBenchRecord is the machine-readable record for the -chaos-recovery
+// fault matrix: every injected-fault and crash-resume arm scored against
+// its fault-free control (see BENCH_pr9.json).
+type chaosBenchRecord struct {
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Rounds     int    `json:"rounds"`
+	// TotalSeconds is the whole matrix's wall time.
+	TotalSeconds float64           `json:"totalSeconds"`
+	Points       []chaosBenchPoint `json:"points"`
+}
+
+type chaosBenchPoint struct {
+	Scenario          string  `json:"scenario"`
+	Topology          string  `json:"topology"`
+	CheckpointEvery   int     `json:"checkpointEvery,omitempty"`
+	Rounds            int     `json:"rounds"`
+	Dropped           int     `json:"dropped"`
+	Faults            int     `json:"faults"`
+	WallSeconds       float64 `json:"wallSeconds"`
+	MaxAbsDiff        float64 `json:"maxAbsDiff"`
+	VerdictWarmupLoss int     `json:"verdictWarmupLoss,omitempty"`
+	WithinTolerance   bool    `json:"withinTolerance"`
+}
+
+// runChaosBench executes the chaos-recovery matrix, prints the table, and
+// optionally writes the perf record. Any arm outside its recovery
+// tolerance fails the run — this is a gate, not just a report.
+func runChaosBench(benchPath string, rounds int, seed uint64, quick bool) error {
+	params := eval.ChaosParams{Rounds: rounds, Seed: seed}
+	fmt.Fprintf(os.Stderr, "running %s chaos-recovery matrix (seed %d, %d rounds)...\n",
+		configName(quick), seed, rounds)
+	start := time.Now()
+	points, err := eval.RunChaosRecovery(params)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "matrix completed in %.1fs\n\n", total)
+	fmt.Print(eval.FormatChaosRecovery(points))
+
+	bad := 0
+	for _, pt := range points {
+		if !pt.WithinTolerance {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d chaos arms outside recovery tolerance", bad, len(points))
+	}
+
+	if benchPath == "" {
+		return nil
+	}
+	rec := chaosBenchRecord{
+		Config:       configName(quick) + "-chaos",
+		Seed:         seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Rounds:       rounds,
+		TotalSeconds: total,
+	}
+	for _, pt := range points {
+		rec.Points = append(rec.Points, chaosBenchPoint{
+			Scenario:          pt.Scenario,
+			Topology:          pt.Topology,
+			CheckpointEvery:   pt.CheckpointEvery,
+			Rounds:            pt.Rounds,
+			Dropped:           pt.Dropped,
+			Faults:            pt.Faults,
+			WallSeconds:       pt.WallSeconds,
+			MaxAbsDiff:        pt.MaxAbsDiff,
+			VerdictWarmupLoss: pt.VerdictWarmupLoss,
+			WithinTolerance:   pt.WithinTolerance,
+		})
+	}
+	return writeChaosBenchJSON(benchPath, rec)
+}
+
+func writeChaosBenchJSON(path string, rec chaosBenchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encodeBenchJSON(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -11,6 +11,14 @@
 //	evfedbench -bench-compare BASE.json,NEW.json
 //	    [-compare-tput-drop 0.15] [-compare-p99-growth 0.25]
 //	evfedbench -hier 1000,10000 [-hier-edges 100] [-quick] [-bench-json BENCH.json]
+//	evfedbench -chaos-recovery [-chaos-rounds 4] [-seed N] [-bench-json BENCH_pr9.json]
+//
+// -chaos-recovery runs the fault-injection matrix: real TCP federations
+// (flat and 2-tier) under injected connection drops, stalls and byte
+// corruption, coordinator kill-and-resume from durable checkpoints at
+// several cadences, and a scoring-service restart from its atomic
+// snapshot — every arm scored against a fault-free control and gated on
+// its scenario's recovery guarantee (see BENCH_pr9.json).
 //
 // -hier switches to the hierarchical topology sweep: each station count
 // is federated twice over simulated stations — flat, and behind a 2-tier
@@ -86,6 +94,9 @@ func run() error {
 
 		serveMatrix = flag.String("serve-matrix", "", "run the multi-core scaling sweep (GOMAXPROCS × shards × batch × depth × producers × skew) and write the per-arm records to this path")
 
+		chaosRecovery = flag.Bool("chaos-recovery", false, "run the fault-injection recovery matrix (conn-drop/stall/corrupt/coordinator-crash/server-restart × flat/2-tier) and fail if any arm exceeds its recovery tolerance; -bench-json writes the per-arm records")
+		chaosRounds   = flag.Int("chaos-rounds", 4, "federated rounds per -chaos-recovery arm")
+
 		benchCompare = flag.String("bench-compare", "", "compare two serve bench/matrix files, BASE.json,NEW.json, and fail on regressions beyond the tolerance band")
 		cmpTputDrop  = flag.Float64("compare-tput-drop", 0.15, "max tolerated fractional throughput drop for -bench-compare")
 		cmpP99Growth = flag.Float64("compare-p99-growth", 0.25, "max tolerated fractional p99 latency growth for -bench-compare")
@@ -102,6 +113,10 @@ func run() error {
 
 	if *serveMatrix != "" {
 		return runServeMatrix(*serveMatrix, *seed, *quick)
+	}
+
+	if *chaosRecovery {
+		return runChaosBench(*bench, *chaosRounds, *seed, *quick)
 	}
 
 	if *serveBench != "" {

@@ -25,7 +25,18 @@
 //	    [-codec none|f32|q8] [-tolerate-errors] [-client-fraction 1.0] \
 //	    [-max-concurrent 0] [-round-deadline 0] [-io-timeout 10m] \
 //	    [-dial-timeout 5s] [-retries 2] [-retry-backoff 200ms] \
-//	    [-weights-out global.gob] [-serve-reload host:9090]
+//	    [-weights-out global.gob] [-serve-reload host:9090] \
+//	    [-checkpoint-dir ckpts/] [-checkpoint-every 1] [-resume]
+//
+// -checkpoint-dir makes the run crash-safe: after each round (or every
+// N rounds with -checkpoint-every; the final round always checkpoints)
+// the coordinator atomically persists the global weights, round index,
+// RNG state, per-station q8 delta references, and round stats to a
+// versioned, CRC-guarded checkpoint file. If the coordinator is killed,
+// restart it with the same flags plus -resume: it picks up the newest
+// valid checkpoint and continues from the first non-durable round,
+// producing bit-identical results to an uninterrupted run (for
+// deterministic aggregators such as fedavg and uniform).
 //
 // -serve-reload pushes every round's freshly aggregated global weights
 // into a running cmd/evfedserve scoring service (binary MsgReload frames)
@@ -86,6 +97,9 @@ func run() error {
 		dpNoise      = flag.Float64("dp-noise", 0, "differential-privacy Gaussian noise std (requires -dp-clip)")
 		seed         = flag.Uint64("seed", 1, "global model seed")
 		weightsOut   = flag.String("weights-out", "", "write the final global weights (gob) here")
+		ckptDir      = flag.String("checkpoint-dir", "", "persist a durable checkpoint (weights, RNG state, round stats) here after rounds")
+		ckptEvery    = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (requires -checkpoint-dir; the final round always checkpoints)")
+		resume       = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting at round 1")
 		serveReload  = flag.String("serve-reload", "", "push each round's global weights to this evfedserve binary listener (hot reload)")
 		serveCanary  = flag.String("serve-canary", "", "stage each round's global weights as a canary candidate on this evfedserve binary listener (requires evfedserve -canary)")
 	)
@@ -95,6 +109,12 @@ func run() error {
 	}
 	if *serveReload != "" && *serveCanary != "" {
 		return fmt.Errorf("-serve-reload and -serve-canary are mutually exclusive")
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1")
 	}
 
 	codec, err := fed.ParseCodec(*codecName)
@@ -198,6 +218,17 @@ func run() error {
 		ProximalMu:           *proximalMu,
 		Privacy:              fed.Privacy{ClipNorm: *dpClip, NoiseStd: *dpNoise},
 	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = fed.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
+	}
+	if *resume {
+		cp, path, err := fed.LatestCheckpoint(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		fmt.Printf("resuming from %s: %d/%d rounds already durable\n", path, cp.Round, *rounds)
+		cfg.Resume = cp
+	}
 	if *serveReload != "" {
 		cfg.OnRound = func(stat fed.RoundStat, global []float64) {
 			epoch, err := serve.PushReload(*serveReload, global, 0, wire.VecF32, *dialTimeout+*ioTimeout)
@@ -249,6 +280,9 @@ func run() error {
 			if reason, ok := rs.Errors[id]; ok {
 				fmt.Printf("  dropped %s: %s\n", id, reason)
 			}
+		}
+		if rs.HookPanic != "" {
+			fmt.Printf("  round hook panicked (recovered): %s\n", rs.HookPanic)
 		}
 	}
 	var sent, recv uint64

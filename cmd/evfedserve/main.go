@@ -31,10 +31,15 @@
 // after the divergence budgets hold; a diverging candidate is rolled
 // back and quarantined without ever serving the full fleet.
 //
-// -persist writes the serving detector (with its calibrated threshold,
-// evfeddetect -save-model format) on graceful shutdown, so a fleet of
-// hot reloads survives a restart. -idle-ttl evicts stations that have
-// gone quiet, bounding memory across station churn.
+// -persist snapshots the serving detector (with its calibrated
+// threshold, evfeddetect -save-model format) on graceful shutdown, and
+// -snapshot-every additionally snapshots it periodically — atomically,
+// write-to-temp + rename — so a crash loses at most one interval of hot
+// reloads. At startup an existing -persist snapshot is resumed, taking
+// precedence over -model: the restarted server rejoins the fleet with
+// the last snapshotted weights and picks up the coordinator's
+// reload/canary pushes on the next round. -idle-ttl evicts stations that
+// have gone quiet, bounding memory across station churn.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/evfed/evfed/internal/autoencoder"
 	"github.com/evfed/evfed/internal/dataset"
@@ -85,7 +91,8 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		seed      = fs.Uint64("seed", 1, "seed for -train-synthetic")
 		idleTTL   = fs.Duration("idle-ttl", 0, "evict stations idle longer than this (0 = never)")
 		noSteal   = fs.Bool("no-steal", false, "disable wave rebalancing between shards (hot-shard overflow stays on its owner)")
-		persist   = fs.String("persist", "", "write the serving detector (calibrated format) here on graceful shutdown")
+		persist   = fs.String("persist", "", "snapshot the serving detector (calibrated format) here on graceful shutdown; an existing snapshot is resumed at startup, taking precedence over -model")
+		snapEvery = fs.Duration("snapshot-every", 0, "also snapshot the serving detector to -persist at this interval (0 = shutdown only), so a crash loses at most one interval of hot reloads")
 
 		canary       = fs.Bool("canary", false, "stage pushed models as canaries instead of reloading live")
 		canaryFrac   = fs.Float64("canary-fraction", 0, "station cohort fraction served by the candidate in the canary phase (0 = default 0.25)")
@@ -97,7 +104,14 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 		return err
 	}
 
-	det, thr, err := loadDetector(*model, *synth, *quick, *seed)
+	if *snapEvery < 0 {
+		return fmt.Errorf("-snapshot-every must be >= 0")
+	}
+	if *snapEvery > 0 && *persist == "" {
+		return fmt.Errorf("-snapshot-every requires -persist FILE")
+	}
+
+	det, thr, err := resolveDetector(*persist, *model, *synth, *quick, *seed)
 	if err != nil {
 		return err
 	}
@@ -172,6 +186,28 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	}
 	fmt.Fprintf(os.Stderr, ", threshold %.6g\n", thr)
 
+	// Periodic snapshotting: rejoin-after-restart only works if the
+	// snapshot is fresh, so a crash between graceful shutdowns loses at
+	// most one -snapshot-every interval of hot reloads.
+	var snapDone chan struct{}
+	if *snapEvery > 0 {
+		snapDone = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := svc.SnapshotToFile(*persist); err != nil {
+						fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+					}
+				case <-snapDone:
+					return
+				}
+			}
+		}()
+	}
+
 	var stop <-chan struct{}
 	if onStart != nil {
 		stop = onStart(st)
@@ -189,6 +225,9 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	// queue so accepted observations still get verdicts, then persist the
 	// serving model. A still-staged canary candidate is deliberately not
 	// persisted — only the calibrated incumbent survives a restart.
+	if snapDone != nil {
+		close(snapDone)
+	}
 	if wire != nil {
 		wire.Stop()
 	}
@@ -200,7 +239,7 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	}
 	svc.Close()
 	if *persist != "" {
-		if err := persistDetector(*persist, svc); err != nil {
+		if err := svc.SnapshotToFile(*persist); err != nil {
 			return fmt.Errorf("persist serving model: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "serving model persisted to %s\n", *persist)
@@ -215,23 +254,28 @@ func run(fs *flag.FlagSet, args []string, onStart func(started) (stop <-chan str
 	return nil
 }
 
-// persistDetector writes the serving detector and threshold in the
-// evfeddetect -save-model format, so the next start resumes from the
-// last promoted epoch instead of the original -model file.
-func persistDetector(path string, svc *serve.Service) error {
-	det, thr := svc.Snapshot()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := det.SaveCalibrated(f, thr); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
 func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// resolveDetector picks the serving model with restart semantics: an
+// existing -persist snapshot wins over -model/-train-synthetic — it
+// carries every hot reload the previous process absorbed, where the
+// original -model file is frozen at deploy time. Atomic snapshot writes
+// mean the file is either a complete snapshot or absent; a file that
+// exists but does not parse is a real fault and fails startup rather
+// than silently serving a stale model.
+func resolveDetector(persist, model string, synth, quick bool, seed uint64) (*autoencoder.Detector, float64, error) {
+	if persist != "" {
+		if _, err := os.Stat(persist); err == nil {
+			det, thr, err := serve.LoadSnapshotFile(persist)
+			if err != nil {
+				return nil, 0, fmt.Errorf("resume from snapshot: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "resuming from snapshot %s\n", persist)
+			return det, thr, nil
+		}
+	}
+	return loadDetector(model, synth, quick, seed)
+}
 
 // loadDetector resolves the serving model: a persisted file, or a quick
 // synthetic-data training run for self-contained demos.

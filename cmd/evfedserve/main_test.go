@@ -246,3 +246,98 @@ func TestModelFileRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: thr %v/%v seqLen %d/%d", gotThr, thr, got.Config().SeqLen, det.Config().SeqLen)
 	}
 }
+
+// TestServeSnapshotResume is the CI resume-smoke shard: boot with
+// periodic snapshotting, hot-reload so the serving state diverges from
+// the boot model, wait for a periodic snapshot to land, kill the
+// process (no graceful persist), then restart with ONLY -persist — the
+// restarted server must resume the snapshotted weights, not retrain.
+func TestServeSnapshotResume(t *testing.T) {
+	persistPath := filepath.Join(t.TempDir(), "serving.bin")
+	boot := func(args []string) (started, chan struct{}, chan error) {
+		stop := make(chan struct{})
+		ready := make(chan started, 1)
+		done := make(chan error, 1)
+		go func() {
+			fs := flag.NewFlagSet("evfedserve", flag.ContinueOnError)
+			done <- run(fs, args, func(st started) <-chan struct{} {
+				ready <- st
+				return stop
+			})
+		}()
+		select {
+		case st := <-ready:
+			return st, stop, done
+		case err := <-done:
+			t.Fatalf("service exited early: %v", err)
+		case <-time.After(120 * time.Second):
+			t.Fatal("service did not start")
+		}
+		panic("unreachable")
+	}
+
+	st, stop, done := boot([]string{
+		"-train-synthetic", "-quick", "-seed", "3",
+		"-codec", "binary", "-addr", "127.0.0.1:0", "-reload-addr", "127.0.0.1:0",
+		"-shards", "2", "-persist", persistPath, "-snapshot-every", "50ms",
+	})
+
+	// Diverge the serving state from the boot model via a hot reload.
+	w := st.Service.Weights()
+	for i := range w {
+		w[i] *= 1.0 + 1e-3
+	}
+	wantThr := st.Service.Threshold() * 1.01
+	if _, err := st.Service.ReloadWeights(w, wantThr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for a periodic snapshot that carries the reloaded state (the
+	// threshold is the cheap fingerprint).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if det, thr, err := serve.LoadSnapshotFile(persistPath); err == nil && thr == wantThr && det != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot with reloaded state never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// "Crash": tear the first process down. (The graceful path would also
+	// snapshot; the periodic file already carries what we assert on.)
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the snapshot alone — no -model, no -train-synthetic.
+	st2, stop2, done2 := boot([]string{
+		"-codec", "binary", "-addr", "127.0.0.1:0", "-reload-addr", "127.0.0.1:0",
+		"-shards", "2", "-persist", persistPath,
+	})
+	if got := st2.Service.Threshold(); got != wantThr {
+		t.Fatalf("restart did not resume the snapshot: threshold %v, want %v", got, wantThr)
+	}
+	w2 := st2.Service.Weights()
+	for i := range w2 {
+		if w2[i] != w[i] {
+			t.Fatalf("weight %d differs after restart: %v != %v", i, w2[i], w[i])
+		}
+	}
+
+	// The restarted server still takes reload pushes (the re-subscribe
+	// path a coordinator's -serve-reload hits every round).
+	if _, err := st2.Service.ReloadWeights(w2, wantThr); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Service.Epoch() != 2 {
+		t.Fatalf("epoch %d after post-restart reload", st2.Service.Epoch())
+	}
+
+	close(stop2)
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}

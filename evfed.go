@@ -343,6 +343,23 @@ type RemoteEdge = fed.RemoteEdge
 // NewRemoteEdge builds a TCP handle for a served edge aggregator.
 func NewRemoteEdge(id, addr string) *RemoteEdge { return fed.NewRemoteEdge(id, addr) }
 
+// FederatedCheckpointConfig enables durable per-round checkpoints on a
+// federation (FederatedConfig.Checkpoint): after each round the
+// coordinator atomically persists the global weights, round index, RNG
+// state, delta references and round stats to a versioned, CRC-guarded
+// file. See cmd/evfedcoord -checkpoint-dir/-resume.
+type FederatedCheckpointConfig = fed.CheckpointConfig
+
+// FederatedCheckpoint is one durable coordinator checkpoint; set it as
+// FederatedConfig.Resume to continue a killed run bit-identically.
+type FederatedCheckpoint = fed.Checkpoint
+
+// LatestFederatedCheckpoint loads the newest valid checkpoint in dir,
+// skipping corrupt or truncated files.
+func LatestFederatedCheckpoint(dir string) (*FederatedCheckpoint, string, error) {
+	return fed.LatestCheckpoint(dir)
+}
+
 // PartialAggregate is one subtree's per-round contribution: either a
 // compensated weighted sum (FedAvg mean/uniform) or the held per-client
 // update vectors (rank-based aggregators), plus subtree diagnostics.

@@ -1,0 +1,542 @@
+package fed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/evfed/evfed/internal/fed/wire"
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Durable coordinator checkpoints. After a round aggregates, the
+// coordinator persists everything a restarted process needs to continue
+// bit-identically: the global weight vector, the completed-round index,
+// the per-client delta-reference flags of the q8 codec, the accumulated
+// RoundStats, and the exact mid-stream state of the sampling and
+// failure-injection RNGs.
+//
+// File format (version 1), following the wire package's conventions —
+// little-endian fixed-width fields, length-prefixed strings, and a
+// self-describing vector payload:
+//
+//	magic   [4]byte  'E','V','C','K'
+//	version uint8    checkpoint format revision (CheckpointVersion)
+//	flags   uint8    reserved (0)
+//	length  uint32   payload bytes, little-endian
+//	payload [length]byte
+//	crc     uint32   IEEE CRC-32 over header+payload, little-endian
+//
+// Writes are atomic: the file is assembled in a temporary sibling, synced,
+// and renamed into place, so a crash mid-write leaves either the previous
+// checkpoint or a temp file the loader never considers. Corrupt or
+// truncated files are rejected with typed errors and LatestCheckpoint
+// falls back to the newest file that still verifies.
+
+// CheckpointVersion is the checkpoint format revision this build writes.
+const CheckpointVersion = 1
+
+const (
+	ckptMagic0, ckptMagic1, ckptMagic2, ckptMagic3 = 'E', 'V', 'C', 'K'
+	ckptHeaderBytes                                = 10
+	ckptTrailerBytes                               = 4
+	// maxCheckpointBytes bounds a checkpoint payload; a header claiming
+	// more is rejected before any allocation (same cap as a wire frame).
+	maxCheckpointBytes = wire.MaxFrameBytes
+)
+
+// Typed checkpoint errors.
+var (
+	// ErrCheckpointTruncated marks a checkpoint file cut off mid-payload
+	// (a crash during a non-atomic copy, a partial download).
+	ErrCheckpointTruncated = errors.New("fed: truncated checkpoint")
+	// ErrCheckpointCorrupt marks a checkpoint whose magic, CRC, or payload
+	// structure does not verify.
+	ErrCheckpointCorrupt = errors.New("fed: corrupt checkpoint")
+	// ErrCheckpointVersion marks a checkpoint written by an incompatible
+	// format revision.
+	ErrCheckpointVersion = errors.New("fed: unsupported checkpoint version")
+	// ErrCheckpointMismatch marks a checkpoint that decodes but does not
+	// belong to this federation (different seed, model dimension, or a
+	// round index beyond the configured horizon).
+	ErrCheckpointMismatch = errors.New("fed: checkpoint does not match this federation")
+	// ErrNoCheckpoint reports that a checkpoint directory holds no usable
+	// checkpoint.
+	ErrNoCheckpoint = errors.New("fed: no usable checkpoint")
+)
+
+// CheckpointConfig enables durable per-round checkpoints on a
+// Coordinator (Config.Checkpoint). The zero value disables them.
+type CheckpointConfig struct {
+	// Dir receives one checkpoint file per checkpointed round
+	// (ckpt-NNNNNN.evck). Empty disables checkpointing.
+	Dir string
+	// Every checkpoints after every Nth completed round (<= 0 = every
+	// round). The final round is always checkpointed.
+	Every int
+	// Retain keeps this many newest checkpoint files, pruning older ones
+	// (<= 0 = 3). More retained files widen the corruption fallback
+	// window at the cost of disk.
+	Retain int
+}
+
+// Checkpoint is a coordinator's durable state after some completed round:
+// everything Run needs (via Config.Resume) to continue exactly where the
+// checkpointed process stopped.
+type Checkpoint struct {
+	// Seed is the federation seed the run was started with; resume
+	// rejects a checkpoint from a different seed.
+	Seed uint64
+	// Round counts completed rounds — the resumed run's first round.
+	Round int
+	// Dim is the global weight-vector dimension.
+	Dim int
+	// Global is the aggregated global weight vector after Round rounds.
+	Global []float64
+	// SampleRNG and FailRNG are the exact mid-stream states of the
+	// client-sampling and failure-injection generators.
+	SampleRNG rng.SourceState
+	FailRNG   rng.SourceState
+	// DeltaRefs records, per client ID, whether the coordinator's byte
+	// model held a live q8 delta reference for that client. At resume the
+	// flags are restored for in-process handles only — a TCP handle's
+	// reference lives in a connection that died with the process, and the
+	// transport's fresh connections fall back to full frames on both ends
+	// at once (see TestResumeReplaysCrashedRoundTCP).
+	DeltaRefs map[string]bool
+	// Rounds is the full per-round diagnostic history up to Round.
+	Rounds []RoundStat
+	// Cumulative RunResult counters up to Round.
+	ClientSeconds    float64
+	BytesDown        uint64
+	BytesUp          uint64
+	SubtreeBytesDown uint64
+	SubtreeBytesUp   uint64
+}
+
+// compatible validates the checkpoint against a resuming run's identity.
+func (cp *Checkpoint) compatible(seed uint64, dim, rounds int) error {
+	switch {
+	case cp.Seed != seed:
+		return fmt.Errorf("%w: checkpoint seed %d, run seed %d", ErrCheckpointMismatch, cp.Seed, seed)
+	case cp.Dim != dim || len(cp.Global) != dim:
+		return fmt.Errorf("%w: checkpoint dim %d (%d weights), model dim %d",
+			ErrCheckpointMismatch, cp.Dim, len(cp.Global), dim)
+	case cp.Round < 0 || cp.Round > rounds:
+		return fmt.Errorf("%w: checkpoint at round %d, run has %d rounds", ErrCheckpointMismatch, cp.Round, rounds)
+	}
+	return nil
+}
+
+// EncodeCheckpoint serializes cp into the versioned checkpoint format,
+// including header and CRC trailer.
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	b := []byte{ckptMagic0, ckptMagic1, ckptMagic2, ckptMagic3, CheckpointVersion, 0, 0, 0, 0, 0}
+	b = binary.LittleEndian.AppendUint64(b, cp.Seed)
+	b = binary.LittleEndian.AppendUint32(b, uint32(cp.Round))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cp.Dim))
+	b = appendRNGState(b, cp.SampleRNG)
+	b = appendRNGState(b, cp.FailRNG)
+	var err error
+	if b, err = wire.AppendVector(b, wire.VecF64, cp.Global, nil, nil); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(cp.DeltaRefs))
+	for id := range cp.DeltaRefs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic bytes for a given state
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = appendCkptString(b, id)
+		b = appendBool(b, cp.DeltaRefs[id])
+	}
+	b = binary.LittleEndian.AppendUint64(b, bitsOf(cp.ClientSeconds))
+	b = binary.LittleEndian.AppendUint64(b, cp.BytesDown)
+	b = binary.LittleEndian.AppendUint64(b, cp.BytesUp)
+	b = binary.LittleEndian.AppendUint64(b, cp.SubtreeBytesDown)
+	b = binary.LittleEndian.AppendUint64(b, cp.SubtreeBytesUp)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cp.Rounds)))
+	for i := range cp.Rounds {
+		b = appendRoundStat(b, &cp.Rounds[i])
+	}
+	payload := len(b) - ckptHeaderBytes
+	if payload > maxCheckpointBytes {
+		return nil, fmt.Errorf("%w: %d payload bytes", ErrCheckpointCorrupt, payload)
+	}
+	binary.LittleEndian.PutUint32(b[6:10], uint32(payload))
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// DecodeCheckpoint parses a checkpoint file image, verifying magic,
+// version, framing, and CRC. Truncated, corrupt, or version-skewed input
+// is rejected with the corresponding typed error; no input can make it
+// panic or allocate beyond the input's own size (counts are validated
+// against the remaining bytes before use).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < ckptHeaderBytes+ckptTrailerBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCheckpointTruncated, len(data))
+	}
+	if data[0] != ckptMagic0 || data[1] != ckptMagic1 || data[2] != ckptMagic2 || data[3] != ckptMagic3 {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
+	}
+	if data[4] != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads v%d", ErrCheckpointVersion, data[4], CheckpointVersion)
+	}
+	size := int(binary.LittleEndian.Uint32(data[6:10]))
+	if size > maxCheckpointBytes {
+		return nil, fmt.Errorf("%w: payload claims %d bytes", ErrCheckpointCorrupt, size)
+	}
+	total := ckptHeaderBytes + size + ckptTrailerBytes
+	if len(data) < total {
+		return nil, fmt.Errorf("%w: %d of %d bytes", ErrCheckpointTruncated, len(data), total)
+	}
+	if len(data) > total {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpointCorrupt, len(data)-total)
+	}
+	body := data[:ckptHeaderBytes+size]
+	want := binary.LittleEndian.Uint32(data[ckptHeaderBytes+size:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: CRC 0x%08x, stored 0x%08x", ErrCheckpointCorrupt, got, want)
+	}
+
+	d := ckptDecoder{p: body[ckptHeaderBytes:]}
+	cp := &Checkpoint{}
+	cp.Seed = d.u64()
+	cp.Round = int(d.u32())
+	cp.Dim = int(d.u32())
+	cp.SampleRNG = d.rngState()
+	cp.FailRNG = d.rngState()
+	if d.err == nil {
+		var rest []byte
+		var verr error
+		cp.Global, rest, verr = wire.DecodeVector(d.p, nil, nil)
+		if verr != nil {
+			d.err = verr
+		} else {
+			d.p = rest
+		}
+	}
+	if n := d.u32(); d.err == nil && n > 0 {
+		cp.DeltaRefs = make(map[string]bool)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			id := d.str()
+			if _, dup := cp.DeltaRefs[id]; dup {
+				d.fail("duplicate delta-ref id")
+				break
+			}
+			cp.DeltaRefs[id] = d.bool()
+		}
+	}
+	cp.ClientSeconds = d.f64()
+	cp.BytesDown = d.u64()
+	cp.BytesUp = d.u64()
+	cp.SubtreeBytesDown = d.u64()
+	cp.SubtreeBytesUp = d.u64()
+	nRounds := d.u32()
+	for i := uint32(0); i < nRounds && d.err == nil; i++ {
+		cp.Rounds = append(cp.Rounds, d.roundStat())
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, d.err)
+	}
+	if len(d.p) != 0 {
+		return nil, fmt.Errorf("%w: %d unconsumed payload bytes", ErrCheckpointCorrupt, len(d.p))
+	}
+	if cp.Dim != len(cp.Global) {
+		return nil, fmt.Errorf("%w: dim %d, %d weights", ErrCheckpointCorrupt, cp.Dim, len(cp.Global))
+	}
+	return cp, nil
+}
+
+// SaveCheckpoint atomically writes cp into dir as ckpt-NNNNNN.evck
+// (write-to-temp, fsync, rename) and returns the final path.
+func SaveCheckpoint(dir string, cp *Checkpoint) (string, error) {
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("fed: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, checkpointName(cp.Round))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("fed: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("fed: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("fed: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("fed: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("fed: checkpoint rename: %w", err)
+	}
+	return path, nil
+}
+
+// LoadCheckpoint reads and verifies one checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// LatestCheckpoint scans dir for the newest (highest-round) checkpoint
+// that verifies, skipping corrupt or truncated files — the recovery
+// guarantee that a crash mid-write (or a damaged newest file) falls back
+// to the previous durable round. It returns the checkpoint and its path,
+// or ErrNoCheckpoint (wrapping the last decode failure, if any) when
+// nothing usable exists.
+func LatestCheckpoint(dir string) (*Checkpoint, string, error) {
+	paths, err := checkpointFiles(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		cp, err := LoadCheckpoint(paths[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return cp, paths[i], nil
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w in %s: %v", ErrNoCheckpoint, dir, lastErr)
+	}
+	return nil, "", fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+}
+
+// checkpointFiles lists dir's checkpoint files sorted by ascending round.
+func checkpointFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.evck"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches) // zero-padded round numbers sort numerically
+	return matches, nil
+}
+
+// pruneCheckpoints removes all but the newest retain checkpoint files.
+// Pruning is best-effort: a failed removal never fails the round.
+func pruneCheckpoints(dir string, retain int) {
+	if retain <= 0 {
+		retain = 3
+	}
+	paths, err := checkpointFiles(dir)
+	if err != nil || len(paths) <= retain {
+		return
+	}
+	for _, p := range paths[:len(paths)-retain] {
+		_ = os.Remove(p)
+	}
+}
+
+func checkpointName(round int) string { return fmt.Sprintf("ckpt-%06d.evck", round) }
+
+// ---- encoding helpers (wire-style little-endian primitives) ----
+
+func bitsOf(v float64) uint64   { return math.Float64bits(v) }
+func fromBits(u uint64) float64 { return math.Float64frombits(u) }
+
+func appendRNGState(b []byte, st rng.SourceState) []byte {
+	for _, w := range st.S {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	b = appendBool(b, st.HasSpare)
+	return binary.LittleEndian.AppendUint64(b, bitsOf(st.Spare))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendCkptString writes a uint16-length-prefixed string, truncating
+// anything longer than 64 KiB (only diagnostic strings get near that).
+func appendCkptString(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendRoundStat(b []byte, rs *RoundStat) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rs.Round))
+	b = binary.LittleEndian.AppendUint64(b, bitsOf(rs.MeanLoss))
+	b = binary.LittleEndian.AppendUint64(b, bitsOf(rs.WallSeconds))
+	b = binary.LittleEndian.AppendUint64(b, rs.BytesDown)
+	b = binary.LittleEndian.AppendUint64(b, rs.BytesUp)
+	b = binary.LittleEndian.AppendUint64(b, rs.SubtreeBytesDown)
+	b = binary.LittleEndian.AppendUint64(b, rs.SubtreeBytesUp)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rs.LeafParticipants))
+	b = binary.LittleEndian.AppendUint32(b, uint32(rs.LeafDropped))
+	b = appendStrings(b, rs.Selected)
+	b = appendStrings(b, rs.Participants)
+	b = appendStrings(b, rs.Dropped)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rs.Errors)))
+	ids := make([]string, 0, len(rs.Errors))
+	for id := range rs.Errors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b = appendCkptString(b, id)
+		b = appendCkptString(b, rs.Errors[id])
+	}
+	return appendCkptString(b, rs.HookPanic)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = appendCkptString(b, s)
+	}
+	return b
+}
+
+// ckptDecoder consumes a checkpoint payload front-to-back, latching the
+// first framing error: every accessor after a failure returns zero values
+// without advancing, so call sites stay linear instead of error-checked.
+type ckptDecoder struct {
+	p   []byte
+	err error
+}
+
+func (d *ckptDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = errors.New(what)
+	}
+}
+
+func (d *ckptDecoder) take(n int, what string) []byte {
+	if d.err != nil || len(d.p) < n {
+		d.fail("short payload at " + what)
+		return nil
+	}
+	out := d.p[:n]
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *ckptDecoder) u16() uint16 {
+	if b := d.take(2, "u16"); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (d *ckptDecoder) u32() uint32 {
+	if b := d.take(4, "u32"); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *ckptDecoder) u64() uint64 {
+	if b := d.take(8, "u64"); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *ckptDecoder) f64() float64 { return fromBits(d.u64()) }
+
+func (d *ckptDecoder) bool() bool {
+	if b := d.take(1, "bool"); b != nil {
+		return b[0] != 0
+	}
+	return false
+}
+
+func (d *ckptDecoder) str() string {
+	n := int(d.u16())
+	if b := d.take(n, "string"); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+func (d *ckptDecoder) rngState() rng.SourceState {
+	var st rng.SourceState
+	for i := range st.S {
+		st.S[i] = d.u64()
+	}
+	st.HasSpare = d.bool()
+	st.Spare = fromBits(d.u64())
+	return st
+}
+
+// strings parses a count-prefixed string list. The count is validated
+// against the remaining bytes (each entry needs >= 2) before any
+// allocation, so a lying count cannot force an oversized slice.
+func (d *ckptDecoder) strings() []string {
+	n := int(d.u32())
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	if len(d.p) < 2*n {
+		d.fail("string list")
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *ckptDecoder) roundStat() RoundStat {
+	var rs RoundStat
+	rs.Round = int(d.u32())
+	rs.MeanLoss = d.f64()
+	rs.WallSeconds = d.f64()
+	rs.BytesDown = d.u64()
+	rs.BytesUp = d.u64()
+	rs.SubtreeBytesDown = d.u64()
+	rs.SubtreeBytesUp = d.u64()
+	rs.LeafParticipants = int(d.u32())
+	rs.LeafDropped = int(d.u32())
+	rs.Selected = d.strings()
+	rs.Participants = d.strings()
+	rs.Dropped = d.strings()
+	if n := d.u32(); n > 0 && d.err == nil {
+		if len(d.p) < 4*int(n) {
+			d.fail("error map")
+			return rs
+		}
+		rs.Errors = make(map[string]string)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			id := d.str()
+			if _, dup := rs.Errors[id]; dup {
+				d.fail("duplicate error id")
+				break
+			}
+			rs.Errors[id] = d.str()
+		}
+	}
+	rs.HookPanic = d.str()
+	return rs
+}

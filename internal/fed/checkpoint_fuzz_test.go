@@ -1,0 +1,50 @@
+package fed
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode hammers the checkpoint decoder with arbitrary
+// bytes: truncated, corrupted, and version-skewed files must come back as
+// typed errors — never a panic, and never an allocation sized by an
+// attacker-controlled count rather than the input itself. A valid
+// checkpoint must survive a decode→encode→decode round trip bit-for-bit.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("EVCK"))
+	skew := append([]byte(nil), valid...)
+	skew[4] = 0xff
+	f.Add(skew)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 0x01 // CRC damage
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointTruncated) &&
+				!errors.Is(err, ErrCheckpointCorrupt) &&
+				!errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input: re-encoding must reproduce the exact file (the
+		// format has one canonical encoding per state).
+		out, err := EncodeCheckpoint(cp)
+		if err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(out))
+		}
+	})
+}

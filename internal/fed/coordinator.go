@@ -79,7 +79,37 @@ type Config struct {
 	TolerateClientErrors bool
 	// Failures optionally injects client failures (see FailurePlan).
 	Failures *FailurePlan
+	// Checkpoint enables durable per-round checkpoints (see
+	// CheckpointConfig). The zero value disables them; enabling costs one
+	// atomic file write per checkpointed round and nothing else.
+	Checkpoint CheckpointConfig
+	// Resume, if set, continues a previous run from its checkpoint instead
+	// of starting at round 0: the global weights, RNG streams, round
+	// history, and cumulative counters pick up exactly where the
+	// checkpointed process stopped, so a resumed run's final global is
+	// bit-identical to an uninterrupted one. The checkpoint must match
+	// this run's Seed and model dimension (ErrCheckpointMismatch
+	// otherwise). Obtain one via LatestCheckpoint or LoadCheckpoint.
+	Resume *Checkpoint
+	// CrashPoint, if set, is consulted at named execution points (the
+	// Crash* constants); a non-nil return aborts Run there, simulating a
+	// process crash for recovery testing (see chaos.CrashOnce). Nil costs
+	// nothing.
+	CrashPoint func(point string) error
 }
+
+// Named crash points a Config.CrashPoint hook observes. The interesting
+// crash window for recovery testing sits between them: after
+// CrashAfterAggregate the round's aggregate exists only in memory, after
+// CrashAfterCheckpoint it is durable.
+const (
+	// CrashAfterAggregate fires once the round has aggregated but before
+	// its checkpoint is written — a crash here must replay the round.
+	CrashAfterAggregate = "coordinator.after-aggregate"
+	// CrashAfterCheckpoint fires once the round's checkpoint is durable
+	// but before the OnRound hook runs — a crash here must NOT replay.
+	CrashAfterCheckpoint = "coordinator.after-checkpoint"
+)
 
 // DefaultConfig returns the paper's federated hyperparameters.
 func DefaultConfig(seed uint64) Config {
@@ -192,6 +222,12 @@ type RoundStat struct {
 	// before reporting counts once regardless of its subtree size.
 	LeafParticipants int
 	LeafDropped      int
+	// HookPanic records the panic message a faulty OnRound hook raised for
+	// this round (empty = none). The coordinator recovers and keeps
+	// federating; the field keeps the failure visible. Because the round
+	// is checkpointed before its hook runs, the checkpointed copy of a
+	// round's own stat never carries its HookPanic.
+	HookPanic string
 }
 
 // RunResult is the outcome of a federated run.
@@ -303,7 +339,51 @@ func (co *Coordinator) Run() (*RunResult, error) {
 	})
 	var spare []float64 // retired broadcast buffer, safe to aggregate into
 
-	for round := 0; round < co.cfg.Rounds; round++ {
+	startRound := 0
+	if cp := co.cfg.Resume; cp != nil {
+		if err := cp.compatible(co.cfg.Seed, dim, co.cfg.Rounds); err != nil {
+			return nil, err
+		}
+		copy(global, cp.Global)
+		sampleRNG.Restore(cp.SampleRNG)
+		failRNG.Restore(cp.FailRNG)
+		res.Rounds = append(res.Rounds, cp.Rounds...)
+		res.ClientSeconds = cp.ClientSeconds
+		res.BytesDown = cp.BytesDown
+		res.BytesUp = cp.BytesUp
+		res.SubtreeBytesDown = cp.SubtreeBytesDown
+		res.SubtreeBytesUp = cp.SubtreeBytesUp
+		nd.restoreDeltaRefs(cp.DeltaRefs)
+		startRound = cp.Round
+	}
+
+	// finishRound runs a completed round's durability tail in crash-safe
+	// order: record the stat, persist the checkpoint, only then hand the
+	// round to the OnRound hook. A crash between aggregate and checkpoint
+	// (CrashAfterAggregate) therefore replays the round on resume; a crash
+	// after the checkpoint (CrashAfterCheckpoint) does not.
+	finishRound := func(stat RoundStat) error {
+		if err := co.crashPoint(CrashAfterAggregate); err != nil {
+			return err
+		}
+		res.Rounds = append(res.Rounds, stat)
+		res.BytesDown += stat.BytesDown
+		res.BytesUp += stat.BytesUp
+		res.SubtreeBytesDown += stat.SubtreeBytesDown
+		res.SubtreeBytesUp += stat.SubtreeBytesUp
+		if err := co.maybeCheckpoint(stat.Round, global, sampleRNG, failRNG, nd, res); err != nil {
+			return err
+		}
+		if err := co.crashPoint(CrashAfterCheckpoint); err != nil {
+			return err
+		}
+		if msg := co.notifyRound(stat, global); msg != "" {
+			res.Rounds[len(res.Rounds)-1].HookPanic = msg
+		}
+		return nil
+	}
+
+	for round := startRound; round < co.cfg.Rounds; round++ {
 		roundStart := time.Now()
 		stat := RoundStat{Round: round}
 
@@ -343,14 +423,13 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		if len(stat.Participants) == 0 {
 			// Every selected client failed this round: keep the previous
 			// global model and move on — the distributed system degrades
-			// gracefully instead of aborting (paper §III-F).
+			// gracefully instead of aborting (paper §III-F). The round is
+			// still checkpointed: the RNG streams advanced, and a resume
+			// must not re-draw this round's failures.
 			stat.WallSeconds = time.Since(roundStart).Seconds()
-			res.Rounds = append(res.Rounds, stat)
-			res.BytesDown += stat.BytesDown
-			res.BytesUp += stat.BytesUp
-			res.SubtreeBytesDown += stat.SubtreeBytesDown
-			res.SubtreeBytesUp += stat.SubtreeBytesUp
-			co.notifyRound(stat, global)
+			if err := finishRound(stat); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		dst := spare
@@ -372,12 +451,9 @@ func (co *Coordinator) Run() (*RunResult, error) {
 		global = newGlobal
 		stat.MeanLoss = rep.LossSum / float64(rep.SampleSum)
 		stat.WallSeconds = time.Since(roundStart).Seconds()
-		res.Rounds = append(res.Rounds, stat)
-		res.BytesDown += stat.BytesDown
-		res.BytesUp += stat.BytesUp
-		res.SubtreeBytesDown += stat.SubtreeBytesDown
-		res.SubtreeBytesUp += stat.SubtreeBytesUp
-		co.notifyRound(stat, global)
+		if err := finishRound(stat); err != nil {
+			return nil, err
+		}
 	}
 	anyUpdate := false
 	for _, rs := range res.Rounds {
@@ -398,14 +474,75 @@ func (co *Coordinator) Run() (*RunResult, error) {
 // private copy of the global vector: the coordinator recycles broadcast
 // buffers across rounds, so the live slice must never escape to a hook
 // that may retain it (a scoring service holds reloaded weights
-// indefinitely).
-func (co *Coordinator) notifyRound(stat RoundStat, global []float64) {
+// indefinitely). A panicking hook must not kill the federation — the
+// panic is recovered and returned as a message for RoundStat.HookPanic,
+// and the coordinator keeps rounding.
+func (co *Coordinator) notifyRound(stat RoundStat, global []float64) (panicMsg string) {
 	if co.cfg.OnRound == nil {
-		return
+		return ""
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprintf("%v", r)
+		}
+	}()
 	snap := make([]float64, len(global))
 	copy(snap, global)
 	co.cfg.OnRound(stat, snap)
+	return ""
+}
+
+// crashPoint consults the configured crash hook at a named point.
+func (co *Coordinator) crashPoint(name string) error {
+	if co.cfg.CrashPoint == nil {
+		return nil
+	}
+	if err := co.cfg.CrashPoint(name); err != nil {
+		return fmt.Errorf("fed: crash point %q: %w", name, err)
+	}
+	return nil
+}
+
+// maybeCheckpoint persists the coordinator's durable state after round
+// (0-based) when checkpointing is enabled and the cadence (or the final
+// round) calls for it. A write failure aborts the run: silently dropping
+// durability would defeat the point of enabling it.
+func (co *Coordinator) maybeCheckpoint(round int, global []float64, sampleRNG, failRNG *rng.Source, nd *node, res *RunResult) error {
+	ck := co.cfg.Checkpoint
+	if ck.Dir == "" {
+		return nil
+	}
+	every := ck.Every
+	if every <= 0 {
+		every = 1
+	}
+	if (round+1)%every != 0 && round != co.cfg.Rounds-1 {
+		return nil
+	}
+	snap := make([]float64, len(global))
+	copy(snap, global)
+	rounds := make([]RoundStat, len(res.Rounds))
+	copy(rounds, res.Rounds)
+	cp := &Checkpoint{
+		Seed:             co.cfg.Seed,
+		Round:            round + 1,
+		Dim:              len(global),
+		Global:           snap,
+		SampleRNG:        sampleRNG.Snapshot(),
+		FailRNG:          failRNG.Snapshot(),
+		DeltaRefs:        nd.deltaRefs(),
+		Rounds:           rounds,
+		ClientSeconds:    res.ClientSeconds,
+		BytesDown:        res.BytesDown,
+		BytesUp:          res.BytesUp,
+		SubtreeBytesDown: res.SubtreeBytesDown,
+		SubtreeBytesUp:   res.SubtreeBytesUp,
+	}
+	if _, err := SaveCheckpoint(ck.Dir, cp); err != nil {
+		return fmt.Errorf("fed: round %d: %w", round, err)
+	}
+	pruneCheckpoints(ck.Dir, ck.Retain)
+	return nil
 }
 
 // sampleRound draws the round's participant indices (sorted, so

@@ -3,12 +3,19 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"github.com/evfed/evfed/internal/fed/wire"
 	"github.com/evfed/evfed/internal/rng"
 )
+
+// ErrNonFiniteUpdate marks a client update carrying NaN or Inf weights —
+// diverged local training or bytes corrupted in flight. The update is
+// rejected before aggregation (a single non-finite weight would poison
+// the global irreversibly) and treated as that client's round error.
+var ErrNonFiniteUpdate = errors.New("fed: non-finite client update")
 
 // node is the role-agnostic aggregation engine shared by the root
 // Coordinator and the regional Edge: one round of broadcast → local train
@@ -228,6 +235,23 @@ func (nd *node) runRound(round int, selected []int, global []float64, ltc LocalT
 			u := updates[i]
 			rep.BytesDown += nd.downBytes(dim, wasFull)
 			rep.BytesUp += nd.upBytes(dim, len(u.ClientID))
+			if j := firstNonFinite(u.Weights); j >= 0 {
+				// The frame itself arrived intact as far as the transport is
+				// concerned (traffic counted, reference committed like an
+				// application error), but its payload must not reach the
+				// aggregator.
+				nd.sentFull[i] = true
+				updates[i] = nil
+				err := fmt.Errorf("%w: weight %d", ErrNonFiniteUpdate, j)
+				if !nd.cfg.TolerateClientErrors {
+					if roundErr == nil {
+						roundErr = fmt.Errorf("fed: round %d: client %s: %w", round, id, err)
+					}
+					return
+				}
+				dropWithError(id, err)
+				return
+			}
 			if roundErr == nil {
 				if err := stream.Add(u); err != nil {
 					roundErr = fmt.Errorf("fed: round %d: %w", round, err)
@@ -268,6 +292,50 @@ func (nd *node) runRound(round int, selected []int, global []float64, ltc LocalT
 		return nil, roundErr
 	}
 	return rep, nil
+}
+
+// firstNonFinite returns the index of the first NaN/Inf weight, or -1.
+func firstNonFinite(w []float64) int {
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// deltaRefs snapshots the per-peer delta-reference flags by peer ID (the
+// wire model's "connection holds a reference" bits) for a checkpoint.
+func (nd *node) deltaRefs() map[string]bool {
+	refs := make(map[string]bool, len(nd.clients))
+	for i, c := range nd.clients {
+		refs[c.ID()] = nd.sentFull[i]
+	}
+	return refs
+}
+
+// connRefHolder marks a handle whose delta reference lives in a network
+// connection rather than in the handle itself. Such references die with
+// the process: a resumed coordinator dials fresh connections, and the
+// transport's full-frame fallback re-establishes the reference on both
+// ends at once. Restoring a checkpointed flag for one would desynchronize
+// the byte model from the wire — and claim a reference the remote no
+// longer holds.
+type connRefHolder interface{ connScopedDeltaRef() }
+
+// restoreDeltaRefs restores checkpointed delta-reference flags for
+// handles whose references survive a process restart (in-process
+// clients). Connection-scoped handles keep the fresh-connection default
+// (next broadcast full-frame).
+func (nd *node) restoreDeltaRefs(refs map[string]bool) {
+	for i, c := range nd.clients {
+		if _, scoped := c.(connRefHolder); scoped {
+			continue
+		}
+		if v, ok := refs[c.ID()]; ok {
+			nd.sentFull[i] = v
+		}
+	}
 }
 
 // downBytes models one broadcast's wire cost under the configured codec:

@@ -3,6 +3,7 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/evfed/evfed/internal/fed/wire"
+	"github.com/evfed/evfed/internal/rng"
 )
 
 // The TCP transport turns the in-process federation into a real networked
@@ -110,6 +112,10 @@ type ServerConfig struct {
 	// entirely to the coordinator. A bandwidth-constrained station uses
 	// this to force compression regardless of coordinator configuration.
 	Codec Codec
+	// WrapConn, if set, wraps every accepted connection before it is
+	// tracked — the listen-side seam the chaos fault injector plugs into
+	// (chaos.Injector.ConnWrapper). Nil costs nothing.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // servedNode is what the TCP server needs from the peer it fronts: the
@@ -297,6 +303,9 @@ func (s *ClientServer) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.scfg.WrapConn != nil {
+			conn = s.scfg.WrapConn(conn)
 		}
 		if !s.track(conn) {
 			// Stop won the race: the server is closed, so the fresh
@@ -521,9 +530,26 @@ type RemoteClient struct {
 	// dial/IO failure. Application errors (ErrRemote) and affirmative
 	// protocol mismatches are never retried.
 	MaxRetries int
-	// RetryBackoff is the sleep before the first retry; it doubles after
-	// every failed attempt.
+	// RetryBackoff is the base sleep before the first retry; the ceiling
+	// doubles after every failed attempt (capped at 30s) and the actual
+	// sleep is drawn uniformly from [0, ceiling) — "full jitter", so a
+	// fleet of stations re-dialing a restarted coordinator spreads out
+	// instead of hammering it in lockstep.
 	RetryBackoff time.Duration
+	// JitterSeed seeds the backoff jitter stream. 0 derives a per-handle
+	// seed from the handle's ID and address, so different stations jitter
+	// differently while any single handle stays deterministic.
+	JitterSeed uint64
+	// Dialer, if set, replaces net.DialTimeout("tcp", ...) — the dial-side
+	// seam the chaos fault injector plugs into (chaos.Injector.Dialer).
+	// Nil costs nothing.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// jitter is the lazily-built backoff jitter stream; sleep is a test
+	// seam over time.Sleep. Both are touched only under mu (every public
+	// call holds it).
+	jitter *rng.Source
+	sleep  func(time.Duration)
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -581,7 +607,13 @@ func (r *RemoteClient) ensureConn() error {
 	if r.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", r.addr, r.DialTimeout)
+	dial := r.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(r.addr, r.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("fed: dial %s: %w", r.addr, err)
 	}
@@ -822,7 +854,10 @@ func wireTrainOKBytes(c Codec, dim, idLen int) int {
 
 // roundTrip performs one call with bounded retries. Retrying a Train call
 // is safe: the station reinstalls the broadcast weights on every call, so
-// a duplicate attempt recomputes the same deterministic update.
+// a duplicate attempt recomputes the same deterministic update. Retry
+// sleeps use full jitter — uniform in [0, ceiling), ceiling doubling per
+// attempt — so handles that failed together (a coordinator or station
+// restart) do not retry in lockstep.
 func (r *RemoteClient) roundTrip(op func() error) error {
 	attempts := 1 + r.MaxRetries
 	if attempts < 1 {
@@ -832,11 +867,14 @@ func (r *RemoteClient) roundTrip(op func() error) error {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	const backoffCap = 30 * time.Second
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			r.sleepFor(r.jitterDelay(backoff))
+			if backoff < backoffCap {
+				backoff *= 2
+			}
 		}
 		err := r.once(op)
 		if err == nil {
@@ -854,3 +892,35 @@ func (r *RemoteClient) roundTrip(op func() error) error {
 	}
 	return lastErr
 }
+
+// jitterDelay draws one full-jitter sleep: uniform in [0, ceiling). The
+// stream is seeded per handle (JitterSeed, or derived from id/addr) so a
+// single handle's retry schedule is deterministic while a fleet's spreads.
+func (r *RemoteClient) jitterDelay(ceiling time.Duration) time.Duration {
+	if r.jitter == nil {
+		seed := r.JitterSeed
+		if seed == 0 {
+			h := fnv.New64a()
+			io.WriteString(h, r.id)
+			io.WriteString(h, "\x00")
+			io.WriteString(h, r.addr)
+			seed = h.Sum64()
+		}
+		r.jitter = rng.New(seed)
+	}
+	return time.Duration(r.jitter.Float64() * float64(ceiling))
+}
+
+func (r *RemoteClient) sleepFor(d time.Duration) {
+	if r.sleep != nil {
+		r.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// connScopedDeltaRef marks the handle's q8 delta reference as living in
+// its network connection (see connRefHolder): a checkpointed flag must
+// not be restored over a process restart, because the connection — and
+// the station's matching reference — died with the old process.
+func (r *RemoteClient) connScopedDeltaRef() {}

@@ -1,0 +1,192 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/evfed/evfed/internal/chaos"
+)
+
+// TestResumeReplaysCrashedRoundTCP kills the coordinator between
+// aggregate and checkpoint (the chaos crash hook) mid-way through a q8
+// federation over real TCP, then resumes a fresh coordinator process
+// (new RemoteClient, station untouched) from the surviving checkpoint.
+// The crashed round must be REPLAYED, not double-applied, and the q8
+// delta references must not desynchronize: the resumed process's fresh
+// connection falls back to a full-precision broadcast on both ends at
+// once (extending TestTransportRedialResetsQ8DeltaReference), so the
+// control arm is an uninterrupted coordinator that explicitly closed its
+// handle at the same round boundary — the documented reconnect semantics.
+func TestResumeReplaysCrashedRoundTCP(t *testing.T) {
+	skipIfShort(t)
+	const rounds = 4
+
+	newStation := func() *ClientServer {
+		c, err := NewClient("sta", smallSpec(), clientSeries(150, 0.3, 9), 12, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeClient(c, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Stop)
+		return srv
+	}
+	cfgFor := func(dir string) Config {
+		cfg := smallConfig(21)
+		cfg.Rounds = rounds
+		cfg.EpochsPerRound = 1
+		cfg.Codec = CodecQ8
+		if dir != "" {
+			cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 1}
+		}
+		return cfg
+	}
+
+	// Control: one coordinator process for all 4 rounds, handle closed
+	// after round 1 so rounds 2-3 run on a fresh connection — exactly the
+	// connection schedule the crash+resume arm will see.
+	srvA := newStation()
+	rcA := NewRemoteClient("sta", srvA.Addr())
+	t.Cleanup(func() { rcA.Close() })
+	cfgA := cfgFor("")
+	cfgA.OnRound = func(stat RoundStat, _ []float64) {
+		if stat.Round == 1 {
+			rcA.Close()
+		}
+	}
+	coA, err := NewCoordinator(smallSpec(), []ClientHandle{rcA}, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := coA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash arm: the station stays up across the coordinator's death.
+	srvB := newStation()
+	dir := t.TempDir()
+	cfgB := cfgFor(dir)
+	cfgB.CrashPoint = chaos.CrashOnce(CrashAfterAggregate, 3) // dies during round index 2
+	rcB := NewRemoteClient("sta", srvB.Addr())
+	coB, err := NewCoordinator(smallSpec(), []ClientHandle{rcB}, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coB.Run(); !errors.Is(err, chaos.ErrCrash) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	rcB.Close() // the dead process's connection goes with it
+
+	cp, _, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Round != 2 {
+		t.Fatalf("checkpoint at round %d, want 2 (round 2 aggregated but not durable)", cp.Round)
+	}
+
+	// Fresh coordinator process: new handle, resumed state.
+	cfgC := cfgFor(dir)
+	cfgC.Resume = cp
+	rcC := NewRemoteClient("sta", srvB.Addr())
+	t.Cleanup(func() { rcC.Close() })
+	coC, err := NewCoordinator(smallSpec(), []ClientHandle{rcC}, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := coC.Run()
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	if len(resC.Rounds) != rounds {
+		t.Fatalf("resumed history has %d rounds, want %d", len(resC.Rounds), rounds)
+	}
+	for i, rs := range resC.Rounds {
+		if rs.Round != i {
+			t.Fatalf("round history not contiguous at %d: %d — the crashed round must replay exactly once", i, rs.Round)
+		}
+	}
+	for i := range resC.Global {
+		if math.Float64bits(resC.Global[i]) != math.Float64bits(resA.Global[i]) {
+			t.Fatalf("weight %d differs after crash+resume: %v != control %v",
+				i, resC.Global[i], resA.Global[i])
+		}
+	}
+	// The q8 reference reset is visible in the downlink byte model: the
+	// replayed round pays the full-precision fallback of a fresh
+	// connection (like round 0), then delta coding resumes.
+	r := resC.Rounds
+	if r[2].BytesDown != r[0].BytesDown {
+		t.Fatalf("replayed round downlink %d bytes, want full-frame %d", r[2].BytesDown, r[0].BytesDown)
+	}
+	if r[3].BytesDown >= r[2].BytesDown {
+		t.Fatalf("delta coding did not resume after the replayed round: %d >= %d", r[3].BytesDown, r[2].BytesDown)
+	}
+}
+
+// TestRetryBackoffFullJitter asserts the retry ladder's sleeps are drawn
+// with full jitter: uniform in [0, ceiling) with the ceiling doubling per
+// attempt, deterministic per seed, and spread across handles — so a
+// coordinator restart does not make every station re-dial in lockstep.
+func TestRetryBackoffFullJitter(t *testing.T) {
+	capture := func(seed uint64) []time.Duration {
+		// 127.0.0.1:1 refuses immediately, so the ladder burns through all
+		// attempts without real waiting (sleeps are captured, not slept).
+		rc := NewRemoteClient("sta", "127.0.0.1:1")
+		rc.DialTimeout = 200 * time.Millisecond
+		rc.MaxRetries = 4
+		rc.RetryBackoff = 100 * time.Millisecond
+		rc.JitterSeed = seed
+		var sleeps []time.Duration
+		rc.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+		if _, err := rc.Hello(); err == nil {
+			t.Fatal("Hello to a refusing port succeeded")
+		}
+		return sleeps
+	}
+
+	a := capture(1)
+	if len(a) != 4 {
+		t.Fatalf("4 retries should sleep 4 times, got %d", len(a))
+	}
+	ceiling := 100 * time.Millisecond
+	spread := false
+	for i, d := range a {
+		if d < 0 || d >= ceiling {
+			t.Fatalf("sleep %d = %v outside [0, %v)", i, d, ceiling)
+		}
+		if d != ceiling/2 && d != 0 { // any non-degenerate draw proves jitter
+			spread = true
+		}
+		ceiling *= 2
+	}
+	if !spread {
+		t.Fatal("every sleep landed on a degenerate value — jitter not applied")
+	}
+
+	b := capture(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	c := capture(2)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical retry schedules — stations would still dial in lockstep")
+	}
+}

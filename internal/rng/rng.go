@@ -34,6 +34,30 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// SourceState is a Source's complete serializable state: the xoshiro256**
+// word vector plus the Box-Muller spare deviate. Capturing and restoring
+// it resumes the stream bit-identically mid-sequence — the primitive a
+// durable checkpoint needs to make a restarted run's sampling and failure
+// draws match an uninterrupted one exactly.
+type SourceState struct {
+	S        [4]uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// Snapshot captures the generator's complete state without advancing it.
+func (r *Source) Snapshot() SourceState {
+	return SourceState{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// Restore rewinds the generator to a previously captured state; subsequent
+// draws reproduce the original stream bit-for-bit.
+func (r *Source) Restore(st SourceState) {
+	r.s = st.S
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 // Reseed resets the generator to the state derived from seed.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/evfed/evfed/internal/autoencoder"
+)
+
+// Durable serving snapshots. The scoring service's model changes between
+// restarts only through hot reloads (federated rounds, canary
+// promotions), so a crash would otherwise roll the fleet back to
+// whatever file it was started from. SnapshotToFile persists the
+// currently-serving detector and calibrated threshold atomically —
+// write-to-temp + rename, the same protocol as the coordinator's
+// checkpoints — so a periodic snapshot loop can run against the live
+// service and a crash mid-write leaves the previous snapshot intact.
+// The format is the evfeddetect -save-model calibrated detector file,
+// so snapshots, -model files, and /reload payloads stay interchangeable.
+
+// SnapshotToFile atomically writes the currently-serving detector and
+// threshold to path. Safe to call while the service is scoring: the
+// snapshot is taken under the service's reload lock (Snapshot), and the
+// file appears complete or not at all.
+func (s *Service) SnapshotToFile(path string) error {
+	det, thr := s.Snapshot()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := det.SaveCalibrated(tmp, thr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile reads a snapshot written by SnapshotToFile (or any
+// calibrated detector file) back into a detector and threshold — the
+// restart half of the snapshot loop. The service's reload epoch restarts
+// at 1 after rebuilding from a snapshot; coordinators push the current
+// global on every round, so a restarted server converges on the next
+// round it observes.
+func LoadSnapshotFile(path string) (*autoencoder.Detector, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	det, thr, err := autoencoder.LoadCalibrated(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	return det, thr, nil
+}

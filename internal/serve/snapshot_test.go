@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotResumeRoundTrip: a service snapshotted mid-flight and a
+// fresh service rebuilt from the snapshot must serve the exact same
+// model — weights and calibrated threshold bit-for-bit — which is what
+// makes kill-and-restart of evfedserve transparent to verdicts.
+func TestSnapshotResumeRoundTrip(t *testing.T) {
+	s := newTestService(t, Config{})
+	// Absorb a hot reload first, so the snapshot provably captures the
+	// *serving* state, not the construction-time detector.
+	w := s.Weights()
+	for i := range w {
+		w[i] *= 1.0 + 1e-3
+	}
+	if _, err := s.ReloadWeights(w, s.Threshold()*1.01); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "serving.bin")
+	if err := s.SnapshotToFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	det, thr, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Detector: det, Threshold: thr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+
+	if math.Float64bits(thr) != math.Float64bits(s.Threshold()) {
+		t.Fatalf("threshold did not survive the snapshot: %v != %v", thr, s.Threshold())
+	}
+	w1, w2 := s.Weights(), s2.Weights()
+	if len(w1) != len(w2) {
+		t.Fatalf("weight count: %d != %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) {
+			t.Fatalf("weight %d differs after resume: %v != %v", i, w1[i], w2[i])
+		}
+	}
+
+	// Identical models must produce identical verdicts.
+	feed := testSeries(3*testSeqLen, 77)
+	v1 := collect(t, s, "sta", feed)
+	v2 := collect(t, s2, "sta", feed)
+	for i := range v1 {
+		if v1[i].Flagged != v2[i].Flagged || math.Float64bits(v1[i].Score) != math.Float64bits(v2[i].Score) {
+			t.Fatalf("verdict %d diverged after resume: %+v != %+v", i, v1[i], v2[i])
+		}
+	}
+}
+
+// TestSnapshotAtomicity: snapshotting over an existing file must never
+// expose a partial write — the old snapshot stays readable until the
+// rename lands, and no temp files leak.
+func TestSnapshotAtomicity(t *testing.T) {
+	s := newTestService(t, Config{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serving.bin")
+	for i := 0; i < 3; i++ {
+		if err := s.SnapshotToFile(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadSnapshotFile(path); err != nil {
+			t.Fatalf("snapshot %d unreadable: %v", i, err)
+		}
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("leftover temp files: %v", tmps)
+	}
+
+	// A corrupt snapshot is a typed failure, not a silent fallback.
+	if err := os.WriteFile(path, []byte("not a detector"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshotFile(path); err == nil {
+		t.Fatal("corrupt snapshot loaded successfully")
+	}
+}

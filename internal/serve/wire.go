@@ -17,8 +17,9 @@ import (
 // station's batch of consecutive observations; the response carries their
 // verdicts in submission order.
 type WireServer struct {
-	svc *Service
-	ln  net.Listener
+	svc  *Service
+	ln   net.Listener
+	wrap func(net.Conn) net.Conn
 
 	mu     sync.Mutex
 	closed bool
@@ -29,11 +30,19 @@ type WireServer struct {
 // ListenWire starts a binary scoring listener on addr (":0" for an
 // ephemeral port).
 func ListenWire(svc *Service, addr string) (*WireServer, error) {
+	return ListenWireWrapped(svc, addr, nil)
+}
+
+// ListenWireWrapped starts a binary scoring listener whose accepted
+// connections pass through wrap first — the listen-side seam the chaos
+// fault injector plugs into (chaos.Injector.ConnWrapper). A nil wrap is
+// the production path and costs nothing.
+func ListenWireWrapped(svc *Service, addr string, wrap func(net.Conn) net.Conn) (*WireServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	ws := &WireServer{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	ws := &WireServer{svc: svc, ln: ln, wrap: wrap, conns: make(map[net.Conn]struct{})}
 	ws.wg.Add(1)
 	go ws.acceptLoop()
 	return ws, nil
@@ -65,6 +74,9 @@ func (ws *WireServer) acceptLoop() {
 		conn, err := ws.ln.Accept()
 		if err != nil {
 			return
+		}
+		if ws.wrap != nil {
+			conn = ws.wrap(conn)
 		}
 		ws.mu.Lock()
 		if ws.closed {
