@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/evfed/evfed/internal/eval"
+)
+
+// attackBenchRecord is the machine-readable record for the -attack-matrix
+// adversarial sweep: every detection and containment cell with its
+// declared bounds and verdict (see BENCH_pr10.json).
+type attackBenchRecord struct {
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// TotalSeconds is the whole matrix's wall time.
+	TotalSeconds float64                 `json:"totalSeconds"`
+	Cells        []eval.AttackMatrixCell `json:"cells"`
+}
+
+// runAttackBench executes the adversarial matrix, prints both planes,
+// gates on every cell's declared bound, optionally gates verdicts against
+// a committed baseline record, and optionally writes a fresh record.
+func runAttackBench(benchPath, baselinePath string, seed uint64, quick bool) error {
+	params := eval.AttackMatrixParams{Seed: seed}
+	if !quick {
+		// The full configuration deepens the model-plane federations; the
+		// data plane stays at the declared 1200-hour regime the detection
+		// bounds are calibrated for, so the cell set (and the baseline
+		// join) is identical across configs.
+		params.Rounds = 4
+	}
+	fmt.Fprintf(os.Stderr, "running %s adversarial matrix (seed %d)...\n", configName(quick), seed)
+	start := time.Now()
+	cells, err := eval.RunAttackMatrix(params)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "matrix completed in %.1fs\n\n", total)
+	fmt.Print(eval.FormatAttackMatrix(cells))
+
+	bad := 0
+	for _, c := range cells {
+		if !c.Pass {
+			bad++
+			fmt.Fprintf(os.Stderr, "FAIL %s (expect %s)\n", c.Key(), c.Expect)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d adversarial cells outside declared bounds", bad, len(cells))
+	}
+
+	if baselinePath != "" {
+		if err := compareAttackBaseline(baselinePath, cells); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "verdicts match baseline %s\n", baselinePath)
+	}
+
+	if benchPath == "" {
+		return nil
+	}
+	rec := attackBenchRecord{
+		Config:       configName(quick) + "-attack",
+		Seed:         seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		TotalSeconds: total,
+		Cells:        cells,
+	}
+	f, err := os.Create(benchPath)
+	if err != nil {
+		return err
+	}
+	if err := encodeBenchJSON(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// compareAttackBaseline enforces zero verdict regressions against a
+// committed record: every baseline cell must still exist and still pass,
+// and no new cell may fail. Metric drift within bounds is fine — the gate
+// joins on cell identity and compares verdicts only.
+func compareAttackBaseline(path string, cells []eval.AttackMatrixCell) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("attack baseline: %w", err)
+	}
+	var base attackBenchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("attack baseline %s: %w", path, err)
+	}
+	fresh := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		fresh[c.Key()] = c.Pass
+	}
+	regressions := 0
+	for _, b := range base.Cells {
+		pass, ok := fresh[b.Key()]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: cell missing from fresh run\n", b.Key())
+			regressions++
+		case b.Pass && !pass:
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: baseline PASS, fresh FAIL\n", b.Key())
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d verdict regressions vs %s", regressions, path)
+	}
+	return nil
+}

@@ -12,6 +12,19 @@
 //	    [-compare-tput-drop 0.15] [-compare-p99-growth 0.25]
 //	evfedbench -hier 1000,10000 [-hier-edges 100] [-quick] [-bench-json BENCH.json]
 //	evfedbench -chaos-recovery [-chaos-rounds 4] [-seed N] [-bench-json BENCH_pr9.json]
+//	evfedbench -attack-matrix [-quick] [-seed N] [-attack-baseline BENCH_pr10.json]
+//	    [-bench-json BENCH_pr10.json]
+//
+// -attack-matrix runs the adversarial evaluation matrix: every telemetry
+// attack family (DDoS, three FDI shapes, three temporal disruptions) at
+// two intensities through the detection + mitigation pipeline, scored
+// against the injectors' ground-truth masks, plus Byzantine client
+// attacks (sign-flip, scaled-poison, colluding subset) at f = 1..4 of 8
+// stations against mean/median/trimmed aggregation — flat and through
+// the edge tier — scored as global-model R² deltas vs clean baselines.
+// Every cell carries a declared bound and the run fails on any miss;
+// -attack-baseline additionally fails on any verdict regression vs the
+// committed record (see BENCH_pr10.json).
 //
 // -chaos-recovery runs the fault-injection matrix: real TCP federations
 // (flat and 2-tier) under injected connection drops, stalls and byte
@@ -97,6 +110,9 @@ func run() error {
 		chaosRecovery = flag.Bool("chaos-recovery", false, "run the fault-injection recovery matrix (conn-drop/stall/corrupt/coordinator-crash/server-restart × flat/2-tier) and fail if any arm exceeds its recovery tolerance; -bench-json writes the per-arm records")
 		chaosRounds   = flag.Int("chaos-rounds", 4, "federated rounds per -chaos-recovery arm")
 
+		attackMatrix   = flag.Bool("attack-matrix", false, "run the adversarial evaluation matrix (FDI/temporal/DDoS detection cells plus Byzantine containment cells across aggregators) and fail if any cell misses its declared bound; -bench-json writes the per-cell records")
+		attackBaseline = flag.String("attack-baseline", "", "also gate -attack-matrix verdicts against this committed record (zero regressions allowed, see BENCH_pr10.json)")
+
 		benchCompare = flag.String("bench-compare", "", "compare two serve bench/matrix files, BASE.json,NEW.json, and fail on regressions beyond the tolerance band")
 		cmpTputDrop  = flag.Float64("compare-tput-drop", 0.15, "max tolerated fractional throughput drop for -bench-compare")
 		cmpP99Growth = flag.Float64("compare-p99-growth", 0.25, "max tolerated fractional p99 latency growth for -bench-compare")
@@ -117,6 +133,10 @@ func run() error {
 
 	if *chaosRecovery {
 		return runChaosBench(*bench, *chaosRounds, *seed, *quick)
+	}
+
+	if *attackMatrix {
+		return runAttackBench(*bench, *attackBaseline, *seed, *quick)
 	}
 
 	if *serveBench != "" {

@@ -15,9 +15,12 @@
 // region's survivors (or drops just this subtree when the whole region is
 // out), never a poisoned or stalled root round.
 //
-// At startup the edge preflights its stations with the same Hello
+// At startup the edge preflights its children with the same Hello
 // handshake the root uses: protocol-version skew aborts (a typed
-// mismatch, not a hang), and the stations' model dimensions must agree.
+// mismatch, not a hang), and the children's model dimensions must agree.
+// A child that answers with the aggregate role is itself an edge and is
+// wired as a partial-aggregate handle, so -stations can mix leaf
+// stations and deeper edges — topologies compose to any tier count.
 //
 // Usage:
 //
@@ -77,20 +80,42 @@ func run() error {
 		return err
 	}
 
-	var handles []fed.ClientHandle
 	var remotes []*fed.RemoteClient
-	for _, addr := range strings.Split(*stations, ",") {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
-		rc := fed.NewRemoteClient(addr, addr)
+	tune := func(rc *fed.RemoteClient) *fed.RemoteClient {
 		rc.DialTimeout = *dialTimeout
 		rc.ReadTimeout = *ioTimeout
 		rc.MaxRetries = *retries
 		rc.RetryBackoff = *retryBackoff
 		remotes = append(remotes, rc)
-		handles = append(handles, rc)
+		return rc
+	}
+	// Role discovery, exactly as the root does it: a child that answers
+	// Hello with RoleAggregate is another edge, so wrap it in a
+	// partial-aggregate handle — tiers compose recursively and the global
+	// model stays bit-identical to the flat federation at any depth.
+	var handles []fed.ClientHandle
+	for _, addr := range strings.Split(*stations, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		probe := tune(fed.NewRemoteClient(addr, addr))
+		probe.MaxRetries = 0
+		info, err := probe.Hello()
+		switch {
+		case err != nil && *tolerate:
+			fmt.Fprintf(os.Stderr, "evfededge: child %s unreachable at startup (%v); continuing\n", addr, err)
+			handles = append(handles, tune(fed.NewRemoteClient(addr, addr)))
+			continue
+		case err != nil:
+			return fmt.Errorf("probe %s: %w", addr, err)
+		case info.Role == fed.RoleAggregate:
+			re := fed.NewRemoteEdge(info.StationID, addr)
+			tune(re.RemoteClient)
+			handles = append(handles, re)
+			continue
+		}
+		handles = append(handles, tune(fed.NewRemoteClient(info.StationID, addr)))
 	}
 	if len(handles) == 0 {
 		return fmt.Errorf("no station addresses parsed from %q", *stations)
@@ -123,7 +148,7 @@ func run() error {
 	case err != nil:
 		return fmt.Errorf("preflight: %w", err)
 	}
-	fmt.Printf("edge %s fronting %d stations (%d subtree samples, %d-dim model)\n",
+	fmt.Printf("edge %s fronting %d children (%d subtree samples, %d-dim model)\n",
 		*id, len(handles), info.NumSamples, info.ModelDim)
 
 	srv, err := fed.ServeEdge(edge, *listen, fed.ServerConfig{RequestTimeout: *reqTimeout})

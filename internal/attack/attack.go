@@ -252,53 +252,16 @@ func InjectDDoS(values []float64, episodes []Episode, traffic TrafficConfig, r *
 
 // InjectFalseData applies a false-data-injection attack (future-work
 // vector): attacked hours get a persistent additive bias of biasFrac times
-// the local series level, a subtler manipulation than DDoS spikes.
+// the local series level, a subtler manipulation than DDoS spikes. It is
+// the FDIBias shape of InjectFDI (see variants.go for the full family).
 func InjectFalseData(values []float64, episodes []Episode, biasFrac float64, r *rng.Source) (*Result, error) {
-	if biasFrac == 0 {
-		return nil, fmt.Errorf("%w: zero bias", ErrBadConfig)
-	}
-	out := &Result{
-		Values:   make([]float64, len(values)),
-		Labels:   make([]bool, len(values)),
-		Episodes: episodes,
-	}
-	copy(out.Values, values)
-	for _, e := range episodes {
-		if e.Start < 0 || e.End() > len(values) {
-			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
-		}
-		for t := e.Start; t < e.End(); t++ {
-			jitter := 1 + 0.2*r.NormFloat64()
-			out.Values[t] = values[t] * (1 + biasFrac*e.Severity*jitter)
-			out.Labels[t] = true
-		}
-	}
-	return out, nil
+	return InjectFDI(values, episodes, FDIConfig{Kind: FDIBias, BiasFrac: biasFrac}, r)
 }
 
 // InjectTemporalDisruption shuffles the values within each attacked window
 // (future-work vector): totals are preserved but the temporal pattern is
-// destroyed, evading magnitude-based detectors.
+// destroyed, evading magnitude-based detectors. It is the TemporalReorder
+// vector of InjectTemporal (see variants.go for the full family).
 func InjectTemporalDisruption(values []float64, episodes []Episode, r *rng.Source) (*Result, error) {
-	out := &Result{
-		Values:   make([]float64, len(values)),
-		Labels:   make([]bool, len(values)),
-		Episodes: episodes,
-	}
-	copy(out.Values, values)
-	for _, e := range episodes {
-		if e.Start < 0 || e.End() > len(values) {
-			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
-		}
-		perm := r.Perm(e.Length)
-		window := make([]float64, e.Length)
-		for i := range perm {
-			window[i] = values[e.Start+perm[i]]
-		}
-		for i, v := range window {
-			out.Values[e.Start+i] = v
-			out.Labels[e.Start+i] = true
-		}
-	}
-	return out, nil
+	return InjectTemporal(values, episodes, TemporalConfig{Kind: TemporalReorder}, r)
 }

@@ -1,0 +1,235 @@
+package attack
+
+import (
+	"fmt"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// This file holds the parameterized attack-vector families behind the
+// adversarial evaluation matrix (eval.RunAttackMatrix): false-data
+// injection in three temporal shapes and three temporal-disruption
+// vectors. Every injector follows the same ground-truth mask contract as
+// InjectDDoS:
+//
+//   - Result.Values is a fresh copy of the input; hours the attack did not
+//     modify are bit-identical to the input,
+//   - Result.Labels has len(values) entries and marks exactly the hours
+//     the attacker modified (for FDIPulse that is the on-pulses only, not
+//     the whole episode),
+//   - all modifications fall inside the scheduled episodes, and
+//   - the output is deterministic per (input, episodes, config, RNG seed).
+
+// FDIKind selects the temporal shape of a false-data injection.
+type FDIKind uint8
+
+// FDI shapes, in increasing order of evasiveness against threshold
+// detectors tuned for step changes.
+const (
+	// FDIBias applies a persistent additive bias over the whole episode —
+	// the classic FDI vector (and the shape InjectFalseData has always
+	// produced).
+	FDIBias FDIKind = iota
+	// FDIRamp grows the bias linearly from zero at the episode start to
+	// its full magnitude at the episode end, so no single hour presents a
+	// detectable step.
+	FDIRamp
+	// FDIPulse gates the bias with an on/off pulse train inside the
+	// episode (PulsePeriod/PulseWidth), hiding in duty-cycled bursts that
+	// are each too short to shift windowed statistics.
+	FDIPulse
+)
+
+// String names the FDI shape for matrix rows and error messages.
+func (k FDIKind) String() string {
+	switch k {
+	case FDIBias:
+		return "fdi-bias"
+	case FDIRamp:
+		return "fdi-ramp"
+	case FDIPulse:
+		return "fdi-pulse"
+	default:
+		return fmt.Sprintf("fdi(%d)", uint8(k))
+	}
+}
+
+// FDIConfig parameterizes a false-data injection.
+type FDIConfig struct {
+	// Kind is the temporal shape.
+	Kind FDIKind
+	// BiasFrac scales the injected bias: an attacked hour's value is
+	// multiplied by 1 + BiasFrac·severity·shape·jitter, where shape is the
+	// kind's temporal profile in [0, 1] and severity the episode's.
+	BiasFrac float64
+	// JitterStd is the standard deviation of the per-hour multiplicative
+	// jitter (jitter ~ 1 + N(0, JitterStd)); 0 selects the default 0.2.
+	JitterStd float64
+	// PulsePeriod and PulseWidth shape FDIPulse: within an episode, hours
+	// with (t - start) mod PulsePeriod < PulseWidth carry the bias, the
+	// rest pass through untouched. Zero values select 6/2.
+	PulsePeriod, PulseWidth int
+}
+
+func (c FDIConfig) withDefaults() (FDIConfig, error) {
+	if c.BiasFrac == 0 {
+		return c, fmt.Errorf("%w: zero bias", ErrBadConfig)
+	}
+	if c.JitterStd == 0 {
+		c.JitterStd = 0.2
+	}
+	if c.JitterStd < 0 {
+		return c, fmt.Errorf("%w: jitter std %v", ErrBadConfig, c.JitterStd)
+	}
+	if c.PulsePeriod == 0 {
+		c.PulsePeriod = 6
+	}
+	if c.PulseWidth == 0 {
+		c.PulseWidth = 2
+	}
+	if c.Kind > FDIPulse {
+		return c, fmt.Errorf("%w: FDI kind %d", ErrBadConfig, c.Kind)
+	}
+	if c.PulsePeriod < 1 || c.PulseWidth < 1 || c.PulseWidth > c.PulsePeriod {
+		return c, fmt.Errorf("%w: pulse %d/%d", ErrBadConfig, c.PulseWidth, c.PulsePeriod)
+	}
+	return c, nil
+}
+
+// InjectFDI applies a false-data injection of the configured shape. The
+// attacker's model is a compromised telemetry path reporting plausible but
+// biased volumes: each modified hour's value becomes
+//
+//	v · (1 + BiasFrac · severity · shape(t) · jitter),
+//
+// with shape(t) = 1 for FDIBias, the episode-relative ramp position for
+// FDIRamp, and the pulse gate (1 on-pulse, hour untouched off-pulse) for
+// FDIPulse. Labels mark exactly the modified hours.
+func InjectFDI(values []float64, episodes []Episode, cfg FDIConfig, r *rng.Source) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Values:   make([]float64, len(values)),
+		Labels:   make([]bool, len(values)),
+		Episodes: episodes,
+	}
+	copy(out.Values, values)
+	var multSum float64
+	var multN int
+	for _, e := range episodes {
+		if e.Start < 0 || e.End() > len(values) {
+			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
+		}
+		for t := e.Start; t < e.End(); t++ {
+			shape := 1.0
+			switch cfg.Kind {
+			case FDIRamp:
+				shape = float64(t-e.Start+1) / float64(e.Length)
+			case FDIPulse:
+				if (t-e.Start)%cfg.PulsePeriod >= cfg.PulseWidth {
+					continue // off-pulse: bit-identical pass-through
+				}
+			}
+			jitter := 1 + cfg.JitterStd*r.NormFloat64()
+			mult := 1 + cfg.BiasFrac*e.Severity*shape*jitter
+			out.Values[t] = values[t] * mult
+			out.Labels[t] = true
+			multSum += mult
+			multN++
+		}
+	}
+	if multN > 0 {
+		out.MeanMultiplier = multSum / float64(multN)
+	}
+	return out, nil
+}
+
+// TemporalKind selects a temporal-disruption vector.
+type TemporalKind uint8
+
+// Temporal disruptions. All preserve plausible magnitudes — they attack
+// the sequence structure the forecaster and autoencoder key on, not the
+// volume level.
+const (
+	// TemporalReorder shuffles the hours within each episode: totals are
+	// preserved but the intra-window pattern is destroyed (the shape
+	// InjectTemporalDisruption has always produced).
+	TemporalReorder TemporalKind = iota
+	// TemporalReplay overwrites each episode with the immediately
+	// preceding same-length segment — a replay attack: stale but
+	// individually plausible telemetry masks what the station really did.
+	TemporalReplay
+	// TemporalGap zeroes the episode — a dropout/outage: the victim's
+	// feed goes dark while the mask records the hours as attacked.
+	TemporalGap
+)
+
+// String names the disruption for matrix rows and error messages.
+func (k TemporalKind) String() string {
+	switch k {
+	case TemporalReorder:
+		return "temporal-reorder"
+	case TemporalReplay:
+		return "temporal-replay"
+	case TemporalGap:
+		return "temporal-gap"
+	default:
+		return fmt.Sprintf("temporal(%d)", uint8(k))
+	}
+}
+
+// TemporalConfig parameterizes a temporal disruption.
+type TemporalConfig struct {
+	// Kind is the disruption vector.
+	Kind TemporalKind
+}
+
+// InjectTemporal applies the configured temporal disruption to each
+// episode. TemporalReplay requires every episode to start at or after
+// index e.Length (the replayed history must exist); schedule with
+// Schedule's from parameter ≥ MaxLen to guarantee it. Labels mark every
+// episode hour: a replayed or zeroed hour is attacked even when its value
+// happens to equal the original.
+func InjectTemporal(values []float64, episodes []Episode, cfg TemporalConfig, r *rng.Source) (*Result, error) {
+	if cfg.Kind > TemporalGap {
+		return nil, fmt.Errorf("%w: temporal kind %d", ErrBadConfig, cfg.Kind)
+	}
+	out := &Result{
+		Values:   make([]float64, len(values)),
+		Labels:   make([]bool, len(values)),
+		Episodes: episodes,
+	}
+	copy(out.Values, values)
+	for _, e := range episodes {
+		if e.Start < 0 || e.End() > len(values) {
+			return nil, fmt.Errorf("%w: episode [%d, %d) outside series of %d", ErrBadConfig, e.Start, e.End(), len(values))
+		}
+		switch cfg.Kind {
+		case TemporalReorder:
+			perm := r.Perm(e.Length)
+			window := make([]float64, e.Length)
+			for i := range perm {
+				window[i] = values[e.Start+perm[i]]
+			}
+			copy(out.Values[e.Start:e.End()], window)
+		case TemporalReplay:
+			if e.Start < e.Length {
+				return nil, fmt.Errorf("%w: episode [%d, %d) has no %d-hour history to replay",
+					ErrBadConfig, e.Start, e.End(), e.Length)
+			}
+			// Replay the original (pre-attack) history, even when a prior
+			// episode overlapped it — the attacker records before acting.
+			copy(out.Values[e.Start:e.End()], values[e.Start-e.Length:e.Start])
+		case TemporalGap:
+			for t := e.Start; t < e.End(); t++ {
+				out.Values[t] = 0
+			}
+		}
+		for t := e.Start; t < e.End(); t++ {
+			out.Labels[t] = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// injectorTable enumerates every attack family behind one closure
+// signature, so the property tests below sweep all of them uniformly.
+func injectorTable() []struct {
+	name   string
+	sparse bool // labels may be a strict subset of episode hours
+	inject func(values []float64, eps []Episode, r *rng.Source) (*Result, error)
+} {
+	fdi := func(cfg FDIConfig) func([]float64, []Episode, *rng.Source) (*Result, error) {
+		return func(v []float64, eps []Episode, r *rng.Source) (*Result, error) {
+			return InjectFDI(v, eps, cfg, r)
+		}
+	}
+	temporal := func(kind TemporalKind) func([]float64, []Episode, *rng.Source) (*Result, error) {
+		return func(v []float64, eps []Episode, r *rng.Source) (*Result, error) {
+			return InjectTemporal(v, eps, TemporalConfig{Kind: kind}, r)
+		}
+	}
+	return []struct {
+		name   string
+		sparse bool
+		inject func(values []float64, eps []Episode, r *rng.Source) (*Result, error)
+	}{
+		{"ddos", false, func(v []float64, eps []Episode, r *rng.Source) (*Result, error) {
+			return InjectDDoS(v, eps, DefaultTraffic(), r)
+		}},
+		{"fdi-bias", false, fdi(FDIConfig{Kind: FDIBias, BiasFrac: 2})},
+		{"fdi-ramp", false, fdi(FDIConfig{Kind: FDIRamp, BiasFrac: 2})},
+		// Pulse labels only the on-pulse hours inside each episode.
+		{"fdi-pulse", true, fdi(FDIConfig{Kind: FDIPulse, BiasFrac: 2.5})},
+		{"temporal-reorder", false, temporal(TemporalReorder)},
+		{"temporal-replay", false, temporal(TemporalReplay)},
+		{"temporal-gap", false, temporal(TemporalGap)},
+	}
+}
+
+func propSeries(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 20 + 12*math.Sin(2*math.Pi*float64(i)/24) + r.Normal(0, 2)
+	}
+	return out
+}
+
+// TestInjectorProperties sweeps every family for the mask contract:
+// correct lengths, untouched input, bit-identical values and false labels
+// outside episodes, labels confined to episode hours (and covering them
+// exactly for dense families), and same-seed determinism.
+func TestInjectorProperties(t *testing.T) {
+	const n, seed = 600, 99
+	sched := ScheduleConfig{
+		Episodes: 5, MinLen: 10, MaxLen: 26,
+		MinSeverity: 0.2, MaxSeverity: 0.6, MinGap: 12,
+	}
+	for _, tc := range injectorTable() {
+		t.Run(tc.name, func(t *testing.T) {
+			values := propSeries(n, seed)
+			orig := append([]float64(nil), values...)
+			// Schedule from MaxLen+1 so replay always has history.
+			eps, err := Schedule(sched, n, sched.MaxLen+1, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tc.inject(values, eps, rng.New(seed+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(res.Values) != n || len(res.Labels) != n {
+				t.Fatalf("lengths %d/%d, want %d", len(res.Values), len(res.Labels), n)
+			}
+			for i := range values {
+				if values[i] != orig[i] {
+					t.Fatalf("input mutated at %d", i)
+				}
+			}
+			inEpisode := make([]bool, n)
+			for _, e := range eps {
+				if e.Start < 0 || e.End() > n {
+					t.Fatalf("episode [%d, %d) outside series", e.Start, e.End())
+				}
+				for i := e.Start; i < e.End(); i++ {
+					inEpisode[i] = true
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !inEpisode[i] {
+					if res.Values[i] != orig[i] {
+						t.Fatalf("%s: value changed outside episodes at %d", tc.name, i)
+					}
+					if res.Labels[i] {
+						t.Fatalf("%s: label outside episodes at %d", tc.name, i)
+					}
+					continue
+				}
+				if res.Labels[i] && !inEpisode[i] {
+					t.Fatalf("%s: label escapes episode at %d", tc.name, i)
+				}
+				if !tc.sparse && !res.Labels[i] {
+					t.Fatalf("%s: unlabeled episode hour %d", tc.name, i)
+				}
+			}
+			if tc.sparse {
+				any := false
+				for i := range res.Labels {
+					any = any || res.Labels[i]
+				}
+				if !any {
+					t.Fatalf("%s: no labels at all", tc.name)
+				}
+			}
+
+			// Same-seed determinism, bit for bit.
+			res2, err := tc.inject(values, eps, rng.New(seed+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if res.Values[i] != res2.Values[i] || res.Labels[i] != res2.Labels[i] {
+					t.Fatalf("%s: not deterministic at %d", tc.name, i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAmHaloFilter(t *testing.T) {
+	labels := make([]bool, 40)
+	flags := make([]bool, 40)
+	for i := 18; i < 22; i++ {
+		labels[i] = true
+	}
+	flags[19] = true // hit inside episode
+	flags[23] = true // halo flag: must not count as FP
+	flags[2] = true  // genuine FP far from the episode
+	truth, pred := amHaloFilter(labels, flags, 5)
+
+	// Evaluable set: hours 0..12 and 27..39 (clean, outside the halo
+	// 13..26) plus the four labeled hours.
+	wantLen := 13 + 4 + 13
+	if len(truth) != wantLen || len(pred) != wantLen {
+		t.Fatalf("lengths %d/%d, want %d", len(truth), len(pred), wantLen)
+	}
+	tp, fp, labeled := 0, 0, 0
+	for i := range truth {
+		if truth[i] {
+			labeled++
+			if pred[i] {
+				tp++
+			}
+		} else if pred[i] {
+			fp++
+		}
+	}
+	if labeled != 4 || tp != 1 || fp != 1 {
+		t.Fatalf("labeled/tp/fp = %d/%d/%d, want 4/1/1 (halo flag excluded)", labeled, tp, fp)
+	}
+}
+
+func TestAmHaloFilterNoEpisodes(t *testing.T) {
+	labels := make([]bool, 10)
+	flags := make([]bool, 10)
+	flags[3] = true
+	truth, pred := amHaloFilter(labels, flags, 4)
+	if len(truth) != 10 || len(pred) != 10 {
+		t.Fatalf("no-episode filter must keep everything, got %d/%d", len(truth), len(pred))
+	}
+}
+
+// Every family×intensity must declare non-degenerate bounds: detection
+// floors strictly positive (the matrix's "non-degenerate detection"
+// claim) and an FPR ceiling at or under 5%.
+func TestAmDetectionBoundsNonDegenerate(t *testing.T) {
+	for _, fam := range amFamilies() {
+		for _, intensity := range []string{"low", "high"} {
+			b := amDetectionBounds(fam.name, intensity)
+			if b.minPrecision <= 0 || b.minRecall <= 0 || b.minEpisodeRecall <= 0 {
+				t.Fatalf("%s/%s: degenerate floor %+v", fam.name, intensity, b)
+			}
+			if b.maxFPR <= 0 || b.maxFPR > 0.05 {
+				t.Fatalf("%s/%s: FPR ceiling %v outside (0, 0.05]", fam.name, intensity, b.maxFPR)
+			}
+		}
+	}
+}
+
+func TestAmBreakdownPoints(t *testing.T) {
+	if bp := amBreakdown("median", 8, 2); bp != 3 {
+		t.Fatalf("median breakdown %d, want 3", bp)
+	}
+	if bp := amBreakdown("trimmed-mean(2)", 8, 2); bp != 2 {
+		t.Fatalf("trimmed breakdown %d, want 2", bp)
+	}
+	if bp := amBreakdown("fedavg", 8, 2); bp != 0 {
+		t.Fatalf("mean breakdown %d, want 0", bp)
+	}
+}
+
+// The containment plane is cheap enough to run in tests (~2s): verify the
+// verdict structure — cells exist for every arm, keys are unique, every
+// contain/break expectation holds, and 2-tier cells match their flat
+// twins exactly (hierarchy parity under Byzantine wrappers).
+func TestRunContainmentCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("containment sweep in -short mode")
+	}
+	p := AttackMatrixParams{Seed: 42}
+	cells, err := runContainmentCells(p.fill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 40 {
+		t.Fatalf("got %d containment cells, want 40", len(cells))
+	}
+	seen := map[string]AttackMatrixCell{}
+	for _, c := range cells {
+		if _, dup := seen[c.Key()]; dup {
+			t.Fatalf("duplicate cell key %s", c.Key())
+		}
+		seen[c.Key()] = c
+		if !c.Pass {
+			t.Errorf("cell %s: expect %s failed (ΔR² %.4f vs bound %.3f)",
+				c.Key(), c.Expect, c.R2Delta, c.Bound)
+		}
+	}
+	for key, c := range seen {
+		if c.Topology != "2-tier" {
+			continue
+		}
+		flat, ok := seen[strings.Replace(key, "2-tier", "flat", 1)]
+		if !ok {
+			t.Fatalf("2-tier cell %s has no flat twin", key)
+		}
+		if c.R2 != flat.R2 {
+			t.Errorf("%s: 2-tier R² %.6f != flat %.6f (hierarchy parity broken)", key, c.R2, flat.R2)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// breakdownUpdates builds n updates whose honest members cluster tightly
+// around mean (±jitter) and whose first f members sit at a huge outlier
+// value, the worst case for a coordinate-wise rank aggregator.
+func breakdownUpdates(n, f, dim int, mean, outlier float64, seed uint64) []Update {
+	r := rng.New(seed)
+	ups := make([]Update, n)
+	for i := range ups {
+		w := make([]float64, dim)
+		for d := range w {
+			if i < f {
+				w[d] = outlier
+			} else {
+				w[d] = mean + r.Normal(0, 0.01)
+			}
+		}
+		ups[i] = Update{ClientID: string(rune('a' + i)), NumSamples: 1, Weights: w}
+	}
+	return ups
+}
+
+// TestMedianBreakdownPoint pins the coordinate-wise median's exact
+// tolerance: with n = 8 it absorbs f = ⌊(n−1)/2⌋ = 3 arbitrarily large
+// outliers (aggregate within ε of the honest mean) and fails one past it.
+func TestMedianBreakdownPoint(t *testing.T) {
+	const (
+		n, dim  = 8, 5
+		mean    = 0.7
+		outlier = 1e9
+		eps     = 0.05
+	)
+	var agg MedianAggregator
+	bp := (n - 1) / 2
+	for f := 0; f <= bp; f++ {
+		out, err := agg.Aggregate(breakdownUpdates(n, f, dim, mean, outlier, uint64(f)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, v := range out {
+			if math.Abs(v-mean) > eps {
+				t.Fatalf("f=%d coord %d: median %v drifted from honest mean %v", f, d, v, mean)
+			}
+		}
+	}
+	out, err := agg.Aggregate(breakdownUpdates(n, bp+1, dim, mean, outlier, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One past the breakdown point the midpoint median straddles an
+	// outlier: the aggregate must be catastrophically far from honest.
+	if math.Abs(out[0]-mean) < outlier/4 {
+		t.Fatalf("f=%d: median %v still near honest mean — breakdown point is wrong", bp+1, out[0])
+	}
+}
+
+// TestTrimmedMeanBreakdownPoint pins trimmed-mean(t)'s exact tolerance:
+// it absorbs f = t one-sided outliers and fails at f = t+1 (one outlier
+// survives the trim and drags the mean of the kept values).
+func TestTrimmedMeanBreakdownPoint(t *testing.T) {
+	const (
+		n, dim  = 8, 5
+		trim    = 2
+		mean    = 0.7
+		outlier = 1e9
+		eps     = 0.05
+	)
+	agg := TrimmedMeanAggregator{TrimPerSide: trim}
+	for f := 0; f <= trim; f++ {
+		out, err := agg.Aggregate(breakdownUpdates(n, f, dim, mean, outlier, uint64(f)+21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, v := range out {
+			if math.Abs(v-mean) > eps {
+				t.Fatalf("f=%d coord %d: trimmed mean %v drifted from honest mean %v", f, d, v, mean)
+			}
+		}
+	}
+	out, err := agg.Aggregate(breakdownUpdates(n, trim+1, dim, mean, outlier, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n − 2t = 4 values survive the trim; one is the outlier, so the kept
+	// mean sits near outlier/4.
+	if math.Abs(out[0]-mean) < outlier/8 {
+		t.Fatalf("f=%d: trimmed mean %v absorbed more outliers than its trim budget", trim+1, out[0])
+	}
+}
+
+// TestMeanBreakdownPoint documents the mean's breakdown point of zero: a
+// single Byzantine client owns the aggregate.
+func TestMeanBreakdownPoint(t *testing.T) {
+	var agg MeanAggregator
+	out, err := agg.Aggregate(breakdownUpdates(8, 1, 3, 0.7, 1e9, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] < 1e7 {
+		t.Fatalf("mean %v should be dominated by the single outlier", out[0])
+	}
+}

@@ -1,0 +1,201 @@
+package fed
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/evfed/evfed/internal/rng"
+)
+
+// Byzantine client attacks: the model-plane half of the paper's threat
+// model. Where internal/attack corrupts the data a station observes,
+// these corrupt what a compromised station *sends* — the weight update
+// itself. A MaliciousClient wraps any honest ClientHandle and tampers
+// with its update after local training completes, so the poisoned vector
+// flows through the exact round machinery an honest one does: coordinator
+// scheduling, the wire codec (including q8 delta quantization when a
+// malicious station is served over TCP), edge partial aggregation, and
+// the configured aggregation rule. Nothing downstream can tell a wrapped
+// handle from an honest station except by the arithmetic of its update —
+// which is precisely what robust aggregators must survive.
+
+// ByzantineKind selects the malicious update transformation.
+type ByzantineKind uint8
+
+// Supported attacks, in increasing order of coordination.
+const (
+	// ByzSignFlip reverses the training signal: the update becomes
+	// global − Scale·(update − global), i.e. gradient ascent from the
+	// aggregate's point of view.
+	ByzSignFlip ByzantineKind = iota
+	// ByzScaledPoison amplifies the honest delta by Scale, the classic
+	// model-replacement boost: one attacker tries to drag the mean to its
+	// own (scaled) solution.
+	ByzScaledPoison
+	// ByzCollude replaces the delta with a direction every colluder
+	// derives identically from (CollusionSeed, round): the subset submits
+	// byte-identical poisoned vectors, stacking their mass on one point of
+	// each coordinate's order statistics — the worst case for rank-based
+	// aggregators, which single uncoordinated outliers cannot reach.
+	ByzCollude
+)
+
+// String names the attack as ParseByzantineKind accepts it.
+func (k ByzantineKind) String() string {
+	switch k {
+	case ByzSignFlip:
+		return "sign-flip"
+	case ByzScaledPoison:
+		return "scaled-poison"
+	case ByzCollude:
+		return "collude"
+	default:
+		return fmt.Sprintf("byzantine(%d)", uint8(k))
+	}
+}
+
+// ParseByzantineKind maps a flag string to a ByzantineKind.
+func ParseByzantineKind(s string) (ByzantineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sign-flip", "signflip":
+		return ByzSignFlip, nil
+	case "scaled-poison", "poison":
+		return ByzScaledPoison, nil
+	case "collude", "collusion":
+		return ByzCollude, nil
+	}
+	return 0, fmt.Errorf("%w: unknown byzantine kind %q", ErrBadConfig, s)
+}
+
+// ByzantineConfig parameterizes a malicious client.
+type ByzantineConfig struct {
+	// Kind is the update transformation.
+	Kind ByzantineKind
+	// Scale tunes the attack's magnitude. Zero selects the kind's
+	// default: 1 for ByzSignFlip (exact reversal), 10 for ByzScaledPoison
+	// (strong model replacement), 0.5 for ByzCollude (per-coordinate
+	// standard deviation of the common poison direction).
+	Scale float64
+	// CollusionSeed derives ByzCollude's common direction. Every member
+	// of a colluding subset must share the value; members with different
+	// seeds degrade into uncoordinated noise attackers.
+	CollusionSeed uint64
+}
+
+func (c ByzantineConfig) withDefaults() (ByzantineConfig, error) {
+	if c.Kind > ByzCollude {
+		return c, fmt.Errorf("%w: byzantine kind %d", ErrBadConfig, c.Kind)
+	}
+	if c.Scale < 0 {
+		return c, fmt.Errorf("%w: byzantine scale %v", ErrBadConfig, c.Scale)
+	}
+	if c.Scale == 0 {
+		switch c.Kind {
+		case ByzSignFlip:
+			c.Scale = 1
+		case ByzScaledPoison:
+			c.Scale = 10
+		case ByzCollude:
+			c.Scale = 0.5
+		}
+	}
+	return c, nil
+}
+
+// MaliciousClient wraps an honest ClientHandle and corrupts its updates.
+// It implements ClientHandle and Prober, so it can sit anywhere a station
+// can: in a flat coordinator's pool, under an edge aggregator, or behind
+// a TCP server (ServeMaliciousClient) — the corruption always rides the
+// real aggregation path.
+type MaliciousClient struct {
+	inner ClientHandle
+	cfg   ByzantineConfig
+}
+
+var (
+	_ ClientHandle = (*MaliciousClient)(nil)
+	_ Prober       = (*MaliciousClient)(nil)
+)
+
+// NewMaliciousClient validates the configuration and wraps inner.
+func NewMaliciousClient(inner ClientHandle, cfg ByzantineConfig) (*MaliciousClient, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner client", ErrBadConfig)
+	}
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &MaliciousClient{inner: inner, cfg: full}, nil
+}
+
+// ID implements ClientHandle: a compromised station keeps its identity.
+func (m *MaliciousClient) ID() string { return m.inner.ID() }
+
+// NumSamples implements ClientHandle.
+func (m *MaliciousClient) NumSamples() (int, error) { return m.inner.NumSamples() }
+
+// Hello implements Prober by forwarding to the wrapped handle — a
+// compromised station passes preflight exactly like an honest one. A
+// probe-incapable inner handle reports an error (wrap a *Client or
+// RemoteClient for preflighted federations).
+func (m *MaliciousClient) Hello() (HelloInfo, error) {
+	if p, ok := m.inner.(Prober); ok {
+		return p.Hello()
+	}
+	return HelloInfo{}, fmt.Errorf("%w: malicious wrapper around non-probing client %s", ErrBadConfig, m.ID())
+}
+
+// Train implements ClientHandle: honest local training first (the attack
+// model is a compromised sender, not a broken trainer), then the
+// configured corruption of the returned weight vector. The update's
+// metadata (sample count, loss) is left honest — a poisoned update that
+// also lies about its loss would be trivially flaggable.
+func (m *MaliciousClient) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	u, err := m.inner.Train(global, cfg)
+	if err != nil {
+		return u, err
+	}
+	if len(u.Weights) != len(global) {
+		return u, fmt.Errorf("%w: malicious client %s: update dim %d != %d",
+			ErrBadConfig, m.ID(), len(u.Weights), len(global))
+	}
+	switch m.cfg.Kind {
+	case ByzSignFlip:
+		for i, g := range global {
+			u.Weights[i] = g - m.cfg.Scale*(u.Weights[i]-g)
+		}
+	case ByzScaledPoison:
+		for i, g := range global {
+			u.Weights[i] = g + m.cfg.Scale*(u.Weights[i]-g)
+		}
+	case ByzCollude:
+		dir := collusionDirection(m.cfg.CollusionSeed, cfg.Round, len(global), m.cfg.Scale)
+		for i, g := range global {
+			u.Weights[i] = g + dir[i]
+		}
+	}
+	return u, nil
+}
+
+// collusionDirection derives the colluding subset's common poison delta
+// for a round. It is a pure function of (seed, round, dim, scale): each
+// member computes it independently and they agree bit-for-bit, with no
+// shared state to synchronize — exactly how real colluders with a shared
+// key would coordinate offline.
+func collusionDirection(seed uint64, round, dim int, scale float64) []float64 {
+	r := rng.New(seed ^ (uint64(round+1) * 0x9e3779b97f4a7c15))
+	dir := make([]float64, dim)
+	for i := range dir {
+		dir[i] = scale * r.NormFloat64()
+	}
+	return dir
+}
+
+// ServeMaliciousClient exposes a malicious wrapper over TCP with the
+// leaf-station protocol, so poisoned updates traverse the real wire path:
+// framing, uplink codec (including q8 delta quantization), persistent
+// connections and all. Stop must be called to release the listener.
+func ServeMaliciousClient(m *MaliciousClient, addr string, scfg ServerConfig) (*ClientServer, error) {
+	return servePeer(clientPeer{c: m}, addr, scfg)
+}

@@ -1,0 +1,285 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fixedHandle is a deterministic zero-compute station returning a fresh
+// copy of its weight vector each round (fresh because MaliciousClient
+// corrupts updates in place).
+type fixedHandle struct {
+	id      string
+	weights []float64
+}
+
+func (f *fixedHandle) ID() string               { return f.id }
+func (f *fixedHandle) NumSamples() (int, error) { return 3, nil }
+
+func (f *fixedHandle) Train(global []float64, cfg LocalTrainConfig) (Update, error) {
+	w := make([]float64, len(f.weights))
+	copy(w, f.weights)
+	return Update{ClientID: f.id, Weights: w, NumSamples: 3, FinalLoss: 0.1}, nil
+}
+
+func TestMaliciousClientTransformMath(t *testing.T) {
+	global := []float64{1, -2, 0.5}
+	honest := []float64{1.5, -1, 0.25}
+
+	cases := []struct {
+		name string
+		cfg  ByzantineConfig
+		want func(i int) float64
+	}{
+		{
+			name: "sign-flip default scale",
+			cfg:  ByzantineConfig{Kind: ByzSignFlip},
+			want: func(i int) float64 { return global[i] - (honest[i] - global[i]) },
+		},
+		{
+			name: "sign-flip scaled",
+			cfg:  ByzantineConfig{Kind: ByzSignFlip, Scale: 3},
+			want: func(i int) float64 { return global[i] - 3*(honest[i]-global[i]) },
+		},
+		{
+			name: "scaled-poison default scale",
+			cfg:  ByzantineConfig{Kind: ByzScaledPoison},
+			want: func(i int) float64 { return global[i] + 10*(honest[i]-global[i]) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewMaliciousClient(&fixedHandle{id: "m", weights: honest}, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := m.Train(global, LocalTrainConfig{Round: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range global {
+				if got, want := u.Weights[i], tc.want(i); got != want {
+					t.Fatalf("coord %d: got %v want %v", i, got, want)
+				}
+			}
+			if u.ClientID != "m" || u.NumSamples != 3 || u.FinalLoss != 0.1 {
+				t.Fatalf("metadata tampered: %+v", u)
+			}
+		})
+	}
+}
+
+func TestMaliciousCollusionDeterministicAcrossMembers(t *testing.T) {
+	global := []float64{0.1, 0.2, 0.3, 0.4}
+	mk := func(id string, seed uint64, honest []float64) *MaliciousClient {
+		m, err := NewMaliciousClient(&fixedHandle{id: id, weights: honest},
+			ByzantineConfig{Kind: ByzCollude, CollusionSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Two colluders with different honest solutions but a shared seed must
+	// submit byte-identical poisoned vectors.
+	a := mk("a", 7, []float64{1, 1, 1, 1})
+	b := mk("b", 7, []float64{-5, 2, 0, 9})
+	ua, err := a.Train(global, LocalTrainConfig{Round: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := b.Train(global, LocalTrainConfig{Round: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ua.Weights {
+		if ua.Weights[i] != ub.Weights[i] {
+			t.Fatalf("colluders disagree at %d: %v vs %v", i, ua.Weights[i], ub.Weights[i])
+		}
+		if ua.Weights[i] == global[i] {
+			t.Fatalf("collusion direction is zero at %d", i)
+		}
+	}
+	// A different round must derive a different direction.
+	ua2, err := a.Train(global, LocalTrainConfig{Round: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ua.Weights {
+		if ua.Weights[i] != ua2.Weights[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("collusion direction did not change across rounds")
+	}
+	// A different seed must not collude.
+	c := mk("c", 8, []float64{1, 1, 1, 1})
+	uc, err := c.Train(global, LocalTrainConfig{Round: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same = true
+	for i := range ua.Weights {
+		if ua.Weights[i] != uc.Weights[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same direction")
+	}
+}
+
+func TestMaliciousClientIdentityAndValidation(t *testing.T) {
+	if _, err := NewMaliciousClient(nil, ByzantineConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil inner: %v", err)
+	}
+	if _, err := NewMaliciousClient(&fixedHandle{id: "x"}, ByzantineConfig{Kind: 99}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if _, err := NewMaliciousClient(&fixedHandle{id: "x"}, ByzantineConfig{Scale: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative scale: %v", err)
+	}
+
+	inner, err := NewClient("station-9", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaliciousClient(inner, ByzantineConfig{Kind: ByzSignFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID() != "station-9" {
+		t.Fatalf("ID %q", m.ID())
+	}
+	hi, err := m.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inner.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != want {
+		t.Fatalf("Hello forwarded %+v want %+v", hi, want)
+	}
+	// A probe-incapable inner handle reports, not panics.
+	m2, err := NewMaliciousClient(&fixedHandle{id: "plain"}, ByzantineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Hello(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("non-prober Hello: %v", err)
+	}
+
+	// Parse round-trips every kind's String.
+	for _, k := range []ByzantineKind{ByzSignFlip, ByzScaledPoison, ByzCollude} {
+		got, err := ParseByzantineKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("parse %q: %v %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseByzantineKind("nope"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad kind string: %v", err)
+	}
+}
+
+// TestMaliciousClientOverTCPWire proves a corrupted update traverses the
+// real wire path unchanged: a sign-flipped station served over TCP must
+// deliver exactly global − (honest − global), where honest is what an
+// identically-constructed unwrapped twin produces.
+func TestMaliciousClientOverTCPWire(t *testing.T) {
+	mkClient := func() *Client {
+		c, err := NewClient("station-1", smallSpec(), clientSeries(150, 0, 1), 12, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	m, err := NewMaliciousClient(mkClient(), ByzantineConfig{Kind: ByzSignFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeMaliciousClient(m, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	global, err := freshWeights(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LocalTrainConfig{Epochs: 1, BatchSize: 16, LearningRate: 0.005}
+	remote := NewRemoteClient("station-1", srv.Addr())
+	got, err := remote.Train(global, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := mkClient().Train(global, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range global {
+		want := global[i] - (honest.Weights[i] - global[i])
+		if got.Weights[i] != want {
+			t.Fatalf("coord %d over wire: got %v want %v", i, got.Weights[i], want)
+		}
+	}
+}
+
+// TestMaliciousClientUnderEdgeHeldPartial proves the edge tier relays a
+// malicious station's corrupted vector verbatim inside a held partial —
+// the property that lets a rank-aggregating root contain Byzantine
+// stations hidden behind edges.
+func TestMaliciousClientUnderEdgeHeldPartial(t *testing.T) {
+	honest := makeClients(t, 2)
+	twin, err := NewClient("M", smallSpec(), clientSeries(150, 9, 99), 12, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malInner, err := NewClient("M", smallSpec(), clientSeries(150, 9, 99), 12, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal, err := NewMaliciousClient(malInner, ByzantineConfig{Kind: ByzScaledPoison, Scale: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := NewEdge("edge-0", append(honest, mal), EdgeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := freshWeights(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LocalTrainConfig{Epochs: 1, BatchSize: 16, LearningRate: 0.005, PartialKind: PartialHeld}
+	part, err := edge.TrainPartial(global, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Kind != PartialHeld || len(part.Held) != 3 {
+		t.Fatalf("partial kind %v held %d", part.Kind, len(part.Held))
+	}
+	honestU, err := twin.Train(global, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The malicious station is the edge's third client; its held vector
+	// must be the poison transform of the twin's honest update.
+	held := part.Held[2]
+	var maxDiff float64
+	for i := range global {
+		want := global[i] + 5*(honestU.Weights[i]-global[i])
+		if d := math.Abs(held[i] - want); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff != 0 {
+		t.Fatalf("held poisoned vector differs from expected transform by %v", maxDiff)
+	}
+}

@@ -2,6 +2,7 @@ package fed
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -451,5 +452,74 @@ func TestHierarchyRejectsCustomAggregator(t *testing.T) {
 	}
 	if _, err := co.Run(); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("custom aggregator over an edge must fail with ErrBadConfig, got %v", err)
+	}
+}
+
+// Three tiers: stations → inner edges → super-edges → root. Edges accept
+// edges as children (an inner edge is just another PartialTrainer to its
+// parent), and the whole cluster must still reproduce the flat fold bit
+// for bit — hierarchy parity composes.
+func TestHierarchyThreeTierParity(t *testing.T) {
+	runFlat := func() *RunResult {
+		co, err := NewCoordinator(smallSpec(), makeClients(t, 8), smallConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	runThreeTier := func() *RunResult {
+		clients := makeClients(t, 8)
+		ecfg := DefaultEdgeConfig()
+		ecfg.TolerateClientErrors = false
+		super := make([]ClientHandle, 2)
+		for s := 0; s < 2; s++ {
+			inner := make([]ClientHandle, 2)
+			for e := 0; e < 2; e++ {
+				lo := s*4 + e*2
+				edge, err := NewEdge(fmt.Sprintf("inner-%d-%d", s, e), clients[lo:lo+2], ecfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inner[e] = edge
+			}
+			se, err := NewEdge(fmt.Sprintf("super-%d", s), inner, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			super[s] = se
+		}
+		co, err := NewCoordinator(smallSpec(), super, smallConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	flat, tiered := runFlat(), runThreeTier()
+	if len(flat.Global) != len(tiered.Global) {
+		t.Fatalf("dim mismatch: %d vs %d", len(flat.Global), len(tiered.Global))
+	}
+	for i := range flat.Global {
+		if math.Float64bits(flat.Global[i]) != math.Float64bits(tiered.Global[i]) {
+			t.Fatalf("global coordinate %d differs: flat %v != 3-tier %v",
+				i, flat.Global[i], tiered.Global[i])
+		}
+	}
+	for r := range tiered.Rounds {
+		hs := tiered.Rounds[r]
+		if len(hs.Participants) != 2 {
+			t.Fatalf("round %d: want 2 super-edge participants, got %v", r, hs.Participants)
+		}
+		if hs.LeafParticipants != 8 {
+			t.Fatalf("round %d: leaf participants %d, want 8 through two tiers", r, hs.LeafParticipants)
+		}
 	}
 }

@@ -135,10 +135,19 @@ type servedNode interface {
 	respondTrain(tr wire.Train, weights []float64, scfg ServerConfig) (wire.MsgType, func([]byte) ([]byte, error), error)
 }
 
-// clientPeer adapts a leaf Client to the server.
-type clientPeer struct{ c *Client }
+// leafStation is what the station-side server needs from the handle it
+// fronts: local training plus the Hello probe. *Client satisfies it, as
+// does a MaliciousClient wrapping one — serving the wrapper sends its
+// corrupted updates through the identical wire path.
+type leafStation interface {
+	ClientHandle
+	Prober
+}
 
-func (p clientPeer) nodeID() string            { return p.c.id }
+// clientPeer adapts a leaf station to the server.
+type clientPeer struct{ c leafStation }
+
+func (p clientPeer) nodeID() string            { return p.c.ID() }
 func (p clientPeer) hello() (HelloInfo, error) { return p.c.Hello() }
 func (p clientPeer) numSamples() (int, error)  { return p.c.NumSamples() }
 

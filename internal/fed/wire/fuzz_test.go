@@ -94,6 +94,32 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(mk(MsgCanaryCtlOK, func(b []byte) ([]byte, error) {
 		return AppendCanaryCtlOK(b, 4)
 	}))
+	// Malicious-update shapes from the Byzantine client wire path: a
+	// sign-flipped update (large negative coordinates), a scaled-poison
+	// update (extreme amplification, the saturating regime), and a held
+	// partial relaying a poisoned station vector through an edge.
+	poison := []float64{-2.5e3, 1e9, -1e9, math.MaxFloat64 / 4}
+	f.Add(mk(MsgTrainOK, func(b []byte) ([]byte, error) {
+		b, err := AppendTrainOK(b, TrainOK{StationID: "byz", NumSamples: 3, TrainSeconds: 0.1, FinalLoss: 0.1})
+		if err != nil {
+			return nil, err
+		}
+		return AppendVector(b, VecF64, poison, nil, nil)
+	}))
+	f.Add(mk(MsgTrainOK, func(b []byte) ([]byte, error) {
+		b, err := AppendTrainOK(b, TrainOK{StationID: "byz-q8", NumSamples: 3, TrainSeconds: 0.1, FinalLoss: 0.1})
+		if err != nil {
+			return nil, err
+		}
+		// Quantized poison: the q8 delta codec must clamp, not wrap.
+		return AppendVector(b, VecQ8, poison, []float64{0, 0, 0, 0}, nil)
+	}))
+	f.Add(mk(MsgTrainPartial, func(b []byte) ([]byte, error) {
+		return AppendTrainPartial(b, TrainPartial{
+			NodeID: "edge-byz", Kind: partialHeld, LeafParticipants: 3, SampleSum: 27,
+			Count: 3, Dim: 4, Held: [][]float64{vec, poison, {0, 0, 0, 0}},
+		})
+	}))
 	f.Add([]byte("this is not a frame at all"))
 	f.Add([]byte{magic0, magic1, Version, byte(MsgTrain), 0xff, 0xff, 0xff, 0x7f}) // lying length
 	f.Add(mk(MsgHello, nil)[:5])                                                   // truncated header
